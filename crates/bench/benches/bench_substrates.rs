@@ -1,0 +1,74 @@
+//! Micro-benchmarks of the substrates: cube algebra, concurrency relation,
+//! reachability, SM-cover — the building blocks whose complexity the paper
+//! reasons about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use si_boolean::{Cover, Cube};
+use si_petri::{sm_cover, ConcurrencyRelation, ReachabilityGraph};
+
+fn bench_cube_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cube_ops");
+    let a: Cube = "10-1-01-10-1-01-".parse().unwrap();
+    let b: Cube = "1--1-0--10---01-".parse().unwrap();
+    g.bench_function("and", |bench| bench.iter(|| std::hint::black_box(&a).and(&b)));
+    g.bench_function("sharp", |bench| bench.iter(|| std::hint::black_box(&a).sharp(&b)));
+    let cover = Cover::from_cubes(
+        16,
+        (0..12).map(|i| {
+            let mut c = Cube::full(16);
+            c.set(i, Some(i % 2 == 0));
+            c.set((i + 3) % 16, Some(true));
+            c
+        }),
+    );
+    g.bench_function("tautology", |bench| {
+        bench.iter(|| std::hint::black_box(&cover).is_tautology())
+    });
+    g.bench_function("complement", |bench| {
+        bench.iter(|| std::hint::black_box(&cover).complement())
+    });
+    g.finish();
+}
+
+fn bench_concurrency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("concurrency_relation");
+    for n in [8usize, 16, 32] {
+        let stg = si_stg::generators::clatch(n);
+        g.bench_with_input(BenchmarkId::new("clatch", n), &stg, |bench, stg| {
+            bench.iter(|| ConcurrencyRelation::compute(stg.net()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_reachability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reachability");
+    g.sample_size(10);
+    for n in [8usize, 12, 16] {
+        let stg = si_stg::generators::clatch(n);
+        g.bench_with_input(BenchmarkId::new("clatch", n), &stg, |bench, stg| {
+            bench.iter(|| ReachabilityGraph::build(stg.net(), 10_000_000).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_sm_cover(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sm_cover");
+    for n in [4usize, 8] {
+        let stg = si_stg::generators::philosophers(n);
+        g.bench_with_input(BenchmarkId::new("philosophers", n), &stg, |bench, stg| {
+            bench.iter(|| sm_cover(stg.net()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cube_ops,
+    bench_concurrency,
+    bench_reachability,
+    bench_sm_cover
+);
+criterion_main!(benches);

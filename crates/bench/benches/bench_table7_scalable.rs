@@ -1,0 +1,27 @@
+//! Table VII as a benchmark: structural synthesis time on the scalable
+//! non-free-choice (philosophers) and marked-graph (Muller pipeline)
+//! families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use si_core::{synthesize, SynthesisOptions};
+
+fn bench_scalable(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table7_scalable");
+    g.sample_size(10);
+    for n in [4usize, 8] {
+        let stg = si_stg::generators::philosophers(n);
+        g.bench_with_input(BenchmarkId::new("philosophers", n), &stg, |bench, stg| {
+            bench.iter(|| synthesize(stg, &SynthesisOptions::default()).unwrap())
+        });
+    }
+    for n in [8usize, 16, 32] {
+        let stg = si_stg::generators::muller_pipeline(n);
+        g.bench_with_input(BenchmarkId::new("muller", n), &stg, |bench, stg| {
+            bench.iter(|| synthesize(stg, &SynthesisOptions::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scalable);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Table VIII as a benchmark: the cost of building the cube approximations
+//! (cover cubes + refinement + QPS) — the quantity the paper trades against
+//! state enumeration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use si_core::StructuralContext;
+use si_stg::StgAnalysis;
+
+fn bench_cube_approx(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table8_cube_approx");
+    g.sample_size(10);
+    for stg in si_bench::small_set().into_iter().take(4) {
+        let name = stg.name().to_string();
+        g.bench_with_input(BenchmarkId::new("context", &name), &stg, |bench, stg| {
+            bench.iter(|| StructuralContext::build(stg).unwrap())
+        });
+    }
+    for n in [8usize, 16] {
+        let stg = si_stg::generators::clatch(n);
+        g.bench_with_input(BenchmarkId::new("consistency_clatch", n), &stg, |bench, stg| {
+            bench.iter(|| StgAnalysis::analyze(stg).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cube_approx);
+criterion_main!(benches);

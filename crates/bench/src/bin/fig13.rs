@@ -1,0 +1,71 @@
+//! Fig. 13: average area through the minimization stages M0–M4 and after
+//! technology mapping, for the two benchmark sets.
+//!
+//! Reproduction target: a monotonically decreasing series per set, with
+//! mapping providing a further drop — the paper's staircase.
+
+use si_core::{
+    map_circuit, synthesize, Architecture, MinimizeStages, SynthesisOptions,
+};
+
+fn series(set: &[si_stg::Stg]) -> (Vec<f64>, f64) {
+    let mut avgs = Vec::new();
+    for stage in 0..=4 {
+        let mut total = 0usize;
+        for stg in set {
+            let syn = synthesize(
+                stg,
+                &SynthesisOptions {
+                    architecture: Architecture::PerRegion,
+                    stages: MinimizeStages::stage(stage),
+                },
+            )
+            .expect("structural");
+            total += syn.literal_area;
+        }
+        avgs.push(total as f64 / set.len() as f64);
+    }
+    let mut mapped_total = 0usize;
+    for stg in set {
+        let syn = synthesize(
+            stg,
+            &SynthesisOptions {
+                architecture: Architecture::PerRegion,
+                stages: MinimizeStages::full(),
+            },
+        )
+        .expect("structural");
+        mapped_total += map_circuit(&syn.circuit).area;
+    }
+    (avgs, mapped_total as f64 / set.len() as f64)
+}
+
+fn print_series(title: &str, avgs: &[f64], mapped: f64) {
+    println!("\n== {title} ==");
+    let header = format!(
+        "{:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "M0", "M1", "M2", "M3", "M4", "map"
+    );
+    println!("{header}");
+    for v in avgs {
+        print!("{v:>8.1} ");
+    }
+    println!("{mapped:>7.1}");
+    // simple bar rendering
+    let max = avgs[0].max(1.0);
+    for (i, v) in avgs.iter().chain(std::iter::once(&mapped)).enumerate() {
+        let label = if i < 5 { format!("M{i}") } else { "map".into() };
+        let bars = ((v / max) * 40.0).round() as usize;
+        println!("  {label:<4} {:>6.1} |{}", v, "#".repeat(bars));
+    }
+}
+
+fn main() {
+    let small = si_bench::small_set();
+    let (avgs, mapped) = series(&small);
+    print_series("benchmark set 1 (small controllers)", &avgs, mapped);
+
+    let large = si_bench::large_set();
+    let (avgs, mapped) = series(&large);
+    print_series("benchmark set 2 (scalable families)", &avgs, mapped);
+}

@@ -1,0 +1,51 @@
+//! Fig. 4: the three speed-independent implementations of signal `d` of the
+//! running example — complex gate per signal, per excitation function, and
+//! per excitation region (with the d+/1, d+/2 cluster treatment).
+
+use si_core::{
+    synthesize_signal, Architecture, ImplKind, MinimizeStages, StructuralContext,
+    SynthesisOptions,
+};
+
+fn main() {
+    let stg = si_stg::benchmarks::running_example();
+    let ctx = StructuralContext::build(&stg).expect("context");
+    let d = stg.signal_by_name("d").expect("signal d");
+    println!("signal order: {}",
+        stg.signals().map(|s| stg.signal_name(s).to_string()).collect::<Vec<_>>().join(" "));
+
+    for (label, arch) in [
+        ("(a) atomic complex gate per signal", Architecture::ComplexGate),
+        ("(b) complex gate per excitation function + C latch", Architecture::ExcitationFunction),
+        ("(c) complex gate per excitation region (one-hot clusters)", Architecture::PerRegion),
+    ] {
+        let r = synthesize_signal(
+            &ctx,
+            d,
+            &SynthesisOptions {
+                architecture: arch,
+                stages: MinimizeStages::stage(1),
+            },
+        )
+        .expect("synthesis");
+        println!("\n{label}:");
+        match &r.implementation.kind {
+            ImplKind::Combinational { cover, inverted } => {
+                println!("  d = {}{}", if *inverted { "NOT " } else { "" }, cover);
+            }
+            _ => {
+                for (own, cover) in &r.set_clusters {
+                    let names: Vec<String> =
+                        own.iter().map(|&t| stg.transition_display(t)).collect();
+                    println!("  set cluster {{{}}}: {}", names.join(","), cover);
+                }
+                for (own, cover) in &r.reset_clusters {
+                    let names: Vec<String> =
+                        own.iter().map(|&t| stg.transition_display(t)).collect();
+                    println!("  reset cluster {{{}}}: {}", names.join(","), cover);
+                }
+            }
+        }
+        println!("  area = {} literal units", r.implementation.literal_area());
+    }
+}

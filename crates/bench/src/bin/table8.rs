@@ -1,0 +1,64 @@
+//! Table VIII: tradeoffs among markings, STG nodes and approximation cubes.
+//!
+//! Reproduction target: cubes/node stays a small constant (paper: ≈2.4
+//! small / ≈2.6 large) while markings/cube grows by orders of magnitude on
+//! the large set — the quantitative case for cube approximations.
+
+use si_core::StructuralContext;
+
+fn report(title: &str, set: Vec<si_stg::Stg>) {
+    let header = format!(
+        "{:<16} {:>7} {:>9} {:>7} | {:>10} {:>14}",
+        "benchmark", "nodes", "|M|", "cubes", "cubes/node", "markings/cube"
+    );
+    println!("\n== {title} ==");
+    println!("{header}");
+    si_bench::rule(&header);
+    let (mut tot_nodes, mut tot_cubes, mut tot_log_mpc, mut count) = (0usize, 0usize, 0.0f64, 0);
+    for stg in set {
+        let ctx = StructuralContext::build(&stg).expect("context");
+        let nodes = stg.net().place_count() + stg.net().transition_count();
+        let cubes = ctx.total_cubes();
+        let markings_str = si_bench::marking_count(&stg, 500_000);
+        let markings: f64 = if let Some(exp) = markings_str.strip_prefix("2^") {
+            2f64.powi(exp.parse::<i32>().unwrap())
+        } else {
+            markings_str.parse::<f64>().unwrap_or(f64::NAN)
+        };
+        let mpc = markings / cubes as f64;
+        println!(
+            "{:<16} {:>7} {:>9} {:>7} | {:>10.2} {:>14.3e}",
+            stg.name(),
+            nodes,
+            markings_str,
+            cubes,
+            cubes as f64 / nodes as f64,
+            mpc,
+        );
+        tot_nodes += nodes;
+        tot_cubes += cubes;
+        if mpc.is_finite() {
+            tot_log_mpc += mpc.log10();
+            count += 1;
+        }
+    }
+    si_bench::rule(&header);
+    println!(
+        "{:<16} {:>7} {:>9} {:>7} | {:>10.2} {:>14}",
+        "AVG",
+        "",
+        "",
+        "",
+        tot_cubes as f64 / tot_nodes as f64,
+        format!("10^{:.1}", tot_log_mpc / count as f64),
+    );
+}
+
+fn main() {
+    report("small benchmarks (paper: cubes/node ~ 2.4, markings/cube ~ 1.7)",
+        si_bench::small_set());
+    let mut large = si_bench::large_set();
+    large.push(si_stg::generators::clatch(40));
+    large.push(si_stg::generators::clatch(90));
+    report("large benchmarks (paper: cubes/node ~ 2.6, markings/cube ~ 4e10)", large);
+}

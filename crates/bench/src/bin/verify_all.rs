@@ -1,0 +1,56 @@
+//! The §IX footnote, reproduced: "all synthesis results have been formally
+//! verified to be speed independent". Runs every benchmark through every
+//! architecture, then through the three independent verifiers.
+
+use si_core::{synthesize, Architecture, MinimizeStages, SynthesisOptions};
+use si_verify::{check_conformance, random_walks, verify_circuit};
+
+fn main() {
+    let header = format!(
+        "{:<16} {:<10} | {:>6} | {:>10} {:>11} {:>9}",
+        "benchmark", "arch", "area", "functional", "conformance", "sim-walk"
+    );
+    println!("{header}");
+    si_bench::rule(&header);
+    let mut failures = 0usize;
+    for stg in si_bench::small_set() {
+        for (label, arch) in [
+            ("complex", Architecture::ComplexGate),
+            ("excitation", Architecture::ExcitationFunction),
+            ("per-region", Architecture::PerRegion),
+        ] {
+            let syn = match synthesize(
+                &stg,
+                &SynthesisOptions {
+                    architecture: arch,
+                    stages: MinimizeStages::full(),
+                },
+            ) {
+                Ok(s) => s,
+                Err(e) => {
+                    println!("{:<16} {:<10} | synthesis failed: {e}", stg.name(), label);
+                    failures += 1;
+                    continue;
+                }
+            };
+            let functional = verify_circuit(&stg, &syn.circuit).is_ok();
+            let conform = check_conformance(&stg, &syn.circuit, 500_000).is_ok();
+            let sim = random_walks(&stg, &syn.circuit, 4, 2000, 2024).is_clean();
+            if !(functional && conform && sim) {
+                failures += 1;
+            }
+            let mark = |ok: bool| if ok { "OK" } else { "FAIL" };
+            println!(
+                "{:<16} {:<10} | {:>6} | {:>10} {:>11} {:>9}",
+                stg.name(),
+                label,
+                syn.literal_area,
+                mark(functional),
+                mark(conform),
+                mark(sim)
+            );
+        }
+    }
+    println!("\n{} failure(s).", failures);
+    std::process::exit(if failures == 0 { 0 } else { 1 });
+}

@@ -1,0 +1,108 @@
+//! Shared infrastructure of the experiment harness: the benchmark sets of
+//! §IX, timing helpers and table formatting.
+
+use si_stg::{benchmarks, generators, Stg};
+use std::time::{Duration, Instant};
+
+/// The "small" benchmark set (Fig. 13 left, Table VIII top): the fixed
+/// controllers, all with < 10⁴ markings.
+pub fn small_set() -> Vec<Stg> {
+    vec![
+        benchmarks::running_example(),
+        benchmarks::fig5_example(),
+        benchmarks::vme_read_csc(),
+        benchmarks::half_handshake(),
+        benchmarks::converter(),
+        benchmarks::burst2(),
+        benchmarks::select2(),
+        benchmarks::rw_control(),
+        benchmarks::master_read(),
+        benchmarks::mixer2(),
+        generators::sequencer(3),
+        generators::selector(3),
+    ]
+}
+
+/// The "large" benchmark set (Fig. 13 right, Table VIII bottom): generated
+/// families whose reachability graphs are large while the STGs stay small.
+pub fn large_set() -> Vec<Stg> {
+    vec![
+        generators::clatch(8),
+        generators::clatch(12),
+        generators::burst(6),
+        generators::burst(8),
+        generators::muller_pipeline(8),
+        generators::muller_pipeline(12),
+        generators::philosophers(5),
+        generators::philosophers(7),
+        generators::sequencer(10),
+        generators::selector(8),
+    ]
+}
+
+/// Times a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed())
+}
+
+/// Number of reachable markings, as an exact count up to `cap` or an
+/// analytic value for the generator families.
+pub fn marking_count(stg: &Stg, cap: usize) -> String {
+    match si_petri::ReachabilityGraph::build(stg.net(), cap) {
+        Ok(rg) => rg.state_count().to_string(),
+        Err(_) => {
+            // Analytic counts for the generator families.
+            let name = stg.name();
+            if let Some(n) = name.strip_prefix("clatch_").and_then(|s| s.parse::<u32>().ok()) {
+                return format!("2^{}", n + 1);
+            }
+            format!("> {cap}")
+        }
+    }
+}
+
+/// Formats a duration in engineering style.
+pub fn fmt_duration(d: Duration) -> String {
+    if d.as_secs() >= 1 {
+        format!("{:.2} s", d.as_secs_f64())
+    } else if d.as_millis() >= 1 {
+        format!("{:.2} ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.1} us", d.as_secs_f64() * 1e6)
+    }
+}
+
+/// Prints a separator line sized to the given header.
+pub fn rule(header: &str) {
+    println!("{}", "-".repeat(header.len()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sets_are_nonempty_and_distinct() {
+        let s = small_set();
+        let l = large_set();
+        assert!(s.len() >= 10);
+        assert!(l.len() >= 8);
+    }
+
+    #[test]
+    fn analytic_marking_count_for_clatch() {
+        let stg = generators::clatch(20);
+        assert_eq!(marking_count(&stg, 1000), "2^21");
+        let small = generators::clatch(3);
+        assert_eq!(marking_count(&small, 1000), "16");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert!(fmt_duration(Duration::from_micros(5)).ends_with("us"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,410 @@
+//! Fixed-width bit vectors.
+//!
+//! [`Bits`] is the workhorse set representation of the whole workspace:
+//! markings of safe Petri nets, binary signal vectors, characteristic sets of
+//! places. It is a plain `Vec<u64>` with an explicit width and the invariant
+//! that all bits above `len` are zero, which makes `Eq`/`Hash`/`Ord` cheap
+//! and well defined.
+
+use std::fmt;
+
+/// A fixed-width vector of bits.
+///
+/// All mutating operations preserve the invariant that bits at positions
+/// `>= len()` are zero.
+///
+/// # Examples
+///
+/// ```
+/// use si_boolean::Bits;
+///
+/// let mut b = Bits::zeros(70);
+/// b.set(3, true);
+/// b.set(69, true);
+/// assert_eq!(b.count_ones(), 2);
+/// assert!(b.get(69));
+/// assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![3, 69]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Bits {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bits {
+    /// Creates an all-zero vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Bits {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates an all-one vector of `len` bits.
+    pub fn ones(len: usize) -> Self {
+        let mut b = Bits {
+            words: vec![!0u64; len.div_ceil(64)],
+            len,
+        };
+        b.mask_top();
+        b
+    }
+
+    /// Creates a vector with exactly the given positions set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any position is `>= len`.
+    pub fn from_ones<I: IntoIterator<Item = usize>>(len: usize, ones: I) -> Self {
+        let mut b = Bits::zeros(len);
+        for i in ones {
+            b.set(i, true);
+        }
+        b
+    }
+
+    /// Number of bits in the vector.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the vector has zero width.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the bit at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets the bit at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn set(&mut self, i: usize, v: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let (w, s) = (i / 64, i % 64);
+        if v {
+            self.words[w] |= 1 << s;
+        } else {
+            self.words[w] &= !(1 << s);
+        }
+    }
+
+    /// Flips the bit at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn toggle(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] ^= 1 << (i % 64);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Returns `true` if every bit set in `self` is also set in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn is_subset(&self, other: &Bits) -> bool {
+        self.check_width(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Returns `true` if `self` and `other` share at least one set bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn intersects(&self, other: &Bits) -> bool {
+        self.check_width(other);
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// In-place union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn union_with(&mut self, other: &Bits) {
+        self.check_width(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn intersect_with(&mut self, other: &Bits) {
+        self.check_width(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference (`self & !other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn subtract(&mut self, other: &Bits) {
+        self.check_width(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// In-place symmetric difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn xor_with(&mut self, other: &Bits) {
+        self.check_width(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// In-place complement within the width.
+    pub fn invert(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_top();
+    }
+
+    /// Returns the union of two vectors.
+    pub fn union(&self, other: &Bits) -> Bits {
+        let mut r = self.clone();
+        r.union_with(other);
+        r
+    }
+
+    /// Returns the intersection of two vectors.
+    pub fn intersection(&self, other: &Bits) -> Bits {
+        let mut r = self.clone();
+        r.intersect_with(other);
+        r
+    }
+
+    /// Returns the difference of two vectors.
+    pub fn difference(&self, other: &Bits) -> Bits {
+        let mut r = self.clone();
+        r.subtract(other);
+        r
+    }
+
+    /// Number of positions where the two vectors differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn hamming_distance(&self, other: &Bits) -> usize {
+        self.check_width(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over the indices of set bits in increasing order.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            bits: self,
+            word: 0,
+            cur: if self.words.is_empty() { 0 } else { self.words[0] },
+        }
+    }
+
+    /// Index of the lowest set bit, if any.
+    pub fn first_one(&self) -> Option<usize> {
+        self.iter_ones().next()
+    }
+
+    /// Access to the raw words (low bit of word 0 is bit 0).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    fn mask_top(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    fn check_width(&self, other: &Bits) {
+        assert_eq!(
+            self.len, other.len,
+            "width mismatch: {} vs {}",
+            self.len, other.len
+        );
+    }
+}
+
+/// Iterator over set-bit indices of a [`Bits`]; created by [`Bits::iter_ones`].
+#[derive(Debug)]
+pub struct IterOnes<'a> {
+    bits: &'a Bits,
+    word: usize,
+    cur: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.cur != 0 {
+                let tz = self.cur.trailing_zeros() as usize;
+                self.cur &= self.cur - 1;
+                return Some(self.word * 64 + tz);
+            }
+            self.word += 1;
+            if self.word >= self.bits.words.len() {
+                return None;
+            }
+            self.cur = self.bits.words[self.word];
+        }
+    }
+}
+
+impl fmt::Debug for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bits[")?;
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for Bits {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let vals: Vec<bool> = iter.into_iter().collect();
+        let mut b = Bits::zeros(vals.len());
+        for (i, v) in vals.into_iter().enumerate() {
+            b.set(i, v);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = Bits::zeros(130);
+        assert_eq!(z.count_ones(), 0);
+        assert!(z.is_zero());
+        let o = Bits::ones(130);
+        assert_eq!(o.count_ones(), 130);
+        assert!(o.get(0));
+    }
+
+    #[test]
+    fn ones_masks_top_bits() {
+        let o = Bits::ones(65);
+        assert_eq!(o.as_words()[1], 1);
+        let mut z = Bits::zeros(65);
+        z.invert();
+        assert_eq!(z, o);
+    }
+
+    #[test]
+    fn set_get_toggle() {
+        let mut b = Bits::zeros(10);
+        b.set(7, true);
+        assert!(b.get(7));
+        b.toggle(7);
+        assert!(!b.get(7));
+        b.toggle(0);
+        assert!(b.get(0));
+    }
+
+    #[test]
+    fn set_ops() {
+        let a = Bits::from_ones(8, [0, 2, 4]);
+        let b = Bits::from_ones(8, [2, 3]);
+        assert_eq!(a.union(&b), Bits::from_ones(8, [0, 2, 3, 4]));
+        assert_eq!(a.intersection(&b), Bits::from_ones(8, [2]));
+        assert_eq!(a.difference(&b), Bits::from_ones(8, [0, 4]));
+        assert!(a.intersects(&b));
+        assert!(Bits::from_ones(8, [2]).is_subset(&a));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn hamming() {
+        let a = Bits::from_ones(8, [0, 1]);
+        let b = Bits::from_ones(8, [1, 2]);
+        assert_eq!(a.hamming_distance(&b), 2);
+    }
+
+    #[test]
+    fn iter_ones_crosses_words() {
+        let b = Bits::from_ones(200, [0, 63, 64, 128, 199]);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 128, 199]);
+        assert_eq!(b.first_one(), Some(0));
+        assert_eq!(Bits::zeros(5).first_one(), None);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let b: Bits = [true, false, true].into_iter().collect();
+        assert_eq!(b.len(), 3);
+        assert!(b.get(0) && !b.get(1) && b.get(2));
+    }
+
+    #[test]
+    fn display() {
+        let b = Bits::from_ones(4, [1, 3]);
+        assert_eq!(b.to_string(), "0101");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let a = Bits::zeros(4);
+        let b = Bits::zeros(5);
+        let _ = a.is_subset(&b);
+    }
+}

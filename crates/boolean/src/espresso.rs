@@ -1,0 +1,163 @@
+//! Extended two-level minimization: the full EXPAND → IRREDUNDANT → REDUCE
+//! loop with essential-prime extraction.
+//!
+//! [`crate::minimize`] implements the single EXPAND/IRREDUNDANT pass that
+//! the synthesis flows use by default; this module adds the remaining
+//! espresso phases for callers that want to squeeze the last literals out
+//! of a cover (the paper's baselines re-minimize exact region covers, where
+//! REDUCE occasionally escapes a local minimum).
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+use crate::minimize::{expand_cube, minimize_against_off, MinimizeResult};
+
+/// Reduces one cube to the smallest cube still covering the part of the
+/// on-set only it covers (the classic REDUCE step).
+///
+/// Returns `None` when the cube is entirely covered by `rest ∪ dc` (it can
+/// be dropped).
+pub fn reduce_cube(cube: &Cube, rest: &Cover, dc: &Cover, on: &Cover) -> Option<Cube> {
+    // The part of the on-set that only this cube covers:
+    // on ∩ cube ∖ (rest ∪ dc).
+    let mut exclusive = on.and_cube(cube);
+    exclusive = exclusive.sharp(rest);
+    exclusive = exclusive.sharp(dc);
+    exclusive.supercube()
+}
+
+/// Essential primes: cubes of `cover` that are the sole cover of some
+/// on-set vertex (they must appear in every minimal cover built from this
+/// prime set).
+pub fn essential_cubes(cover: &Cover, dc: &Cover) -> Vec<Cube> {
+    let mut essentials = Vec::new();
+    for (i, cube) in cover.cubes().iter().enumerate() {
+        let rest: Vec<Cube> = cover
+            .cubes()
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, c)| c.clone())
+            .collect();
+        let rest_cover = Cover::from_cubes(cover.width(), rest).or(dc);
+        if !rest_cover.covers_cube(cube) {
+            essentials.push(cube.clone());
+        }
+    }
+    essentials
+}
+
+/// The full iterated minimization: EXPAND / IRREDUNDANT / REDUCE until the
+/// literal count stops improving.
+///
+/// Guarantees of the result: covers `on ∖ dc`, disjoint from the off-set
+/// (complement of `on ∪ dc`), literal count ≤ the single-pass result.
+pub fn minimize_exact_iterated(on: &Cover, dc: &Cover) -> MinimizeResult {
+    let off = on.or(dc).complement();
+    let literals_before = on.literal_count();
+    let mut best = minimize_against_off(on, dc, &off).cover;
+    loop {
+        // REDUCE each cube against the rest, then re-EXPAND.
+        let mut reduced: Vec<Cube> = Vec::new();
+        for (i, cube) in best.cubes().iter().enumerate() {
+            let rest: Vec<Cube> = best
+                .cubes()
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, c)| c.clone())
+                .collect();
+            let rest_cover = Cover::from_cubes(best.width(), rest);
+            if let Some(r) = reduce_cube(cube, &rest_cover, dc, on) {
+                reduced.push(r);
+            } // None: fully redundant
+        }
+        let mut candidate_cubes: Vec<Cube> = Vec::new();
+        for cube in &reduced {
+            let e = expand_cube(cube, &off);
+            if !candidate_cubes.iter().any(|k| k.contains_cube(&e)) {
+                candidate_cubes.retain(|k| !e.contains_cube(k));
+                candidate_cubes.push(e);
+            }
+        }
+        let candidate = Cover::from_cubes(on.width(), candidate_cubes);
+        // Accept only if it is still a valid cover and improves.
+        let valid = candidate.or(dc).covers(on) && !candidate.intersects(&off);
+        if valid && candidate.literal_count() < best.literal_count() {
+            best = candidate;
+        } else {
+            break;
+        }
+    }
+    MinimizeResult {
+        literals_before,
+        literals_after: best.literal_count(),
+        cover: best,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover(w: usize, cs: &[&str]) -> Cover {
+        Cover::from_cubes(w, cs.iter().map(|s| s.parse().unwrap()))
+    }
+
+    #[test]
+    fn reduce_shrinks_to_exclusive_part() {
+        // on = 11- + -11 ; cube 11- exclusively covers 110.
+        let on = cover(3, &["11-", "-11"]);
+        let rest = cover(3, &["-11"]);
+        let dc = Cover::empty(3);
+        let r = reduce_cube(&"11-".parse().unwrap(), &rest, &dc, &on).unwrap();
+        assert_eq!(r, "110".parse().unwrap());
+    }
+
+    #[test]
+    fn reduce_drops_fully_covered_cube() {
+        let on = cover(2, &["1-"]);
+        let rest = cover(2, &["1-"]);
+        let dc = Cover::empty(2);
+        assert!(reduce_cube(&"11".parse().unwrap(), &rest, &dc, &on).is_none());
+    }
+
+    #[test]
+    fn essentials_of_a_prime_cover() {
+        // f = ab + a'c: both primes essential.
+        let f = cover(3, &["11-", "0-1"]);
+        let e = essential_cubes(&f, &Cover::empty(3));
+        assert_eq!(e.len(), 2);
+        // adding a redundant consensus cube -11 makes it non-essential
+        let g = cover(3, &["11-", "0-1", "-11"]);
+        let e2 = essential_cubes(&g, &Cover::empty(3));
+        assert_eq!(e2.len(), 2);
+        assert!(!e2.contains(&"-11".parse().unwrap()));
+    }
+
+    #[test]
+    fn iterated_never_worse_than_single_pass() {
+        for (on, dc) in [
+            (cover(4, &["1100", "1101", "1111", "1110"]), Cover::empty(4)),
+            (cover(4, &["0000", "0001", "1001"]), cover(4, &["1000"])),
+            (cover(3, &["000", "011", "101", "110"]), Cover::empty(3)),
+        ] {
+            let single = crate::minimize::minimize(&on, &dc);
+            let iterated = minimize_exact_iterated(&on, &dc);
+            assert!(iterated.literals_after <= single.literals_after);
+            // still a correct cover
+            let off = on.or(&dc).complement();
+            assert!(iterated.cover.or(&dc).covers(&on));
+            assert!(!iterated.cover.intersects(&off));
+        }
+    }
+
+    #[test]
+    fn xor_stays_minimal() {
+        // 2-input XOR has no 1-literal cover; iterated minimization keeps
+        // the two minterms.
+        let on = cover(2, &["01", "10"]);
+        let r = minimize_exact_iterated(&on, &Cover::empty(2));
+        assert_eq!(r.cover.cube_count(), 2);
+        assert_eq!(r.literals_after, 4);
+    }
+}

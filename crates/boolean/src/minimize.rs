@@ -1,0 +1,207 @@
+//! Two-level logic minimization (a compact espresso-style loop).
+//!
+//! The synthesis flows need a single-output minimizer in two places:
+//!
+//! * the state-based baselines derive on/dc-sets from the reachability graph
+//!   and minimize them exactly the way SIS-era tools did;
+//! * the structural flow post-processes covers whose freedom (quiescent
+//!   regions, dc-set) has already been encoded as a don't-care cover.
+//!
+//! The algorithm is the classical EXPAND → IRREDUNDANT loop against an
+//! explicit off-set, with a final single-cube-containment cleanup. It is not
+//! a full espresso (no REDUCE/LAST_GASP), which is adequate at the problem
+//! sizes of STG synthesis where covers have tens of cubes.
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+
+/// Result of a minimization run.
+#[derive(Clone, Debug)]
+pub struct MinimizeResult {
+    /// The minimized cover.
+    pub cover: Cover,
+    /// Literal count before minimization.
+    pub literals_before: usize,
+    /// Literal count after minimization.
+    pub literals_after: usize,
+}
+
+/// Minimizes `on` against the freedom of `dc`, never touching the off-set.
+///
+/// The off-set is computed as the complement of `on ∪ dc`. The result covers
+/// all of `on`, none of the off-set, and is irredundant.
+///
+/// # Examples
+///
+/// ```
+/// use si_boolean::{Cover, minimize};
+///
+/// let on = Cover::from_cubes(2, vec!["11".parse()?, "10".parse()?]);
+/// let dc = Cover::empty(2);
+/// let r = minimize(&on, &dc);
+/// assert_eq!(r.cover.cube_count(), 1); // merges to 1-
+/// # Ok::<(), si_boolean::ParseCubeError>(())
+/// ```
+pub fn minimize(on: &Cover, dc: &Cover) -> MinimizeResult {
+    let off = on.or(dc).complement();
+    minimize_against_off(on, dc, &off)
+}
+
+/// Same as [`minimize`] but with a caller-supplied off-set cover.
+///
+/// Useful when the off-set is known directly (e.g. from region covers) and
+/// complementation would be wasteful. `on`, `dc` and `off` need not
+/// partition the space exactly — the guarantee is only that the result
+/// covers `on` and avoids `off`.
+pub fn minimize_against_off(on: &Cover, dc: &Cover, off: &Cover) -> MinimizeResult {
+    let literals_before = on.literal_count();
+    let mut cubes: Vec<Cube> = on.cubes().to_vec();
+    // Expand biggest-first tends to absorb more cubes.
+    cubes.sort_by_key(|c| std::cmp::Reverse(c.width() - c.literal_count()));
+    let mut expanded: Vec<Cube> = Vec::with_capacity(cubes.len());
+    for cube in &cubes {
+        let e = expand_cube(cube, off);
+        if !expanded.iter().any(|k| k.contains_cube(&e)) {
+            expanded.retain(|k| !e.contains_cube(k));
+            expanded.push(e);
+        }
+    }
+    let mut cover = Cover::from_cubes(on.width(), expanded);
+    irredundant(&mut cover, on, dc);
+    let literals_after = cover.literal_count();
+    MinimizeResult {
+        cover,
+        literals_before,
+        literals_after,
+    }
+}
+
+/// Expands one cube against an off-set: greedily removes literals whose
+/// removal keeps the cube disjoint from `off`.
+///
+/// Literals are dropped in order of how many off-cubes "block" them least,
+/// a cheap approximation of espresso's expand heuristics.
+pub fn expand_cube(cube: &Cube, off: &Cover) -> Cube {
+    let mut current = cube.clone();
+    // Order candidate literals: try removing the literal that the fewest
+    // off-cubes rely on (i.e. removal least likely to hit the off-set).
+    let mut literals: Vec<usize> = current.care().iter_ones().collect();
+    literals.sort_by_key(|&var| {
+        off.cubes()
+            .iter()
+            .filter(|c| c.care().get(var) && c.val().get(var) != current.val().get(var))
+            .count()
+    });
+    for var in literals {
+        let mut candidate = current.clone();
+        candidate.set(var, None);
+        if !off.intersects_cube(&candidate) {
+            current = candidate;
+        }
+    }
+    current
+}
+
+/// Removes cubes that are covered by the rest of the cover plus `dc`,
+/// processing least-useful (smallest) cubes first.
+///
+/// Cubes that contain an essential vertex of `on` are always kept.
+fn irredundant(cover: &mut Cover, _on: &Cover, dc: &Cover) {
+    let width = cover.width();
+    let mut cubes: Vec<Cube> = cover.cubes().to_vec();
+    cubes.sort_by_key(Cube::literal_count);
+    cubes.reverse(); // smallest cubes (most literals) considered for removal first
+    let mut i = 0;
+    while i < cubes.len() {
+        let candidate = cubes[i].clone();
+        let rest: Vec<Cube> = cubes
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, c)| c.clone())
+            .chain(dc.cubes().iter().cloned())
+            .collect();
+        let rest_cover = Cover::from_cubes(width, rest);
+        if rest_cover.covers_cube(&candidate) {
+            cubes.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    *cover = Cover::from_cubes(width, cubes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover(w: usize, cs: &[&str]) -> Cover {
+        Cover::from_cubes(w, cs.iter().map(|s| s.parse().unwrap()))
+    }
+
+    #[test]
+    fn merges_adjacent_minterms() {
+        let on = cover(2, &["11", "10"]);
+        let r = minimize(&on, &Cover::empty(2));
+        assert_eq!(r.cover.cube_count(), 1);
+        assert!(r.cover.equivalent(&cover(2, &["1-"])));
+        assert!(r.literals_after < r.literals_before);
+    }
+
+    #[test]
+    fn uses_dont_cares() {
+        // on = {11}, dc = {10} -> can expand to 1-
+        let on = cover(2, &["11"]);
+        let dc = cover(2, &["10"]);
+        let r = minimize(&on, &dc);
+        assert!(r.cover.covers(&on));
+        assert!(!r.cover.intersects(&on.or(&dc).complement()));
+        assert_eq!(r.cover.cubes()[0].literal_count(), 1);
+    }
+
+    #[test]
+    fn never_touches_off_set() {
+        let on = cover(3, &["111", "001"]);
+        let dc = cover(3, &["011"]);
+        let off = on.or(&dc).complement();
+        let r = minimize(&on, &dc);
+        assert!(r.cover.covers(&on));
+        assert!(!r.cover.intersects(&off));
+    }
+
+    #[test]
+    fn removes_redundant_cubes() {
+        // third cube is covered by the other two after expansion
+        let on = cover(3, &["1-1", "11-", "111"]);
+        let r = minimize(&on, &Cover::empty(3));
+        assert!(r.cover.covers(&on));
+        assert!(r.cover.cube_count() <= 2);
+    }
+
+    #[test]
+    fn full_on_set_becomes_tautology() {
+        let on = cover(1, &["0", "1"]);
+        let r = minimize(&on, &Cover::empty(1));
+        assert!(r.cover.is_tautology());
+        assert_eq!(r.cover.cube_count(), 1);
+    }
+
+    #[test]
+    fn empty_on_set() {
+        let on = Cover::empty(3);
+        let r = minimize(&on, &Cover::empty(3));
+        assert!(r.cover.is_empty());
+    }
+
+    #[test]
+    fn explicit_off_set_variant() {
+        let on = cover(3, &["110"]);
+        let off = cover(3, &["0--"]);
+        let dc = Cover::empty(3);
+        let r = minimize_against_off(&on, &dc, &off);
+        assert!(r.cover.covers(&on));
+        assert!(!r.cover.intersects(&off));
+        // free to expand over the whole 1-- half
+        assert!(r.cover.literal_count() <= 2);
+    }
+}

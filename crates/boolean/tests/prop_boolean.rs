@@ -1,0 +1,130 @@
+//! Property-based tests for the cube/cover algebra.
+
+use proptest::prelude::*;
+use si_boolean::{minimize, Bits, Cover, Cube};
+
+const W: usize = 6;
+
+fn arb_cube() -> impl Strategy<Value = Cube> {
+    proptest::collection::vec(0..3u8, W).prop_map(|vals| {
+        let mut c = Cube::full(W);
+        for (i, v) in vals.into_iter().enumerate() {
+            match v {
+                0 => c.set(i, Some(false)),
+                1 => c.set(i, Some(true)),
+                _ => {}
+            }
+        }
+        c
+    })
+}
+
+fn arb_cover() -> impl Strategy<Value = Cover> {
+    proptest::collection::vec(arb_cube(), 0..6).prop_map(|cs| Cover::from_cubes(W, cs))
+}
+
+fn arb_vertex() -> impl Strategy<Value = Bits> {
+    proptest::collection::vec(any::<bool>(), W).prop_map(|bs| bs.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn intersection_agrees_with_membership(a in arb_cube(), b in arb_cube(), v in arb_vertex()) {
+        let both = a.contains_vertex(&v) && b.contains_vertex(&v);
+        match a.and(&b) {
+            Some(c) => prop_assert_eq!(c.contains_vertex(&v), both),
+            None => prop_assert!(!both),
+        }
+    }
+
+    #[test]
+    fn containment_is_semantic(a in arb_cube(), b in arb_cube()) {
+        let syntactic = a.contains_cube(&b);
+        let semantic = b.vertices().all(|v| a.contains_vertex(&v));
+        prop_assert_eq!(syntactic, semantic);
+    }
+
+    #[test]
+    fn supercube_contains_both(a in arb_cube(), b in arb_cube()) {
+        let s = a.supercube(&b);
+        prop_assert!(s.contains_cube(&a));
+        prop_assert!(s.contains_cube(&b));
+    }
+
+    #[test]
+    fn sharp_is_exact_difference(a in arb_cube(), b in arb_cube(), v in arb_vertex()) {
+        let pieces = a.sharp(&b);
+        let in_pieces = pieces.iter().any(|p| p.contains_vertex(&v));
+        let expected = a.contains_vertex(&v) && !b.contains_vertex(&v);
+        prop_assert_eq!(in_pieces, expected);
+        // pieces are pairwise disjoint
+        for i in 0..pieces.len() {
+            for j in i + 1..pieces.len() {
+                prop_assert!(!pieces[i].intersects(&pieces[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn distance_zero_iff_intersects(a in arb_cube(), b in arb_cube()) {
+        prop_assert_eq!(a.distance(&b) == 0, a.and(&b).is_some());
+    }
+
+    #[test]
+    fn complement_partitions_space(f in arb_cover(), v in arb_vertex()) {
+        let g = f.complement();
+        prop_assert_eq!(f.contains_vertex(&v), !g.contains_vertex(&v));
+        prop_assert_eq!(f.vertex_count() + g.vertex_count(), 1u128 << W);
+    }
+
+    #[test]
+    fn tautology_matches_vertex_count(f in arb_cover()) {
+        prop_assert_eq!(f.is_tautology(), f.vertex_count() == 1u128 << W);
+    }
+
+    #[test]
+    fn covers_cube_is_semantic(f in arb_cover(), c in arb_cube()) {
+        let semantic = c.vertices().all(|v| f.contains_vertex(&v));
+        prop_assert_eq!(f.covers_cube(&c), semantic);
+    }
+
+    #[test]
+    fn or_and_are_semantic(a in arb_cover(), b in arb_cover(), v in arb_vertex()) {
+        prop_assert_eq!(a.or(&b).contains_vertex(&v), a.contains_vertex(&v) || b.contains_vertex(&v));
+        prop_assert_eq!(a.and(&b).contains_vertex(&v), a.contains_vertex(&v) && b.contains_vertex(&v));
+    }
+
+    #[test]
+    fn sharp_cover_is_semantic(a in arb_cover(), b in arb_cover(), v in arb_vertex()) {
+        let d = a.sharp(&b);
+        prop_assert_eq!(d.contains_vertex(&v), a.contains_vertex(&v) && !b.contains_vertex(&v));
+    }
+
+    #[test]
+    fn minimize_preserves_function(f in arb_cover(), d in arb_cover(), v in arb_vertex()) {
+        let r = minimize(&f, &d);
+        // covers every strict on-vertex (on ∩ dc is a don't-care and may be
+        // dropped)
+        if f.contains_vertex(&v) && !d.contains_vertex(&v) {
+            prop_assert!(r.cover.contains_vertex(&v));
+        }
+        // never covers an off-vertex
+        if !f.contains_vertex(&v) && !d.contains_vertex(&v) {
+            prop_assert!(!r.cover.contains_vertex(&v));
+        }
+        // never grows the literal count
+        prop_assert!(r.literals_after <= r.literals_before || r.cover.cube_count() <= f.cube_count());
+    }
+
+    #[test]
+    fn cofactor_semantics(a in arb_cube(), b in arb_cube(), v in arb_vertex()) {
+        // F|c contains v' (v with c's literals forced) iff F contains that point.
+        if let Some(cof) = a.cofactor(&b) {
+            let mut forced = v.clone();
+            for i in b.care().iter_ones() {
+                forced.set(i, b.val().get(i));
+            }
+            prop_assert_eq!(cof.contains_vertex(&forced), a.contains_vertex(&forced));
+        }
+    }
+}

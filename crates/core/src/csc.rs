@@ -1,0 +1,256 @@
+//! CSC resolution by state-signal insertion.
+//!
+//! When the structural analysis cannot establish complete state coding
+//! (§VI: "by adding state signals, the covers can always be reduced to
+//! nonintersecting" — the procedure itself is deferred to the companion
+//! paper \[27\]), synthesis rejects the STG. This module implements the
+//! missing piece: a search over insertion plans for one internal signal
+//! `cscN`:
+//!
+//! * `cscN+` and `cscN-` are inserted by **splitting** two simple places
+//!   (the transition pairs they connect become `t → cscN± → u`);
+//! * optionally `cscN+` additionally **waits** for another transition
+//!   (a join arc, possibly initially marked) — the shape needed by e.g.
+//!   the VME bus controller, where the rising edge must also wait for the
+//!   release phase to finish;
+//! * only synthesized (non-input) transitions may be delayed — inserting
+//!   state signals in front of environment transitions would change the
+//!   interface contract (input properness).
+//!
+//! Candidates are pruned with the *structural* machinery (consistency +
+//! Theorems 14/15); the single surviving candidate is accepted only after
+//! the behavioural oracle confirms liveness, safeness, consistency, CSC
+//! and output semimodularity.
+
+use crate::context::{CscVerdict, StructuralContext};
+use si_petri::{PlaceId, ReachabilityGraph, TransId};
+use si_stg::{
+    semimodularity_violations, CodingAnalysis, Direction, SignalKind, StateEncoding, Stg,
+};
+
+/// One candidate insertion of a state signal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InsertionPlan {
+    /// The simple place split by the rising transition.
+    pub rise_split: PlaceId,
+    /// The simple place split by the falling transition.
+    pub fall_split: PlaceId,
+    /// Extra preset arcs of the rising transition: `(producer, marked)`.
+    pub rise_waits: Vec<(TransId, bool)>,
+}
+
+/// Applies an insertion plan, producing a new STG with one more internal
+/// signal named `name`.
+///
+/// # Panics
+///
+/// Panics if a split place is not simple (one producer, one consumer) or
+/// is initially marked.
+pub fn apply_insertion(stg: &Stg, name: &str, plan: &InsertionPlan) -> Stg {
+    let net = stg.net();
+    for &p in [&plan.rise_split, &plan.fall_split] {
+        assert_eq!(net.pre_p(p).len(), 1, "split place must be simple");
+        assert_eq!(net.post_p(p).len(), 1, "split place must be simple");
+        assert!(
+            !net.initial_marking().get(p.index()),
+            "split place must be unmarked"
+        );
+    }
+    let mut b = Stg::builder(format!("{}_{}", stg.name(), name));
+    // Signals.
+    let mut sig_map = Vec::new();
+    for s in stg.signals() {
+        sig_map.push(b.add_signal(stg.signal_name(s), stg.signal_kind(s)));
+    }
+    let x = b.add_signal(name, SignalKind::Internal);
+    // Transitions (same order ⇒ same ids).
+    let mut t_map = Vec::new();
+    for t in net.transitions() {
+        let l = stg.label(t);
+        t_map.push(b.add_transition_with_instance(
+            sig_map[l.signal.index()],
+            l.direction,
+            l.instance,
+        ));
+    }
+    let xp = b.add_transition(x, Direction::Rise);
+    let xm = b.add_transition(x, Direction::Fall);
+
+    // Places and arcs; split places are re-routed through x+/x-.
+    for p in net.places() {
+        if p == plan.rise_split || p == plan.fall_split {
+            let xt = if p == plan.rise_split { xp } else { xm };
+            let producer = t_map[net.pre_p(p)[0].index()];
+            let consumer = t_map[net.post_p(p)[0].index()];
+            b.arc(producer, xt);
+            b.arc(xt, consumer);
+        } else {
+            let np = b.add_place(net.place_name(p), net.initial_marking().get(p.index()));
+            for &t in net.pre_p(p) {
+                b.arc_tp(t_map[t.index()], np);
+            }
+            for &t in net.post_p(p) {
+                b.arc_pt(np, t_map[t.index()]);
+            }
+        }
+    }
+    for &(producer, marked) in &plan.rise_waits {
+        let wp = b.add_place(format!("<wait_{}>", producer.index()), marked);
+        b.arc_tp(t_map[producer.index()], wp);
+        b.arc_pt(wp, xp);
+    }
+    b.build()
+}
+
+/// Does the oracle accept the mutated STG completely?
+fn oracle_accepts(stg: &Stg, cap: usize) -> bool {
+    let Ok(rg) = ReachabilityGraph::build(stg.net(), cap) else {
+        return false;
+    };
+    if !rg.is_live(stg.net()) {
+        return false;
+    }
+    let Ok(enc) = StateEncoding::compute(stg, &rg) else {
+        return false;
+    };
+    let coding = CodingAnalysis::compute(stg, &rg, &enc);
+    coding.has_csc() && semimodularity_violations(stg, &rg).is_empty()
+}
+
+/// Searches for a single-signal insertion that resolves the CSC conflicts
+/// of `stg`. Returns the repaired STG and the plan, or `None` when no
+/// candidate within `budget` works.
+///
+/// When the input already satisfies CSC it is returned unchanged together
+/// with the no-op sentinel plan (`rise_split == fall_split == PlaceId(0)`,
+/// no waits — impossible for a real insertion, whose split places always
+/// differ).
+///
+/// The search space: all ordered pairs of distinct simple places whose
+/// consumers are synthesized transitions, first without wait arcs, then
+/// with one wait arc from every transition (marked and unmarked variants).
+pub fn resolve_csc(stg: &Stg, budget: usize) -> Option<(Stg, InsertionPlan)> {
+    if let Ok(ctx) = StructuralContext::build(stg) {
+        if !matches!(ctx.csc_verdict(), CscVerdict::Unknown { .. }) {
+            return Some((
+                stg.clone(),
+                InsertionPlan {
+                    rise_split: PlaceId(0),
+                    fall_split: PlaceId(0),
+                    rise_waits: Vec::new(),
+                },
+            ));
+        }
+    }
+    let net = stg.net();
+    let splittable: Vec<PlaceId> = net
+        .places()
+        .filter(|&p| {
+            net.pre_p(p).len() == 1
+                && net.post_p(p).len() == 1
+                && !net.initial_marking().get(p.index())
+                && stg
+                    .signal_kind(stg.signal_of(net.post_p(p)[0]))
+                    .is_synthesized()
+        })
+        .collect();
+
+    let mut tried = 0usize;
+    // Pass 1: plain arc splits. Pass 2: with one wait arc.
+    for with_waits in [false, true] {
+        for &rise in &splittable {
+            for &fall in &splittable {
+                if rise == fall {
+                    continue;
+                }
+                let wait_options: Vec<Vec<(TransId, bool)>> = if with_waits {
+                    net.transitions()
+                        .flat_map(|t| [vec![(t, true)], vec![(t, false)]])
+                        .collect()
+                } else {
+                    vec![Vec::new()]
+                };
+                for rise_waits in wait_options {
+                    // A wait from the transition x+ precedes is cyclic junk.
+                    if rise_waits
+                        .iter()
+                        .any(|&(t, _)| t == net.post_p(rise)[0] || t == net.pre_p(rise)[0])
+                    {
+                        continue;
+                    }
+                    tried += 1;
+                    if tried > budget {
+                        return None;
+                    }
+                    let plan = InsertionPlan {
+                        rise_split: rise,
+                        fall_split: fall,
+                        rise_waits,
+                    };
+                    let candidate = apply_insertion(stg, "csc0", &plan);
+                    // Structural pruning.
+                    let Ok(ctx) = StructuralContext::build(&candidate) else {
+                        continue;
+                    };
+                    if matches!(ctx.csc_verdict(), CscVerdict::Unknown { .. }) {
+                        continue;
+                    }
+                    // Behavioural acceptance.
+                    if oracle_accepts(&candidate, 1_000_000) {
+                        return Some((candidate, plan));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthesis::{synthesize, SynthesisOptions};
+
+    #[test]
+    fn vme_read_conflict_is_resolved_automatically() {
+        let raw = si_stg::benchmarks::vme_read_raw();
+        let (fixed, plan) = resolve_csc(&raw, 50_000).expect("resolvable");
+        assert_eq!(fixed.signal_count(), raw.signal_count() + 1);
+        // The repaired STG synthesizes and verifies.
+        let syn = synthesize(&fixed, &SynthesisOptions::default()).expect("synthesizable");
+        assert!(syn.literal_area > 0);
+        let _ = plan;
+    }
+
+    #[test]
+    fn csc_clean_stg_returned_unchanged() {
+        let stg = si_stg::benchmarks::burst2();
+        let (same, plan) = resolve_csc(&stg, 10).expect("already clean");
+        assert_eq!(same.signal_count(), stg.signal_count());
+        assert!(plan.rise_waits.is_empty());
+    }
+
+    #[test]
+    fn apply_insertion_shapes_the_net() {
+        let stg = si_stg::benchmarks::half_handshake();
+        let net = stg.net();
+        // split <a+,b+> for x+ and <a-,b-> for x-.
+        let ap = stg.transition_by_display("a+").unwrap();
+        let am = stg.transition_by_display("a-").unwrap();
+        let rise = net.post_t(ap)[0];
+        let fall = net.post_t(am)[0];
+        let plan = InsertionPlan {
+            rise_split: rise,
+            fall_split: fall,
+            rise_waits: Vec::new(),
+        };
+        let out = apply_insertion(&stg, "x", &plan);
+        assert_eq!(out.signal_count(), stg.signal_count() + 1);
+        assert_eq!(
+            out.net().transition_count(),
+            stg.net().transition_count() + 2
+        );
+        // behaviour stays live and consistent
+        assert!(oracle_accepts(&out, 10_000));
+    }
+}

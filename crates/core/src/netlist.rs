@@ -1,0 +1,224 @@
+//! Structural netlist export.
+//!
+//! Renders a synthesized [`Circuit`] as a gate-level Verilog module: one
+//! continuous assignment per atomic complex gate (the SI correctness
+//! argument requires these to be implemented atomically — the paper's
+//! §III-A caveat is preserved as a comment in the output) and behavioural
+//! UDP-style processes for the storage elements.
+
+use crate::circuit::{Circuit, ImplKind};
+use si_boolean::{Cover, Cube, CubeVal};
+use si_stg::{SignalKind, Stg};
+use std::fmt::Write;
+
+/// Renders a cube as a Verilog conjunction, e.g. `a & ~b & c`.
+fn cube_expr(stg: &Stg, cube: &Cube) -> String {
+    let mut terms = Vec::new();
+    for (i, sig) in stg.signals().enumerate() {
+        match cube.get(i) {
+            CubeVal::One => terms.push(stg.signal_name(sig).to_string()),
+            CubeVal::Zero => terms.push(format!("~{}", stg.signal_name(sig))),
+            CubeVal::DontCare => {}
+        }
+    }
+    if terms.is_empty() {
+        "1'b1".to_string()
+    } else {
+        terms.join(" & ")
+    }
+}
+
+/// Renders a cover as a Verilog sum of products.
+fn cover_expr(stg: &Stg, cover: &Cover) -> String {
+    if cover.is_empty() {
+        return "1'b0".to_string();
+    }
+    cover
+        .cubes()
+        .iter()
+        .map(|c| {
+            if cover.cube_count() > 1 && c.literal_count() > 1 {
+                format!("({})", cube_expr(stg, c))
+            } else {
+                cube_expr(stg, c)
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
+/// Exports the circuit as a self-contained Verilog module named after the
+/// STG. Inputs become module inputs; outputs and internal signals become
+/// outputs/wires driven by the synthesized logic.
+pub fn to_verilog(stg: &Stg, circuit: &Circuit) -> String {
+    let mut v = String::new();
+    let inputs: Vec<&str> = stg
+        .signals()
+        .filter(|&s| stg.signal_kind(s) == SignalKind::Input)
+        .map(|s| stg.signal_name(s))
+        .collect();
+    let outputs: Vec<&str> = stg
+        .signals()
+        .filter(|&s| stg.signal_kind(s) == SignalKind::Output)
+        .map(|s| stg.signal_name(s))
+        .collect();
+    let internals: Vec<&str> = stg
+        .signals()
+        .filter(|&s| stg.signal_kind(s) == SignalKind::Internal)
+        .map(|s| stg.signal_name(s))
+        .collect();
+
+    let _ = writeln!(v, "// Speed-independent controller synthesized from STG `{}`.", stg.name());
+    let _ = writeln!(v, "// NOTE: each assign below must be implemented as ONE atomic complex");
+    let _ = writeln!(v, "// gate; decomposing it can re-introduce hazards (paper, Sec. III-A).");
+    let _ = writeln!(v, "module {} (", sanitize(stg.name()));
+    let mut ports: Vec<String> = inputs.iter().map(|n| format!("  input  wire {n}")).collect();
+    ports.extend(outputs.iter().map(|n| format!("  output wire {n}")));
+    let _ = writeln!(v, "{}\n);", ports.join(",\n"));
+    for n in &internals {
+        let _ = writeln!(v, "  wire {n};");
+    }
+
+    for imp in &circuit.implementations {
+        let name = stg.signal_name(imp.signal);
+        let _ = writeln!(v);
+        match &imp.kind {
+            ImplKind::Combinational { cover, inverted } => {
+                let expr = cover_expr(stg, cover);
+                if *inverted {
+                    let _ = writeln!(v, "  assign {name} = ~({expr});");
+                } else {
+                    let _ = writeln!(v, "  assign {name} = {expr};");
+                }
+            }
+            ImplKind::CLatch { set, reset } => {
+                let _ = writeln!(v, "  // C-latch for {name}");
+                let mut set_terms = Vec::new();
+                for (i, c) in set.iter().enumerate() {
+                    let _ = writeln!(v, "  wire {name}_set_{i} = {};", cover_expr(stg, c));
+                    set_terms.push(format!("{name}_set_{i}"));
+                }
+                let mut reset_terms = Vec::new();
+                for (i, c) in reset.iter().enumerate() {
+                    let _ = writeln!(v, "  wire {name}_reset_{i} = {};", cover_expr(stg, c));
+                    reset_terms.push(format!("{name}_reset_{i}"));
+                }
+                let _ = writeln!(v, "  wire {name}_set = {};", set_terms.join(" | "));
+                let _ = writeln!(v, "  wire {name}_reset = {};", reset_terms.join(" | "));
+                let _ = writeln!(
+                    v,
+                    "  c_latch u_{name} (.s({name}_set), .r({name}_reset), .q({name}));"
+                );
+            }
+            ImplKind::GcLatch { set, reset } => {
+                let _ = writeln!(v, "  // generalized C element for {name}");
+                let _ = writeln!(v, "  wire {name}_set = {};", cover_expr(stg, set));
+                let _ = writeln!(v, "  wire {name}_reset = {};", cover_expr(stg, reset));
+                let _ = writeln!(
+                    v,
+                    "  c_latch u_{name} (.s({name}_set), .r({name}_reset), .q({name}));"
+                );
+            }
+            ImplKind::GatedLatch { data, control } => {
+                let _ = writeln!(v, "  // transparent latch for {name}");
+                let _ = writeln!(v, "  wire {name}_d = {};", cover_expr(stg, data));
+                let _ = writeln!(v, "  wire {name}_en = {};", cover_expr(stg, control));
+                let _ = writeln!(
+                    v,
+                    "  latch u_{name} (.d({name}_d), .en({name}_en), .q({name}));"
+                );
+            }
+        }
+    }
+    let _ = writeln!(v, "endmodule");
+
+    // Behavioural models of the storage cells, emitted once when used.
+    if circuit.implementations.iter().any(|i| {
+        matches!(i.kind, ImplKind::CLatch { .. } | ImplKind::GcLatch { .. })
+    }) {
+        let _ = writeln!(
+            v,
+            "\nmodule c_latch (input wire s, input wire r, output reg q);\n  \
+             initial q = 1'b0;\n  \
+             always @(*) begin\n    if (s & ~r) q = 1'b1;\n    else if (r & ~s) q = 1'b0;\n  end\n\
+             endmodule"
+        );
+    }
+    if circuit
+        .implementations
+        .iter()
+        .any(|i| matches!(i.kind, ImplKind::GatedLatch { .. }))
+    {
+        let _ = writeln!(
+            v,
+            "\nmodule latch (input wire d, input wire en, output reg q);\n  \
+             initial q = 1'b0;\n  \
+             always @(*) if (en) q = d;\n\
+             endmodule"
+        );
+    }
+    v
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthesis::{synthesize, SynthesisOptions};
+
+    #[test]
+    fn verilog_for_clatch_has_c_element() {
+        let stg = si_stg::generators::clatch(2);
+        let syn = synthesize(&stg, &SynthesisOptions::default()).unwrap();
+        let v = to_verilog(&stg, &syn.circuit);
+        assert!(v.contains("module clatch_2"));
+        assert!(v.contains("c_latch"));
+        assert!(v.contains("input  wire x0"));
+        assert!(v.contains("output wire z"));
+        assert!(v.contains("module c_latch"));
+    }
+
+    #[test]
+    fn verilog_for_wire_output_is_simple_assign() {
+        let stg = si_stg::parse_g(
+            "\
+.model buf
+.inputs x
+.outputs y
+.graph
+x+ y+
+y+ x-
+x- y-
+y- x+
+.marking { <y-,x+> }
+.end
+",
+        )
+        .unwrap();
+        let syn = synthesize(&stg, &SynthesisOptions::default()).unwrap();
+        let v = to_verilog(&stg, &syn.circuit);
+        assert!(v.contains("assign y = x;"));
+        assert!(!v.contains("module c_latch"));
+    }
+
+    #[test]
+    fn internal_signals_become_wires() {
+        let stg = si_stg::benchmarks::vme_read_csc();
+        let syn = synthesize(&stg, &SynthesisOptions::default()).unwrap();
+        let v = to_verilog(&stg, &syn.circuit);
+        assert!(v.contains("wire csc0;"));
+        assert!(v.contains("output wire lds"));
+    }
+
+    #[test]
+    fn empty_cover_renders_constant() {
+        let c = Cover::empty(2);
+        let stg = si_stg::generators::clatch(1);
+        assert_eq!(cover_expr(&stg, &c), "1'b0");
+    }
+}

@@ -1,0 +1,228 @@
+//! Technology mapping onto a small speed-independent cell library
+//! (Appendix F).
+//!
+//! The paper maps its signal networks through Boolean matching onto a
+//! library with complex gates of up to four inputs (e.g. AOI22) plus the
+//! asynchronous storage cells. This module ships such a library with a
+//! transistor-pair area model and a greedy pattern matcher: every network
+//! keeps its atomic-gate structure (decomposition is *not* allowed to break
+//! speed independence, as the paper notes), and each atomic function is
+//! matched to the cheapest covering cell or cell tree.
+
+use crate::circuit::{Circuit, ImplKind};
+use si_boolean::Cover;
+
+/// A mapped cell instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellUse {
+    /// Library cell name.
+    pub cell: &'static str,
+    /// Area in transistor pairs.
+    pub area: usize,
+}
+
+/// A fully mapped circuit: cells plus total area.
+#[derive(Clone, Debug, Default)]
+pub struct MappedCircuit {
+    /// All cell instances.
+    pub cells: Vec<CellUse>,
+    /// Total area in transistor pairs.
+    pub area: usize,
+}
+
+/// Area of an n-input AND/OR cell in transistor pairs (n in 2..=4).
+fn gate_area(n: usize) -> usize {
+    // INV 1, 2-in 3, 3-in 4, 4-in 5 (CMOS series/parallel + output stage).
+    match n {
+        0 | 1 => 1,
+        2 => 3,
+        3 => 4,
+        _ => 5,
+    }
+}
+
+fn push(cells: &mut Vec<CellUse>, cell: &'static str, area: usize) {
+    cells.push(CellUse { cell, area });
+}
+
+/// Maps one AND-plane cube of `k` literals as a tree of ≤4-input ANDs.
+fn map_and(cells: &mut Vec<CellUse>, k: usize) {
+    if k <= 1 {
+        return; // a wire (or a literal) — no cell
+    }
+    let mut remaining = k;
+    while remaining > 1 {
+        let take = remaining.min(4);
+        let name = match take {
+            2 => "AND2",
+            3 => "AND3",
+            _ => "AND4",
+        };
+        push(cells, name, gate_area(take));
+        remaining = remaining - take + 1;
+    }
+}
+
+/// Maps an OR tree over `m` cube outputs.
+fn map_or(cells: &mut Vec<CellUse>, m: usize) {
+    if m <= 1 {
+        return;
+    }
+    let mut remaining = m;
+    while remaining > 1 {
+        let take = remaining.min(4);
+        let name = match take {
+            2 => "OR2",
+            3 => "OR3",
+            _ => "OR4",
+        };
+        push(cells, name, gate_area(take));
+        remaining = remaining - take + 1;
+    }
+}
+
+/// Maps one sum-of-products network, trying the complex-gate patterns
+/// first (AOI22 + INV covers two 2-literal cubes in one cell).
+fn map_network(cells: &mut Vec<CellUse>, cover: &Cover) {
+    let cubes = cover.cubes();
+    if cubes.is_empty() {
+        push(cells, "GND", 0);
+        return;
+    }
+    // AOI22+INV Boolean match: exactly two cubes of two literals.
+    if cubes.len() == 2 && cubes.iter().all(|c| c.literal_count() == 2) {
+        push(cells, "AOI22", 4);
+        push(cells, "INV", 1);
+        return;
+    }
+    // AOI21+INV: one 2-literal and one 1-literal cube.
+    if cubes.len() == 2 {
+        let mut lits: Vec<usize> = cubes.iter().map(|c| c.literal_count()).collect();
+        lits.sort_unstable();
+        if lits == [1, 2] {
+            push(cells, "AOI21", 3);
+            push(cells, "INV", 1);
+            return;
+        }
+    }
+    for c in cubes {
+        map_and(cells, c.literal_count());
+    }
+    map_or(cells, cubes.len());
+}
+
+/// Maps a whole circuit onto the library.
+pub fn map_circuit(circuit: &Circuit) -> MappedCircuit {
+    let mut cells = Vec::new();
+    for imp in &circuit.implementations {
+        match &imp.kind {
+            ImplKind::Combinational { cover, inverted } => {
+                map_network(&mut cells, cover);
+                if *inverted {
+                    push(&mut cells, "INV", 1);
+                }
+            }
+            ImplKind::CLatch { set, reset } => {
+                for c in set {
+                    map_network(&mut cells, c);
+                }
+                map_or(&mut cells, set.len());
+                for c in reset {
+                    map_network(&mut cells, c);
+                }
+                map_or(&mut cells, reset.len());
+                push(&mut cells, "C2", 4);
+            }
+            ImplKind::GcLatch { set, reset } => {
+                // Generalized C cell absorbs up to 4+4 literals directly.
+                let (ls, lr) = (set.literal_count(), reset.literal_count());
+                if ls <= 4 && lr <= 4 {
+                    push(&mut cells, "GC", 2 + ls + lr);
+                } else {
+                    map_network(&mut cells, set);
+                    map_network(&mut cells, reset);
+                    push(&mut cells, "C2", 4);
+                }
+            }
+            ImplKind::GatedLatch { data, control } => {
+                map_network(&mut cells, data);
+                map_network(&mut cells, control);
+                push(&mut cells, "LATCH", 4);
+            }
+        }
+    }
+    let area = cells.iter().map(|c| c.area).sum();
+    MappedCircuit { cells, area }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_boolean::Cover;
+    use si_stg::SignalId;
+
+    fn cover(w: usize, cs: &[&str]) -> Cover {
+        Cover::from_cubes(w, cs.iter().map(|s| s.parse().unwrap()))
+    }
+
+    fn combinational(c: Cover) -> Circuit {
+        Circuit {
+            implementations: vec![crate::circuit::SignalImplementation {
+                signal: SignalId(0),
+                kind: ImplKind::Combinational {
+                    cover: c,
+                    inverted: false,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn aoi22_pattern_matched() {
+        let m = map_circuit(&combinational(cover(4, &["11--", "--11"])));
+        assert!(m.cells.iter().any(|c| c.cell == "AOI22"));
+        // AOI22 (4) + INV (1) beats 2×AND2 (6) + OR2 (3).
+        assert_eq!(m.area, 5);
+    }
+
+    #[test]
+    fn wide_cube_becomes_and_tree() {
+        let m = map_circuit(&combinational(cover(6, &["111111"])));
+        // 6 literals: AND4 + AND3 (4+3 inputs collapse: 6 -> 3 -> 1)
+        let names: Vec<_> = m.cells.iter().map(|c| c.cell).collect();
+        assert!(names.contains(&"AND4"));
+        assert!(m.area >= gate_area(4));
+    }
+
+    #[test]
+    fn gc_cell_absorbs_small_latches() {
+        let circuit = Circuit {
+            implementations: vec![crate::circuit::SignalImplementation {
+                signal: SignalId(0),
+                kind: ImplKind::GcLatch {
+                    set: cover(4, &["11--"]),
+                    reset: cover(4, &["00--"]),
+                },
+            }],
+        };
+        let m = map_circuit(&circuit);
+        assert_eq!(m.cells.len(), 1);
+        assert_eq!(m.cells[0].cell, "GC");
+        assert_eq!(m.area, 2 + 2 + 2);
+    }
+
+    #[test]
+    fn mapping_never_beats_zero_and_scales() {
+        // Mapped area grows with the function size.
+        let small = map_circuit(&combinational(cover(4, &["11--"])));
+        let large = map_circuit(&combinational(cover(8, &["1111----", "----1111", "11--11--"])));
+        assert!(small.area < large.area);
+    }
+
+    #[test]
+    fn empty_cover_is_a_tie_cell() {
+        let m = map_circuit(&combinational(Cover::empty(3)));
+        assert_eq!(m.area, 0);
+        assert_eq!(m.cells[0].cell, "GND");
+    }
+}

@@ -1,0 +1,310 @@
+//! Structural concurrency relation (§V-A of the paper).
+//!
+//! The Kovalyov–Esparza style fixpoint computes the binary concurrency
+//! relation `‖` over places and transitions without building the
+//! reachability graph. For **live and safe free-choice** nets (without
+//! self-loop transitions) the relation is exact; for other classes it is a
+//! conservative over-approximation of behavioural concurrency, which is the
+//! safe direction for synthesis (Def. 2 of the paper is deliberately
+//! conservative).
+//!
+//! Rules (worklist fixpoint over distinct-node pairs):
+//!
+//! 1. places simultaneously marked at `m0` are pairwise concurrent;
+//! 2. for every (live) transition `t`, the places of `t•` are pairwise
+//!    concurrent;
+//! 3. if every place of `•t` is concurrent with node `x`, then `t ‖ x` and
+//!    every place of `t•` is concurrent with `x`.
+
+use crate::net::{Node, PetriNet, PlaceId, TransId};
+use si_boolean::Bits;
+
+/// The symmetric concurrency relation over the nodes of a net.
+///
+/// # Examples
+///
+/// ```
+/// use si_petri::{ConcurrencyRelation, PetriNet};
+///
+/// let mut b = PetriNet::builder();
+/// let p0 = b.add_place("p0", true);
+/// let p1 = b.add_place("p1", false);
+/// let p2 = b.add_place("p2", false);
+/// let t = b.add_transition("fork");
+/// b.arc_pt(p0, t);
+/// b.arc_tp(t, p1);
+/// b.arc_tp(t, p2);
+/// let net = b.build();
+/// let cr = ConcurrencyRelation::compute(&net);
+/// assert!(cr.places(p1, p2));
+/// assert!(!cr.places(p0, p1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ConcurrencyRelation {
+    np: usize,
+    n: usize,
+    /// Row i = set of nodes concurrent with node i (global node index:
+    /// places first, then transitions).
+    rows: Vec<Bits>,
+}
+
+impl ConcurrencyRelation {
+    /// Computes the structural concurrency relation of `net`.
+    ///
+    /// Liveness of every transition is assumed (rule 2); dead transitions
+    /// would make the result more conservative, never less.
+    pub fn compute(net: &PetriNet) -> Self {
+        let np = net.place_count();
+        let nt = net.transition_count();
+        let n = np + nt;
+        let mut rows = vec![Bits::zeros(n); n];
+        let mut work: Vec<(usize, usize)> = Vec::new();
+
+        let add = |rows: &mut Vec<Bits>, work: &mut Vec<(usize, usize)>, a: usize, b: usize| {
+            if a != b && !rows[a].get(b) {
+                rows[a].set(b, true);
+                rows[b].set(a, true);
+                work.push((a, b));
+            }
+        };
+
+        // Rule 1: initially co-marked places.
+        let m0 = net.initial_marking();
+        let marked: Vec<usize> = m0.iter_ones().collect();
+        for (i, &a) in marked.iter().enumerate() {
+            for &b in &marked[i + 1..] {
+                add(&mut rows, &mut work, a, b);
+            }
+        }
+        // Rule 2: outputs of each transition.
+        for t in net.transitions() {
+            let outs = net.post_t(t);
+            for (i, &a) in outs.iter().enumerate() {
+                for &b in &outs[i + 1..] {
+                    add(&mut rows, &mut work, a.index(), b.index());
+                }
+            }
+        }
+
+        // Rule 3 closure, driven by a worklist of newly added pairs.
+        // When (y, x) is added and y is a place, any transition t with
+        // y ∈ •t may now satisfy •t ⊆ row(x).
+        let tindex = |t: TransId| np + t.index();
+        // Seed: also try every transition against every node once, to cover
+        // transitions with presets made concurrent purely by rules 1/2.
+        let mut pending: Vec<(TransId, usize)> = Vec::new();
+        for t in net.transitions() {
+            for x in 0..n {
+                pending.push((t, x));
+            }
+        }
+        loop {
+            let mut progressed = false;
+            // Drain structured worklist into candidate (t, x) re-checks.
+            while let Some((a, b)) = work.pop() {
+                for &(y, x) in &[(a, b), (b, a)] {
+                    if y < np {
+                        for &t in net.post_p(PlaceId(y as u32)) {
+                            pending.push((t, x));
+                        }
+                    }
+                }
+            }
+            while let Some((t, x)) = pending.pop() {
+                let ti = tindex(t);
+                if ti == x || rows[ti].get(x) {
+                    continue;
+                }
+                let pre = net.pre_t(t);
+                if pre.is_empty() {
+                    continue; // source transitions are not handled structurally
+                }
+                if pre.iter().all(|p| rows[p.index()].get(x) || p.index() == x) {
+                    // p.index() == x would mean x ∈ •t: (x,x) ∉ R, so reject.
+                    if pre.iter().any(|p| p.index() == x) {
+                        continue;
+                    }
+                    add(&mut rows, &mut work, ti, x);
+                    for q in net.post_t(t) {
+                        add(&mut rows, &mut work, q.index(), x);
+                    }
+                    progressed = true;
+                }
+            }
+            if work.is_empty() && !progressed {
+                break;
+            }
+        }
+
+        ConcurrencyRelation { np, n, rows }
+    }
+
+    fn idx(&self, node: Node) -> usize {
+        match node {
+            Node::Place(p) => p.index(),
+            Node::Trans(t) => self.np + t.index(),
+        }
+    }
+
+    /// Concurrency of two arbitrary nodes.
+    pub fn nodes(&self, a: Node, b: Node) -> bool {
+        self.rows[self.idx(a)].get(self.idx(b))
+    }
+
+    /// Concurrency of two places (`∃ m ⊇ {p, q}` behaviourally).
+    pub fn places(&self, p: PlaceId, q: PlaceId) -> bool {
+        self.rows[p.index()].get(q.index())
+    }
+
+    /// Concurrency of two transitions.
+    pub fn transitions(&self, a: TransId, b: TransId) -> bool {
+        self.rows[self.np + a.index()].get(self.np + b.index())
+    }
+
+    /// Concurrency of a place and a transition: `t` can fire while `p`
+    /// remains marked.
+    pub fn place_transition(&self, p: PlaceId, t: TransId) -> bool {
+        self.rows[p.index()].get(self.np + t.index())
+    }
+
+    /// All transitions concurrent with place `p`.
+    pub fn transitions_concurrent_with_place(&self, p: PlaceId) -> Vec<TransId> {
+        (0..(self.n - self.np))
+            .filter(|&ti| self.rows[p.index()].get(self.np + ti))
+            .map(|ti| TransId(ti as u32))
+            .collect()
+    }
+
+    /// All places concurrent with place `p`.
+    pub fn places_concurrent_with_place(&self, p: PlaceId) -> Vec<PlaceId> {
+        (0..self.np)
+            .filter(|&q| self.rows[p.index()].get(q))
+            .map(|q| PlaceId(q as u32))
+            .collect()
+    }
+
+    /// Number of concurrent pairs (both orders counted once).
+    pub fn pair_count(&self) -> usize {
+        self.rows.iter().map(Bits::count_ones).sum::<usize>() / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reach::ReachabilityGraph;
+
+    fn fork_join() -> PetriNet {
+        let mut b = PetriNet::builder();
+        let p0 = b.add_place("p0", true);
+        let p1 = b.add_place("p1", false);
+        let p2 = b.add_place("p2", false);
+        let p3 = b.add_place("p3", false);
+        let p4 = b.add_place("p4", false);
+        let t0 = b.add_transition("fork");
+        let t1 = b.add_transition("left");
+        let t2 = b.add_transition("right");
+        let t3 = b.add_transition("join");
+        b.arc_pt(p0, t0);
+        b.arc_tp(t0, p1);
+        b.arc_tp(t0, p2);
+        b.arc_pt(p1, t1);
+        b.arc_tp(t1, p3);
+        b.arc_pt(p2, t2);
+        b.arc_tp(t2, p4);
+        b.arc_pt(p3, t3);
+        b.arc_pt(p4, t3);
+        b.arc_tp(t3, p0);
+        b.build()
+    }
+
+    #[test]
+    fn matches_behaviour_on_fork_join() {
+        let net = fork_join();
+        let cr = ConcurrencyRelation::compute(&net);
+        let rg = ReachabilityGraph::build(&net, 1000).unwrap();
+        for p in net.places() {
+            for q in net.places() {
+                if p != q {
+                    assert_eq!(
+                        cr.places(p, q),
+                        rg.places_concurrent(p, q),
+                        "place pair {p} {q}"
+                    );
+                }
+            }
+            for t in net.transitions() {
+                assert_eq!(
+                    cr.place_transition(p, t),
+                    rg.place_transition_concurrent(&net, p, t),
+                    "pair {p} {t}"
+                );
+            }
+        }
+        for a in net.transitions() {
+            for b in net.transitions() {
+                if a != b {
+                    assert_eq!(
+                        cr.transitions(a, b),
+                        rg.transitions_concurrent(&net, a, b),
+                        "trans pair {a} {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_ring_has_no_concurrency() {
+        let mut b = PetriNet::builder();
+        let p0 = b.add_place("p0", true);
+        let p1 = b.add_place("p1", false);
+        let t0 = b.add_transition("t0");
+        let t1 = b.add_transition("t1");
+        b.arc_pt(p0, t0);
+        b.arc_tp(t0, p1);
+        b.arc_pt(p1, t1);
+        b.arc_tp(t1, p0);
+        let net = b.build();
+        let cr = ConcurrencyRelation::compute(&net);
+        assert_eq!(cr.pair_count(), 0);
+    }
+
+    #[test]
+    fn choice_branches_not_concurrent() {
+        // p0 -> t0|t1 -> p1|p2 -> ... -> join back. Branches are alternatives.
+        let mut b = PetriNet::builder();
+        let p0 = b.add_place("p0", true);
+        let p1 = b.add_place("p1", false);
+        let p2 = b.add_place("p2", false);
+        let t0 = b.add_transition("t0");
+        let t1 = b.add_transition("t1");
+        let t2 = b.add_transition("t2");
+        let t3 = b.add_transition("t3");
+        b.arc_pt(p0, t0);
+        b.arc_pt(p0, t1);
+        b.arc_tp(t0, p1);
+        b.arc_tp(t1, p2);
+        b.arc_pt(p1, t2);
+        b.arc_tp(t2, p0);
+        b.arc_pt(p2, t3);
+        b.arc_tp(t3, p0);
+        let net = b.build();
+        let cr = ConcurrencyRelation::compute(&net);
+        assert!(!cr.places(PlaceId(1), PlaceId(2)));
+        assert!(!cr.transitions(TransId(0), TransId(1)));
+    }
+
+    #[test]
+    fn helper_listings() {
+        let net = fork_join();
+        let cr = ConcurrencyRelation::compute(&net);
+        let left = net.transition_by_name("left").unwrap();
+        let p2 = net.place_by_name("p2").unwrap();
+        assert!(cr.transitions_concurrent_with_place(p2).contains(&left));
+        assert!(cr
+            .places_concurrent_with_place(net.place_by_name("p1").unwrap())
+            .contains(&p2));
+        assert!(cr.nodes(Node::Place(p2), Node::Trans(left)));
+    }
+}

@@ -1,0 +1,234 @@
+//! Place and transition invariants (semiflows) via the Farkas algorithm.
+//!
+//! The paper computes SM-components by "solving a linear programming model"
+//! over the incidence matrix (reference [18], Lautenbach's linear-algebraic
+//! techniques). This module provides that algebra directly:
+//!
+//! * a **P-semiflow** is a non-negative integer vector `y` with
+//!   `yᵀ·C = 0` — the weighted token count `y·M` is constant over all
+//!   reachable markings; the support of every one-token SM-component is a
+//!   P-semiflow with weights 1;
+//! * a **T-semiflow** is a non-negative `x` with `C·x = 0` — firing every
+//!   transition `x[t]` times reproduces the marking (the cyclic behaviour
+//!   of live STGs).
+//!
+//! The classic Farkas elimination produces the minimal-support semiflows;
+//! it is worst-case exponential but comfortable at STG sizes.
+
+use crate::net::{PetriNet, PlaceId, TransId};
+
+/// A non-negative integer vector over places (P) or transitions (T).
+pub type Semiflow = Vec<u64>;
+
+/// The incidence matrix entry `C[p][t] = |t• ∩ {p}| − |•t ∩ {p}|`.
+fn incidence(net: &PetriNet, p: PlaceId, t: TransId) -> i64 {
+    let produces = net.post_t(t).contains(&p) as i64;
+    let consumes = net.pre_t(t).contains(&p) as i64;
+    produces - consumes
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn normalize(v: &mut [u64]) {
+    let g = v.iter().copied().filter(|&x| x > 0).fold(0, gcd);
+    if g > 1 {
+        for x in v.iter_mut() {
+            *x /= g;
+        }
+    }
+}
+
+/// Core Farkas elimination over an `n_rows × n_cols` integer matrix `m`,
+/// with identity tableau `id` (one row per original row). Returns the
+/// minimal-support non-negative annullers of the column space.
+fn farkas(mut m: Vec<Vec<i64>>, mut id: Vec<Vec<u64>>, n_cols: usize) -> Vec<Semiflow> {
+    const ROW_CAP: usize = 4096;
+    for col in 0..n_cols {
+        let mut next_m: Vec<Vec<i64>> = Vec::new();
+        let mut next_id: Vec<Vec<u64>> = Vec::new();
+        // Rows already zero in this column survive unchanged.
+        for (row, idrow) in m.iter().zip(&id) {
+            if row[col] == 0 {
+                next_m.push(row.clone());
+                next_id.push(idrow.clone());
+            }
+        }
+        // Combine each positive row with each negative row.
+        let pos: Vec<usize> = (0..m.len()).filter(|&i| m[i][col] > 0).collect();
+        let neg: Vec<usize> = (0..m.len()).filter(|&i| m[i][col] < 0).collect();
+        for &i in &pos {
+            for &j in &neg {
+                if next_m.len() >= ROW_CAP {
+                    break;
+                }
+                let a = m[i][col].unsigned_abs();
+                let b = m[j][col].unsigned_abs();
+                let new_row: Vec<i64> = (0..n_cols)
+                    .map(|k| m[i][k] * b as i64 + m[j][k] * a as i64)
+                    .collect();
+                let mut new_id: Vec<u64> = (0..id[i].len())
+                    .map(|k| id[i][k] * b + id[j][k] * a)
+                    .collect();
+                normalize(&mut new_id);
+                // Minimality: drop rows whose support strictly contains an
+                // existing row's support.
+                let support = |v: &[u64]| -> Vec<usize> {
+                    v.iter()
+                        .enumerate()
+                        .filter(|&(_, &x)| x > 0)
+                        .map(|(k, _)| k)
+                        .collect()
+                };
+                let ns = support(&new_id);
+                let dominated = next_id.iter().any(|o| {
+                    let os = support(o);
+                    os.iter().all(|k| ns.contains(k)) && os.len() < ns.len()
+                        || os == ns
+                });
+                if !dominated {
+                    next_m.push(new_row);
+                    next_id.push(new_id);
+                }
+            }
+        }
+        m = next_m;
+        id = next_id;
+    }
+    // Survivors annul every column.
+    id.into_iter().filter(|v| v.iter().any(|&x| x > 0)).collect()
+}
+
+/// Minimal-support P-semiflows of the net.
+pub fn p_semiflows(net: &PetriNet) -> Vec<Semiflow> {
+    let np = net.place_count();
+    let nt = net.transition_count();
+    let m: Vec<Vec<i64>> = net
+        .places()
+        .map(|p| net.transitions().map(|t| incidence(net, p, t)).collect())
+        .collect();
+    let id: Vec<Vec<u64>> = (0..np)
+        .map(|i| (0..np).map(|j| u64::from(i == j)).collect())
+        .collect();
+    farkas(m, id, nt)
+}
+
+/// Minimal-support T-semiflows of the net.
+pub fn t_semiflows(net: &PetriNet) -> Vec<Semiflow> {
+    let np = net.place_count();
+    let nt = net.transition_count();
+    let m: Vec<Vec<i64>> = net
+        .transitions()
+        .map(|t| net.places().map(|p| incidence(net, p, t)).collect())
+        .collect();
+    let id: Vec<Vec<u64>> = (0..nt)
+        .map(|i| (0..nt).map(|j| u64::from(i == j)).collect())
+        .collect();
+    farkas(m, id, np)
+}
+
+/// Checks `yᵀ·C = 0` for a place vector.
+pub fn is_p_invariant(net: &PetriNet, y: &[u64]) -> bool {
+    net.transitions().all(|t| {
+        let mut sum = 0i64;
+        for p in net.places() {
+            sum += y[p.index()] as i64 * incidence(net, p, t);
+        }
+        sum == 0
+    })
+}
+
+/// The weighted token count `y·M` of a marking.
+pub fn weighted_tokens(y: &[u64], marking: &crate::net::Marking) -> u64 {
+    marking.iter_ones().map(|i| y[i]).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reach::ReachabilityGraph;
+    use crate::sm::sm_cover;
+
+    fn fork_join() -> PetriNet {
+        let mut b = PetriNet::builder();
+        let p0 = b.add_place("p0", true);
+        let p1 = b.add_place("p1", false);
+        let p2 = b.add_place("p2", false);
+        let f = b.add_transition("fork");
+        let j = b.add_transition("join");
+        b.arc_pt(p0, f);
+        b.arc_tp(f, p1);
+        b.arc_tp(f, p2);
+        b.arc_pt(p1, j);
+        b.arc_pt(p2, j);
+        b.arc_tp(j, p0);
+        b.build()
+    }
+
+    #[test]
+    fn fork_join_p_semiflows() {
+        let net = fork_join();
+        let flows = p_semiflows(&net);
+        // {p0, p1} and {p0, p2} are the minimal P-invariants.
+        assert_eq!(flows.len(), 2);
+        for y in &flows {
+            assert!(is_p_invariant(&net, y));
+            assert_eq!(y.iter().filter(|&&x| x > 0).count(), 2);
+            assert!(y[0] == 1, "p0 in every invariant");
+        }
+    }
+
+    #[test]
+    fn sm_component_supports_are_p_semiflows() {
+        let net = fork_join();
+        for sm in sm_cover(&net).unwrap() {
+            let y: Vec<u64> = net
+                .places()
+                .map(|p| u64::from(sm.contains_place(p)))
+                .collect();
+            assert!(is_p_invariant(&net, &y));
+        }
+    }
+
+    #[test]
+    fn weighted_tokens_invariant_over_reachability() {
+        let net = fork_join();
+        let rg = ReachabilityGraph::build(&net, 100).unwrap();
+        for y in p_semiflows(&net) {
+            let expected = weighted_tokens(&y, &net.initial_marking());
+            for s in rg.states() {
+                assert_eq!(weighted_tokens(&y, rg.marking(s)), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn t_semiflow_of_a_ring_fires_everything_once() {
+        let mut b = PetriNet::builder();
+        let p0 = b.add_place("p0", true);
+        let p1 = b.add_place("p1", false);
+        let t0 = b.add_transition("t0");
+        let t1 = b.add_transition("t1");
+        b.arc_pt(p0, t0);
+        b.arc_tp(t0, p1);
+        b.arc_pt(p1, t1);
+        b.arc_tp(t1, p0);
+        let net = b.build();
+        let flows = t_semiflows(&net);
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0], vec![1, 1]);
+    }
+
+    #[test]
+    fn fork_join_t_semiflow() {
+        let net = fork_join();
+        let flows = t_semiflows(&net);
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0], vec![1, 1]); // fire fork and join once
+    }
+}

@@ -1,0 +1,395 @@
+//! Explicit reachability-graph construction and behavioural oracles.
+//!
+//! This is the *state-based* substrate that the paper's structural methods
+//! avoid — and that the baselines (SIS/ASSASSIN-style flows) and all
+//! ground-truth tests require. The builder enumerates reachable markings
+//! breadth-first up to a configurable cap, so callers can detect "state
+//! explosion" instead of hanging.
+
+use crate::net::{Marking, PetriNet, TransId};
+use std::collections::HashMap;
+
+/// Index of a marking inside a [`ReachabilityGraph`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// The index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Outcome of a bounded reachability exploration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReachError {
+    /// The exploration hit the marking cap before exhausting the state space.
+    StateCapExceeded {
+        /// The cap that was configured.
+        cap: usize,
+    },
+    /// A transition firing produced a non-safe marking (a token added to an
+    /// already-marked place).
+    NotSafe {
+        /// The transition whose firing violated safeness.
+        transition: TransId,
+    },
+}
+
+impl std::fmt::Display for ReachError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReachError::StateCapExceeded { cap } => {
+                write!(f, "state space exceeds the cap of {cap} markings")
+            }
+            ReachError::NotSafe { transition } => {
+                write!(f, "net is not safe: firing {transition} duplicates a token")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReachError {}
+
+/// The explicit reachability graph of a safe net.
+///
+/// # Examples
+///
+/// ```
+/// use si_petri::{PetriNet, ReachabilityGraph};
+///
+/// let mut b = PetriNet::builder();
+/// let p0 = b.add_place("p0", true);
+/// let p1 = b.add_place("p1", false);
+/// let t0 = b.add_transition("t0");
+/// let t1 = b.add_transition("t1");
+/// b.arc_pt(p0, t0); b.arc_tp(t0, p1);
+/// b.arc_pt(p1, t1); b.arc_tp(t1, p0);
+/// let net = b.build();
+/// let rg = ReachabilityGraph::build(&net, 1_000)?;
+/// assert_eq!(rg.state_count(), 2);
+/// # Ok::<(), si_petri::ReachError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReachabilityGraph {
+    markings: Vec<Marking>,
+    index: HashMap<Marking, StateId>,
+    /// Outgoing edges `(t, successor)` per state.
+    succs: Vec<Vec<(TransId, StateId)>>,
+    /// Incoming edges `(t, predecessor)` per state.
+    preds: Vec<Vec<(TransId, StateId)>>,
+}
+
+impl ReachabilityGraph {
+    /// Explores the state space of `net` breadth-first.
+    ///
+    /// # Errors
+    ///
+    /// [`ReachError::StateCapExceeded`] if more than `cap` markings are
+    /// reachable; [`ReachError::NotSafe`] if a firing puts a second token on
+    /// a place.
+    pub fn build(net: &PetriNet, cap: usize) -> Result<Self, ReachError> {
+        let m0 = net.initial_marking();
+        let mut markings = vec![m0.clone()];
+        let mut index = HashMap::new();
+        index.insert(m0, StateId(0));
+        let mut succs: Vec<Vec<(TransId, StateId)>> = vec![Vec::new()];
+        let mut frontier = vec![StateId(0)];
+        while let Some(s) = frontier.pop() {
+            let m = markings[s.index()].clone();
+            for t in net.transitions() {
+                if !net.is_enabled(&m, t) {
+                    continue;
+                }
+                // Safeness: a postset place outside the preset must be empty.
+                for p in net.post_t(t) {
+                    if m.get(p.index()) && !net.pre_t(t).contains(p) {
+                        return Err(ReachError::NotSafe { transition: t });
+                    }
+                }
+                let m2 = net.fire(&m, t);
+                let id = match index.get(&m2) {
+                    Some(&id) => id,
+                    None => {
+                        let id = StateId(markings.len() as u32);
+                        if markings.len() >= cap {
+                            return Err(ReachError::StateCapExceeded { cap });
+                        }
+                        markings.push(m2.clone());
+                        index.insert(m2, id);
+                        succs.push(Vec::new());
+                        frontier.push(id);
+                        id
+                    }
+                };
+                succs[s.index()].push((t, id));
+            }
+        }
+        let mut preds: Vec<Vec<(TransId, StateId)>> = vec![Vec::new(); markings.len()];
+        for (s, out) in succs.iter().enumerate() {
+            for &(t, d) in out {
+                preds[d.index()].push((t, StateId(s as u32)));
+            }
+        }
+        Ok(ReachabilityGraph {
+            markings,
+            index,
+            succs,
+            preds,
+        })
+    }
+
+    /// Number of reachable markings.
+    pub fn state_count(&self) -> usize {
+        self.markings.len()
+    }
+
+    /// The marking of a state.
+    pub fn marking(&self, s: StateId) -> &Marking {
+        &self.markings[s.index()]
+    }
+
+    /// Looks up the state of a marking.
+    pub fn state_of(&self, m: &Marking) -> Option<StateId> {
+        self.index.get(m).copied()
+    }
+
+    /// Iterates over all states.
+    pub fn states(&self) -> impl Iterator<Item = StateId> {
+        (0..self.state_count() as u32).map(StateId)
+    }
+
+    /// Outgoing edges of a state.
+    pub fn successors(&self, s: StateId) -> &[(TransId, StateId)] {
+        &self.succs[s.index()]
+    }
+
+    /// Incoming edges of a state.
+    pub fn predecessors(&self, s: StateId) -> &[(TransId, StateId)] {
+        &self.preds[s.index()]
+    }
+
+    /// States at which `t` is enabled (the excitation region of `t` in
+    /// Petri-net terms).
+    pub fn states_enabling(&self, t: TransId) -> Vec<StateId> {
+        self.states()
+            .filter(|&s| self.succs[s.index()].iter().any(|&(u, _)| u == t))
+            .collect()
+    }
+
+    /// Behavioural liveness: every transition can fire again from every
+    /// reachable marking.
+    ///
+    /// For the strongly-connected systems used in SI synthesis this reduces
+    /// to: the RG is strongly connected and every transition labels at least
+    /// one edge. The general check (per-marking re-enableability) is also
+    /// what this implements, via one backward closure per transition.
+    pub fn is_live(&self, net: &PetriNet) -> bool {
+        let n = self.state_count();
+        for t in net.transitions() {
+            // States from which t is eventually fireable = backward closure
+            // of the sources of t-labelled edges.
+            let mut can = vec![false; n];
+            let mut stack: Vec<StateId> = Vec::new();
+            for s in self.states() {
+                if self.succs[s.index()].iter().any(|&(u, _)| u == t) {
+                    can[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+            while let Some(s) = stack.pop() {
+                for &(_, p) in &self.preds[s.index()] {
+                    if !can[p.index()] {
+                        can[p.index()] = true;
+                        stack.push(p);
+                    }
+                }
+            }
+            if can.iter().any(|&c| !c) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if the RG is strongly connected (common for live+safe
+    /// cyclic specifications; cheap necessary check used by tests).
+    pub fn is_strongly_connected(&self) -> bool {
+        let n = self.state_count();
+        if n == 0 {
+            return true;
+        }
+        let reach_all = |edges: &dyn Fn(StateId) -> Vec<StateId>| {
+            let mut seen = vec![false; n];
+            let mut stack = vec![StateId(0)];
+            seen[0] = true;
+            let mut count = 1;
+            while let Some(s) = stack.pop() {
+                for d in edges(s) {
+                    if !seen[d.index()] {
+                        seen[d.index()] = true;
+                        count += 1;
+                        stack.push(d);
+                    }
+                }
+            }
+            count == n
+        };
+        reach_all(&|s| self.succs[s.index()].iter().map(|&(_, d)| d).collect())
+            && reach_all(&|s| self.preds[s.index()].iter().map(|&(_, d)| d).collect())
+    }
+
+    /// Behavioural concurrency of two transitions: some reachable marking
+    /// enables both and firing either keeps the other enabled.
+    pub fn transitions_concurrent(&self, net: &PetriNet, a: TransId, b: TransId) -> bool {
+        if a == b {
+            return false;
+        }
+        self.states().any(|s| {
+            let m = &self.markings[s.index()];
+            net.is_enabled(m, a)
+                && net.is_enabled(m, b)
+                && net.is_enabled(&net.fire(m, a), b)
+                && net.is_enabled(&net.fire(m, b), a)
+        })
+    }
+
+    /// Behavioural concurrency of two places: some reachable marking marks
+    /// both.
+    pub fn places_concurrent(&self, p: crate::net::PlaceId, q: crate::net::PlaceId) -> bool {
+        if p == q {
+            return false;
+        }
+        self.markings
+            .iter()
+            .any(|m| m.get(p.index()) && m.get(q.index()))
+    }
+
+    /// Behavioural concurrency of a place and a transition: some reachable
+    /// marking enables `t`, marks `p`, and `p` stays marked after firing `t`.
+    pub fn place_transition_concurrent(
+        &self,
+        net: &PetriNet,
+        p: crate::net::PlaceId,
+        t: TransId,
+    ) -> bool {
+        self.markings.iter().any(|m| {
+            m.get(p.index()) && net.is_enabled(m, t) && net.fire(m, t).get(p.index())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{PetriNet, PlaceId};
+
+    /// Fork-join: t0 forks into p1 ∥ p2, t3 joins back to p0.
+    fn fork_join() -> PetriNet {
+        let mut b = PetriNet::builder();
+        let p0 = b.add_place("p0", true);
+        let p1 = b.add_place("p1", false);
+        let p2 = b.add_place("p2", false);
+        let p3 = b.add_place("p3", false);
+        let p4 = b.add_place("p4", false);
+        let t0 = b.add_transition("fork");
+        let t1 = b.add_transition("left");
+        let t2 = b.add_transition("right");
+        let t3 = b.add_transition("join");
+        b.arc_pt(p0, t0);
+        b.arc_tp(t0, p1);
+        b.arc_tp(t0, p2);
+        b.arc_pt(p1, t1);
+        b.arc_tp(t1, p3);
+        b.arc_pt(p2, t2);
+        b.arc_tp(t2, p4);
+        b.arc_pt(p3, t3);
+        b.arc_pt(p4, t3);
+        b.arc_tp(t3, p0);
+        b.build()
+    }
+
+    #[test]
+    fn explores_fork_join() {
+        let net = fork_join();
+        let rg = ReachabilityGraph::build(&net, 100).unwrap();
+        // markings: p0; p1p2; p3p2; p1p4; p3p4 => 5
+        assert_eq!(rg.state_count(), 5);
+        assert!(rg.is_strongly_connected());
+        assert!(rg.is_live(&net));
+    }
+
+    #[test]
+    fn behavioural_concurrency() {
+        let net = fork_join();
+        let rg = ReachabilityGraph::build(&net, 100).unwrap();
+        let left = net.transition_by_name("left").unwrap();
+        let right = net.transition_by_name("right").unwrap();
+        let fork = net.transition_by_name("fork").unwrap();
+        assert!(rg.transitions_concurrent(&net, left, right));
+        assert!(!rg.transitions_concurrent(&net, fork, left));
+        assert!(rg.places_concurrent(PlaceId(1), PlaceId(2)));
+        assert!(!rg.places_concurrent(PlaceId(0), PlaceId(1)));
+        // p2 stays marked while t1 (left) fires
+        assert!(rg.place_transition_concurrent(&net, PlaceId(2), left));
+        // p1 is consumed by left
+        assert!(!rg.place_transition_concurrent(&net, PlaceId(1), left));
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        let net = fork_join();
+        let err = ReachabilityGraph::build(&net, 2).unwrap_err();
+        assert_eq!(err, ReachError::StateCapExceeded { cap: 2 });
+    }
+
+    #[test]
+    fn unsafe_net_detected() {
+        // t0 puts a token on p1 twice (two firings without consumption).
+        let mut b = PetriNet::builder();
+        let p0 = b.add_place("p0", true);
+        let p1 = b.add_place("p1", false);
+        let p2 = b.add_place("p2", true);
+        let t0 = b.add_transition("t0");
+        let t1 = b.add_transition("t1");
+        b.arc_pt(p0, t0);
+        b.arc_tp(t0, p1);
+        b.arc_pt(p2, t1);
+        b.arc_tp(t1, p1); // second producer while p1 may be marked
+        b.arc_tp(t1, p0); // keep things going
+        let net = b.build();
+        let r = ReachabilityGraph::build(&net, 100);
+        assert!(matches!(r, Err(ReachError::NotSafe { .. })));
+    }
+
+    #[test]
+    fn dead_transition_not_live() {
+        let mut b = PetriNet::builder();
+        let p0 = b.add_place("p0", true);
+        let p1 = b.add_place("p1", false);
+        let pd = b.add_place("dead_in", false);
+        let t0 = b.add_transition("t0");
+        let t1 = b.add_transition("t1");
+        let td = b.add_transition("dead");
+        b.arc_pt(p0, t0);
+        b.arc_tp(t0, p1);
+        b.arc_pt(p1, t1);
+        b.arc_tp(t1, p0);
+        b.arc_pt(pd, td);
+        b.arc_tp(td, pd);
+        let net = b.build();
+        let rg = ReachabilityGraph::build(&net, 100).unwrap();
+        assert!(!rg.is_live(&net));
+    }
+
+    #[test]
+    fn state_lookup() {
+        let net = fork_join();
+        let rg = ReachabilityGraph::build(&net, 100).unwrap();
+        let m0 = net.initial_marking();
+        assert_eq!(rg.state_of(&m0), Some(StateId(0)));
+        assert_eq!(rg.marking(StateId(0)), &m0);
+        let ers = rg.states_enabling(net.transition_by_name("fork").unwrap());
+        assert_eq!(ers, vec![StateId(0)]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Forward reduction `N ⇓ T'` (§V-B of the paper).
+//!
+//! The forward reduction of a net by a set of transitions removes all nodes
+//! that cannot be reached (forward, token-flow-wise) without firing one of
+//! the removed transitions. It is the mechanism behind the *sufficient*
+//! adjacency condition (Property 5): a path is realizable by a sequence
+//! avoiding signal `a` only if it survives the reduction by the offending
+//! `a`-transitions.
+//!
+//! The procedure is quoted verbatim from the paper:
+//!
+//! > Remove transitions `T'` from `N`; do until a fixed point is reached:
+//! > if all transitions of `•p` have been removed then remove `p`; if some
+//! > `p ∈ •t` has been removed then remove `t`.
+
+use crate::net::{PetriNet, PlaceId, TransId};
+use si_boolean::Bits;
+
+/// The surviving nodes of a forward reduction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForwardReduction {
+    places: Bits,
+    transitions: Bits,
+}
+
+impl ForwardReduction {
+    /// Computes `net ⇓ removed`: the fixpoint removal described above.
+    ///
+    /// Initially marked places survive even if all their producers are
+    /// removed — their token is already present, which is what
+    /// "reachable without firing `T'`" means for the path analyses that
+    /// consume this reduction.
+    pub fn compute(net: &PetriNet, removed: &[TransId]) -> Self {
+        let mut t_alive = Bits::ones(net.transition_count());
+        for &t in removed {
+            t_alive.set(t.index(), false);
+        }
+        let mut p_alive = Bits::ones(net.place_count());
+        let m0 = net.initial_marking();
+        loop {
+            let mut changed = false;
+            for p in net.places() {
+                if !p_alive.get(p.index()) || m0.get(p.index()) {
+                    continue;
+                }
+                let has_live_producer = net.pre_p(p).iter().any(|t| t_alive.get(t.index()));
+                // Source places (no producers at all) stay: nothing feeds
+                // them, but nothing was removed either.
+                if !net.pre_p(p).is_empty() && !has_live_producer {
+                    p_alive.set(p.index(), false);
+                    changed = true;
+                }
+            }
+            for t in net.transitions() {
+                if !t_alive.get(t.index()) {
+                    continue;
+                }
+                if net.pre_t(t).iter().any(|p| !p_alive.get(p.index())) {
+                    t_alive.set(t.index(), false);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        ForwardReduction {
+            places: p_alive,
+            transitions: t_alive,
+        }
+    }
+
+    /// Does the place survive the reduction?
+    pub fn place_alive(&self, p: PlaceId) -> bool {
+        self.places.get(p.index())
+    }
+
+    /// Does the transition survive the reduction?
+    pub fn transition_alive(&self, t: TransId) -> bool {
+        self.transitions.get(t.index())
+    }
+
+    /// Surviving places as a bit set.
+    pub fn alive_places(&self) -> &Bits {
+        &self.places
+    }
+
+    /// Surviving transitions as a bit set.
+    pub fn alive_transitions(&self) -> &Bits {
+        &self.transitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Chain: p0 -> t0 -> p1 -> t1 -> p2 -> t2 -> p0 (ring of 3).
+    fn ring3() -> PetriNet {
+        let mut b = PetriNet::builder();
+        let p0 = b.add_place("p0", true);
+        let p1 = b.add_place("p1", false);
+        let p2 = b.add_place("p2", false);
+        let t0 = b.add_transition("t0");
+        let t1 = b.add_transition("t1");
+        let t2 = b.add_transition("t2");
+        b.arc_pt(p0, t0);
+        b.arc_tp(t0, p1);
+        b.arc_pt(p1, t1);
+        b.arc_tp(t1, p2);
+        b.arc_pt(p2, t2);
+        b.arc_tp(t2, p0);
+        b.build()
+    }
+
+    #[test]
+    fn removing_nothing_keeps_everything() {
+        let net = ring3();
+        let r = ForwardReduction::compute(&net, &[]);
+        assert!(net.places().all(|p| r.place_alive(p)));
+        assert!(net.transitions().all(|t| r.transition_alive(t)));
+    }
+
+    #[test]
+    fn removal_cascades_downstream() {
+        let net = ring3();
+        let t0 = net.transition_by_name("t0").unwrap();
+        let r = ForwardReduction::compute(&net, &[t0]);
+        // p1 loses its only producer, then t1 dies, then p2, then t2.
+        assert!(!r.place_alive(net.place_by_name("p1").unwrap()));
+        assert!(!r.transition_alive(net.transition_by_name("t1").unwrap()));
+        assert!(!r.place_alive(net.place_by_name("p2").unwrap()));
+        assert!(!r.transition_alive(net.transition_by_name("t2").unwrap()));
+        // the marked place p0 survives (its token is already there)
+        assert!(r.place_alive(net.place_by_name("p0").unwrap()));
+    }
+
+    #[test]
+    fn parallel_branch_survives() {
+        // fork into two branches; removing one branch's transition kills
+        // only that branch.
+        let mut b = PetriNet::builder();
+        let p0 = b.add_place("p0", true);
+        let p1 = b.add_place("p1", false);
+        let p2 = b.add_place("p2", false);
+        let p3 = b.add_place("p3", false);
+        let p4 = b.add_place("p4", false);
+        let f = b.add_transition("fork");
+        let l = b.add_transition("left");
+        let r_ = b.add_transition("right");
+        b.arc_pt(p0, f);
+        b.arc_tp(f, p1);
+        b.arc_tp(f, p2);
+        b.arc_pt(p1, l);
+        b.arc_tp(l, p3);
+        b.arc_pt(p2, r_);
+        b.arc_tp(r_, p4);
+        let net = b.build();
+        let red = ForwardReduction::compute(&net, &[l]);
+        assert!(!red.place_alive(p3));
+        assert!(red.place_alive(p2));
+        assert!(red.place_alive(p4));
+        assert!(red.transition_alive(r_));
+        assert_eq!(red.alive_places().count_ones(), 4);
+        assert_eq!(red.alive_transitions().count_ones(), 2);
+    }
+}

@@ -1,0 +1,172 @@
+//! Redundant-place detection.
+//!
+//! §II-B of the paper assumes irredundant nets (a place is redundant when
+//! its removal preserves the set of feasible sequences). Two detectors:
+//!
+//! * [`duplicate_places`] / [`PetriNet::remove_duplicate_places`] — the
+//!   purely structural case (identical presets, postsets and marking);
+//! * [`redundant_places`] — the exact behavioural criterion on the
+//!   reachability graph: `p` is redundant iff it is never the *unique
+//!   disabler* of a transition, i.e. no reachable marking has all other
+//!   preset places of some `t ∈ p•` marked while `p` is empty. (Standard
+//!   induction: if `p` never uniquely blocks, every sequence of the reduced
+//!   net is feasible in the original and vice versa.)
+
+use crate::net::{PetriNet, PlaceId};
+use crate::reach::{ReachError, ReachabilityGraph};
+
+/// Structurally duplicate places (identical preset, postset, marking),
+/// keyed as (kept, duplicate).
+pub fn duplicate_places(net: &PetriNet) -> Vec<(PlaceId, PlaceId)> {
+    use std::collections::HashMap;
+    let mut seen: HashMap<(Vec<_>, Vec<_>, bool), PlaceId> = HashMap::new();
+    let mut dups = Vec::new();
+    for p in net.places() {
+        let key = (
+            net.pre_p(p).to_vec(),
+            net.post_p(p).to_vec(),
+            net.initial_marking().get(p.index()),
+        );
+        match seen.get(&key) {
+            Some(&kept) => dups.push((kept, p)),
+            None => {
+                seen.insert(key, p);
+            }
+        }
+    }
+    dups
+}
+
+/// Exact behavioural redundancy over the reachable markings.
+///
+/// # Errors
+///
+/// Propagates reachability failures (state cap, non-safe nets).
+pub fn redundant_places(net: &PetriNet, cap: usize) -> Result<Vec<PlaceId>, ReachError> {
+    let rg = ReachabilityGraph::build(net, cap)?;
+    let mut redundant = Vec::new();
+    'place: for p in net.places() {
+        if net.post_p(p).is_empty() {
+            // No consumer: the place constrains nothing (it can only be a
+            // sink); it is redundant by definition.
+            redundant.push(p);
+            continue;
+        }
+        for s in rg.states() {
+            let m = rg.marking(s);
+            if m.get(p.index()) {
+                continue;
+            }
+            for &t in net.post_p(p) {
+                let others_ready = net
+                    .pre_t(t)
+                    .iter()
+                    .all(|&q| q == p || m.get(q.index()));
+                if others_ready {
+                    continue 'place; // p uniquely disables t here: essential
+                }
+            }
+        }
+        redundant.push(p);
+    }
+    Ok(redundant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ring with an added redundant "shadow" place that mirrors p0.
+    fn ring_with_shadow() -> PetriNet {
+        let mut b = PetriNet::builder();
+        let p0 = b.add_place("p0", true);
+        let p1 = b.add_place("p1", false);
+        let shadow = b.add_place("shadow", true);
+        let t0 = b.add_transition("t0");
+        let t1 = b.add_transition("t1");
+        b.arc_pt(p0, t0);
+        b.arc_tp(t0, p1);
+        b.arc_pt(p1, t1);
+        b.arc_tp(t1, p0);
+        // shadow is consumed and reproduced alongside p0
+        b.arc_pt(shadow, t0);
+        b.arc_tp(t1, shadow);
+        b.build()
+    }
+
+    #[test]
+    fn shadow_place_is_redundant() {
+        let net = ring_with_shadow();
+        let shadow = net.place_by_name("shadow").unwrap();
+        let p0 = net.place_by_name("p0").unwrap();
+        // p0 and shadow mirror each other, so each is *individually*
+        // redundant (redundancy is not closed under union).
+        let red = redundant_places(&net, 1000).unwrap();
+        assert_eq!(red, vec![p0, shadow]);
+    }
+
+    #[test]
+    fn essential_places_are_kept() {
+        let mut b = PetriNet::builder();
+        let p0 = b.add_place("p0", true);
+        let p1 = b.add_place("p1", false);
+        let t0 = b.add_transition("t0");
+        let t1 = b.add_transition("t1");
+        b.arc_pt(p0, t0);
+        b.arc_tp(t0, p1);
+        b.arc_pt(p1, t1);
+        b.arc_tp(t1, p0);
+        let net = b.build();
+        assert!(redundant_places(&net, 100).unwrap().is_empty());
+    }
+
+    #[test]
+    fn join_guard_is_essential() {
+        // fork/join: both branch places essential (each uniquely disables
+        // the join while the other branch finished first).
+        let mut b = PetriNet::builder();
+        let p0 = b.add_place("p0", true);
+        let a = b.add_place("a", false);
+        let bb = b.add_place("b", false);
+        let f = b.add_transition("fork");
+        let j = b.add_transition("join");
+        b.arc_pt(p0, f);
+        b.arc_tp(f, a);
+        b.arc_tp(f, bb);
+        b.arc_pt(a, j);
+        b.arc_pt(bb, j);
+        b.arc_tp(j, p0);
+        let net = b.build();
+        // a and b are never marked separately here (they are filled and
+        // drained together), so each is actually redundant w.r.t. the other!
+        let red = redundant_places(&net, 100).unwrap();
+        assert_eq!(red.len(), 2, "twin join guards shadow each other");
+        // They are also structural duplicates; after deduplication the
+        // surviving guard is essential.
+        let (reduced, removed) = net.remove_duplicate_places();
+        assert_eq!(removed.len(), 1);
+        assert!(redundant_places(&reduced, 100).unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicates_found_structurally() {
+        let net = {
+            let mut b = PetriNet::builder();
+            let p0 = b.add_place("p0", true);
+            let twin = b.add_place("twin", true);
+            let p1 = b.add_place("p1", false);
+            let t0 = b.add_transition("t0");
+            let t1 = b.add_transition("t1");
+            for p in [p0, twin] {
+                b.arc_pt(p, t0);
+                b.arc_tp(t1, p);
+            }
+            b.arc_tp(t0, p1);
+            b.arc_pt(p1, t1);
+            b.build()
+        };
+        let dups = duplicate_places(&net);
+        assert_eq!(dups.len(), 1);
+        assert_eq!(net.place_name(dups[0].1), "twin");
+    }
+}

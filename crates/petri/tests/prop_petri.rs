@@ -1,0 +1,196 @@
+//! Property tests: structural analyses vs the behavioural oracle on random
+//! live free-choice-ish nets.
+//!
+//! The generator builds random strongly-connected "workflow" nets from a
+//! grammar of rings with inserted fork/join and choice/merge diamonds, which
+//! keeps them live, safe and free-choice by construction.
+
+use proptest::prelude::*;
+use si_petri::{sm_cover, ConcurrencyRelation, PetriNet, ReachabilityGraph};
+
+/// Expansion step applied to a random place of a ring.
+#[derive(Clone, Debug)]
+enum Expand {
+    /// Replace a place by a parallel fork/join of two place chains.
+    ForkJoin,
+    /// Replace a place by a free-choice diamond of two place chains.
+    Choice,
+    /// Replace a place by a two-place chain.
+    Chain,
+}
+
+fn arb_expansions() -> impl Strategy<Value = Vec<(usize, Expand)>> {
+    proptest::collection::vec(
+        (0..64usize, prop_oneof![
+            Just(Expand::ForkJoin),
+            Just(Expand::Choice),
+            Just(Expand::Chain),
+        ]),
+        0..5,
+    )
+}
+
+/// Builds a net by starting from a 2-place ring and expanding places.
+fn build_net(expansions: &[(usize, Expand)]) -> PetriNet {
+    // Represent the net symbolically: lists of (pre, post) for transitions
+    // over abstract place ids; start with ring p0 -> t -> p1 -> t' -> p0.
+    #[derive(Clone)]
+    struct Sym {
+        nplaces: usize,
+        trans: Vec<(Vec<usize>, Vec<usize>)>,
+    }
+    let mut sym = Sym {
+        nplaces: 2,
+        trans: vec![(vec![0], vec![1]), (vec![1], vec![0])],
+    };
+    for (pick, ex) in expansions {
+        let target = pick % sym.nplaces;
+        // Replace `target` by a sub-structure between a fresh entry
+        // transition te and exit transition tx: producers of target now feed
+        // an entry place; consumers read an exit place.
+        match ex {
+            Expand::Chain => {
+                // target -> te -> fresh -> (consumers move to fresh)
+                let fresh = sym.nplaces;
+                sym.nplaces += 1;
+                for (pre, _) in sym.trans.iter_mut() {
+                    for p in pre.iter_mut() {
+                        if *p == target {
+                            *p = fresh;
+                        }
+                    }
+                }
+                sym.trans.push((vec![target], vec![fresh]));
+            }
+            Expand::ForkJoin => {
+                let a = sym.nplaces;
+                let b = sym.nplaces + 1;
+                let c = sym.nplaces + 2;
+                sym.nplaces += 3;
+                for (pre, _) in sym.trans.iter_mut() {
+                    for p in pre.iter_mut() {
+                        if *p == target {
+                            *p = c;
+                        }
+                    }
+                }
+                sym.trans.push((vec![target], vec![a, b])); // fork
+                sym.trans.push((vec![a, b], vec![c])); // join
+            }
+            Expand::Choice => {
+                let a = sym.nplaces;
+                let b = sym.nplaces + 1;
+                let c = sym.nplaces + 2;
+                sym.nplaces += 3;
+                for (pre, _) in sym.trans.iter_mut() {
+                    for p in pre.iter_mut() {
+                        if *p == target {
+                            *p = c;
+                        }
+                    }
+                }
+                sym.trans.push((vec![target], vec![a])); // choose left
+                sym.trans.push((vec![target], vec![b])); // choose right
+                sym.trans.push((vec![a], vec![c])); // merge left
+                sym.trans.push((vec![b], vec![c])); // merge right
+            }
+        }
+    }
+    let mut builder = PetriNet::builder();
+    let places: Vec<_> = (0..sym.nplaces)
+        .map(|i| builder.add_place(format!("p{i}"), i == 0))
+        .collect();
+    for (i, (pre, post)) in sym.trans.iter().enumerate() {
+        let t = builder.add_transition(format!("t{i}"));
+        for &p in pre {
+            builder.arc_pt(places[p], t);
+        }
+        for &p in post {
+            builder.arc_tp(t, places[p]);
+        }
+    }
+    builder.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_nets_are_live_safe_fc(exp in arb_expansions()) {
+        let net = build_net(&exp);
+        prop_assert!(net.is_free_choice());
+        let rg = ReachabilityGraph::build(&net, 200_000).expect("safe");
+        prop_assert!(rg.is_live(&net));
+        prop_assert!(rg.is_strongly_connected());
+    }
+
+    #[test]
+    fn structural_concurrency_matches_behaviour(exp in arb_expansions()) {
+        let net = build_net(&exp);
+        let rg = ReachabilityGraph::build(&net, 200_000).expect("safe");
+        let cr = ConcurrencyRelation::compute(&net);
+        // Exactness on live-safe-FC nets: both inclusions.
+        for p in net.places() {
+            for q in net.places() {
+                if p != q {
+                    prop_assert_eq!(cr.places(p, q), rg.places_concurrent(p, q),
+                        "places {} {}", p, q);
+                }
+            }
+            for t in net.transitions() {
+                prop_assert_eq!(
+                    cr.place_transition(p, t),
+                    rg.place_transition_concurrent(&net, p, t),
+                    "pt {} {}", p, t);
+            }
+        }
+        for a in net.transitions() {
+            for b in net.transitions() {
+                if a != b {
+                    prop_assert_eq!(cr.transitions(a, b),
+                        rg.transitions_concurrent(&net, a, b),
+                        "tt {} {}", a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sm_cover_covers_everything(exp in arb_expansions()) {
+        let net = build_net(&exp);
+        let cover = sm_cover(&net).expect("live safe FC nets are SM-coverable");
+        let mut covered = vec![false; net.place_count()];
+        for sm in &cover {
+            for &p in sm.places() {
+                covered[p.index()] = true;
+            }
+            // every adjacent transition is one-in-one-out within the SM
+            for &t in sm.transitions() {
+                let ins = net.pre_t(t).iter().filter(|p| sm.contains_place(**p)).count();
+                let outs = net.post_t(t).iter().filter(|p| sm.contains_place(**p)).count();
+                prop_assert_eq!((ins, outs), (1, 1));
+            }
+            // exactly one token
+            let tokens = net.initial_marking().iter_ones()
+                .filter(|&i| sm.place_set().get(i)).count();
+            prop_assert_eq!(tokens, 1);
+        }
+        prop_assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn sm_component_marked_invariantly(exp in arb_expansions()) {
+        // One-token SM-components hold exactly one token in EVERY reachable
+        // marking (Property 7.2 of the paper).
+        let net = build_net(&exp);
+        let cover = sm_cover(&net).expect("coverable");
+        let rg = ReachabilityGraph::build(&net, 200_000).expect("safe");
+        for sm in &cover {
+            for s in rg.states() {
+                let tokens = rg.marking(s).iter_ones()
+                    .filter(|&i| sm.place_set().get(i)).count();
+                prop_assert_eq!(tokens, 1, "SM must stay one-token");
+            }
+        }
+    }
+}

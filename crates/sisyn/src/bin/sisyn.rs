@@ -1,0 +1,270 @@
+//! `sisyn` — command-line front end for the structural synthesis library.
+//!
+//! ```text
+//! sisyn check   SPEC.g               consistency / CSC / liveness report
+//! sisyn synth   SPEC.g [options]     synthesize and print (or emit) the circuit
+//! sisyn verify  SPEC.g [options]     synthesize then verify speed independence
+//! sisyn resolve SPEC.g [-o OUT.g]    CSC resolution by state-signal insertion
+//! sisyn dot     SPEC.g               Graphviz rendering of the STG
+//!
+//! options:
+//!   -o FILE            write the main artifact (Verilog / .g / dot) to FILE
+//!   --arch ARCH        complex | excitation | per-region   (default excitation)
+//!   --stages N         minimization stage 0..4 or "full"    (default full)
+//!   --waveform N       also print an N-step simulated waveform
+//! ```
+
+use sisyn::prelude::*;
+use std::io::Read;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    input: String,
+    output: Option<String>,
+    arch: Architecture,
+    stages: MinimizeStages,
+    waveform: Option<usize>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sisyn <check|synth|verify|resolve|dot> SPEC.g \
+         [-o FILE] [--arch complex|excitation|per-region] [--stages 0..4|full] [--waveform N]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or_else(usage)?;
+    let mut input = None;
+    let mut output = None;
+    let mut arch = Architecture::ExcitationFunction;
+    let mut stages = MinimizeStages::full();
+    let mut waveform = None;
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "-o" => output = Some(argv.next().ok_or_else(usage)?),
+            "--arch" => {
+                arch = match argv.next().ok_or_else(usage)?.as_str() {
+                    "complex" => Architecture::ComplexGate,
+                    "excitation" => Architecture::ExcitationFunction,
+                    "per-region" => Architecture::PerRegion,
+                    other => {
+                        eprintln!("unknown architecture {other:?}");
+                        return Err(usage());
+                    }
+                }
+            }
+            "--stages" => {
+                let v = argv.next().ok_or_else(usage)?;
+                stages = match v.as_str() {
+                    "full" => MinimizeStages::full(),
+                    "none" => MinimizeStages::none(),
+                    n => MinimizeStages::stage(n.parse().map_err(|_| usage())?),
+                }
+            }
+            "--waveform" => {
+                waveform = Some(
+                    argv.next()
+                        .ok_or_else(usage)?
+                        .parse()
+                        .map_err(|_| usage())?,
+                )
+            }
+            _ if input.is_none() => input = Some(a),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                return Err(usage());
+            }
+        }
+    }
+    Ok(Args {
+        command,
+        input: input.ok_or_else(usage)?,
+        output,
+        arch,
+        stages,
+        waveform,
+    })
+}
+
+fn read_input(path: &str) -> std::io::Result<String> {
+    if path == "-" {
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s)?;
+        Ok(s)
+    } else {
+        std::fs::read_to_string(path)
+    }
+}
+
+fn emit(output: &Option<String>, content: &str) -> std::io::Result<()> {
+    match output {
+        Some(path) => std::fs::write(path, content),
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let text = match read_input(&args.input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    let stg = match parse_g(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match args.command.as_str() {
+        "check" => cmd_check(&stg),
+        "synth" => cmd_synth(&stg, &args),
+        "verify" => cmd_verify(&stg, &args),
+        "resolve" => cmd_resolve(&stg, &args),
+        "dot" => {
+            let _ = emit(&args.output, &stg_to_dot(&stg));
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn cmd_check(stg: &sisyn::stg::Stg) -> ExitCode {
+    println!(
+        "model {}: {} signals, {} transitions, {} places, free-choice: {}",
+        stg.name(),
+        stg.signal_count(),
+        stg.net().transition_count(),
+        stg.net().place_count(),
+        stg.net().is_free_choice()
+    );
+    match check_live_safe_fc(stg.net()) {
+        sisyn::petri::StructuralCheck::Ok => println!("liveness/safeness: OK (Commoner)"),
+        other => {
+            println!("liveness/safeness: FAILED {other:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match StgAnalysis::analyze(stg) {
+        Ok(_) => println!("consistency: OK"),
+        Err(e) => {
+            println!("consistency: FAILED ({e})");
+            return ExitCode::FAILURE;
+        }
+    }
+    match StructuralContext::build(stg) {
+        Ok(ctx) => {
+            println!(
+                "coding conflicts: {} (after {} refinement round(s))",
+                ctx.conflicts().len(),
+                ctx.refinement_rounds
+            );
+            match ctx.csc_verdict() {
+                CscVerdict::UscHolds => println!("state coding: USC holds"),
+                CscVerdict::CscHolds => println!("state coding: CSC holds"),
+                CscVerdict::Unknown { places } => {
+                    println!(
+                        "state coding: possible CSC violation ({} witness place(s)) — try `sisyn resolve`",
+                        places.len()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        Err(e) => {
+            println!("structural analysis failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_synth(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
+    let opts = SynthesisOptions {
+        architecture: args.arch,
+        stages: args.stages,
+    };
+    match synthesize(stg, &opts) {
+        Ok(syn) => {
+            let mapped = map_circuit(&syn.circuit);
+            eprintln!(
+                "synthesized {} signal(s): {} literal units, {} transistor pairs",
+                syn.results.len(),
+                syn.literal_area,
+                mapped.area
+            );
+            let _ = emit(&args.output, &to_verilog(stg, &syn.circuit));
+            if let Some(n) = args.waveform {
+                let (outcome, trace) = record_walk(stg, &syn.circuit, n, 1);
+                eprintln!("simulation: {outcome:?}");
+                eprint!("{}", sisyn::stg::render_waveform(stg, &trace));
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("synthesis failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_verify(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
+    let opts = SynthesisOptions {
+        architecture: args.arch,
+        stages: args.stages,
+    };
+    let syn = match synthesize(stg, &opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("synthesis failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let functional = verify_circuit(stg, &syn.circuit);
+    let conformance = check_conformance(stg, &syn.circuit, 1_000_000);
+    let sim = random_walks(stg, &syn.circuit, 4, 4000, 7);
+    println!(
+        "functional+monotonic: {} | conformance: {} ({} states) | random walks: {}",
+        if functional.is_ok() { "OK" } else { "FAILED" },
+        if conformance.is_ok() { "OK" } else { "FAILED" },
+        conformance.states_explored,
+        if sim.is_clean() { "OK" } else { "FAILED" },
+    );
+    if functional.is_ok() && conformance.is_ok() && sim.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_resolve(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
+    match resolve_csc(stg, 100_000) {
+        Some((fixed, _plan)) => {
+            eprintln!(
+                "resolved: {} -> {} signals",
+                stg.signal_count(),
+                fixed.signal_count()
+            );
+            let _ = emit(&args.output, &write_g(&fixed));
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("no single-signal insertion found within budget");
+            ExitCode::FAILURE
+        }
+    }
+}

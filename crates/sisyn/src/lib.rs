@@ -1,0 +1,47 @@
+//! `sisyn` — structural synthesis of speed-independent circuits.
+//!
+//! Umbrella crate of the workspace reproducing Pastor, Cortadella,
+//! Kondratyev and Roig, *“Structural Methods for the Synthesis of
+//! Speed-Independent Circuits”* (IEEE TCAD 17(11), 1998; EDAC-ETC-EuroASIC
+//! 1996). It re-exports the layered crates:
+//!
+//! * [`boolean`] — cube/cover algebra and two-level minimization;
+//! * [`petri`] — Petri-net kernel, reachability, SM-covers, concurrency;
+//! * [`stg`] — signal transition graphs, `.g` format, consistency,
+//!   ground-truth oracles, benchmarks and generators;
+//! * [`core`] — the structural synthesis flow (the paper's contribution)
+//!   plus the state-based baseline and technology mapping;
+//! * [`verify`] — speed-independence verification.
+//!
+//! # Examples
+//!
+//! ```
+//! use sisyn::prelude::*;
+//!
+//! // Parse an STG, synthesize it structurally, verify the result.
+//! let stg = sisyn::stg::generators::clatch(3);
+//! let syn = synthesize(&stg, &SynthesisOptions::default())?;
+//! assert!(verify_circuit(&stg, &syn.circuit).is_ok());
+//! # Ok::<(), sisyn::core::SynthesisError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use si_boolean as boolean;
+pub use si_core as core;
+pub use si_petri as petri;
+pub use si_stg as stg;
+pub use si_verify as verify;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use si_boolean::{Bits, Cover, Cube};
+    pub use si_core::{
+        map_circuit, resolve_csc, synthesize, synthesize_state_based, to_verilog, Architecture,
+        BaselineFlavor, Circuit, CscVerdict, ImplKind, MinimizeStages, StructuralContext,
+        Synthesis, SynthesisOptions,
+    };
+    pub use si_petri::{check_live_safe_fc, PetriNet, ReachabilityGraph};
+    pub use si_stg::{parse_g, stg_to_dot, write_g, SignalKind, Stg, StgAnalysis};
+    pub use si_verify::{check_conformance, random_walks, record_walk, verify_circuit};
+}

@@ -1,0 +1,125 @@
+//! Graphviz (DOT) exporters for STGs and reachability graphs — the
+//! debugging/visualization companions of the library.
+
+use crate::encode::StateEncoding;
+use crate::signal::SignalKind;
+use crate::stg::Stg;
+use si_petri::ReachabilityGraph;
+use std::fmt::Write;
+
+/// Renders the STG as a DOT digraph: transitions as boxes (inputs dashed),
+/// places as circles (implicit single-arc places elided to direct edges),
+/// marked places with a token dot.
+pub fn stg_to_dot(stg: &Stg) -> String {
+    let net = stg.net();
+    let m0 = net.initial_marking();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", stg.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    for t in net.transitions() {
+        let style = if stg.signal_kind(stg.signal_of(t)) == SignalKind::Input {
+            ", style=dashed"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  t{} [shape=box, label=\"{}\"{}];",
+            t.index(),
+            stg.transition_display(t),
+            style
+        );
+    }
+    for p in net.places() {
+        let implicit = net.place_name(p).starts_with('<')
+            && net.pre_p(p).len() == 1
+            && net.post_p(p).len() == 1
+            && !m0.get(p.index());
+        if implicit {
+            // direct edge
+            let _ = writeln!(
+                out,
+                "  t{} -> t{};",
+                net.pre_p(p)[0].index(),
+                net.post_p(p)[0].index()
+            );
+        } else {
+            let label = if m0.get(p.index()) { "&bull;" } else { "" };
+            let _ = writeln!(
+                out,
+                "  p{} [shape=circle, label=\"{label}\", xlabel=\"{}\"];",
+                p.index(),
+                net.place_name(p)
+            );
+            for &t in net.pre_p(p) {
+                let _ = writeln!(out, "  t{} -> p{};", t.index(), p.index());
+            }
+            for &t in net.post_p(p) {
+                let _ = writeln!(out, "  p{} -> t{};", p.index(), t.index());
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders the reachability graph with binary codes as node labels — the
+/// paper's Fig. 1(b) style of state-graph drawing.
+pub fn rg_to_dot(stg: &Stg, rg: &ReachabilityGraph, enc: &StateEncoding) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}_rg\" {{", stg.name());
+    for s in rg.states() {
+        let _ = writeln!(out, "  s{} [label=\"{}\"];", s.index(), enc.code(s));
+    }
+    for s in rg.states() {
+        for &(t, d) in rg.successors(s) {
+            let _ = writeln!(
+                out,
+                "  s{} -> s{} [label=\"{}\"];",
+                s.index(),
+                d.index(),
+                stg.transition_display(t)
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn stg_dot_mentions_all_transitions() {
+        let stg = benchmarks::running_example();
+        let dot = stg_to_dot(&stg);
+        assert!(dot.starts_with("digraph"));
+        for t in stg.net().transitions() {
+            assert!(dot.contains(&stg.transition_display(t)));
+        }
+        // choice place p1 is explicit
+        assert!(dot.contains("xlabel=\"p1\""));
+        // marked place carries a token
+        assert!(dot.contains("&bull;"));
+    }
+
+    #[test]
+    fn rg_dot_has_codes_and_edges() {
+        let stg = benchmarks::half_handshake();
+        let rg = si_petri::ReachabilityGraph::build(stg.net(), 1000).unwrap();
+        let enc = StateEncoding::compute(&stg, &rg).unwrap();
+        let dot = rg_to_dot(&stg, &rg, &enc);
+        assert!(dot.matches("->").count() >= rg.state_count());
+        assert!(dot.contains("label=\"000\"") || dot.contains("label=\"111\""));
+    }
+
+    #[test]
+    fn dashed_inputs_solid_outputs() {
+        let stg = benchmarks::half_handshake();
+        let dot = stg_to_dot(&stg);
+        // input a dashed at least once
+        assert!(dot.contains("style=dashed"));
+    }
+}

@@ -1,0 +1,198 @@
+//! The interleave relation (Def. 8 of the paper).
+//!
+//! A node `x` is interleaved with an adjacent transition pair `(t, t')` of
+//! signal `a` when some path `t → … → x → … → t'` is realizable by a firing
+//! sequence containing no other transition of `a`. Interleaving determines
+//!
+//! * the **literal values** of marked-region cover cubes (Lemma 10): a place
+//!   non-concurrent with `a`, interleaved between `a+` and `a-`, has `a = 1`
+//!   throughout its marked region;
+//! * the **quiescent place sets** QPS (§VI-A, Fig. 10): the domain of the
+//!   QR approximations.
+//!
+//! Like adjacency, the computation is two-tier: a sound filtered traversal
+//! (Property 4 conditions), then a completing pass that confirms extra
+//! candidates with the forward-reduction realizability check (Property 5).
+
+use crate::consistency::{realizable_path_exists, StgAnalysis};
+use crate::stg::Stg;
+use si_boolean::Bits;
+use si_petri::{PlaceId, TransId};
+
+/// The nodes interleaved with one adjacent transition pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InterleavedNodes {
+    /// Interleaved places (bit per place).
+    pub places: Bits,
+    /// Interleaved transitions (bit per transition), endpoints included.
+    pub transitions: Bits,
+}
+
+/// Computes the nodes interleaved between adjacent transitions `from` and
+/// `to` (which should satisfy `to ∈ next(from)`).
+pub fn interleaved_nodes(stg: &Stg, analysis: &StgAnalysis, from: TransId, to: TransId) -> InterleavedNodes {
+    let (fwd_p, fwd_t) = directed_reach(stg, analysis, from, to, true, true);
+    let (bwd_p, bwd_t) = directed_reach(stg, analysis, to, from, false, true);
+    let mut places = fwd_p.clone();
+    places.intersect_with(&bwd_p);
+    let mut transitions = fwd_t.clone();
+    transitions.intersect_with(&bwd_t);
+
+    // Completing pass: nodes on relaxed paths that the strict filter missed.
+    let (rfwd_p, _) = directed_reach(stg, analysis, from, to, true, false);
+    let (rbwd_p, _) = directed_reach(stg, analysis, to, from, false, false);
+    let mut relaxed_places = rfwd_p;
+    relaxed_places.intersect_with(&rbwd_p);
+    relaxed_places.subtract(&places);
+    for i in relaxed_places.iter_ones() {
+        let p = PlaceId(i as u32);
+        if realizable_path_exists(stg, &analysis.cr, from, to, Some(p)) {
+            places.set(i, true);
+        }
+    }
+
+    transitions.set(from.index(), true);
+    transitions.set(to.index(), true);
+    InterleavedNodes {
+        places,
+        transitions,
+    }
+}
+
+/// One-directional filtered reachability from `start` toward `stop`,
+/// collecting visited nodes. `forward` chooses arc direction; `strict`
+/// applies the Property 4 place filter (no places concurrent to the
+/// signal of `start`).
+fn directed_reach(
+    stg: &Stg,
+    analysis: &StgAnalysis,
+    start: TransId,
+    stop: TransId,
+    forward: bool,
+    strict: bool,
+) -> (Bits, Bits) {
+    let sig = stg.signal_of(start);
+    let net = stg.net();
+    let mut seen_p = Bits::zeros(net.place_count());
+    let mut seen_t = Bits::zeros(net.transition_count());
+    let mut stack = vec![start];
+    seen_t.set(start.index(), true);
+    while let Some(u) = stack.pop() {
+        let places = if forward { net.post_t(u) } else { net.pre_t(u) };
+        for &p in places {
+            if seen_p.get(p.index()) {
+                continue;
+            }
+            if strict && analysis.scr.place(p, sig) {
+                continue;
+            }
+            seen_p.set(p.index(), true);
+            let nexts = if forward { net.post_p(p) } else { net.pre_p(p) };
+            for &v in nexts {
+                if seen_t.get(v.index()) {
+                    continue;
+                }
+                seen_t.set(v.index(), true);
+                if v == stop {
+                    continue; // endpoint reached; do not walk through it
+                }
+                if stg.signal_of(v) == sig {
+                    continue; // other same-signal transitions block the walk
+                }
+                stack.push(v);
+            }
+        }
+    }
+    (seen_p, seen_t)
+}
+
+/// The quiescent place set of a transition (Fig. 10): all places
+/// interleaved between `t` and some `t' ∈ next(t)`.
+pub fn quiescent_place_set(stg: &Stg, analysis: &StgAnalysis, t: TransId) -> Bits {
+    let mut qps = Bits::zeros(stg.net().place_count());
+    for &succ in analysis.next_of(t) {
+        qps.union_with(&interleaved_nodes(stg, analysis, t, succ).places);
+    }
+    qps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::Direction::{Fall, Rise};
+    use crate::signal::SignalKind;
+
+    /// x+ -> y+ -> x- -> y- loop, marked on the last arc.
+    fn toggle() -> Stg {
+        let mut b = Stg::builder("toggle");
+        let x = b.add_signal("x", SignalKind::Input);
+        let y = b.add_signal("y", SignalKind::Output);
+        let xp = b.add_transition(x, Rise);
+        let yp = b.add_transition(y, Rise);
+        let xm = b.add_transition(x, Fall);
+        let ym = b.add_transition(y, Fall);
+        b.arc(xp, yp);
+        b.arc(yp, xm);
+        b.arc(xm, ym);
+        let p = b.arc(ym, xp);
+        b.mark_place(p);
+        b.build()
+    }
+
+    #[test]
+    fn toggle_interleaving() {
+        let stg = toggle();
+        let a = StgAnalysis::analyze(&stg).unwrap();
+        let xp = stg.transition_by_display("x+").unwrap();
+        let xm = stg.transition_by_display("x-").unwrap();
+        // Between x+ and x-: places <x+,y+> and <y+,x->, transition y+.
+        let il = interleaved_nodes(&stg, &a, xp, xm);
+        assert_eq!(il.places.count_ones(), 2);
+        let yp = stg.transition_by_display("y+").unwrap();
+        assert!(il.transitions.get(yp.index()));
+        // endpoints included
+        assert!(il.transitions.get(xp.index()) && il.transitions.get(xm.index()));
+    }
+
+    #[test]
+    fn qps_of_toggle() {
+        let stg = toggle();
+        let a = StgAnalysis::analyze(&stg).unwrap();
+        let yp = stg.transition_by_display("y+").unwrap();
+        let qps = quiescent_place_set(&stg, &a, yp);
+        // Between y+ and y-: places <y+,x-> and <x-,y->.
+        assert_eq!(qps.count_ones(), 2);
+    }
+
+    #[test]
+    fn concurrent_branch_is_not_interleaved() {
+        // r+ forks to (x+ ; x-) and (y+ ; y-), join at r-.
+        // The y-branch places are NOT interleaved between x+ and x-.
+        let mut b = Stg::builder("par");
+        let r = b.add_signal("r", SignalKind::Input);
+        let x = b.add_signal("x", SignalKind::Output);
+        let y = b.add_signal("y", SignalKind::Output);
+        let rp = b.add_transition(r, Rise);
+        let rm = b.add_transition(r, Fall);
+        let xp = b.add_transition(x, Rise);
+        let xm = b.add_transition(x, Fall);
+        let yp = b.add_transition(y, Rise);
+        let ym = b.add_transition(y, Fall);
+        b.arc(rp, xp);
+        let px = b.arc(xp, xm);
+        b.arc(rp, yp);
+        let py = b.arc(yp, ym);
+        b.arc(xm, rm);
+        b.arc(ym, rm);
+        let p0 = b.arc(rm, rp);
+        b.mark_place(p0);
+        let stg = b.build();
+        let a = StgAnalysis::analyze(&stg).unwrap();
+        let xp_t = stg.transition_by_display("x+").unwrap();
+        let xm_t = stg.transition_by_display("x-").unwrap();
+        let il = interleaved_nodes(&stg, &a, xp_t, xm_t);
+        assert!(il.places.get(px.index()));
+        assert!(!il.places.get(py.index()));
+        assert!(!il.places.get(p0.index()));
+    }
+}

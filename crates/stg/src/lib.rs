@@ -1,0 +1,66 @@
+//! Signal transition graphs for speed-independent circuit synthesis.
+//!
+//! Part of the `sisyn` workspace reproducing Pastor, Cortadella, Kondratyev
+//! and Roig, *“Structural Methods for the Synthesis of Speed-Independent
+//! Circuits”*. This crate provides the STG model and everything of §II and
+//! §V that interprets the Petri net as a circuit specification:
+//!
+//! * [`Stg`] with [`SignalKind`]/[`Direction`]-labelled transitions;
+//! * the `.g` interchange format ([`parse_g`], [`write_g`]);
+//! * structural consistency per Fig. 9 ([`StgAnalysis`]) with the signal
+//!   concurrency relation and the adjacency (`next`) sets;
+//! * the interleave relation and quiescent place sets (Def. 8, Fig. 10);
+//! * ground-truth oracles on the explicit reachability graph: encoding
+//!   ([`StateEncoding`]), USC/CSC ([`CodingAnalysis`]), semimodularity,
+//!   exact signal regions ([`SignalRegions`]);
+//! * the benchmark suite and scalable generators of §IX.
+//!
+//! # Examples
+//!
+//! ```
+//! use si_stg::{parse_g, StgAnalysis};
+//!
+//! let stg = parse_g("\
+//! .model toggle
+//! .inputs x
+//! .outputs y
+//! .graph
+//! x+ y+
+//! y+ x-
+//! x- y-
+//! y- x+
+//! .marking { <y-,x+> }
+//! .end
+//! ")?;
+//! let analysis = StgAnalysis::analyze(&stg).expect("consistent");
+//! let xp = stg.transition_by_display("x+").unwrap();
+//! assert_eq!(analysis.next_of(xp).len(), 1);
+//! # Ok::<(), si_stg::ParseGError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod benchmarks;
+mod consistency;
+mod dot;
+mod encode;
+pub mod generators;
+mod interleave;
+mod parse;
+mod regions;
+mod signal;
+mod stg;
+mod waveform;
+
+pub use consistency::{next_behavioural, ConsistencyError, SignalConcurrency, StgAnalysis};
+pub use dot::{rg_to_dot, stg_to_dot};
+pub use encode::{
+    semimodularity_violations, CodingAnalysis, EncodingError, NextStateSets, StateEncoding,
+};
+pub use interleave::{interleaved_nodes, quiescent_place_set, InterleavedNodes};
+pub use parse::{parse_g, write_g, ParseGError};
+pub use regions::{codes_of, SignalRegions, StateSet};
+pub use signal::{Direction, SignalId, SignalKind, TransitionLabel};
+pub use stg::{Stg, StgBuilder};
+pub use waveform::render_waveform;

@@ -1,0 +1,442 @@
+//! Parser and writer for the `.g` (astg) STG interchange format.
+//!
+//! The supported subset is the one used by the classic asynchronous
+//! benchmark suite and by petrify-family tools:
+//!
+//! ```text
+//! .model name
+//! .inputs a b
+//! .outputs c
+//! .internal x
+//! .graph
+//! a+ b+ c+/2      # arcs from a+ to b+ and to c+/2 (implicit places)
+//! p1 c-           # place to transition
+//! c- p1           # transition to place
+//! .marking { p1 <a+,b+> }
+//! .end
+//! ```
+//!
+//! Transition tokens are `name`, a sign `+`/`-`, and an optional `/k`
+//! instance. Tokens that do not parse as transitions of declared signals are
+//! places. Comments start with `#`.
+
+use crate::signal::{Direction, SignalKind};
+use crate::stg::{Stg, StgBuilder};
+use si_petri::{PlaceId, TransId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced by [`parse_g`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGError {
+    line: usize,
+    message: String,
+}
+
+impl ParseGError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseGError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseGError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseGError {}
+
+/// A reference to a transition as written in the file, e.g. `d+/2`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct TransRef {
+    signal: String,
+    direction: Direction,
+    instance: u32,
+}
+
+fn parse_trans_ref(token: &str, signals: &HashMap<String, SignalKind>) -> Option<TransRef> {
+    let (head, instance) = match token.split_once('/') {
+        Some((h, i)) => (h, i.parse::<u32>().ok()?),
+        None => (token, 1),
+    };
+    let (name, dir) = if let Some(n) = head.strip_suffix('+') {
+        (n, Direction::Rise)
+    } else if let Some(n) = head.strip_suffix('-') {
+        (n, Direction::Fall)
+    } else {
+        return None;
+    };
+    if !signals.contains_key(name) {
+        return None;
+    }
+    Some(TransRef {
+        signal: name.to_string(),
+        direction: dir,
+        instance,
+    })
+}
+
+/// Parses an STG from the `.g` format.
+///
+/// # Errors
+///
+/// Returns a [`ParseGError`] with the offending line on malformed input
+/// (unknown directives are ignored for compatibility).
+pub fn parse_g(text: &str) -> Result<Stg, ParseGError> {
+    let mut model = String::from("stg");
+    let mut signals: Vec<(String, SignalKind)> = Vec::new();
+    let mut signal_kinds: HashMap<String, SignalKind> = HashMap::new();
+    let mut graph_lines: Vec<(usize, Vec<String>)> = Vec::new();
+    let mut marking_tokens: Vec<(usize, String)> = Vec::new();
+    let mut in_graph = false;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        if let Some(rest) = line.strip_prefix(".model") {
+            model = rest.trim().to_string();
+        } else if let Some(rest) = line
+            .strip_prefix(".inputs")
+            .or_else(|| line.strip_prefix(".outputs"))
+            .or_else(|| line.strip_prefix(".internal"))
+        {
+            let kind = if line.starts_with(".inputs") {
+                SignalKind::Input
+            } else if line.starts_with(".outputs") {
+                SignalKind::Output
+            } else {
+                SignalKind::Internal
+            };
+            for name in rest.split_whitespace() {
+                if signal_kinds.contains_key(name) {
+                    return Err(ParseGError::new(lineno, format!("duplicate signal {name}")));
+                }
+                signal_kinds.insert(name.to_string(), kind);
+                signals.push((name.to_string(), kind));
+            }
+        } else if line == ".graph" {
+            in_graph = true;
+        } else if let Some(rest) = line.strip_prefix(".marking") {
+            let inner = rest.trim().trim_start_matches('{').trim_end_matches('}');
+            // Keep angle-bracket tokens together: "<a+,b->" has no spaces in
+            // the classic format.
+            for tok in inner.split_whitespace() {
+                marking_tokens.push((lineno, tok.to_string()));
+            }
+            in_graph = false;
+        } else if line == ".end" {
+            in_graph = false;
+        } else if line.starts_with('.') {
+            // Unknown directive (e.g. ".dummy", ".capacity"): ignored.
+            in_graph = false;
+        } else if in_graph {
+            graph_lines.push((
+                lineno,
+                line.split_whitespace().map(str::to_string).collect(),
+            ));
+        } else {
+            return Err(ParseGError::new(lineno, format!("unexpected line {line:?}")));
+        }
+    }
+
+    let mut b = Stg::builder(model);
+    let mut signal_ids = HashMap::new();
+    for (name, kind) in &signals {
+        signal_ids.insert(name.clone(), b.add_signal(name.clone(), *kind));
+    }
+
+    // First pass: create every referenced transition.
+    let mut trans_ids: HashMap<TransRef, TransId> = HashMap::new();
+    for (_, tokens) in &graph_lines {
+        for tok in tokens {
+            if let Some(r) = parse_trans_ref(tok, &signal_kinds) {
+                if let std::collections::hash_map::Entry::Vacant(e) = trans_ids.entry(r.clone()) {
+                    e.insert(b.add_transition_with_instance(
+                        signal_ids[&r.signal],
+                        r.direction,
+                        r.instance,
+                    ));
+                }
+            }
+        }
+    }
+
+    // Second pass: arcs. Implicit places between transition pairs are
+    // created lazily and remembered for the marking section.
+    let mut places: HashMap<String, PlaceId> = HashMap::new();
+    let mut implicit: HashMap<(TransId, TransId), PlaceId> = HashMap::new();
+    enum NodeRef {
+        T(TransId),
+        P(PlaceId),
+    }
+    let resolve = |b: &mut StgBuilder,
+                       places: &mut HashMap<String, PlaceId>,
+                       tok: &str|
+     -> NodeRef {
+        if let Some(r) = parse_trans_ref(tok, &signal_kinds) {
+            NodeRef::T(trans_ids[&r])
+        } else {
+            let id = *places
+                .entry(tok.to_string())
+                .or_insert_with(|| b.add_place(tok, false));
+            NodeRef::P(id)
+        }
+    };
+    for (lineno, tokens) in &graph_lines {
+        if tokens.len() < 2 {
+            return Err(ParseGError::new(*lineno, "graph line needs >= 2 tokens"));
+        }
+        let src = resolve(&mut b, &mut places, &tokens[0]);
+        for tok in &tokens[1..] {
+            let dst = resolve(&mut b, &mut places, tok);
+            match (&src, dst) {
+                (NodeRef::T(t1), NodeRef::T(t2)) => {
+                    let p = b.arc(*t1, t2);
+                    implicit.insert((*t1, t2), p);
+                }
+                (NodeRef::T(t), NodeRef::P(p)) => {
+                    b.arc_tp(*t, p);
+                }
+                (NodeRef::P(p), NodeRef::T(t)) => {
+                    b.arc_pt(*p, t);
+                }
+                (NodeRef::P(_), NodeRef::P(_)) => {
+                    return Err(ParseGError::new(*lineno, "place-to-place arc"));
+                }
+            }
+        }
+    }
+
+    // Marking.
+    for (lineno, tok) in &marking_tokens {
+        if let Some(inner) = tok.strip_prefix('<').and_then(|t| t.strip_suffix('>')) {
+            let (a, bb) = inner
+                .split_once(',')
+                .ok_or_else(|| ParseGError::new(*lineno, "malformed <t,t> marking token"))?;
+            let ra = parse_trans_ref(a, &signal_kinds)
+                .ok_or_else(|| ParseGError::new(*lineno, format!("unknown transition {a}")))?;
+            let rb = parse_trans_ref(bb, &signal_kinds)
+                .ok_or_else(|| ParseGError::new(*lineno, format!("unknown transition {bb}")))?;
+            let key = (
+                *trans_ids
+                    .get(&ra)
+                    .ok_or_else(|| ParseGError::new(*lineno, format!("unused transition {a}")))?,
+                *trans_ids
+                    .get(&rb)
+                    .ok_or_else(|| ParseGError::new(*lineno, format!("unused transition {bb}")))?,
+            );
+            let p = implicit
+                .get(&key)
+                .ok_or_else(|| ParseGError::new(*lineno, format!("no implicit place {tok}")))?;
+            b.mark_place(*p);
+        } else if let Some(&p) = places.get(tok.as_str()) {
+            b.mark_place(p);
+        } else {
+            return Err(ParseGError::new(*lineno, format!("unknown place {tok}")));
+        }
+    }
+
+    Ok(b.build())
+}
+
+/// Serializes an STG back to the `.g` format.
+///
+/// Implicit places (single producer, single consumer, `<...>`-named) are
+/// emitted as direct transition-to-transition arcs; everything else uses
+/// explicit place lines.
+pub fn write_g(stg: &Stg) -> String {
+    use std::fmt::Write;
+    let net = stg.net();
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", stg.name());
+    for (directive, kind) in [
+        (".inputs", SignalKind::Input),
+        (".outputs", SignalKind::Output),
+        (".internal", SignalKind::Internal),
+    ] {
+        let names: Vec<&str> = stg
+            .signals()
+            .filter(|&s| stg.signal_kind(s) == kind)
+            .map(|s| stg.signal_name(s))
+            .collect();
+        if !names.is_empty() {
+            let _ = writeln!(out, "{} {}", directive, names.join(" "));
+        }
+    }
+    let _ = writeln!(out, ".graph");
+    let is_implicit = |p: si_petri::PlaceId| {
+        net.place_name(p).starts_with('<')
+            && net.pre_p(p).len() == 1
+            && net.post_p(p).len() == 1
+    };
+    for t in net.transitions() {
+        let mut targets: Vec<String> = Vec::new();
+        for &p in net.post_t(t) {
+            if is_implicit(p) {
+                targets.push(stg.transition_display(net.post_p(p)[0]));
+            } else {
+                targets.push(net.place_name(p).to_string());
+            }
+        }
+        if !targets.is_empty() {
+            let _ = writeln!(out, "{} {}", stg.transition_display(t), targets.join(" "));
+        }
+    }
+    for p in net.places() {
+        if !is_implicit(p) {
+            let targets: Vec<String> = net
+                .post_p(p)
+                .iter()
+                .map(|&t| stg.transition_display(t))
+                .collect();
+            if !targets.is_empty() {
+                let _ = writeln!(out, "{} {}", net.place_name(p), targets.join(" "));
+            }
+        }
+    }
+    let mut marks: Vec<String> = Vec::new();
+    for i in net.initial_marking().iter_ones() {
+        let p = si_petri::PlaceId(i as u32);
+        if is_implicit(p) {
+            let pre = stg.transition_display(net.pre_p(p)[0]);
+            let post = stg.transition_display(net.post_p(p)[0]);
+            marks.push(format!("<{pre},{post}>"));
+        } else {
+            marks.push(net.place_name(p).to_string());
+        }
+    }
+    let _ = writeln!(out, ".marking {{ {} }}", marks.join(" "));
+    let _ = writeln!(out, ".end");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOGGLE: &str = "\
+.model toggle
+.inputs x
+.outputs y
+.graph
+x+ y+
+y+ x-
+x- y-
+y- x+
+.marking { <y-,x+> }
+.end
+";
+
+    #[test]
+    fn parses_toggle() {
+        let stg = parse_g(TOGGLE).unwrap();
+        assert_eq!(stg.name(), "toggle");
+        assert_eq!(stg.signal_count(), 2);
+        assert_eq!(stg.net().transition_count(), 4);
+        assert_eq!(stg.net().place_count(), 4);
+        assert_eq!(stg.net().initial_marking().count_ones(), 1);
+        let y = stg.signal_by_name("y").unwrap();
+        assert_eq!(stg.signal_kind(y), SignalKind::Output);
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let stg = parse_g(TOGGLE).unwrap();
+        let text = write_g(&stg);
+        let stg2 = parse_g(&text).unwrap();
+        assert_eq!(stg.signal_count(), stg2.signal_count());
+        assert_eq!(stg.net().transition_count(), stg2.net().transition_count());
+        assert_eq!(stg.net().place_count(), stg2.net().place_count());
+        assert_eq!(
+            stg.net().initial_marking().count_ones(),
+            stg2.net().initial_marking().count_ones()
+        );
+    }
+
+    #[test]
+    fn explicit_places_and_choice() {
+        let text = "\
+.model choice
+.inputs a b
+.outputs c
+.graph
+p0 a+ b+
+a+ c+
+b+ c+/2
+c+ a-
+c+/2 b-
+a- c-
+b- c-/2
+c- p0
+c-/2 p0
+.marking { p0 }
+.end
+";
+        let stg = parse_g(text).unwrap();
+        let p0 = stg.net().place_by_name("p0").unwrap();
+        assert_eq!(stg.net().post_p(p0).len(), 2);
+        assert!(stg.net().is_free_choice());
+        assert!(stg.net().initial_marking().get(p0.index()));
+        // instance /2 resolved
+        assert!(stg.transition_by_display("c+/2").is_some());
+    }
+
+    #[test]
+    fn instances_roundtrip() {
+        let text = "\
+.model multi
+.inputs a
+.outputs d
+.graph
+a+ d+/2
+d+/2 a-
+a- d-
+d- a+
+.marking { <d-,a+> }
+.end
+";
+        let stg = parse_g(text).unwrap();
+        let out = write_g(&stg);
+        assert!(out.contains("d+/2"));
+        let stg2 = parse_g(&out).unwrap();
+        assert!(stg2.transition_by_display("d+/2").is_some());
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        let bad = ".model m\n.inputs a\n.graph\np q\n.end\n";
+        let err = parse_g(bad).unwrap_err();
+        assert!(err.to_string().contains("line 4"));
+        let dup = ".model m\n.inputs a a\n";
+        assert!(parse_g(dup).is_err());
+        let unknown_place = ".model m\n.inputs a\n.graph\na+ p\np a-\na- a+\n.marking { zz }\n.end\n";
+        assert!(parse_g(unknown_place).is_err());
+    }
+
+    #[test]
+    fn comments_and_unknown_directives_ignored() {
+        let text = "\
+# a comment
+.model c
+.inputs x   # trailing comment
+.outputs y
+.dummy foo
+.graph
+x+ y+
+y+ x-
+x- y-
+y- x+
+.marking { <y-,x+> }
+.end
+";
+        let stg = parse_g(text).unwrap();
+        assert_eq!(stg.signal_count(), 2);
+    }
+}

@@ -1,0 +1,272 @@
+//! Ground-truth signal regions computed on the reachability graph (§II-C).
+//!
+//! Excitation regions ER, quiescent regions QR, restricted quiescent regions
+//! QR\*, the generalized regions GER/GQR and the backward regions BR of the
+//! Appendix. The structural flow approximates all of these; this module
+//! computes them exactly so that tests and the state-based baselines can
+//! compare.
+
+use crate::encode::StateEncoding;
+use crate::signal::{Direction, SignalId};
+use crate::stg::Stg;
+use si_boolean::Bits;
+use si_petri::{ReachabilityGraph, StateId, TransId};
+
+/// A set of states of the reachability graph.
+pub type StateSet = Bits;
+
+/// The exact regions of one signal.
+#[derive(Clone, Debug)]
+pub struct SignalRegions {
+    /// The signal these regions belong to.
+    pub signal: SignalId,
+    /// The signal's transitions, in STG order.
+    pub transitions: Vec<TransId>,
+    /// `er[i]` — markings enabling `transitions[i]`.
+    pub er: Vec<StateSet>,
+    /// `qr[i]` — quiescent region of `transitions[i]`.
+    pub qr: Vec<StateSet>,
+    /// `qr_restricted[i]` — QR minus all other QRs of the signal.
+    pub qr_restricted: Vec<StateSet>,
+    /// `br[i]` — backward quiescent region of `transitions[i]`.
+    pub br: Vec<StateSet>,
+    /// Union of ERs of rising transitions.
+    pub ger_rise: StateSet,
+    /// Union of ERs of falling transitions.
+    pub ger_fall: StateSet,
+    /// Union of QRs of rising transitions (signal stable at 1).
+    pub gqr_one: StateSet,
+    /// Union of QRs of falling transitions (signal stable at 0).
+    pub gqr_zero: StateSet,
+}
+
+impl SignalRegions {
+    /// Computes all regions of `signal` on the RG.
+    pub fn compute(stg: &Stg, rg: &ReachabilityGraph, signal: SignalId) -> Self {
+        let ns = rg.state_count();
+        let transitions: Vec<TransId> = stg.transitions_of(signal).to_vec();
+
+        // States enabling any transition of `signal`.
+        let mut enables_signal = Bits::zeros(ns);
+        for s in rg.states() {
+            if rg
+                .successors(s)
+                .iter()
+                .any(|&(t, _)| stg.signal_of(t) == signal)
+            {
+                enables_signal.set(s.index(), true);
+            }
+        }
+
+        let mut er = Vec::new();
+        let mut qr = Vec::new();
+        let mut br = Vec::new();
+        for &t in &transitions {
+            // ER(t): states with an outgoing t edge.
+            let mut e = Bits::zeros(ns);
+            for s in rg.states() {
+                if rg.successors(s).iter().any(|&(u, _)| u == t) {
+                    e.set(s.index(), true);
+                }
+            }
+
+            // QR(t): forward closure from t-successors over states that do
+            // not enable any transition of the signal.
+            let mut q = Bits::zeros(ns);
+            let mut stack: Vec<StateId> = Vec::new();
+            for s in rg.states() {
+                for &(u, d) in rg.successors(s) {
+                    if u == t && !enables_signal.get(d.index()) && !q.get(d.index()) {
+                        q.set(d.index(), true);
+                        stack.push(d);
+                    }
+                }
+            }
+            while let Some(s) = stack.pop() {
+                for &(_, d) in rg.successors(s) {
+                    if !enables_signal.get(d.index()) && !q.get(d.index()) {
+                        q.set(d.index(), true);
+                        stack.push(d);
+                    }
+                }
+            }
+
+            // BR(t): backward closure from ER(t) over non-enabling states.
+            let mut b = Bits::zeros(ns);
+            let mut stack: Vec<StateId> = e.iter_ones().map(|i| StateId(i as u32)).collect();
+            while let Some(s) = stack.pop() {
+                for &(_, p) in rg.predecessors(s) {
+                    if !enables_signal.get(p.index()) && !b.get(p.index()) {
+                        b.set(p.index(), true);
+                        stack.push(p);
+                    }
+                }
+            }
+
+            er.push(e);
+            qr.push(q);
+            br.push(b);
+        }
+
+        // Restricted QRs.
+        let mut qr_restricted = Vec::new();
+        for (i, q) in qr.iter().enumerate() {
+            let mut r = q.clone();
+            for (j, other) in qr.iter().enumerate() {
+                if i != j {
+                    r.subtract(other);
+                }
+            }
+            qr_restricted.push(r);
+        }
+
+        // Generalized regions.
+        let mut ger_rise = Bits::zeros(ns);
+        let mut ger_fall = Bits::zeros(ns);
+        let mut gqr_one = Bits::zeros(ns);
+        let mut gqr_zero = Bits::zeros(ns);
+        for (i, &t) in transitions.iter().enumerate() {
+            match stg.direction_of(t) {
+                Direction::Rise => {
+                    ger_rise.union_with(&er[i]);
+                    gqr_one.union_with(&qr[i]);
+                }
+                Direction::Fall => {
+                    ger_fall.union_with(&er[i]);
+                    gqr_zero.union_with(&qr[i]);
+                }
+            }
+        }
+
+        SignalRegions {
+            signal,
+            transitions,
+            er,
+            qr,
+            qr_restricted,
+            br,
+            ger_rise,
+            ger_fall,
+            gqr_one,
+            gqr_zero,
+        }
+    }
+
+    /// Index of a transition within [`SignalRegions::transitions`].
+    pub fn transition_index(&self, t: TransId) -> Option<usize> {
+        self.transitions.iter().position(|&u| u == t)
+    }
+}
+
+/// Collects the distinct binary codes of a state set.
+pub fn codes_of(enc: &StateEncoding, set: &StateSet) -> Vec<Bits> {
+    let mut out: std::collections::BTreeSet<Bits> = Default::default();
+    for i in set.iter_ones() {
+        out.insert(enc.code(StateId(i as u32)).clone());
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::Direction::{Fall, Rise};
+    use crate::signal::SignalKind;
+
+    /// x+ -> y+ -> x- -> y- loop.
+    fn toggle() -> (Stg, ReachabilityGraph, StateEncoding) {
+        let mut b = Stg::builder("toggle");
+        let x = b.add_signal("x", SignalKind::Input);
+        let y = b.add_signal("y", SignalKind::Output);
+        let xp = b.add_transition(x, Rise);
+        let yp = b.add_transition(y, Rise);
+        let xm = b.add_transition(x, Fall);
+        let ym = b.add_transition(y, Fall);
+        b.arc(xp, yp);
+        b.arc(yp, xm);
+        b.arc(xm, ym);
+        let p = b.arc(ym, xp);
+        b.mark_place(p);
+        let stg = b.build();
+        let rg = ReachabilityGraph::build(stg.net(), 1000).unwrap();
+        let enc = StateEncoding::compute(&stg, &rg).unwrap();
+        (stg, rg, enc)
+    }
+
+    #[test]
+    fn toggle_regions_partition() {
+        let (stg, rg, _enc) = toggle();
+        let y = stg.signal_by_name("y").unwrap();
+        let r = SignalRegions::compute(&stg, &rg, y);
+        // 4 states: s0 (pre x+), s1 (y+ enabled), s2 (x- enabled, y=1),
+        // s3 (y- enabled).
+        assert_eq!(r.transitions.len(), 2);
+        let rise_idx = r
+            .transitions
+            .iter()
+            .position(|&t| stg.direction_of(t) == Rise)
+            .unwrap();
+        let fall_idx = 1 - rise_idx;
+        assert_eq!(r.er[rise_idx].count_ones(), 1);
+        assert_eq!(r.er[fall_idx].count_ones(), 1);
+        // QR(y+) = the single state where y=1 and x- is pending.
+        assert_eq!(r.qr[rise_idx].count_ones(), 1);
+        // QR(y-) = the state before x+ (y stable 0).
+        assert_eq!(r.qr[fall_idx].count_ones(), 1);
+        // ER ∪ QR covers all 4 states for a 2-transition signal.
+        let mut all = r.ger_rise.clone();
+        all.union_with(&r.ger_fall);
+        all.union_with(&r.gqr_one);
+        all.union_with(&r.gqr_zero);
+        assert_eq!(all.count_ones(), 4);
+        // restricted == plain here (no overlap possible with one + and one -)
+        assert_eq!(r.qr_restricted[rise_idx], r.qr[rise_idx]);
+    }
+
+    #[test]
+    fn er_and_qr_disjoint_for_signal(/* ER enables, QR does not */) {
+        let (stg, rg, _enc) = toggle();
+        let y = stg.signal_by_name("y").unwrap();
+        let r = SignalRegions::compute(&stg, &rg, y);
+        for e in &r.er {
+            for q in &r.qr {
+                assert!(!e.intersects(q));
+            }
+        }
+    }
+
+    #[test]
+    fn backward_region_of_toggle() {
+        let (stg, rg, _enc) = toggle();
+        let y = stg.signal_by_name("y").unwrap();
+        let r = SignalRegions::compute(&stg, &rg, y);
+        let rise_idx = r
+            .transitions
+            .iter()
+            .position(|&t| stg.direction_of(t) == Rise)
+            .unwrap();
+        // BR(y+): states that can reach ER(y+) without enabling y
+        // transitions — exactly the state before x+ (s0).
+        assert_eq!(r.br[rise_idx].count_ones(), 1);
+        // and it is the QR(y-) state
+        let fall_idx = 1 - rise_idx;
+        assert_eq!(r.br[rise_idx], r.qr[fall_idx]);
+    }
+
+    #[test]
+    fn codes_of_regions() {
+        let (stg, rg, enc) = toggle();
+        let y = stg.signal_by_name("y").unwrap();
+        let r = SignalRegions::compute(&stg, &rg, y);
+        let rise_idx = r
+            .transitions
+            .iter()
+            .position(|&t| stg.direction_of(t) == Rise)
+            .unwrap();
+        let er_codes = codes_of(&enc, &r.er[rise_idx]);
+        assert_eq!(er_codes.len(), 1);
+        // At ER(y+): x=1, y=0 -> code 10 (signal order x,y).
+        assert!(er_codes[0].get(0));
+        assert!(!er_codes[0].get(1));
+    }
+}

@@ -1,0 +1,136 @@
+//! Signals and transition labels.
+//!
+//! An STG interprets Petri-net transitions as value changes on circuit
+//! signals (§II-B). Signals are inputs (driven by the environment), outputs
+//! (to be synthesized) or internal (synthesized, not observable).
+
+use std::fmt;
+
+/// Index of a signal within an [`crate::Stg`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct SignalId(pub u16);
+
+impl SignalId {
+    /// The index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The role of a signal.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SignalKind {
+    /// Driven by the environment; never synthesized.
+    Input,
+    /// Observable signal the circuit must produce.
+    Output,
+    /// Signal the circuit produces for internal state (e.g. CSC signals).
+    Internal,
+}
+
+impl SignalKind {
+    /// Returns `true` for outputs and internal signals — the ones the
+    /// synthesis flow must implement.
+    pub fn is_synthesized(self) -> bool {
+        matches!(self, SignalKind::Output | SignalKind::Internal)
+    }
+}
+
+/// Direction of a signal transition.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Direction {
+    /// Rising (`a+`): 0 → 1.
+    Rise,
+    /// Falling (`a-`): 1 → 0.
+    Fall,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::Rise => Direction::Fall,
+            Direction::Fall => Direction::Rise,
+        }
+    }
+
+    /// The signal value *after* a transition in this direction.
+    pub fn target_value(self) -> bool {
+        matches!(self, Direction::Rise)
+    }
+
+    /// The sign character: `+` or `-`.
+    pub fn sign(self) -> char {
+        match self {
+            Direction::Rise => '+',
+            Direction::Fall => '-',
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.sign())
+    }
+}
+
+/// The label of an STG transition: which signal switches, in which
+/// direction, and which instance (for signals with multiple transitions of
+/// the same direction, e.g. `d+/1` and `d+/2`).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TransitionLabel {
+    /// The switching signal.
+    pub signal: SignalId,
+    /// Rising or falling.
+    pub direction: Direction,
+    /// Instance number, 1-based. Instance 1 is printed without suffix.
+    pub instance: u32,
+}
+
+impl TransitionLabel {
+    /// Formats the label given the signal's name, e.g. `d+/2`.
+    pub fn display_with(&self, signal_name: &str) -> String {
+        if self.instance <= 1 {
+            format!("{}{}", signal_name, self.direction)
+        } else {
+            format!("{}{}/{}", signal_name, self.direction, self.instance)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_basics() {
+        assert_eq!(Direction::Rise.opposite(), Direction::Fall);
+        assert!(Direction::Rise.target_value());
+        assert!(!Direction::Fall.target_value());
+        assert_eq!(Direction::Rise.to_string(), "+");
+        assert_eq!(Direction::Fall.to_string(), "-");
+    }
+
+    #[test]
+    fn kind_synthesized() {
+        assert!(!SignalKind::Input.is_synthesized());
+        assert!(SignalKind::Output.is_synthesized());
+        assert!(SignalKind::Internal.is_synthesized());
+    }
+
+    #[test]
+    fn label_display() {
+        let l = TransitionLabel {
+            signal: SignalId(0),
+            direction: Direction::Rise,
+            instance: 1,
+        };
+        assert_eq!(l.display_with("req"), "req+");
+        let l2 = TransitionLabel {
+            signal: SignalId(0),
+            direction: Direction::Fall,
+            instance: 3,
+        };
+        assert_eq!(l2.display_with("d"), "d-/3");
+    }
+}

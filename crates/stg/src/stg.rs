@@ -1,0 +1,372 @@
+//! The signal transition graph model and its builder.
+
+use crate::signal::{Direction, SignalId, SignalKind, TransitionLabel};
+use si_petri::{PetriNet, PlaceId, TransId};
+use std::collections::HashMap;
+
+/// A signal transition graph: a labelled Petri net (§II-B).
+///
+/// Construct with [`Stg::builder`] or parse from the `.g` format with
+/// [`crate::parse_g`].
+///
+/// # Examples
+///
+/// ```
+/// use si_stg::{SignalKind, Stg};
+///
+/// let mut b = Stg::builder("toggle");
+/// let x = b.add_signal("x", SignalKind::Input);
+/// let y = b.add_signal("y", SignalKind::Output);
+/// let xp = b.add_transition(x, si_stg::Direction::Rise);
+/// let yp = b.add_transition(y, si_stg::Direction::Rise);
+/// let xm = b.add_transition(x, si_stg::Direction::Fall);
+/// let ym = b.add_transition(y, si_stg::Direction::Fall);
+/// b.arc(xp, yp); b.arc(yp, xm); b.arc(xm, ym);
+/// let p = b.arc(ym, xp); // returns the implicit place
+/// b.mark_place(p);
+/// let stg = b.build();
+/// assert_eq!(stg.signal_count(), 2);
+/// assert_eq!(stg.transitions_of(x).len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Stg {
+    name: String,
+    net: PetriNet,
+    signal_names: Vec<String>,
+    signal_kinds: Vec<SignalKind>,
+    labels: Vec<TransitionLabel>,
+    by_signal: Vec<Vec<TransId>>,
+}
+
+impl Stg {
+    /// Starts building an STG with the given model name.
+    pub fn builder(name: impl Into<String>) -> StgBuilder {
+        StgBuilder {
+            name: name.into(),
+            net: PetriNet::builder(),
+            signal_names: Vec::new(),
+            signal_kinds: Vec::new(),
+            labels: Vec::new(),
+            instance_counters: HashMap::new(),
+            marked: Vec::new(),
+        }
+    }
+
+    /// The model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying Petri net.
+    pub fn net(&self) -> &PetriNet {
+        &self.net
+    }
+
+    /// Number of signals.
+    pub fn signal_count(&self) -> usize {
+        self.signal_names.len()
+    }
+
+    /// Iterates over all signal ids.
+    pub fn signals(&self) -> impl Iterator<Item = SignalId> {
+        (0..self.signal_count() as u16).map(SignalId)
+    }
+
+    /// Signals that must be synthesized (outputs and internals).
+    pub fn synthesized_signals(&self) -> Vec<SignalId> {
+        self.signals()
+            .filter(|&s| self.signal_kind(s).is_synthesized())
+            .collect()
+    }
+
+    /// The name of a signal.
+    pub fn signal_name(&self, s: SignalId) -> &str {
+        &self.signal_names[s.index()]
+    }
+
+    /// The kind of a signal.
+    pub fn signal_kind(&self, s: SignalId) -> SignalKind {
+        self.signal_kinds[s.index()]
+    }
+
+    /// Looks up a signal by name.
+    pub fn signal_by_name(&self, name: &str) -> Option<SignalId> {
+        self.signal_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| SignalId(i as u16))
+    }
+
+    /// The label of a transition.
+    pub fn label(&self, t: TransId) -> TransitionLabel {
+        self.labels[t.index()]
+    }
+
+    /// The signal a transition switches.
+    pub fn signal_of(&self, t: TransId) -> SignalId {
+        self.labels[t.index()].signal
+    }
+
+    /// The direction of a transition.
+    pub fn direction_of(&self, t: TransId) -> Direction {
+        self.labels[t.index()].direction
+    }
+
+    /// All transitions of a signal.
+    pub fn transitions_of(&self, s: SignalId) -> &[TransId] {
+        &self.by_signal[s.index()]
+    }
+
+    /// Transitions of a signal with the given direction.
+    pub fn transitions_of_dir(&self, s: SignalId, d: Direction) -> Vec<TransId> {
+        self.by_signal[s.index()]
+            .iter()
+            .copied()
+            .filter(|&t| self.direction_of(t) == d)
+            .collect()
+    }
+
+    /// Human-readable name of a transition, e.g. `d+/2`.
+    pub fn transition_display(&self, t: TransId) -> String {
+        self.label(t).display_with(self.signal_name(self.signal_of(t)))
+    }
+
+    /// Returns `true` if a transition switches an input signal.
+    pub fn is_input_transition(&self, t: TransId) -> bool {
+        self.signal_kind(self.signal_of(t)) == SignalKind::Input
+    }
+
+    /// Looks up a transition by its display name (e.g. `a+`, `d-/2`).
+    pub fn transition_by_display(&self, name: &str) -> Option<TransId> {
+        self.net
+            .transitions()
+            .find(|&t| self.transition_display(t) == name)
+    }
+}
+
+/// Incremental constructor for [`Stg`]; see [`Stg::builder`].
+#[derive(Debug)]
+pub struct StgBuilder {
+    name: String,
+    net: si_petri::PetriNetBuilder,
+    signal_names: Vec<String>,
+    signal_kinds: Vec<SignalKind>,
+    labels: Vec<TransitionLabel>,
+    instance_counters: HashMap<(SignalId, char), u32>,
+    marked: Vec<PlaceId>,
+}
+
+impl StgBuilder {
+    /// Declares a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken.
+    pub fn add_signal(&mut self, name: impl Into<String>, kind: SignalKind) -> SignalId {
+        let name = name.into();
+        assert!(
+            !self.signal_names.contains(&name),
+            "duplicate signal name {name:?}"
+        );
+        let id = SignalId(self.signal_names.len() as u16);
+        self.signal_names.push(name);
+        self.signal_kinds.push(kind);
+        id
+    }
+
+    /// Adds a transition of `signal` in the given direction. Instances are
+    /// numbered automatically (`a+`, `a+/2`, …).
+    pub fn add_transition(&mut self, signal: SignalId, direction: Direction) -> TransId {
+        let key = (signal, direction.sign());
+        let counter = self.instance_counters.entry(key).or_insert(0);
+        let instance = *counter + 1;
+        self.add_transition_with_instance(signal, direction, instance)
+    }
+
+    /// Adds a transition with an explicit instance number (used by the `.g`
+    /// parser, where `a+/3` may appear before `a+/2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if that `(signal, direction, instance)` triple already exists.
+    pub fn add_transition_with_instance(
+        &mut self,
+        signal: SignalId,
+        direction: Direction,
+        instance: u32,
+    ) -> TransId {
+        let label = TransitionLabel {
+            signal,
+            direction,
+            instance,
+        };
+        assert!(
+            !self.labels.contains(&label),
+            "duplicate transition {}",
+            label.display_with(&self.signal_names[signal.index()])
+        );
+        let key = (signal, direction.sign());
+        let counter = self.instance_counters.entry(key).or_insert(0);
+        *counter = (*counter).max(instance);
+        let name = label.display_with(&self.signal_names[signal.index()]);
+        let t = self.net.add_transition(name);
+        self.labels.push(label);
+        t
+    }
+
+    /// Adds an explicit place.
+    pub fn add_place(&mut self, name: impl Into<String>, marked: bool) -> PlaceId {
+        let p = self.net.add_place(name, marked);
+        if marked {
+            self.marked.push(p);
+        }
+        p
+    }
+
+    /// Adds an implicit place between two transitions (named
+    /// `<a+,b->`-style), returning it so it can be marked.
+    pub fn arc(&mut self, from: TransId, to: TransId) -> PlaceId {
+        let disp = |t: TransId| {
+            let l = self.labels[t.index()];
+            l.display_with(&self.signal_names[l.signal.index()])
+        };
+        let name = format!("<{},{}>", disp(from), disp(to));
+        let p = self.net.add_place(name, false);
+        self.net.arc_tp(from, p);
+        self.net.arc_pt(p, to);
+        p
+    }
+
+    /// Adds an arc from a place to a transition.
+    pub fn arc_pt(&mut self, p: PlaceId, t: TransId) -> &mut Self {
+        self.net.arc_pt(p, t);
+        self
+    }
+
+    /// Adds an arc from a transition to a place.
+    pub fn arc_tp(&mut self, t: TransId, p: PlaceId) -> &mut Self {
+        self.net.arc_tp(t, p);
+        self
+    }
+
+    /// Marks a place in the initial marking.
+    ///
+    /// Only usable with places created by [`StgBuilder::arc`]; explicit
+    /// places take their marking at creation time.
+    pub fn mark_place(&mut self, p: PlaceId) {
+        self.marked.push(p);
+    }
+
+    /// Finalizes the STG.
+    pub fn build(self) -> Stg {
+        // Rebuild with the accumulated marking: PetriNetBuilder fixes the
+        // marking at place creation, so patch via a rebuild pass.
+        let marked: std::collections::HashSet<usize> =
+            self.marked.iter().map(|p| p.index()).collect();
+        let tmp = self.net.build();
+        let mut b = PetriNet::builder();
+        for p in tmp.places() {
+            b.add_place(
+                tmp.place_name(p),
+                marked.contains(&p.index()) || tmp.initial_marking().get(p.index()),
+            );
+        }
+        for t in tmp.transitions() {
+            let nt = b.add_transition(tmp.transition_name(t));
+            debug_assert_eq!(nt, t);
+            for &p in tmp.pre_t(t) {
+                b.arc_pt(p, nt);
+            }
+            for &p in tmp.post_t(t) {
+                b.arc_tp(nt, p);
+            }
+        }
+        let net = b.build();
+        let mut by_signal = vec![Vec::new(); self.signal_names.len()];
+        for (i, l) in self.labels.iter().enumerate() {
+            by_signal[l.signal.index()].push(TransId(i as u32));
+        }
+        Stg {
+            name: self.name,
+            net,
+            signal_names: self.signal_names,
+            signal_kinds: self.signal_kinds,
+            labels: self.labels,
+            by_signal,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::Direction::{Fall, Rise};
+
+    fn toggle() -> Stg {
+        let mut b = Stg::builder("toggle");
+        let x = b.add_signal("x", SignalKind::Input);
+        let y = b.add_signal("y", SignalKind::Output);
+        let xp = b.add_transition(x, Rise);
+        let yp = b.add_transition(y, Rise);
+        let xm = b.add_transition(x, Fall);
+        let ym = b.add_transition(y, Fall);
+        b.arc(xp, yp);
+        b.arc(yp, xm);
+        b.arc(xm, ym);
+        let p = b.arc(ym, xp);
+        b.mark_place(p);
+        b.build()
+    }
+
+    #[test]
+    fn builder_basics() {
+        let stg = toggle();
+        assert_eq!(stg.name(), "toggle");
+        assert_eq!(stg.signal_count(), 2);
+        assert_eq!(stg.net().place_count(), 4);
+        assert_eq!(stg.net().transition_count(), 4);
+        assert_eq!(stg.net().initial_marking().count_ones(), 1);
+        let x = stg.signal_by_name("x").unwrap();
+        assert_eq!(stg.signal_kind(x), SignalKind::Input);
+        assert_eq!(stg.transitions_of(x).len(), 2);
+        assert_eq!(stg.transitions_of_dir(x, Rise).len(), 1);
+        assert_eq!(stg.synthesized_signals().len(), 1);
+    }
+
+    #[test]
+    fn transition_naming_and_lookup() {
+        let stg = toggle();
+        let t = stg.transition_by_display("y+").unwrap();
+        assert_eq!(stg.transition_display(t), "y+");
+        assert_eq!(stg.direction_of(t), Rise);
+        assert_eq!(stg.signal_name(stg.signal_of(t)), "y");
+        assert!(!stg.is_input_transition(t));
+        assert!(stg.transition_by_display("y+/2").is_none());
+    }
+
+    #[test]
+    fn instance_numbering() {
+        let mut b = Stg::builder("multi");
+        let d = b.add_signal("d", SignalKind::Output);
+        let d1 = b.add_transition(d, Rise);
+        let d2 = b.add_transition(d, Rise);
+        let dm = b.add_transition(d, Fall);
+        b.arc(d1, dm);
+        b.arc(d2, dm);
+        let p = b.arc(dm, d1);
+        b.mark_place(p);
+        let stg = b.build();
+        assert_eq!(stg.transition_display(d1), "d+");
+        assert_eq!(stg.transition_display(d2), "d+/2");
+        assert_eq!(stg.transition_display(dm), "d-");
+        assert_eq!(stg.label(d2).instance, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate signal")]
+    fn duplicate_signal_panics() {
+        let mut b = Stg::builder("bad");
+        b.add_signal("x", SignalKind::Input);
+        b.add_signal("x", SignalKind::Output);
+    }
+}

@@ -1,0 +1,137 @@
+//! ASCII waveform rendering of firing traces.
+//!
+//! Turns a sequence of fired transitions into a timing diagram — the
+//! debugging view asynchronous designers actually read:
+//!
+//! ```text
+//! req   _/~~~~~\____
+//! ack   __/~~~~~\___
+//! ```
+
+use crate::stg::Stg;
+use si_petri::TransId;
+use std::fmt::Write;
+
+/// Renders a firing trace as one ASCII waveform row per signal.
+///
+/// The initial value of every signal is taken from the direction of its
+/// first transition in the trace (a rising first edge implies an initial
+/// 0); signals that never fire are drawn at 0.
+pub fn render_waveform(stg: &Stg, trace: &[TransId]) -> String {
+    let nsig = stg.signal_count();
+    // Determine initial values.
+    let mut value = vec![false; nsig];
+    let mut seen = vec![false; nsig];
+    for &t in trace {
+        let s = stg.signal_of(t).index();
+        if !seen[s] {
+            seen[s] = true;
+            value[s] = !stg.direction_of(t).target_value();
+        }
+    }
+    let width = stg
+        .signals()
+        .map(|s| stg.signal_name(s).len())
+        .max()
+        .unwrap_or(0);
+    let mut rows: Vec<String> = stg
+        .signals()
+        .map(|s| format!("{:<width$} ", stg.signal_name(s)))
+        .collect();
+    let mut push_step = |value: &[bool], rows: &mut Vec<String>, edge: Option<usize>| {
+        for (i, row) in rows.iter_mut().enumerate() {
+            let ch = match edge {
+                Some(e) if e == i => {
+                    if value[i] {
+                        '/'
+                    } else {
+                        '\\'
+                    }
+                }
+                _ => {
+                    if value[i] {
+                        '~'
+                    } else {
+                        '_'
+                    }
+                }
+            };
+            row.push(ch);
+        }
+    };
+    push_step(&value, &mut rows, None);
+    for &t in trace {
+        let s = stg.signal_of(t).index();
+        value[s] = stg.direction_of(t).target_value();
+        push_step(&value, &mut rows, Some(s));
+        push_step(&value, &mut rows, None);
+    }
+    let mut out = String::new();
+    for row in rows {
+        let _ = writeln!(out, "{row}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_g;
+
+    #[test]
+    fn toggle_waveform_shape() {
+        let stg = parse_g(
+            "\
+.model toggle
+.inputs x
+.outputs y
+.graph
+x+ y+
+y+ x-
+x- y-
+y- x+
+.marking { <y-,x+> }
+.end
+",
+        )
+        .unwrap();
+        let xp = stg.transition_by_display("x+").unwrap();
+        let yp = stg.transition_by_display("y+").unwrap();
+        let xm = stg.transition_by_display("x-").unwrap();
+        let ym = stg.transition_by_display("y-").unwrap();
+        let w = render_waveform(&stg, &[xp, yp, xm, ym]);
+        let lines: Vec<&str> = w.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("x "));
+        // x rises first then falls: _/~~...\\__
+        assert!(lines[0].contains('/') && lines[0].contains('\\'));
+        assert!(lines[1].contains('/') && lines[1].contains('\\'));
+        // all rows equal length
+        assert_eq!(lines[0].len(), lines[1].len());
+    }
+
+    #[test]
+    fn unfired_signal_stays_low() {
+        let stg = parse_g(
+            "\
+.model two
+.inputs a b
+.outputs c
+.graph
+a+ c+
+c+ a-
+a- c-
+c- b+
+b+ b-
+b- a+
+.marking { <b-,a+> }
+.end
+",
+        )
+        .unwrap();
+        let ap = stg.transition_by_display("a+").unwrap();
+        let w = render_waveform(&stg, &[ap]);
+        let b_row = w.lines().find(|l| l.starts_with("b ")).unwrap();
+        assert!(!b_row.contains('~'));
+    }
+}

@@ -1,0 +1,278 @@
+//! State-based verification of synthesized circuits (the role of reference \[32\] in
+//! the paper: every synthesis result is independently checked to be speed
+//! independent).
+//!
+//! Two layers:
+//!
+//! * **functional correctness** — at every reachable marking the
+//!   implementation's next value equals the specified next-state function
+//!   (eq. 1 for complex gates; the C-latch/gC semantics make this the
+//!   correct-cover condition (2) including backward-expansion
+//!   observability);
+//! * **monotonic covers** (Property 1 + Appendix E): along reachability
+//!   edges a set network never re-rises while its signal is high and never
+//!   falls while the signal is low (symmetrically for reset) — the
+//!   glitch-freedom condition behind speed independence.
+
+use si_boolean::Cover;
+use si_core::{Circuit, ImplKind};
+use si_petri::{ReachabilityGraph, StateId};
+use si_stg::{SignalId, StateEncoding, Stg};
+
+/// One verification failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// The implementation computes a wrong next value at a reachable state.
+    Functional {
+        /// The signal.
+        signal: SignalId,
+        /// The state where the mismatch occurs.
+        state: StateId,
+        /// What the implementation produces.
+        produced: bool,
+        /// What the specification requires.
+        required: bool,
+    },
+    /// A set network re-rises / falls non-monotonically (Property 1).
+    NonMonotonicSet {
+        /// The signal.
+        signal: SignalId,
+        /// Source state of the offending edge.
+        from: StateId,
+        /// Target state of the offending edge.
+        to: StateId,
+    },
+    /// A reset network re-rises / falls non-monotonically.
+    NonMonotonicReset {
+        /// The signal.
+        signal: SignalId,
+        /// Source state of the offending edge.
+        from: StateId,
+        /// Target state of the offending edge.
+        to: StateId,
+    },
+}
+
+/// Result of [`verify_circuit`].
+#[derive(Clone, Debug, Default)]
+pub struct VerificationReport {
+    /// All found violations (empty = verified).
+    pub violations: Vec<Violation>,
+    /// Number of reachable states examined.
+    pub states_checked: usize,
+}
+
+impl VerificationReport {
+    /// `true` when no violations were found.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The specified next value of `signal` at state `s`: the target of an
+/// enabled transition of the signal, else the current value.
+fn spec_next(
+    stg: &Stg,
+    rg: &ReachabilityGraph,
+    enc: &StateEncoding,
+    s: StateId,
+    signal: SignalId,
+) -> bool {
+    for &(t, _) in rg.successors(s) {
+        if stg.signal_of(t) == signal {
+            return stg.direction_of(t).target_value();
+        }
+    }
+    enc.value(s, signal)
+}
+
+/// Verifies a circuit against its STG on the explicit reachability graph.
+///
+/// # Panics
+///
+/// Panics if the STG is not safe/consistent (callers verify synthesizable
+/// inputs, which always are).
+pub fn verify_circuit(stg: &Stg, circuit: &Circuit) -> VerificationReport {
+    let rg = ReachabilityGraph::build(stg.net(), 4_000_000).expect("safe net");
+    let enc = StateEncoding::compute(stg, &rg).expect("consistent STG");
+    let mut report = VerificationReport {
+        violations: Vec::new(),
+        states_checked: rg.state_count(),
+    };
+
+    for imp in &circuit.implementations {
+        let signal = imp.signal;
+        // Functional check at every reachable state.
+        for s in rg.states() {
+            let produced = imp.next_value(enc.code(s), enc.value(s, signal));
+            let required = spec_next(stg, &rg, &enc, s, signal);
+            if produced != required {
+                report.violations.push(Violation::Functional {
+                    signal,
+                    state: s,
+                    produced,
+                    required,
+                });
+            }
+        }
+
+        // Monotonicity of the excitation networks.
+        let (set, reset) = match &imp.kind {
+            ImplKind::CLatch { .. } | ImplKind::GcLatch { .. } => {
+                imp.excitation_covers().expect("latch kinds have covers")
+            }
+            ImplKind::GatedLatch { data, control } => {
+                (control.and(data), control.and(&data.complement()))
+            }
+            ImplKind::Combinational { .. } => continue, // eq. (1) suffices [5]
+        };
+        let on = |cover: &Cover, s: StateId| cover.contains_vertex(enc.code(s));
+        for s in rg.states() {
+            for &(_, d) in rg.successors(s) {
+                let (vs, vd) = (enc.value(s, signal), enc.value(d, signal));
+                // Set network: may not re-rise while the signal is high, may
+                // not fall while the signal is low (pre-excitation).
+                if vs && vd && !on(&set, s) && on(&set, d) {
+                    report.violations.push(Violation::NonMonotonicSet {
+                        signal,
+                        from: s,
+                        to: d,
+                    });
+                }
+                if !vs && !vd && on(&set, s) && !on(&set, d) {
+                    report.violations.push(Violation::NonMonotonicSet {
+                        signal,
+                        from: s,
+                        to: d,
+                    });
+                }
+                // Reset network: symmetric.
+                if !vs && !vd && !on(&reset, s) && on(&reset, d) {
+                    report.violations.push(Violation::NonMonotonicReset {
+                        signal,
+                        from: s,
+                        to: d,
+                    });
+                }
+                if vs && vd && on(&reset, s) && !on(&reset, d) {
+                    report.violations.push(Violation::NonMonotonicReset {
+                        signal,
+                        from: s,
+                        to: d,
+                    });
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_core::{synthesize, Architecture, MinimizeStages, SynthesisOptions};
+    use si_stg::benchmarks;
+
+    #[test]
+    fn synthesized_toggle_verifies() {
+        let stg = si_stg::parse_g(
+            "\
+.model toggle
+.inputs x
+.outputs y
+.graph
+x+ y+
+y+ x-
+x- y-
+y- x+
+.marking { <y-,x+> }
+.end
+",
+        )
+        .unwrap();
+        let syn = synthesize(&stg, &SynthesisOptions::default()).unwrap();
+        let report = verify_circuit(&stg, &syn.circuit);
+        assert!(report.is_ok(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn broken_circuit_caught() {
+        let stg = si_stg::generators::clatch(2);
+        let mut syn = synthesize(&stg, &SynthesisOptions::default()).unwrap();
+        // Sabotage: invert the implementation.
+        let z = syn.results[0].signal;
+        syn.circuit.implementations[0] = si_core::SignalImplementation {
+            signal: z,
+            kind: ImplKind::Combinational {
+                cover: Cover::empty(stg.signal_count()),
+                inverted: false,
+            },
+        };
+        let report = verify_circuit(&stg, &syn.circuit);
+        assert!(!report.is_ok());
+        assert!(matches!(
+            report.violations[0],
+            Violation::Functional { .. }
+        ));
+    }
+
+    #[test]
+    fn non_monotonic_cover_caught() {
+        // Running example, signal d with a hand-broken set cover that skips
+        // the fork code 1111 but grabs 1001 deep in the quiescent region.
+        let stg = benchmarks::running_example();
+        let syn = synthesize(
+            &stg,
+            &SynthesisOptions {
+                architecture: Architecture::ExcitationFunction,
+                stages: MinimizeStages::none(),
+            },
+        )
+        .unwrap();
+        let d = stg.signal_by_name("d").unwrap();
+        let idx = syn
+            .circuit
+            .implementations
+            .iter()
+            .position(|i| i.signal == d)
+            .unwrap();
+        let mut broken = syn.circuit.clone();
+        if let ImplKind::CLatch { set, .. } = &mut broken.implementations[idx].kind {
+            set.push(Cover::from_cube("1001".parse().unwrap()));
+        }
+        let report = verify_circuit(&stg, &broken);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::NonMonotonicSet { .. })));
+    }
+
+    #[test]
+    fn all_architectures_verify_on_suite() {
+        for stg in benchmarks::synthesizable_suite() {
+            for arch in [
+                Architecture::ComplexGate,
+                Architecture::ExcitationFunction,
+                Architecture::PerRegion,
+            ] {
+                for stage in [MinimizeStages::none(), MinimizeStages::full()] {
+                    let syn = synthesize(
+                        &stg,
+                        &SynthesisOptions {
+                            architecture: arch,
+                            stages: stage,
+                        },
+                    )
+                    .unwrap_or_else(|e| panic!("{} {arch:?}: {e}", stg.name()));
+                    let report = verify_circuit(&stg, &syn.circuit);
+                    assert!(
+                        report.is_ok(),
+                        "{} under {arch:?} {stage:?}: {:?}",
+                        stg.name(),
+                        &report.violations[..report.violations.len().min(3)]
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Product-automaton conformance checking under the unbounded gate delay
+//! model (§III-B hazard-freedom, checked behaviourally).
+//!
+//! The circuit (atomic networks + latch per signal) is composed with the
+//! STG acting as the environment. A product state is a pair
+//! `(marking, wire values)`; the exploration is exhaustive up to a cap:
+//!
+//! * **input** transitions fire whenever the STG enables them;
+//! * an **output** is *excited* when its implementation's next value
+//!   differs from its current wire value; firing it must correspond to an
+//!   enabled STG transition of that signal — otherwise the circuit produces
+//!   an **unexpected output** (conformance failure);
+//! * if some other firing removes the excitation of an output, the circuit
+//!   has a **disabled output** — a potential glitch, i.e. a hazard;
+//! * if the STG can proceed with an output the circuit never excites, the
+//!   implementation has a **liveness failure**.
+//!
+//! For speed-independent circuits the exploration terminates with no
+//! failures; this is the behavioural mirror of the paper's claim that
+//! correct + monotonic covers yield SI implementations.
+
+use si_boolean::Bits;
+use si_core::Circuit;
+use si_petri::{Marking, TransId};
+use si_stg::{SignalId, SignalKind, Stg};
+use std::collections::{HashMap, VecDeque};
+
+/// A conformance failure discovered during product exploration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConformanceFailure {
+    /// An excited output has no matching enabled STG transition.
+    UnexpectedOutput {
+        /// The offending signal.
+        signal: SignalId,
+        /// Wire values at the failure state.
+        code: Bits,
+    },
+    /// Firing `fired` removed the excitation of `disabled` — a hazard.
+    DisabledOutput {
+        /// The transition whose firing disabled the output.
+        fired: TransId,
+        /// The output signal that lost its excitation.
+        disabled: SignalId,
+    },
+    /// The STG expects an output the circuit never produces.
+    LivenessFailure {
+        /// The starved transition.
+        transition: TransId,
+    },
+    /// The exploration hit the state cap (result inconclusive).
+    StateCapExceeded,
+}
+
+/// Result of [`check_conformance`].
+#[derive(Clone, Debug, Default)]
+pub struct ConformanceReport {
+    /// All discovered failures (empty = conformant and hazard-free).
+    pub failures: Vec<ConformanceFailure>,
+    /// Number of product states explored.
+    pub states_explored: usize,
+}
+
+impl ConformanceReport {
+    /// `true` when the circuit conforms and is hazard-free.
+    pub fn is_ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Exhaustively explores the circuit × environment product up to `cap`
+/// states.
+pub fn check_conformance(stg: &Stg, circuit: &Circuit, cap: usize) -> ConformanceReport {
+    let net = stg.net();
+
+    // Initial wire values: derived from the STG's consistent encoding of
+    // the initial marking.
+    let rg_probe = si_petri::ReachabilityGraph::build(net, 4_000_000).expect("safe");
+    let enc = si_stg::StateEncoding::compute(stg, &rg_probe).expect("consistent");
+    let s0 = rg_probe
+        .state_of(&net.initial_marking())
+        .expect("initial state");
+    let code0 = enc.code(s0).clone();
+
+    let excited = |code: &Bits| -> Vec<SignalId> {
+        circuit
+            .implementations
+            .iter()
+            .filter(|imp| {
+                imp.next_value(code, code.get(imp.signal.index())) != code.get(imp.signal.index())
+            })
+            .map(|imp| imp.signal)
+            .collect()
+    };
+
+    let mut report = ConformanceReport::default();
+    let mut seen: HashMap<(Marking, Bits), u32> = HashMap::new();
+    let mut queue: VecDeque<(Marking, Bits)> = VecDeque::new();
+    let start = (net.initial_marking(), code0);
+    seen.insert(start.clone(), 0);
+    queue.push_back(start);
+
+    while let Some((marking, code)) = queue.pop_front() {
+        if report.failures.len() >= 8 {
+            break; // enough evidence
+        }
+        let excited_now = excited(&code);
+        let enabled: Vec<TransId> = net.enabled_transitions(&marking);
+
+        // Every excited output must be justified by an enabled transition
+        // of that signal in the right direction.
+        for &z in &excited_now {
+            let target = !code.get(z.index());
+            let justified = enabled.iter().any(|&t| {
+                stg.signal_of(t) == z && stg.direction_of(t).target_value() == target
+            });
+            if !justified {
+                report.failures.push(ConformanceFailure::UnexpectedOutput {
+                    signal: z,
+                    code: code.clone(),
+                });
+                continue;
+            }
+        }
+
+        // Liveness: an enabled synthesized transition must be excited.
+        for &t in &enabled {
+            let sig = stg.signal_of(t);
+            if stg.signal_kind(sig).is_synthesized() && !excited_now.contains(&sig) {
+                // The output may still be mid-handshake elsewhere; a true
+                // starvation shows as: enabled in the STG, value already at
+                // the source level, but not excited.
+                let source = !stg.direction_of(t).target_value();
+                if code.get(sig.index()) == source {
+                    report
+                        .failures
+                        .push(ConformanceFailure::LivenessFailure { transition: t });
+                }
+            }
+        }
+
+        // Successors: inputs fire freely; outputs fire when excited (and we
+        // already know they are justified).
+        for &t in &enabled {
+            let sig = stg.signal_of(t);
+            let is_input = stg.signal_kind(sig) == SignalKind::Input;
+            let fires = if is_input {
+                // The wire of an input follows the STG directly; only fire
+                // it from the consistent level.
+                code.get(sig.index()) != stg.direction_of(t).target_value()
+            } else {
+                excited_now.contains(&sig)
+                    && code.get(sig.index()) != stg.direction_of(t).target_value()
+            };
+            if !fires {
+                continue;
+            }
+            let marking2 = net.fire(&marking, t);
+            let mut code2 = code.clone();
+            code2.toggle(sig.index());
+
+            // Hazard check: no previously excited output may lose its
+            // excitation (other than the one that fired).
+            let excited_after = excited(&code2);
+            for &z in &excited_now {
+                if z != sig && !excited_after.contains(&z) {
+                    report.failures.push(ConformanceFailure::DisabledOutput {
+                        fired: t,
+                        disabled: z,
+                    });
+                }
+            }
+
+            let key = (marking2, code2);
+            if !seen.contains_key(&key) {
+                if seen.len() >= cap {
+                    report.failures.push(ConformanceFailure::StateCapExceeded);
+                    report.states_explored = seen.len();
+                    return report;
+                }
+                seen.insert(key.clone(), seen.len() as u32);
+                queue.push_back(key);
+            }
+        }
+    }
+    report.states_explored = seen.len();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_core::{synthesize, SynthesisOptions};
+    use si_stg::benchmarks;
+
+    #[test]
+    fn synthesized_circuits_conform() {
+        for stg in [
+            benchmarks::half_handshake(),
+            benchmarks::converter(),
+            benchmarks::burst2(),
+            si_stg::generators::clatch(3),
+        ] {
+            let syn = synthesize(&stg, &SynthesisOptions::default()).unwrap();
+            let report = check_conformance(&stg, &syn.circuit, 1_000_000);
+            assert!(
+                report.is_ok(),
+                "{}: {:?}",
+                stg.name(),
+                &report.failures[..report.failures.len().min(3)]
+            );
+        }
+    }
+
+    #[test]
+    fn inverted_output_is_not_conformant() {
+        let stg = si_stg::generators::clatch(2);
+        let mut syn = synthesize(&stg, &SynthesisOptions::default()).unwrap();
+        let z = syn.results[0].signal;
+        syn.circuit.implementations[0] = si_core::SignalImplementation {
+            signal: z,
+            kind: si_core::ImplKind::Combinational {
+                cover: si_boolean::Cover::universe(stg.signal_count()),
+                inverted: false,
+            },
+        };
+        let report = check_conformance(&stg, &syn.circuit, 100_000);
+        assert!(!report.is_ok());
+    }
+}

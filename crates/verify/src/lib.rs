@@ -1,0 +1,36 @@
+//! Speed-independence verification of synthesized circuits.
+//!
+//! This crate plays the role of the BDD model checker of reference \[32\] in the
+//! paper's flow: every circuit produced by the structural synthesis is
+//! independently verified against its STG specification on the explicit
+//! state space —
+//!
+//! * [`verify_circuit`]: functional correctness at every reachable marking
+//!   plus Property-1 monotonicity of every set/reset network;
+//! * [`check_conformance`]: exhaustive product-automaton exploration under
+//!   the unbounded gate delay model, detecting unexpected outputs, disabled
+//!   (hazardous) outputs and starved outputs.
+//!
+//! # Examples
+//!
+//! ```
+//! use si_core::{synthesize, SynthesisOptions};
+//! use si_verify::{check_conformance, verify_circuit};
+//!
+//! let stg = si_stg::generators::clatch(2);
+//! let syn = synthesize(&stg, &SynthesisOptions::default())?;
+//! assert!(verify_circuit(&stg, &syn.circuit).is_ok());
+//! assert!(check_conformance(&stg, &syn.circuit, 100_000).is_ok());
+//! # Ok::<(), si_core::SynthesisError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod check;
+mod conform;
+mod sim;
+
+pub use check::{verify_circuit, VerificationReport, Violation};
+pub use conform::{check_conformance, ConformanceFailure, ConformanceReport};
+pub use sim::{random_walks, record_walk, WalkOutcome};

@@ -1,0 +1,83 @@
+//! Quickstart: parse an STG from the `.g` format, synthesize a
+//! speed-independent circuit structurally, print the equations and verify
+//! the result.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use sisyn::prelude::*;
+
+const SPEC: &str = "\
+.model quickstart
+.inputs req
+.outputs ack done
+.graph
+req+ ack+
+ack+ done+
+done+ req-
+req- ack-
+ack- done-
+done- req+
+.marking { <done-,req+> }
+.end
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Parse the specification.
+    let stg = parse_g(SPEC)?;
+    println!("model `{}`: {} signals, {} transitions, {} places", stg.name(),
+        stg.signal_count(), stg.net().transition_count(), stg.net().place_count());
+
+    // 2. Structural consistency (Fig. 9 of the paper) -- no state space built.
+    let analysis = StgAnalysis::analyze(&stg)?;
+    for t in stg.net().transitions() {
+        let next: Vec<String> = analysis
+            .next_of(t)
+            .iter()
+            .map(|&u| stg.transition_display(u))
+            .collect();
+        println!("  next({}) = {{{}}}", stg.transition_display(t), next.join(", "));
+    }
+
+    // 3. Synthesize with the default architecture (complex gate per
+    //    excitation function, full minimization ladder).
+    let syn = synthesize(&stg, &SynthesisOptions::default())?;
+    println!("\nsynthesized {} signals, area = {} literal units",
+        syn.results.len(), syn.literal_area);
+    for r in &syn.results {
+        let name = stg.signal_name(r.signal);
+        match &r.implementation.kind {
+            ImplKind::Combinational { cover, inverted } => {
+                println!("  {name} = {}{cover}", if *inverted { "NOT " } else { "" });
+            }
+            ImplKind::CLatch { set, reset } => {
+                for (i, c) in set.iter().enumerate() {
+                    println!("  {name}.set[{i}]   = {c}");
+                }
+                for (i, c) in reset.iter().enumerate() {
+                    println!("  {name}.reset[{i}] = {c}");
+                }
+            }
+            ImplKind::GcLatch { set, reset } => {
+                println!("  {name} = gC(set: {set}, reset: {reset})");
+            }
+            ImplKind::GatedLatch { data, control } => {
+                println!("  {name} = latch(data: {data}, en: {control})");
+            }
+        }
+    }
+
+    // 4. Map onto the cell library.
+    let mapped = map_circuit(&syn.circuit);
+    println!("\nmapped area = {} transistor pairs over {} cells",
+        mapped.area, mapped.cells.len());
+
+    // 5. Verify speed independence against the specification.
+    let report = verify_circuit(&stg, &syn.circuit);
+    let conform = check_conformance(&stg, &syn.circuit, 100_000);
+    println!("\nverification: functional+monotonic {}, conformance {} ({} product states)",
+        if report.is_ok() { "OK" } else { "FAILED" },
+        if conform.is_ok() { "OK" } else { "FAILED" },
+        conform.states_explored);
+    assert!(report.is_ok() && conform.is_ok());
+    Ok(())
+}

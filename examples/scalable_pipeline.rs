@@ -1,0 +1,54 @@
+//! The state-explosion demonstration (§IV, Tables VI/VII): synthesize
+//! generalized C-latch bursts whose reachability graphs are astronomically
+//! large — including the paper's headline "over 10^27 states" — purely
+//! structurally, and show where the state-based baseline gives up.
+//!
+//! Run with: `cargo run --release --example scalable_pipeline`
+
+use sisyn::core::BaselineError;
+use sisyn::prelude::*;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("{:>5} {:>12} {:>14} {:>14} {:>10}",
+        "n", "|RG|", "structural", "state-based", "area");
+    for n in [4usize, 8, 16, 32, 64, 90] {
+        let stg = sisyn::stg::generators::clatch(n);
+        // |RG| = 2^(n+1), known analytically.
+        let states = format!("2^{}", n + 1);
+
+        let t0 = Instant::now();
+        let syn = synthesize(&stg, &SynthesisOptions::default())?;
+        let structural = t0.elapsed();
+
+        let t1 = Instant::now();
+        let baseline = synthesize_state_based(
+            &stg,
+            BaselineFlavor::ExcitationExact,
+            200_000, // the explicit flow gets a generous state budget
+        );
+        let state_based = match baseline {
+            Ok(_) => format!("{:.1?}", t1.elapsed()),
+            Err(BaselineError::StateExplosion(_)) => "explodes".to_string(),
+            Err(e) => format!("error: {e}"),
+        };
+
+        println!(
+            "{:>5} {:>12} {:>14} {:>14} {:>10}",
+            n,
+            states,
+            format!("{:.1?}", structural),
+            state_based,
+            syn.literal_area
+        );
+
+        // The synthesized C-element is verified on sizes the oracle can
+        // still reach.
+        if n <= 10 {
+            assert!(verify_circuit(&stg, &syn.circuit).is_ok());
+        }
+    }
+    println!("\nn = 90 gives 2^91 = 2.5e27 reachable markings -- the paper's");
+    println!("\"over 10^27 states\" regime -- synthesized in milliseconds structurally.");
+    Ok(())
+}
