@@ -10,8 +10,12 @@ fn bench_cube_ops(c: &mut Criterion) {
     let mut g = c.benchmark_group("cube_ops");
     let a: Cube = "10-1-01-10-1-01-".parse().unwrap();
     let b: Cube = "1--1-0--10---01-".parse().unwrap();
-    g.bench_function("and", |bench| bench.iter(|| std::hint::black_box(&a).and(&b)));
-    g.bench_function("sharp", |bench| bench.iter(|| std::hint::black_box(&a).sharp(&b)));
+    g.bench_function("and", |bench| {
+        bench.iter(|| std::hint::black_box(&a).and(&b))
+    });
+    g.bench_function("sharp", |bench| {
+        bench.iter(|| std::hint::black_box(&a).sharp(&b))
+    });
     let cover = Cover::from_cubes(
         16,
         (0..12).map(|i| {

@@ -17,9 +17,11 @@ fn bench_cube_approx(c: &mut Criterion) {
     }
     for n in [8usize, 16] {
         let stg = si_stg::generators::clatch(n);
-        g.bench_with_input(BenchmarkId::new("consistency_clatch", n), &stg, |bench, stg| {
-            bench.iter(|| StgAnalysis::analyze(stg).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("consistency_clatch", n),
+            &stg,
+            |bench, stg| bench.iter(|| StgAnalysis::analyze(stg).unwrap()),
+        );
     }
     g.finish();
 }

@@ -1,0 +1,255 @@
+//! `bench` — the substrate performance tracker.
+//!
+//! Times the state substrate before/after the word-parallel rewrite on the
+//! §IX benchmark sets and emits `BENCH_substrates.json` so the performance
+//! trajectory is tracked from PR to PR:
+//!
+//! * `reach_naive_ms` / `reach_interned_ms` — `ReachabilityGraph::build_naive`
+//!   (the seed's `HashMap<Marking, StateId>` engine) vs the interned +
+//!   mask-based engine;
+//! * `conc_naive_ms` / `conc_batched_ms` — pairwise-worklist vs batched
+//!   word-parallel concurrency fixpoint;
+//! * `synth_ms` — the full structural synthesis flow.
+//!
+//! ```text
+//! bench [--iters N] [--smoke] [--cap N] [--out FILE]
+//!
+//!   --iters N   timing iterations per measurement, best-of (default 5)
+//!   --smoke     single iteration, small cap — CI bitrot check
+//!   --cap N     reachability state cap (default 2_000_000)
+//!   --out FILE  output path (default BENCH_substrates.json)
+//! ```
+
+use si_bench::{fmt_duration, large_set, small_set};
+use si_core::{synthesize, SynthesisOptions};
+use si_petri::{ConcurrencyRelation, ReachabilityGraph};
+use si_stg::Stg;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+struct Config {
+    iters: usize,
+    cap: usize,
+    out: String,
+}
+
+struct Entry {
+    set: &'static str,
+    name: String,
+    places: usize,
+    transitions: usize,
+    states: Option<usize>,
+    reach_naive: Option<Duration>,
+    reach_interned: Option<Duration>,
+    conc_naive: Duration,
+    conc_batched: Duration,
+    synth: Option<Duration>,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        iters: 5,
+        cap: 2_000_000,
+        out: "BENCH_substrates.json".to_string(),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--iters" => {
+                cfg.iters = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--iters needs a number"))
+            }
+            "--cap" => {
+                cfg.cap = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--cap needs a number"))
+            }
+            "--out" => cfg.out = argv.next().unwrap_or_else(|| die("--out needs a path")),
+            "--smoke" => {
+                cfg.iters = 1;
+                cfg.cap = 100_000;
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+    cfg
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench: {msg}");
+    eprintln!("usage: bench [--iters N] [--smoke] [--cap N] [--out FILE]");
+    std::process::exit(2);
+}
+
+/// Best-of-N wall time of `f`, discarding the results.
+fn best_of<T>(iters: usize, mut f: impl FnMut() -> T) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+fn measure(set: &'static str, stg: &Stg, cfg: &Config) -> Entry {
+    let net = stg.net();
+    let states = ReachabilityGraph::build(net, cfg.cap)
+        .ok()
+        .map(|rg| rg.state_count());
+    let reach_interned = states.is_some().then(|| {
+        best_of(cfg.iters, || {
+            ReachabilityGraph::build(net, cfg.cap).unwrap()
+        })
+    });
+    let reach_naive = states.is_some().then(|| {
+        best_of(cfg.iters, || {
+            ReachabilityGraph::build_naive(net, cfg.cap).unwrap()
+        })
+    });
+    let conc_batched = best_of(cfg.iters, || ConcurrencyRelation::compute(net));
+    let conc_naive = best_of(cfg.iters, || ConcurrencyRelation::compute_naive(net));
+    let synth = synthesize(stg, &SynthesisOptions::default())
+        .is_ok()
+        .then(|| {
+            best_of(cfg.iters, || {
+                synthesize(stg, &SynthesisOptions::default()).unwrap()
+            })
+        });
+    Entry {
+        set,
+        name: stg.name().to_string(),
+        places: net.place_count(),
+        transitions: net.transition_count(),
+        states,
+        reach_naive,
+        reach_interned,
+        conc_naive,
+        conc_batched,
+        synth,
+    }
+}
+
+fn json_ms(d: Option<Duration>) -> String {
+    match d {
+        Some(d) => format!("{:.6}", d.as_secs_f64() * 1e3),
+        None => "null".to_string(),
+    }
+}
+
+fn json_speedup(naive: Option<Duration>, fast: Option<Duration>) -> String {
+    match (naive, fast) {
+        (Some(n), Some(f)) if !f.is_zero() => {
+            format!("{:.3}", n.as_secs_f64() / f.as_secs_f64())
+        }
+        _ => "null".to_string(),
+    }
+}
+
+fn main() {
+    let cfg = parse_args();
+    let mut entries = Vec::new();
+    for (set, stgs) in [("small", small_set()), ("large", large_set())] {
+        for stg in &stgs {
+            eprint!("{set}/{} ...", stg.name());
+            let e = measure(set, stg, &cfg);
+            eprintln!(
+                " reach {} -> {} | conc {} -> {} | synth {}",
+                e.reach_naive
+                    .map(fmt_duration)
+                    .unwrap_or_else(|| "-".into()),
+                e.reach_interned
+                    .map(fmt_duration)
+                    .unwrap_or_else(|| "-".into()),
+                fmt_duration(e.conc_naive),
+                fmt_duration(e.conc_batched),
+                e.synth.map(fmt_duration).unwrap_or_else(|| "-".into()),
+            );
+            entries.push(e);
+        }
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"sisyn/bench-substrates/v1\",");
+    let _ = writeln!(json, "  \"iters\": {},", cfg.iters);
+    let _ = writeln!(json, "  \"state_cap\": {},", cfg.cap);
+    let _ = writeln!(
+        json,
+        "  \"timing\": \"best-of-iters wall time, milliseconds\","
+    );
+    let _ = writeln!(json, "  \"entries\": [");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"set\": \"{}\",", e.set);
+        let _ = writeln!(json, "      \"name\": \"{}\",", e.name);
+        let _ = writeln!(json, "      \"places\": {},", e.places);
+        let _ = writeln!(json, "      \"transitions\": {},", e.transitions);
+        let _ = writeln!(
+            json,
+            "      \"states\": {},",
+            e.states
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "null".into())
+        );
+        let _ = writeln!(
+            json,
+            "      \"reach_naive_ms\": {},",
+            json_ms(e.reach_naive)
+        );
+        let _ = writeln!(
+            json,
+            "      \"reach_interned_ms\": {},",
+            json_ms(e.reach_interned)
+        );
+        let _ = writeln!(
+            json,
+            "      \"reach_speedup\": {},",
+            json_speedup(e.reach_naive, e.reach_interned)
+        );
+        let _ = writeln!(
+            json,
+            "      \"conc_naive_ms\": {},",
+            json_ms(Some(e.conc_naive))
+        );
+        let _ = writeln!(
+            json,
+            "      \"conc_batched_ms\": {},",
+            json_ms(Some(e.conc_batched))
+        );
+        let _ = writeln!(
+            json,
+            "      \"conc_speedup\": {},",
+            json_speedup(Some(e.conc_naive), Some(e.conc_batched))
+        );
+        let _ = writeln!(json, "      \"synth_ms\": {}", json_ms(e.synth));
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < entries.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    if let Err(e) = std::fs::write(&cfg.out, &json) {
+        eprintln!("bench: cannot write {}: {e}", cfg.out);
+        std::process::exit(1);
+    }
+    // Headline number: geometric-mean reachability speedup on the large set.
+    let large: Vec<f64> = entries
+        .iter()
+        .filter(|e| e.set == "large")
+        .filter_map(|e| match (e.reach_naive, e.reach_interned) {
+            (Some(n), Some(f)) if !f.is_zero() => Some(n.as_secs_f64() / f.as_secs_f64()),
+            _ => None,
+        })
+        .collect();
+    if !large.is_empty() {
+        let geo = (large.iter().map(|s| s.ln()).sum::<f64>() / large.len() as f64).exp();
+        eprintln!("large-set reachability speedup (geomean): {geo:.2}x");
+    }
+    eprintln!("wrote {}", cfg.out);
+}

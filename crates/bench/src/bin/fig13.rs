@@ -4,9 +4,7 @@
 //! Reproduction target: a monotonically decreasing series per set, with
 //! mapping providing a further drop — the paper's staircase.
 
-use si_core::{
-    map_circuit, synthesize, Architecture, MinimizeStages, SynthesisOptions,
-};
+use si_core::{map_circuit, synthesize, Architecture, MinimizeStages, SynthesisOptions};
 
 fn series(set: &[si_stg::Stg]) -> (Vec<f64>, f64) {
     let mut avgs = Vec::new();

@@ -3,21 +3,34 @@
 //! per excitation region (with the d+/1, d+/2 cluster treatment).
 
 use si_core::{
-    synthesize_signal, Architecture, ImplKind, MinimizeStages, StructuralContext,
-    SynthesisOptions,
+    synthesize_signal, Architecture, ImplKind, MinimizeStages, StructuralContext, SynthesisOptions,
 };
 
 fn main() {
     let stg = si_stg::benchmarks::running_example();
     let ctx = StructuralContext::build(&stg).expect("context");
     let d = stg.signal_by_name("d").expect("signal d");
-    println!("signal order: {}",
-        stg.signals().map(|s| stg.signal_name(s).to_string()).collect::<Vec<_>>().join(" "));
+    println!(
+        "signal order: {}",
+        stg.signals()
+            .map(|s| stg.signal_name(s).to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
 
     for (label, arch) in [
-        ("(a) atomic complex gate per signal", Architecture::ComplexGate),
-        ("(b) complex gate per excitation function + C latch", Architecture::ExcitationFunction),
-        ("(c) complex gate per excitation region (one-hot clusters)", Architecture::PerRegion),
+        (
+            "(a) atomic complex gate per signal",
+            Architecture::ComplexGate,
+        ),
+        (
+            "(b) complex gate per excitation function + C latch",
+            Architecture::ExcitationFunction,
+        ),
+        (
+            "(c) complex gate per excitation region (one-hot clusters)",
+            Architecture::PerRegion,
+        ),
     ] {
         let r = synthesize_signal(
             &ctx,

@@ -8,8 +8,8 @@
 
 use si_bench::{marking_count, small_set};
 use si_core::{
-    map_circuit, synthesize, synthesize_state_based, Architecture, BaselineFlavor,
-    MinimizeStages, SynthesisOptions,
+    map_circuit, synthesize, synthesize_state_based, Architecture, BaselineFlavor, MinimizeStages,
+    SynthesisOptions,
 };
 
 fn main() {

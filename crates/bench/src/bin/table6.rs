@@ -6,9 +6,7 @@
 //! ("mem-out"), with the crossover at small sizes.
 
 use si_bench::{fmt_duration, time};
-use si_core::{
-    synthesize, synthesize_state_based, BaselineFlavor, SynthesisOptions,
-};
+use si_core::{synthesize, synthesize_state_based, BaselineFlavor, SynthesisOptions};
 
 fn main() {
     let header = format!(
@@ -32,8 +30,7 @@ fn main() {
     // Table VI reports SIS/ASSASSIN on the large entries.
     const CAP: usize = 100_000;
     for stg in cases {
-        let (structural, t_structural) =
-            time(|| synthesize(&stg, &SynthesisOptions::default()));
+        let (structural, t_structural) = time(|| synthesize(&stg, &SynthesisOptions::default()));
         structural.expect("structural flow");
         let (sis, t_sis) =
             time(|| synthesize_state_based(&stg, BaselineFlavor::ComplexGateExact, CAP));

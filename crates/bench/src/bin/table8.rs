@@ -55,10 +55,15 @@ fn report(title: &str, set: Vec<si_stg::Stg>) {
 }
 
 fn main() {
-    report("small benchmarks (paper: cubes/node ~ 2.4, markings/cube ~ 1.7)",
-        si_bench::small_set());
+    report(
+        "small benchmarks (paper: cubes/node ~ 2.4, markings/cube ~ 1.7)",
+        si_bench::small_set(),
+    );
     let mut large = si_bench::large_set();
     large.push(si_stg::generators::clatch(40));
     large.push(si_stg::generators::clatch(90));
-    report("large benchmarks (paper: cubes/node ~ 2.6, markings/cube ~ 4e10)", large);
+    report(
+        "large benchmarks (paper: cubes/node ~ 2.6, markings/cube ~ 4e10)",
+        large,
+    );
 }

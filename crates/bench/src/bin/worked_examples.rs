@@ -59,6 +59,10 @@ fn main() {
             sc.qr[&t]
         );
     }
-    println!("\nconflicts: {} | verdict: {:?} | place-cover cubes: {}",
-        ctx.conflicts().len(), ctx.csc_verdict(), ctx.total_cubes());
+    println!(
+        "\nconflicts: {} | verdict: {:?} | place-cover cubes: {}",
+        ctx.conflicts().len(),
+        ctx.csc_verdict(),
+        ctx.total_cubes()
+    );
 }

@@ -55,7 +55,10 @@ pub fn marking_count(stg: &Stg, cap: usize) -> String {
         Err(_) => {
             // Analytic counts for the generator families.
             let name = stg.name();
-            if let Some(n) = name.strip_prefix("clatch_").and_then(|s| s.parse::<u32>().ok()) {
+            if let Some(n) = name
+                .strip_prefix("clatch_")
+                .and_then(|s| s.parse::<u32>().ok())
+            {
                 return format!("2^{}", n + 1);
             }
             format!("> {cap}")

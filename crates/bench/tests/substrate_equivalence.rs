@@ -1,0 +1,96 @@
+//! Whole-benchmark-suite equivalence of the word-parallel substrate: the
+//! interned reachability engine and the batched concurrency fixpoint must
+//! reproduce the naive implementations bit for bit on every net in the
+//! small benchmark set (and the cheap members of the large one).
+
+use si_petri::{ConcurrencyRelation, ReachabilityGraph};
+
+const CAP: usize = 500_000;
+
+fn assert_rg_equal(name: &str, net: &si_petri::PetriNet) {
+    let fast = ReachabilityGraph::build(net, CAP).unwrap();
+    let naive = ReachabilityGraph::build_naive(net, CAP).unwrap();
+    assert_eq!(
+        fast.state_count(),
+        naive.state_count(),
+        "{name}: state count"
+    );
+    assert_eq!(fast.edge_count(), naive.edge_count(), "{name}: edge count");
+    for s in fast.states() {
+        assert_eq!(fast.marking(s), naive.marking(s), "{name}: marking {s:?}");
+        assert_eq!(
+            fast.successors(s),
+            naive.successors(s),
+            "{name}: succs {s:?}"
+        );
+        assert_eq!(
+            fast.predecessors(s),
+            naive.predecessors(s),
+            "{name}: preds {s:?}"
+        );
+    }
+    for t in net.transitions() {
+        assert_eq!(
+            fast.states_enabling(t),
+            naive.states_enabling(t),
+            "{name}: ER of {t}"
+        );
+    }
+    assert_eq!(fast.is_live(net), naive.is_live(net), "{name}: liveness");
+}
+
+fn assert_cr_equal(name: &str, net: &si_petri::PetriNet) {
+    let fast = ConcurrencyRelation::compute(net);
+    let naive = ConcurrencyRelation::compute_naive(net);
+    assert_eq!(fast.pair_count(), naive.pair_count(), "{name}: pair count");
+    for p in net.places() {
+        for q in net.places() {
+            assert_eq!(fast.places(p, q), naive.places(p, q), "{name}: {p} {q}");
+        }
+        for t in net.transitions() {
+            assert_eq!(
+                fast.place_transition(p, t),
+                naive.place_transition(p, t),
+                "{name}: {p} {t}"
+            );
+        }
+    }
+    for a in net.transitions() {
+        for b in net.transitions() {
+            assert_eq!(
+                fast.transitions(a, b),
+                naive.transitions(a, b),
+                "{name}: {a} {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn small_set_reachability_equivalent() {
+    for stg in si_bench::small_set() {
+        assert_rg_equal(stg.name(), stg.net());
+    }
+}
+
+#[test]
+fn small_set_concurrency_equivalent() {
+    for stg in si_bench::small_set() {
+        assert_cr_equal(stg.name(), stg.net());
+    }
+}
+
+#[test]
+fn large_set_spot_checks_equivalent() {
+    // The cheap members of the large set: full equivalence without making
+    // `cargo test` minutes long (the naive engine is the slow side).
+    for stg in [
+        si_stg::generators::clatch(8),
+        si_stg::generators::muller_pipeline(8),
+        si_stg::generators::philosophers(5),
+        si_stg::generators::sequencer(10),
+    ] {
+        assert_rg_equal(stg.name(), stg.net());
+        assert_cr_equal(stg.name(), stg.net());
+    }
+}

@@ -50,6 +50,19 @@ impl Bits {
         b
     }
 
+    /// Creates a vector of `len` bits from raw words (low bit of word 0 is
+    /// bit 0). Bits above `len` are masked off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != len.div_ceil(64)`.
+    pub fn from_words(len: usize, words: Vec<u64>) -> Self {
+        assert_eq!(words.len(), len.div_ceil(64), "word count mismatch");
+        let mut b = Bits { words, len };
+        b.mask_top();
+        b
+    }
+
     /// Creates a vector with exactly the given positions set.
     ///
     /// # Panics
@@ -232,12 +245,44 @@ impl Bits {
             .sum()
     }
 
+    /// Overwrites `self` with the contents of `other`, reusing the existing
+    /// word buffer when the widths match (no allocation on the hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn copy_from(&mut self, other: &Bits) {
+        self.check_width(other);
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Clears every bit, keeping the width.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Fast FNV/FxHash-style hash of the raw words, via
+    /// [`hash_word_slice`]. Callers hashing vectors of mixed widths must
+    /// mix in [`Bits::len`] themselves; same-width interners (the common
+    /// case) don't need to.
+    ///
+    /// `Bits` also implements [`Hash`], but the derived implementation goes
+    /// through the std `Hasher` machinery (SipHash by default); interners on
+    /// hot paths use this direct word fold instead.
+    pub fn hash_words(&self) -> u64 {
+        hash_word_slice(&self.words)
+    }
+
     /// Iterates over the indices of set bits in increasing order.
     pub fn iter_ones(&self) -> IterOnes<'_> {
         IterOnes {
             bits: self,
             word: 0,
-            cur: if self.words.is_empty() { 0 } else { self.words[0] },
+            cur: if self.words.is_empty() {
+                0
+            } else {
+                self.words[0]
+            },
         }
     }
 
@@ -267,6 +312,23 @@ impl Bits {
             self.len, other.len
         );
     }
+}
+
+/// Fast FxHash-style hash of a raw `u64` slice — the single definition
+/// shared by [`Bits::hash_words`] and the marking interner of the
+/// reachability engine.
+pub fn hash_word_slice(words: &[u64]) -> u64 {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    let mut h: u64 = 0;
+    for &w in words {
+        h = (h.rotate_left(5) ^ w).wrapping_mul(SEED);
+    }
+    // Murmur3-style finalizer: open-addressing tables mask the *low* bits,
+    // and the low bits of a product depend only on the low bits of its
+    // operands — without this fold they cluster catastrophically.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^ (h >> 33)
 }
 
 /// Iterator over set-bit indices of a [`Bits`]; created by [`Bits::iter_ones`].
@@ -385,6 +447,29 @@ mod tests {
         assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 128, 199]);
         assert_eq!(b.first_one(), Some(0));
         assert_eq!(Bits::zeros(5).first_one(), None);
+    }
+
+    #[test]
+    fn copy_from_reuses_buffer() {
+        let src = Bits::from_ones(130, [0, 64, 129]);
+        let mut dst = Bits::ones(130);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn copy_from_width_mismatch_panics() {
+        let mut a = Bits::zeros(4);
+        a.copy_from(&Bits::zeros(5));
+    }
+
+    #[test]
+    fn hash_words_discriminates() {
+        let a = Bits::from_ones(130, [0, 64]);
+        let b = Bits::from_ones(130, [0, 65]);
+        assert_ne!(a.hash_words(), b.hash_words());
+        assert_eq!(a.hash_words(), a.clone().hash_words());
     }
 
     #[test]

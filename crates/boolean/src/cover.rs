@@ -186,11 +186,7 @@ impl Cover {
     /// Uses the standard reduction: `c ⊆ F` iff the cofactor `F|c` is a
     /// tautology.
     pub fn covers_cube(&self, cube: &Cube) -> bool {
-        let cof: Vec<Cube> = self
-            .cubes
-            .iter()
-            .filter_map(|c| c.cofactor(cube))
-            .collect();
+        let cof: Vec<Cube> = self.cubes.iter().filter_map(|c| c.cofactor(cube)).collect();
         tautology_rec(&cof, self.width)
     }
 

@@ -429,7 +429,10 @@ mod tests {
         let b = c("-11");
         let sc = a.supercube(&b);
         assert!(sc.contains_cube(&a) && sc.contains_cube(&b));
-        assert_eq!(sc, c("1--").and(&c("---")).unwrap().supercube(&b).supercube(&a));
+        assert_eq!(
+            sc,
+            c("1--").and(&c("---")).unwrap().supercube(&b).supercube(&a)
+        );
     }
 
     #[test]

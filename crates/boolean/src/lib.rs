@@ -31,7 +31,7 @@ mod cube;
 mod espresso;
 mod minimize;
 
-pub use bits::{Bits, IterOnes};
+pub use bits::{hash_word_slice, Bits, IterOnes};
 pub use cover::Cover;
 pub use cube::{Cube, CubeVal, ParseCubeError, Vertices};
 pub use espresso::{essential_cubes, minimize_exact_iterated, reduce_cube};

@@ -114,9 +114,7 @@ impl SignalImplementation {
             _ => current,
         };
         match &self.kind {
-            ImplKind::Combinational { cover, inverted } => {
-                cover.contains_vertex(code) != *inverted
-            }
+            ImplKind::Combinational { cover, inverted } => cover.contains_vertex(code) != *inverted,
             ImplKind::CLatch { set, reset } => latch(
                 set.iter().any(|c| c.contains_vertex(code)),
                 reset.iter().any(|c| c.contains_vertex(code)),

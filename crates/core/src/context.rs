@@ -316,13 +316,7 @@ impl<'a> StructuralContext<'a> {
     }
 
     /// No Theorem 14 witness against transition `t` inside `sm`.
-    fn witness_free_in(
-        &self,
-        p: PlaceId,
-        t: TransId,
-        er: &Cover,
-        sm: &SmComponent,
-    ) -> bool {
+    fn witness_free_in(&self, p: PlaceId, t: TransId, er: &Cover, sm: &SmComponent) -> bool {
         let sig = self.stg.signal_of(t);
         sm.places().iter().all(|&q| {
             q == p

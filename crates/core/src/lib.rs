@@ -42,13 +42,13 @@ pub mod synthesis;
 pub mod techmap;
 
 pub use circuit::{Circuit, ImplKind, SignalImplementation};
-pub use netlist::to_verilog;
-pub use statebased::{synthesize_state_based, BaselineError, BaselineFlavor, BaselineSynthesis};
-pub use techmap::{map_circuit, CellUse, MappedCircuit};
 pub use context::{CodingConflict, CscVerdict, SignalCovers, StructuralContext, SynthesisError};
 pub use csc::{apply_insertion, resolve_csc, InsertionPlan};
 pub use cubes::PlaceCubes;
+pub use netlist::to_verilog;
+pub use statebased::{synthesize_state_based, BaselineError, BaselineFlavor, BaselineSynthesis};
 pub use synthesis::{
     synthesize, synthesize_signal, synthesize_with_context, Architecture, MinimizeStages,
     SignalResult, Synthesis, SynthesisOptions,
 };
+pub use techmap::{map_circuit, CellUse, MappedCircuit};

@@ -68,11 +68,24 @@ pub fn to_verilog(stg: &Stg, circuit: &Circuit) -> String {
         .map(|s| stg.signal_name(s))
         .collect();
 
-    let _ = writeln!(v, "// Speed-independent controller synthesized from STG `{}`.", stg.name());
-    let _ = writeln!(v, "// NOTE: each assign below must be implemented as ONE atomic complex");
-    let _ = writeln!(v, "// gate; decomposing it can re-introduce hazards (paper, Sec. III-A).");
+    let _ = writeln!(
+        v,
+        "// Speed-independent controller synthesized from STG `{}`.",
+        stg.name()
+    );
+    let _ = writeln!(
+        v,
+        "// NOTE: each assign below must be implemented as ONE atomic complex"
+    );
+    let _ = writeln!(
+        v,
+        "// gate; decomposing it can re-introduce hazards (paper, Sec. III-A)."
+    );
     let _ = writeln!(v, "module {} (", sanitize(stg.name()));
-    let mut ports: Vec<String> = inputs.iter().map(|n| format!("  input  wire {n}")).collect();
+    let mut ports: Vec<String> = inputs
+        .iter()
+        .map(|n| format!("  input  wire {n}"))
+        .collect();
     ports.extend(outputs.iter().map(|n| format!("  output wire {n}")));
     let _ = writeln!(v, "{}\n);", ports.join(",\n"));
     for n in &internals {
@@ -133,9 +146,11 @@ pub fn to_verilog(stg: &Stg, circuit: &Circuit) -> String {
     let _ = writeln!(v, "endmodule");
 
     // Behavioural models of the storage cells, emitted once when used.
-    if circuit.implementations.iter().any(|i| {
-        matches!(i.kind, ImplKind::CLatch { .. } | ImplKind::GcLatch { .. })
-    }) {
+    if circuit
+        .implementations
+        .iter()
+        .any(|i| matches!(i.kind, ImplKind::CLatch { .. } | ImplKind::GcLatch { .. }))
+    {
         let _ = writeln!(
             v,
             "\nmodule c_latch (input wire s, input wire r, output reg q);\n  \
@@ -162,7 +177,13 @@ pub fn to_verilog(stg: &Stg, circuit: &Circuit) -> String {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 

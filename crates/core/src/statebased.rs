@@ -100,24 +100,25 @@ pub fn synthesize_state_based(
                 off.extend(gqr_zero.iter().cloned());
                 let on_cover = Cover::from_cubes(nsig, minterms(&on));
                 let off_cover = Cover::from_cubes(nsig, minterms(&off));
-                let min =
-                    minimize_against_off(&on_cover, &Cover::empty(nsig), &off_cover).cover;
+                let min = minimize_against_off(&on_cover, &Cover::empty(nsig), &off_cover).cover;
                 ImplKind::Combinational {
                     cover: min,
                     inverted: false,
                 }
             }
             BaselineFlavor::ExcitationExact => {
-                let set = region_cover(stg, &rg, &enc, signal, &ger_rise, &ger_fall, &gqr_zero, true);
-                let reset =
-                    region_cover(stg, &rg, &enc, signal, &ger_fall, &ger_rise, &gqr_one, false);
+                let set = region_cover(
+                    stg, &rg, &enc, signal, &ger_rise, &ger_fall, &gqr_zero, true,
+                );
+                let reset = region_cover(
+                    stg, &rg, &enc, signal, &ger_fall, &ger_rise, &gqr_one, false,
+                );
                 // Complete-cover detection was standard practice in the
                 // era tools (Appendix B cites [5]): when the set cover
                 // already contains all quiescent-one codes the latch is
                 // dropped.
-                let covers_all = |cover: &Cover, codes: &[Bits]| {
-                    codes.iter().all(|c| cover.contains_vertex(c))
-                };
+                let covers_all =
+                    |cover: &Cover, codes: &[Bits]| codes.iter().all(|c| cover.contains_vertex(c));
                 if covers_all(&set, &gqr_one) {
                     ImplKind::Combinational {
                         cover: set,
@@ -175,10 +176,7 @@ fn region_cover(
         let mut offending: Option<Bits> = None;
         'scan: for s in rg.states() {
             for &(_, d) in rg.successors(s) {
-                let (vs, vd) = (
-                    enc.value(s, signal),
-                    enc.value(d, signal),
-                );
+                let (vs, vd) = (enc.value(s, signal), enc.value(d, signal));
                 let phase = if is_set { vs && vd } else { !vs && !vd };
                 if phase
                     && !cover.contains_vertex(enc.code(s))
@@ -225,7 +223,10 @@ mod tests {
     #[test]
     fn baseline_synthesizes_the_suite() {
         for stg in benchmarks::synthesizable_suite() {
-            for flavor in [BaselineFlavor::ComplexGateExact, BaselineFlavor::ExcitationExact] {
+            for flavor in [
+                BaselineFlavor::ComplexGateExact,
+                BaselineFlavor::ExcitationExact,
+            ] {
                 let r = synthesize_state_based(&stg, flavor, 1_000_000);
                 assert!(r.is_ok(), "{} {flavor:?}: {:?}", stg.name(), r.err());
                 let syn = r.unwrap();
@@ -238,24 +239,22 @@ mod tests {
     #[test]
     fn state_explosion_reported() {
         let stg = si_stg::generators::clatch(12); // 2^13 states
-        let err = synthesize_state_based(&stg, BaselineFlavor::ComplexGateExact, 1000)
-            .unwrap_err();
+        let err = synthesize_state_based(&stg, BaselineFlavor::ComplexGateExact, 1000).unwrap_err();
         assert!(matches!(err, BaselineError::StateExplosion(_)));
     }
 
     #[test]
     fn csc_conflict_rejected() {
         let stg = benchmarks::vme_read_raw();
-        let err = synthesize_state_based(&stg, BaselineFlavor::ComplexGateExact, 100_000)
-            .unwrap_err();
+        let err =
+            synthesize_state_based(&stg, BaselineFlavor::ComplexGateExact, 100_000).unwrap_err();
         assert_eq!(err, BaselineError::CscConflict);
     }
 
     #[test]
     fn clatch_baseline_matches_structural_shape() {
         let stg = si_stg::generators::clatch(2);
-        let syn =
-            synthesize_state_based(&stg, BaselineFlavor::ExcitationExact, 100_000).unwrap();
+        let syn = synthesize_state_based(&stg, BaselineFlavor::ExcitationExact, 100_000).unwrap();
         match &syn.circuit.implementations[0].kind {
             ImplKind::CLatch { set, reset } => {
                 // exact covers of the C-element: x0·x1 and x0'·x1'

@@ -161,10 +161,7 @@ pub fn synthesize_with_context(
             places: places.clone(),
         });
     }
-    let mut results = Vec::new();
-    for signal in ctx.stg.synthesized_signals() {
-        results.push(synthesize_signal(ctx, signal, options)?);
-    }
+    let results = synthesize_signals(ctx, &ctx.stg.synthesized_signals(), options)?;
     let circuit = Circuit {
         implementations: results.iter().map(|r| r.implementation.clone()).collect(),
     };
@@ -178,6 +175,56 @@ pub fn synthesize_with_context(
         sm_count: ctx.sm_cover.len(),
         csc,
     })
+}
+
+/// Synthesizes a batch of signals, in parallel across worker threads when
+/// the `parallel` feature is on (the default). Signals are independent given
+/// the shared immutable context, so the result — including which error is
+/// reported when several signals fail — is identical to the sequential
+/// loop: results come back in input order and the failure of the
+/// earliest-listed failing signal wins.
+pub fn synthesize_signals(
+    ctx: &StructuralContext<'_>,
+    signals: &[SignalId],
+    options: &SynthesisOptions,
+) -> Result<Vec<SignalResult>, SynthesisError> {
+    #[cfg(feature = "parallel")]
+    {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(signals.len());
+        if workers > 1 {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let slots: Vec<std::sync::Mutex<Option<Result<SignalResult, SynthesisError>>>> =
+                signals
+                    .iter()
+                    .map(|_| std::sync::Mutex::new(None))
+                    .collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(&signal) = signals.get(i) else { break };
+                        let r = synthesize_signal(ctx, signal, options);
+                        *slots[i].lock().unwrap() = Some(r);
+                    });
+                }
+            });
+            return slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .unwrap()
+                        .expect("worker filled every slot")
+                })
+                .collect();
+        }
+    }
+    signals
+        .iter()
+        .map(|&signal| synthesize_signal(ctx, signal, options))
+        .collect()
 }
 
 /// Synthesizes one signal under the chosen architecture.
@@ -271,7 +318,10 @@ fn excitation_signal(
     let mut reset_clusters = initial(&sc.falling);
 
     // Validate the initial covers.
-    for (clusters, role) in [(&set_clusters, CoverRole::Set), (&reset_clusters, CoverRole::Reset)] {
+    for (clusters, role) in [
+        (&set_clusters, CoverRole::Set),
+        (&reset_clusters, CoverRole::Reset),
+    ] {
         for (own, cover) in clusters.iter() {
             let off = cluster_off(ctx, sc, role, own, per_region);
             let r = check_cluster(ctx, sc, own, cover, &off, &Cover::empty(w));
@@ -309,9 +359,8 @@ fn excitation_signal(
 
     // M4: backward expansion (needs the opposite union cover).
     if stages.backward {
-        let union = |cs: &[(Vec<TransId>, Cover)]| {
-            cs.iter().fold(Cover::empty(w), |acc, (_, c)| acc.or(c))
-        };
+        let union =
+            |cs: &[(Vec<TransId>, Cover)]| cs.iter().fold(Cover::empty(w), |acc, (_, c)| acc.or(c));
         let reset_union = union(&reset_clusters);
         let set_union = union(&set_clusters);
         for (clusters, role, opposite) in [
@@ -536,7 +585,12 @@ fn merge_clusters(
 }
 
 fn cluster_area(c: &Cover) -> usize {
-    c.literal_count() + if c.cube_count() > 1 { c.cube_count() } else { 0 }
+    c.literal_count()
+        + if c.cube_count() > 1 {
+            c.cube_count()
+        } else {
+            0
+        }
 }
 
 /// The observability don't-care set of backward expansion (Appendix E):

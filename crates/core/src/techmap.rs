@@ -215,7 +215,10 @@ mod tests {
     fn mapping_never_beats_zero_and_scales() {
         // Mapped area grows with the function size.
         let small = map_circuit(&combinational(cover(4, &["11--"])));
-        let large = map_circuit(&combinational(cover(8, &["1111----", "----1111", "11--11--"])));
+        let large = map_circuit(&combinational(cover(
+            8,
+            &["1111----", "----1111", "11--11--"],
+        )));
         assert!(small.area < large.area);
     }
 

@@ -49,11 +49,131 @@ pub struct ConcurrencyRelation {
 }
 
 impl ConcurrencyRelation {
-    /// Computes the structural concurrency relation of `net`.
+    /// Computes the structural concurrency relation of `net` with the
+    /// word-parallel engine.
+    ///
+    /// Rule 3's premise `•t ⊆ R(x)` is one [`Bits::is_subset`] word test
+    /// against the preset mask of `t`, and the fixpoint is driven by a
+    /// worklist of *rows* (nodes whose concurrency set grew) instead of the
+    /// original O(n·t) pair seeding plus per-pair worklist — each dirty row
+    /// is rechecked against all transitions in one batch.
     ///
     /// Liveness of every transition is assumed (rule 2); dead transitions
     /// would make the result more conservative, never less.
     pub fn compute(net: &PetriNet) -> Self {
+        let np = net.place_count();
+        let nt = net.transition_count();
+        let n = np + nt;
+        let mut rows = vec![Bits::zeros(n); n];
+
+        // Sparse preset masks: the (word, bits) pairs of •t in node space
+        // (places occupy indices 0..np). Presets are tiny, so testing
+        // `•t ⊆ R(x)` against only these words beats both the per-place
+        // scan and a full-width subset test.
+        let pre_words: Vec<Vec<(usize, u64)>> = net
+            .transitions()
+            .map(|t| {
+                let mask = Bits::from_ones(n, net.pre_t(t).iter().map(|p| p.index()));
+                mask.as_words()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &w)| w != 0)
+                    .map(|(i, &w)| (i, w))
+                    .collect()
+            })
+            .collect();
+
+        // Row worklist: x is queued when R(x) gained a member since x was
+        // last scanned. `pending[x]` holds exactly those newly gained
+        // members — rule 3's premise `•t ⊆ R(x)` can only *become* true
+        // when a preset place lands in `pending[x]`, so each batch scan
+        // filters transitions against the delta, not the whole row.
+        let mut pending = vec![Bits::zeros(n); n];
+        let mut queued = vec![false; n];
+        let mut queue: Vec<usize> = Vec::with_capacity(n);
+        macro_rules! add_pair {
+            ($a:expr, $b:expr) => {{
+                let (a, b) = ($a, $b);
+                if a != b && !rows[a].get(b) {
+                    rows[a].set(b, true);
+                    rows[b].set(a, true);
+                    pending[a].set(b, true);
+                    pending[b].set(a, true);
+                    for x in [a, b] {
+                        if !queued[x] {
+                            queued[x] = true;
+                            queue.push(x);
+                        }
+                    }
+                }
+            }};
+        }
+
+        // Rule 1: initially co-marked places.
+        let m0 = net.initial_marking();
+        let marked: Vec<usize> = m0.iter_ones().collect();
+        for (i, &a) in marked.iter().enumerate() {
+            for &b in &marked[i + 1..] {
+                add_pair!(a, b);
+            }
+        }
+        // Rule 2: outputs of each transition.
+        for t in net.transitions() {
+            let outs = net.post_t(t);
+            for (i, &a) in outs.iter().enumerate() {
+                for &b in &outs[i + 1..] {
+                    add_pair!(a.index(), b.index());
+                }
+            }
+        }
+        // Rule 3 closure, batched per dirty row. Every bit present at this
+        // point is in some row's pending set, so rule-1/2 seeds are
+        // rescanned exactly like later fixpoint additions. The premise
+        // `•t ⊆ R(x)` can only *become* true when a place of •t lands in
+        // R(x), so each batch walks the delta's place bits y and rechecks
+        // only `y• = post_p(y)` — the word-parallel premise test then runs
+        // on the handful of preset words.
+        let mut delta = Bits::zeros(n);
+        while let Some(x) = queue.pop() {
+            queued[x] = false;
+            // Snapshot and clear the delta: pairs added while scanning x
+            // re-queue it with a fresh delta.
+            std::mem::swap(&mut pending[x], &mut delta);
+            let (xw, xb) = (x / 64, 1u64 << (x % 64));
+            for y in delta.iter_ones() {
+                if y >= np {
+                    continue; // only place bits can complete a preset
+                }
+                for &t in net.post_p(PlaceId(y as u32)) {
+                    let ti = t.index();
+                    let tnode = np + ti;
+                    if tnode == x || rows[tnode].get(x) {
+                        continue;
+                    }
+                    let pre = &pre_words[ti];
+                    // x ∈ •t would require (x, x) ∈ R — reject.
+                    if pre.iter().any(|&(wi, wm)| wi == xw && wm & xb != 0) {
+                        continue;
+                    }
+                    let row = rows[x].as_words();
+                    if pre.iter().all(|&(wi, wm)| row[wi] & wm == wm) {
+                        add_pair!(tnode, x);
+                        for q in net.post_t(t) {
+                            add_pair!(q.index(), x);
+                        }
+                    }
+                }
+            }
+            delta.clear();
+        }
+
+        ConcurrencyRelation { np, n, rows }
+    }
+
+    /// The original pairwise-worklist implementation, kept verbatim as the
+    /// equivalence oracle for the batched fixpoint (both compute the least
+    /// fixpoint of the same rules, so the relations must match exactly).
+    pub fn compute_naive(net: &PetriNet) -> Self {
         let np = net.place_count();
         let nt = net.transition_count();
         let n = np + nt;
@@ -251,6 +371,17 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn batched_matches_naive() {
+        let net = fork_join();
+        let a = ConcurrencyRelation::compute(&net);
+        let b = ConcurrencyRelation::compute_naive(&net);
+        assert_eq!(a.pair_count(), b.pair_count());
+        for i in 0..a.n {
+            assert_eq!(a.rows[i], b.rows[i], "row {i}");
         }
     }
 

@@ -88,8 +88,7 @@ fn farkas(mut m: Vec<Vec<i64>>, mut id: Vec<Vec<u64>>, n_cols: usize) -> Vec<Sem
                 let ns = support(&new_id);
                 let dominated = next_id.iter().any(|o| {
                     let os = support(o);
-                    os.iter().all(|k| ns.contains(k)) && os.len() < ns.len()
-                        || os == ns
+                    os.iter().all(|k| ns.contains(k)) && os.len() < ns.len() || os == ns
                 });
                 if !dominated {
                     next_m.push(new_row);
@@ -101,7 +100,9 @@ fn farkas(mut m: Vec<Vec<i64>>, mut id: Vec<Vec<u64>>, n_cols: usize) -> Vec<Sem
         id = next_id;
     }
     // Survivors annul every column.
-    id.into_iter().filter(|v| v.iter().any(|&x| x > 0)).collect()
+    id.into_iter()
+        .filter(|v| v.iter().any(|&x| x > 0))
+        .collect()
 }
 
 /// Minimal-support P-semiflows of the net.

@@ -45,8 +45,8 @@ mod concurrency;
 mod invariant;
 mod net;
 mod reach;
-mod redundant;
 mod reduce;
+mod redundant;
 mod siphon;
 mod sm;
 
@@ -54,10 +54,9 @@ pub use concurrency::ConcurrencyRelation;
 pub use invariant::{is_p_invariant, p_semiflows, t_semiflows, weighted_tokens, Semiflow};
 pub use net::{Marking, Node, PetriNet, PetriNetBuilder, PlaceId, TransId};
 pub use reach::{ReachError, ReachabilityGraph, StateId};
-pub use redundant::{duplicate_places, redundant_places};
 pub use reduce::ForwardReduction;
+pub use redundant::{duplicate_places, redundant_places};
 pub use siphon::{
-    check_live_safe_fc, is_siphon, is_trap, maximal_trap_within, minimal_siphons,
-    StructuralCheck,
+    check_live_safe_fc, is_siphon, is_trap, maximal_trap_within, minimal_siphons, StructuralCheck,
 };
 pub use sm::{sm_cover, SmComponent, SmCoverError, SmFinder};

@@ -86,6 +86,14 @@ pub struct PetriNet {
     /// Postset of each place (transitions), sorted.
     post_p: Vec<Vec<TransId>>,
     initial: Marking,
+    /// Word mask of `•t` per transition (width = place count).
+    pre_t_mask: Vec<Bits>,
+    /// Word mask of `t•` per transition.
+    post_t_mask: Vec<Bits>,
+    /// Word mask of `t• \ •t` per transition: the places that *gain* a
+    /// token when `t` fires — a safeness violation iff one is already
+    /// marked.
+    gain_mask: Vec<Bits>,
 }
 
 /// Incremental constructor for [`PetriNet`].
@@ -154,12 +162,18 @@ impl PetriNetBuilder {
         let mut pre_p = vec![Vec::new(); np];
         let mut post_p = vec![Vec::new(); np];
         for (p, t) in self.arcs_pt {
-            assert!(p.index() < np && t.index() < nt, "arc references unknown node");
+            assert!(
+                p.index() < np && t.index() < nt,
+                "arc references unknown node"
+            );
             pre_t[t.index()].push(p);
             post_p[p.index()].push(t);
         }
         for (t, p) in self.arcs_tp {
-            assert!(p.index() < np && t.index() < nt, "arc references unknown node");
+            assert!(
+                p.index() < np && t.index() < nt,
+                "arc references unknown node"
+            );
             post_t[t.index()].push(p);
             pre_p[p.index()].push(t);
         }
@@ -179,6 +193,14 @@ impl PetriNetBuilder {
                 .filter(|&(_, &m)| m)
                 .map(|(i, _)| i),
         );
+        let mask = |places: &[PlaceId]| Bits::from_ones(np, places.iter().map(|p| p.index()));
+        let pre_t_mask: Vec<Bits> = pre_t.iter().map(|ps| mask(ps)).collect();
+        let post_t_mask: Vec<Bits> = post_t.iter().map(|ps| mask(ps)).collect();
+        let gain_mask = pre_t_mask
+            .iter()
+            .zip(&post_t_mask)
+            .map(|(pre, post)| post.difference(pre))
+            .collect();
         PetriNet {
             place_names: self.place_names,
             trans_names: self.trans_names,
@@ -187,6 +209,9 @@ impl PetriNetBuilder {
             pre_p,
             post_p,
             initial,
+            pre_t_mask,
+            post_t_mask,
+            gain_mask,
         }
     }
 }
@@ -268,9 +293,40 @@ impl PetriNet {
         self.initial.clone()
     }
 
+    /// Word mask of `•t` (width = place count).
+    pub fn pre_mask(&self, t: TransId) -> &Bits {
+        &self.pre_t_mask[t.index()]
+    }
+
+    /// Word mask of `t•`.
+    pub fn post_mask(&self, t: TransId) -> &Bits {
+        &self.post_t_mask[t.index()]
+    }
+
+    /// Word mask of `t• \ •t` — the places that gain a token when `t`
+    /// fires. Firing `t` at `m` violates safeness iff `m` intersects it.
+    pub fn gain_mask(&self, t: TransId) -> &Bits {
+        &self.gain_mask[t.index()]
+    }
+
     /// Returns `true` if `t` is enabled at `m` (all of `•t` marked).
+    ///
+    /// O(words) via the precomputed preset mask.
     pub fn is_enabled(&self, m: &Marking, t: TransId) -> bool {
+        self.pre_t_mask[t.index()].is_subset(m)
+    }
+
+    /// Reference implementation of [`Self::is_enabled`]: the per-place scan
+    /// the masks replaced. Kept as the oracle for equivalence tests and the
+    /// before/after benchmark.
+    pub fn is_enabled_naive(&self, m: &Marking, t: TransId) -> bool {
         self.pre_t(t).iter().all(|p| m.get(p.index()))
+    }
+
+    /// Returns `true` if firing `t` at `m` would put a second token on a
+    /// place (`m ∩ (t• \ •t) ≠ ∅`). Only meaningful when `t` is enabled.
+    pub fn violates_safeness(&self, m: &Marking, t: TransId) -> bool {
+        m.intersects(&self.gain_mask[t.index()])
     }
 
     /// Fires `t` at `m`, returning the successor marking.
@@ -281,6 +337,33 @@ impl PetriNet {
     /// the safe-net firing rule).
     pub fn fire(&self, m: &Marking, t: TransId) -> Marking {
         assert!(self.is_enabled(m, t), "firing a disabled transition");
+        let mut next = m.clone();
+        self.fire_into(m, t, &mut next);
+        next
+    }
+
+    /// In-place firing rule: writes `(m \ •t) ∪ t•` into `out` without
+    /// allocating. `out` must have the net's place-count width.
+    ///
+    /// This is the hot path of reachability exploration: enabledness is a
+    /// `debug_assert` here (callers test it first), unlike [`Self::fire`]
+    /// which always panics on a disabled firing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch; in debug builds also if `t` is not
+    /// enabled at `m`.
+    pub fn fire_into(&self, m: &Marking, t: TransId, out: &mut Marking) {
+        debug_assert!(self.is_enabled(m, t), "firing a disabled transition");
+        out.copy_from(m);
+        out.subtract(&self.pre_t_mask[t.index()]);
+        out.union_with(&self.post_t_mask[t.index()]);
+    }
+
+    /// Reference implementation of [`Self::fire`] via per-place updates;
+    /// oracle counterpart of [`Self::is_enabled_naive`].
+    pub fn fire_naive(&self, m: &Marking, t: TransId) -> Marking {
+        assert!(self.is_enabled_naive(m, t), "firing a disabled transition");
         let mut next = m.clone();
         for p in self.pre_t(t) {
             next.set(p.index(), false);
@@ -293,7 +376,9 @@ impl PetriNet {
 
     /// All transitions enabled at `m`.
     pub fn enabled_transitions(&self, m: &Marking) -> Vec<TransId> {
-        self.transitions().filter(|&t| self.is_enabled(m, t)).collect()
+        self.transitions()
+            .filter(|&t| self.is_enabled(m, t))
+            .collect()
     }
 
     /// Free-choice check: every arc `(p, t)` is either the unique outgoing
@@ -329,7 +414,9 @@ impl PetriNet {
 
     /// Choice places: places with more than one output transition.
     pub fn choice_places(&self) -> Vec<PlaceId> {
-        self.places().filter(|&p| self.post_p(p).len() > 1).collect()
+        self.places()
+            .filter(|&p| self.post_p(p).len() > 1)
+            .collect()
     }
 
     /// Removes duplicate places (identical preset, postset and initial
@@ -508,6 +595,63 @@ mod tests {
         assert_eq!(removed, vec!["p0_dup".to_string()]);
         assert_eq!(reduced.place_count(), 2);
         assert!(reduced.is_enabled(&reduced.initial_marking(), TransId(0)));
+    }
+
+    #[test]
+    fn masks_match_adjacency_lists() {
+        let n = ring();
+        for t in n.transitions() {
+            assert_eq!(
+                n.pre_mask(t).iter_ones().collect::<Vec<_>>(),
+                n.pre_t(t).iter().map(|p| p.index()).collect::<Vec<_>>()
+            );
+            assert_eq!(
+                n.post_mask(t).iter_ones().collect::<Vec<_>>(),
+                n.post_t(t).iter().map(|p| p.index()).collect::<Vec<_>>()
+            );
+        }
+        // gain of t0 = {p1} (p1 ∉ •t0)
+        assert_eq!(
+            n.gain_mask(TransId(0)).iter_ones().collect::<Vec<_>>(),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn fire_into_matches_fire_and_naive() {
+        let n = ring();
+        let m0 = n.initial_marking();
+        let mut out = m0.clone();
+        n.fire_into(&m0, TransId(0), &mut out);
+        assert_eq!(out, n.fire(&m0, TransId(0)));
+        assert_eq!(out, n.fire_naive(&m0, TransId(0)));
+        assert_eq!(
+            n.is_enabled(&m0, TransId(1)),
+            n.is_enabled_naive(&m0, TransId(1))
+        );
+    }
+
+    #[test]
+    fn safeness_mask_detects_duplicate_token() {
+        // t puts a token on p1 while p1 can already be marked.
+        let mut b = PetriNet::builder();
+        let p0 = b.add_place("p0", true);
+        let p1 = b.add_place("p1", true);
+        let t = b.add_transition("t");
+        b.arc_pt(p0, t);
+        b.arc_tp(t, p1);
+        let n = b.build();
+        assert!(n.violates_safeness(&n.initial_marking(), TransId(0)));
+        // Self-loop on p1 does not violate safeness.
+        let mut b = PetriNet::builder();
+        let p0 = b.add_place("p0", true);
+        let p1 = b.add_place("p1", true);
+        let t = b.add_transition("t");
+        b.arc_pt(p0, t);
+        b.arc_pt(p1, t);
+        b.arc_tp(t, p1);
+        let n = b.build();
+        assert!(!n.violates_safeness(&n.initial_marking(), TransId(0)));
     }
 
     #[test]

@@ -5,6 +5,16 @@
 //! ground-truth tests require. The builder enumerates reachable markings
 //! breadth-first up to a configurable cap, so callers can detect "state
 //! explosion" instead of hanging.
+//!
+//! The engine is word-parallel end to end: markings are interned through an
+//! open-addressing table over a flat `u64` arena (no marking clones, no
+//! per-firing allocation — the firing rule is the mask-based
+//! `(m \ •t) ∪ t•` on machine words, with a scalar fast path for nets of
+//! at most 64 places), adjacency is stored as flat CSR arrays, and the
+//! per-transition excitation regions are indexed once at build time.
+//! [`ReachabilityGraph::build_naive`] keeps the original
+//! `HashMap<Marking, StateId>` + `Vec<Vec<…>>` implementation as the
+//! equivalence oracle and the "before" side of the benchmark.
 
 use crate::net::{Marking, PetriNet, TransId};
 use std::collections::HashMap;
@@ -51,6 +61,126 @@ impl std::fmt::Display for ReachError {
 
 impl std::error::Error for ReachError {}
 
+/// Open-addressing interner mapping markings to dense [`StateId`]s.
+///
+/// Keys live in one flat `u64` arena (`nwords` words per marking), so a
+/// probe compares contiguous words — no per-marking heap pointer to chase,
+/// no clones, no `Hasher` machinery. The table stores `u32` state indices
+/// probed by a multiplicative hash of the words.
+#[derive(Clone, Debug)]
+struct MarkingInterner {
+    /// Flat key storage: marking `s` is `words[s*nwords .. (s+1)*nwords]`.
+    words: Vec<u64>,
+    /// Words per marking.
+    nwords: usize,
+    /// Slot -> `(hash tag << 32) | state index`, `u64::MAX` = empty.
+    /// Power-of-two length, kept at most half full; the tag filters out
+    /// almost every colliding probe before the key words are touched.
+    slots: Vec<u64>,
+    mask: usize,
+    len: usize,
+}
+
+const EMPTY_SLOT: u64 = u64::MAX;
+const TAG_MASK: u64 = 0xffff_ffff_0000_0000;
+
+use si_boolean::hash_word_slice as hash_key;
+
+impl MarkingInterner {
+    fn new(nwords: usize) -> Self {
+        MarkingInterner {
+            words: Vec::new(),
+            nwords,
+            slots: vec![EMPTY_SLOT; 64],
+            mask: 63,
+            len: 0,
+        }
+    }
+
+    fn key(&self, s: usize) -> &[u64] {
+        &self.words[s * self.nwords..(s + 1) * self.nwords]
+    }
+
+    /// Looks up `key`; on a miss interns it as state `len` and returns
+    /// `(id, true)`. One probe sequence for both outcomes.
+    fn intern(&mut self, key: &[u64]) -> (StateId, bool) {
+        debug_assert_eq!(key.len(), self.nwords);
+        let h = hash_key(key);
+        let tag = h & TAG_MASK;
+        let mut i = (h as usize) & self.mask;
+        loop {
+            let e = self.slots[i];
+            if e == EMPTY_SLOT {
+                let id = self.len as u32;
+                self.slots[i] = tag | id as u64;
+                self.words.extend_from_slice(key);
+                self.len += 1;
+                if self.len * 2 >= self.slots.len() {
+                    self.grow();
+                }
+                return (StateId(id), true);
+            }
+            if e & TAG_MASK == tag {
+                let s = e as u32;
+                if self.key(s as usize) == key {
+                    return (StateId(s), false);
+                }
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Lookup without insertion, comparing candidate keys against the
+    /// caller's markings (the internal key arena is freed after the build
+    /// by [`Self::seal`] — see there).
+    fn get(&self, key: &[u64], markings: &[Marking]) -> Option<StateId> {
+        if key.len() != self.nwords {
+            return None;
+        }
+        let h = hash_key(key);
+        let tag = h & TAG_MASK;
+        let mut i = (h as usize) & self.mask;
+        loop {
+            let e = self.slots[i];
+            if e == EMPTY_SLOT {
+                return None;
+            }
+            if e & TAG_MASK == tag {
+                let s = e as u32;
+                if markings[s as usize].as_words() == key {
+                    return Some(StateId(s));
+                }
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Frees the flat key arena. The arena exists so the *build* hot loop
+    /// compares contiguous words without chasing per-marking heap pointers;
+    /// once the graph is finished every key is also held by the graph's
+    /// `markings` vector, so keeping both would double the dominant memory
+    /// of a large graph for no benefit. After sealing, only [`Self::get`]
+    /// (which compares via `markings`) may be used — not [`Self::intern`].
+    fn seal(&mut self) {
+        self.words = Vec::new();
+    }
+
+    fn grow(&mut self) {
+        let new_len = self.slots.len() * 2;
+        self.mask = new_len - 1;
+        self.slots.clear();
+        self.slots.resize(new_len, EMPTY_SLOT);
+        for s in 0..self.len {
+            let h = hash_key(self.key(s));
+            let mut i = (h as usize) & self.mask;
+            while self.slots[i] != EMPTY_SLOT {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = (h & TAG_MASK) | s as u64;
+        }
+    }
+}
+
 /// The explicit reachability graph of a safe net.
 ///
 /// # Examples
@@ -73,15 +203,26 @@ impl std::error::Error for ReachError {}
 #[derive(Clone, Debug)]
 pub struct ReachabilityGraph {
     markings: Vec<Marking>,
-    index: HashMap<Marking, StateId>,
-    /// Outgoing edges `(t, successor)` per state.
-    succs: Vec<Vec<(TransId, StateId)>>,
-    /// Incoming edges `(t, predecessor)` per state.
-    preds: Vec<Vec<(TransId, StateId)>>,
+    interner: MarkingInterner,
+    /// Per-state `(start, end)` range into `succ_edges` — filled during
+    /// exploration, so no src-sort pass is needed.
+    succ_ranges: Vec<(u32, u32)>,
+    /// Outgoing edges `(t, successor)`; state `s` owns `succ_ranges[s]`.
+    succ_edges: Vec<(TransId, StateId)>,
+    /// CSR row offsets into `pred_edges`, length `state_count() + 1`.
+    pred_off: Vec<u32>,
+    /// Incoming edges `(t, predecessor)`, grouped by destination state.
+    pred_edges: Vec<(TransId, StateId)>,
+    /// CSR row offsets into `er_states`, length `transition_count + 1`.
+    er_off: Vec<u32>,
+    /// States enabling each transition (its excitation region), ascending.
+    er_states: Vec<StateId>,
 }
 
 impl ReachabilityGraph {
-    /// Explores the state space of `net` breadth-first.
+    /// Explores the state space of `net` with the word-parallel engine:
+    /// mask-based enable/safeness tests, allocation-free firing and interned
+    /// markings.
     ///
     /// # Errors
     ///
@@ -89,6 +230,227 @@ impl ReachabilityGraph {
     /// reachable; [`ReachError::NotSafe`] if a firing puts a second token on
     /// a place.
     pub fn build(net: &PetriNet, cap: usize) -> Result<Self, ReachError> {
+        let nt = net.transition_count();
+        let m0 = net.initial_marking();
+        let nw = m0.as_words().len();
+        let (markings, interner, succ_edges, succ_ranges) = if nw == 1 {
+            Self::explore_scalar(net, cap)?
+        } else {
+            Self::explore_wide(net, cap)?
+        };
+        Ok(Self::index_edges(
+            nt,
+            markings,
+            interner,
+            succ_edges,
+            succ_ranges,
+        ))
+    }
+
+    /// Builds the predecessor CSR and the excitation-region index from the
+    /// successor adjacency in one fused pass over the edges.
+    fn index_edges(
+        nt: usize,
+        markings: Vec<Marking>,
+        mut interner: MarkingInterner,
+        succ_edges: Vec<(TransId, StateId)>,
+        succ_ranges: Vec<(u32, u32)>,
+    ) -> Self {
+        interner.seal();
+        let n = markings.len();
+        let mut pred_off = vec![0u32; n + 1];
+        let mut er_off = vec![0u32; nt + 1];
+        for &(t, d) in &succ_edges {
+            pred_off[d.index() + 1] += 1;
+            er_off[t.index() + 1] += 1;
+        }
+        for i in 0..n {
+            pred_off[i + 1] += pred_off[i];
+        }
+        for i in 0..nt {
+            er_off[i + 1] += er_off[i];
+        }
+        // Scatter scanning sources ascending, so each predecessor list is
+        // ordered by source state and each excitation region is ascending.
+        let mut pred_cursor = pred_off.clone();
+        let mut er_cursor = er_off.clone();
+        let mut pred_edges = vec![(TransId(0), StateId(0)); succ_edges.len()];
+        let mut er_states = vec![StateId(0); succ_edges.len()];
+        for (s, &(start, end)) in succ_ranges.iter().enumerate() {
+            for &(t, d) in &succ_edges[start as usize..end as usize] {
+                let c = &mut pred_cursor[d.index()];
+                pred_edges[*c as usize] = (t, StateId(s as u32));
+                *c += 1;
+                let c = &mut er_cursor[t.index()];
+                er_states[*c as usize] = StateId(s as u32);
+                *c += 1;
+            }
+        }
+        ReachabilityGraph {
+            markings,
+            interner,
+            succ_ranges,
+            succ_edges,
+            pred_off,
+            pred_edges,
+            er_off,
+            er_states,
+        }
+    }
+
+    /// Exploration fast path for nets of at most 64 places: markings are
+    /// single machine words, so enable / safeness / firing are 2–4 scalar
+    /// ALU ops per transition with no slice iteration at all.
+    #[allow(clippy::type_complexity)]
+    fn explore_scalar(
+        net: &PetriNet,
+        cap: usize,
+    ) -> Result<
+        (
+            Vec<Marking>,
+            MarkingInterner,
+            Vec<(TransId, StateId)>,
+            Vec<(u32, u32)>,
+        ),
+        ReachError,
+    > {
+        let np = net.place_count();
+        // One interleaved [pre, gain, post] record per transition: the
+        // enable scan streams a single contiguous array.
+        let masks: Vec<[u64; 3]> = net
+            .transitions()
+            .map(|t| {
+                [
+                    net.pre_mask(t).as_words()[0],
+                    net.gain_mask(t).as_words()[0],
+                    net.post_mask(t).as_words()[0],
+                ]
+            })
+            .collect();
+        let m0 = net.initial_marking();
+        let mut interner = MarkingInterner::new(1);
+        let (s0, _) = interner.intern(m0.as_words());
+        debug_assert_eq!(s0, StateId(0));
+        let mut markings = vec![m0];
+        let mut edges: Vec<(TransId, StateId)> = Vec::new();
+        let mut ranges: Vec<(u32, u32)> = vec![(0, 0)];
+        let mut frontier: Vec<u32> = vec![0];
+        while let Some(s) = frontier.pop() {
+            let cur = interner.words[s as usize];
+            let start = edges.len() as u32;
+            for (ti, &[pre, gain, post]) in masks.iter().enumerate() {
+                if pre & !cur != 0 {
+                    continue; // •t ⊄ m
+                }
+                if gain & cur != 0 {
+                    return Err(ReachError::NotSafe {
+                        transition: TransId(ti as u32),
+                    });
+                }
+                let next = (cur & !pre) | post;
+                let (id, is_new) = interner.intern(&[next]);
+                if is_new {
+                    if markings.len() >= cap {
+                        return Err(ReachError::StateCapExceeded { cap });
+                    }
+                    markings.push(Marking::from_words(np, vec![next]));
+                    ranges.push((0, 0));
+                    frontier.push(id.0);
+                }
+                edges.push((TransId(ti as u32), id));
+            }
+            ranges[s as usize] = (start, edges.len() as u32);
+        }
+        Ok((markings, interner, edges, ranges))
+    }
+
+    /// Generic exploration for nets wider than one word: the same loop over
+    /// flattened contiguous mask arrays.
+    #[allow(clippy::type_complexity)]
+    fn explore_wide(
+        net: &PetriNet,
+        cap: usize,
+    ) -> Result<
+        (
+            Vec<Marking>,
+            MarkingInterner,
+            Vec<(TransId, StateId)>,
+            Vec<(u32, u32)>,
+        ),
+        ReachError,
+    > {
+        let nt = net.transition_count();
+        let np = net.place_count();
+        let m0 = net.initial_marking();
+        let nw = m0.as_words().len();
+
+        // Flatten the per-transition masks into contiguous word arrays so
+        // the inner loop streams through them without chasing a heap
+        // pointer per transition per state.
+        let mut pre_flat = vec![0u64; nt * nw];
+        let mut post_flat = vec![0u64; nt * nw];
+        let mut gain_flat = vec![0u64; nt * nw];
+        for t in net.transitions() {
+            let o = t.index() * nw;
+            pre_flat[o..o + nw].copy_from_slice(net.pre_mask(t).as_words());
+            post_flat[o..o + nw].copy_from_slice(net.post_mask(t).as_words());
+            gain_flat[o..o + nw].copy_from_slice(net.gain_mask(t).as_words());
+        }
+
+        let mut scratch = vec![0u64; nw];
+        let mut cur = vec![0u64; nw];
+        let mut interner = MarkingInterner::new(nw);
+        let (s0, _) = interner.intern(m0.as_words());
+        debug_assert_eq!(s0, StateId(0));
+        let mut markings = vec![m0];
+        let mut edges: Vec<(TransId, StateId)> = Vec::new();
+        let mut ranges: Vec<(u32, u32)> = vec![(0, 0)];
+        let mut frontier: Vec<u32> = vec![0];
+        while let Some(s) = frontier.pop() {
+            cur.copy_from_slice(interner.key(s as usize));
+            let start = edges.len() as u32;
+            for ti in 0..nt {
+                let pre = &pre_flat[ti * nw..ti * nw + nw];
+                // Enabled: •t ⊆ m, word-parallel.
+                if !pre.iter().zip(&cur).all(|(p, m)| p & !m == 0) {
+                    continue;
+                }
+                let gain = &gain_flat[ti * nw..ti * nw + nw];
+                // Safe: no place of t• \ •t already marked.
+                if gain.iter().zip(&cur).any(|(g, m)| g & m != 0) {
+                    return Err(ReachError::NotSafe {
+                        transition: TransId(ti as u32),
+                    });
+                }
+                let post = &post_flat[ti * nw..ti * nw + nw];
+                for w in 0..nw {
+                    scratch[w] = (cur[w] & !pre[w]) | post[w];
+                }
+                let (id, is_new) = interner.intern(&scratch);
+                if is_new {
+                    if markings.len() >= cap {
+                        return Err(ReachError::StateCapExceeded { cap });
+                    }
+                    markings.push(Marking::from_words(np, scratch.clone()));
+                    ranges.push((0, 0));
+                    frontier.push(id.0);
+                }
+                edges.push((TransId(ti as u32), id));
+            }
+            ranges[s as usize] = (start, edges.len() as u32);
+        }
+        Ok((markings, interner, edges, ranges))
+    }
+
+    /// The original textbook implementation: `HashMap<Marking, StateId>`
+    /// interning with per-place enable/fire loops. Kept verbatim as the
+    /// equivalence oracle for property tests and as the "before" side of
+    /// `BENCH_substrates.json`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::build`].
+    pub fn build_naive(net: &PetriNet, cap: usize) -> Result<Self, ReachError> {
         let m0 = net.initial_marking();
         let mut markings = vec![m0.clone()];
         let mut index = HashMap::new();
@@ -98,7 +460,7 @@ impl ReachabilityGraph {
         while let Some(s) = frontier.pop() {
             let m = markings[s.index()].clone();
             for t in net.transitions() {
-                if !net.is_enabled(&m, t) {
+                if !net.is_enabled_naive(&m, t) {
                     continue;
                 }
                 // Safeness: a postset place outside the preset must be empty.
@@ -107,7 +469,7 @@ impl ReachabilityGraph {
                         return Err(ReachError::NotSafe { transition: t });
                     }
                 }
-                let m2 = net.fire(&m, t);
+                let m2 = net.fire_naive(&m, t);
                 let id = match index.get(&m2) {
                     Some(&id) => id,
                     None => {
@@ -125,23 +487,38 @@ impl ReachabilityGraph {
                 succs[s.index()].push((t, id));
             }
         }
-        let mut preds: Vec<Vec<(TransId, StateId)>> = vec![Vec::new(); markings.len()];
-        for (s, out) in succs.iter().enumerate() {
-            for &(t, d) in out {
-                preds[d.index()].push((t, StateId(s as u32)));
-            }
+        Ok(Self::from_adjacency(net, markings, &succs))
+    }
+
+    /// Packs naive adjacency lists into the CSR/interned representation.
+    fn from_adjacency(
+        net: &PetriNet,
+        markings: Vec<Marking>,
+        succs: &[Vec<(TransId, StateId)>],
+    ) -> Self {
+        let nt = net.transition_count();
+        let mut interner = MarkingInterner::new(markings[0].as_words().len());
+        for m in &markings {
+            interner.intern(m.as_words());
         }
-        Ok(ReachabilityGraph {
-            markings,
-            index,
-            succs,
-            preds,
-        })
+        let mut succ_edges: Vec<(TransId, StateId)> = Vec::new();
+        let mut succ_ranges: Vec<(u32, u32)> = Vec::with_capacity(succs.len());
+        for out in succs {
+            let start = succ_edges.len() as u32;
+            succ_edges.extend_from_slice(out);
+            succ_ranges.push((start, succ_edges.len() as u32));
+        }
+        Self::index_edges(nt, markings, interner, succ_edges, succ_ranges)
     }
 
     /// Number of reachable markings.
     pub fn state_count(&self) -> usize {
         self.markings.len()
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.succ_edges.len()
     }
 
     /// The marking of a state.
@@ -151,7 +528,10 @@ impl ReachabilityGraph {
 
     /// Looks up the state of a marking.
     pub fn state_of(&self, m: &Marking) -> Option<StateId> {
-        self.index.get(m).copied()
+        if self.markings.is_empty() || m.len() != self.markings[0].len() {
+            return None;
+        }
+        self.interner.get(m.as_words(), &self.markings)
     }
 
     /// Iterates over all states.
@@ -161,20 +541,19 @@ impl ReachabilityGraph {
 
     /// Outgoing edges of a state.
     pub fn successors(&self, s: StateId) -> &[(TransId, StateId)] {
-        &self.succs[s.index()]
+        let (start, end) = self.succ_ranges[s.index()];
+        &self.succ_edges[start as usize..end as usize]
     }
 
     /// Incoming edges of a state.
     pub fn predecessors(&self, s: StateId) -> &[(TransId, StateId)] {
-        &self.preds[s.index()]
+        &self.pred_edges[self.pred_off[s.index()] as usize..self.pred_off[s.index() + 1] as usize]
     }
 
     /// States at which `t` is enabled (the excitation region of `t` in
-    /// Petri-net terms).
-    pub fn states_enabling(&self, t: TransId) -> Vec<StateId> {
-        self.states()
-            .filter(|&s| self.succs[s.index()].iter().any(|&(u, _)| u == t))
-            .collect()
+    /// Petri-net terms), ascending. Precomputed — O(1), no edge rescans.
+    pub fn states_enabling(&self, t: TransId) -> &[StateId] {
+        &self.er_states[self.er_off[t.index()] as usize..self.er_off[t.index() + 1] as usize]
     }
 
     /// Behavioural liveness: every transition can fire again from every
@@ -183,29 +562,34 @@ impl ReachabilityGraph {
     /// For the strongly-connected systems used in SI synthesis this reduces
     /// to: the RG is strongly connected and every transition labels at least
     /// one edge. The general check (per-marking re-enableability) is also
-    /// what this implements, via one backward closure per transition.
+    /// what this implements, via one backward closure per transition seeded
+    /// from the excitation-region index and tracked in a word-parallel
+    /// visited set.
     pub fn is_live(&self, net: &PetriNet) -> bool {
         let n = self.state_count();
+        let mut stack: Vec<StateId> = Vec::new();
         for t in net.transitions() {
-            // States from which t is eventually fireable = backward closure
-            // of the sources of t-labelled edges.
-            let mut can = vec![false; n];
-            let mut stack: Vec<StateId> = Vec::new();
-            for s in self.states() {
-                if self.succs[s.index()].iter().any(|&(u, _)| u == t) {
-                    can[s.index()] = true;
-                    stack.push(s);
-                }
+            let seed = self.states_enabling(t);
+            if seed.len() == n {
+                continue; // enabled everywhere — trivially live
             }
+            let mut can = si_boolean::Bits::zeros(n);
+            stack.clear();
+            for &s in seed {
+                can.set(s.index(), true);
+                stack.push(s);
+            }
+            let mut reached = seed.len();
             while let Some(s) = stack.pop() {
-                for &(_, p) in &self.preds[s.index()] {
-                    if !can[p.index()] {
-                        can[p.index()] = true;
+                for &(_, p) in self.predecessors(s) {
+                    if !can.get(p.index()) {
+                        can.set(p.index(), true);
+                        reached += 1;
                         stack.push(p);
                     }
                 }
             }
-            if can.iter().any(|&c| !c) {
+            if reached != n {
                 return false;
             }
         }
@@ -219,13 +603,18 @@ impl ReachabilityGraph {
         if n == 0 {
             return true;
         }
-        let reach_all = |edges: &dyn Fn(StateId) -> Vec<StateId>| {
+        let reach_all = |backward: bool| {
             let mut seen = vec![false; n];
             let mut stack = vec![StateId(0)];
             seen[0] = true;
             let mut count = 1;
             while let Some(s) = stack.pop() {
-                for d in edges(s) {
+                let edges = if backward {
+                    self.predecessors(s)
+                } else {
+                    self.successors(s)
+                };
+                for &(_, d) in edges {
                     if !seen[d.index()] {
                         seen[d.index()] = true;
                         count += 1;
@@ -235,8 +624,7 @@ impl ReachabilityGraph {
             }
             count == n
         };
-        reach_all(&|s| self.succs[s.index()].iter().map(|&(_, d)| d).collect())
-            && reach_all(&|s| self.preds[s.index()].iter().map(|&(_, d)| d).collect())
+        reach_all(false) && reach_all(true)
     }
 
     /// Behavioural concurrency of two transitions: some reachable marking
@@ -245,12 +633,27 @@ impl ReachabilityGraph {
         if a == b {
             return false;
         }
-        self.states().any(|s| {
+        let mut scratch = match self.markings.first() {
+            Some(m) => m.clone(),
+            None => return false,
+        };
+        // Scan the smaller excitation region only.
+        let (x, y) = if self.states_enabling(a).len() <= self.states_enabling(b).len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.states_enabling(x).iter().any(|&s| {
             let m = &self.markings[s.index()];
-            net.is_enabled(m, a)
-                && net.is_enabled(m, b)
-                && net.is_enabled(&net.fire(m, a), b)
-                && net.is_enabled(&net.fire(m, b), a)
+            if !net.is_enabled(m, y) {
+                return false;
+            }
+            net.fire_into(m, x, &mut scratch);
+            if !net.is_enabled(&scratch, y) {
+                return false;
+            }
+            net.fire_into(m, y, &mut scratch);
+            net.is_enabled(&scratch, x)
         })
     }
 
@@ -273,8 +676,17 @@ impl ReachabilityGraph {
         p: crate::net::PlaceId,
         t: TransId,
     ) -> bool {
-        self.markings.iter().any(|m| {
-            m.get(p.index()) && net.is_enabled(m, t) && net.fire(m, t).get(p.index())
+        let mut scratch = match self.markings.first() {
+            Some(m) => m.clone(),
+            None => return false,
+        };
+        self.states_enabling(t).iter().any(|&s| {
+            let m = &self.markings[s.index()];
+            if !m.get(p.index()) {
+                return false;
+            }
+            net.fire_into(m, t, &mut scratch);
+            scratch.get(p.index())
         })
     }
 }
@@ -320,6 +732,23 @@ mod tests {
     }
 
     #[test]
+    fn interned_build_matches_naive_exactly() {
+        let net = fork_join();
+        let a = ReachabilityGraph::build(&net, 100).unwrap();
+        let b = ReachabilityGraph::build_naive(&net, 100).unwrap();
+        assert_eq!(a.state_count(), b.state_count());
+        for s in a.states() {
+            assert_eq!(a.marking(s), b.marking(s), "marking of {s:?}");
+            assert_eq!(a.successors(s), b.successors(s), "succs of {s:?}");
+            assert_eq!(a.predecessors(s), b.predecessors(s), "preds of {s:?}");
+        }
+        for t in net.transitions() {
+            assert_eq!(a.states_enabling(t), b.states_enabling(t));
+        }
+        assert_eq!(a.is_live(&net), b.is_live(&net));
+    }
+
+    #[test]
     fn behavioural_concurrency() {
         let net = fork_join();
         let rg = ReachabilityGraph::build(&net, 100).unwrap();
@@ -341,6 +770,8 @@ mod tests {
         let net = fork_join();
         let err = ReachabilityGraph::build(&net, 2).unwrap_err();
         assert_eq!(err, ReachError::StateCapExceeded { cap: 2 });
+        let err = ReachabilityGraph::build_naive(&net, 2).unwrap_err();
+        assert_eq!(err, ReachError::StateCapExceeded { cap: 2 });
     }
 
     #[test]
@@ -359,6 +790,8 @@ mod tests {
         b.arc_tp(t1, p0); // keep things going
         let net = b.build();
         let r = ReachabilityGraph::build(&net, 100);
+        assert!(matches!(r, Err(ReachError::NotSafe { .. })));
+        let r = ReachabilityGraph::build_naive(&net, 100);
         assert!(matches!(r, Err(ReachError::NotSafe { .. })));
     }
 
@@ -390,6 +823,31 @@ mod tests {
         assert_eq!(rg.state_of(&m0), Some(StateId(0)));
         assert_eq!(rg.marking(StateId(0)), &m0);
         let ers = rg.states_enabling(net.transition_by_name("fork").unwrap());
-        assert_eq!(ers, vec![StateId(0)]);
+        assert_eq!(ers, &[StateId(0)]);
+        // Unreachable marking of the right width -> None; wrong width -> None.
+        let unreachable = crate::net::Marking::from_ones(5, [1]);
+        assert_eq!(rg.state_of(&unreachable), None);
+        assert_eq!(rg.state_of(&crate::net::Marking::zeros(3)), None);
+    }
+
+    #[test]
+    fn interner_survives_growth() {
+        // A chain net with > 64 states forces table growth.
+        let n = 200;
+        let mut b = PetriNet::builder();
+        let places: Vec<_> = (0..n)
+            .map(|i| b.add_place(format!("p{i}"), i == 0))
+            .collect();
+        for i in 0..n {
+            let t = b.add_transition(format!("t{i}"));
+            b.arc_pt(places[i], t);
+            b.arc_tp(t, places[(i + 1) % n]);
+        }
+        let net = b.build();
+        let rg = ReachabilityGraph::build(&net, 1000).unwrap();
+        assert_eq!(rg.state_count(), n);
+        for s in rg.states() {
+            assert_eq!(rg.state_of(rg.marking(s)), Some(s));
+        }
     }
 }

@@ -58,10 +58,7 @@ pub fn redundant_places(net: &PetriNet, cap: usize) -> Result<Vec<PlaceId>, Reac
                 continue;
             }
             for &t in net.post_p(p) {
-                let others_ready = net
-                    .pre_t(t)
-                    .iter()
-                    .all(|&q| q == p || m.get(q.index()));
+                let others_ready = net.pre_t(t).iter().all(|&q| q == p || m.get(q.index()));
                 if others_ready {
                     continue 'place; // p uniquely disables t here: essential
                 }

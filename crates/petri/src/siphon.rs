@@ -91,10 +91,7 @@ pub fn minimal_siphons(net: &PetriNet, limit: usize) -> Vec<Bits> {
     // Keep only inclusion-minimal sets.
     let mut minimal: Vec<Bits> = Vec::new();
     for s in &found {
-        if !found
-            .iter()
-            .any(|o| o != s && o.is_subset(s))
-        {
+        if !found.iter().any(|o| o != s && o.is_subset(s)) {
             minimal.push(s.clone());
         }
     }
@@ -200,10 +197,7 @@ pub enum StructuralCheck {
 pub fn check_live_safe_fc(net: &PetriNet) -> StructuralCheck {
     for siphon in minimal_siphons(net, 512) {
         let trap = maximal_trap_within(net, &siphon);
-        let marked = net
-            .initial_marking()
-            .iter_ones()
-            .any(|i| trap.get(i));
+        let marked = net.initial_marking().iter_ones().any(|i| trap.get(i));
         if !marked {
             return StructuralCheck::UnmarkedSiphon {
                 siphon: siphon.iter_ones().map(|i| PlaceId(i as u32)).collect(),

@@ -21,11 +21,14 @@ enum Expand {
 
 fn arb_expansions() -> impl Strategy<Value = Vec<(usize, Expand)>> {
     proptest::collection::vec(
-        (0..64usize, prop_oneof![
-            Just(Expand::ForkJoin),
-            Just(Expand::Choice),
-            Just(Expand::Chain),
-        ]),
+        (
+            0..64usize,
+            prop_oneof![
+                Just(Expand::ForkJoin),
+                Just(Expand::Choice),
+                Just(Expand::Chain),
+            ],
+        ),
         0..5,
     )
 }

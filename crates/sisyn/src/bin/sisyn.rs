@@ -12,6 +12,12 @@
 //!   --arch ARCH        complex | excitation | per-region   (default excitation)
 //!   --stages N         minimization stage 0..4 or "full"    (default full)
 //!   --waveform N       also print an N-step simulated waveform
+//!   --cap N            state cap for every reachability-based oracle;
+//!                      exceeding it fails fast with a StateCapExceeded
+//!                      report instead of hanging. Per-command defaults
+//!                      when omitted: check 100000 (cheap count), verify
+//!                      4000000 functional / 1000000 conformance, resolve
+//!                      100000
 //! ```
 
 use sisyn::prelude::*;
@@ -25,12 +31,16 @@ struct Args {
     arch: Architecture,
     stages: MinimizeStages,
     waveform: Option<usize>,
+    /// `--cap`: one explicit cap for every oracle; `None` keeps the
+    /// per-command defaults.
+    cap: Option<usize>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: sisyn <check|synth|verify|resolve|dot> SPEC.g \
-         [-o FILE] [--arch complex|excitation|per-region] [--stages 0..4|full] [--waveform N]"
+         [-o FILE] [--arch complex|excitation|per-region] [--stages 0..4|full] [--waveform N] \
+         [--cap N]"
     );
     ExitCode::from(2)
 }
@@ -43,6 +53,7 @@ fn parse_args() -> Result<Args, ExitCode> {
     let mut arch = Architecture::ExcitationFunction;
     let mut stages = MinimizeStages::full();
     let mut waveform = None;
+    let mut cap = None;
     while let Some(a) = argv.next() {
         match a.as_str() {
             "-o" => output = Some(argv.next().ok_or_else(usage)?),
@@ -73,6 +84,18 @@ fn parse_args() -> Result<Args, ExitCode> {
                         .map_err(|_| usage())?,
                 )
             }
+            "--cap" => {
+                let n: usize = argv
+                    .next()
+                    .ok_or_else(usage)?
+                    .parse()
+                    .map_err(|_| usage())?;
+                if n == 0 {
+                    eprintln!("--cap must be positive");
+                    return Err(usage());
+                }
+                cap = Some(n);
+            }
             _ if input.is_none() => input = Some(a),
             other => {
                 eprintln!("unexpected argument {other:?}");
@@ -87,6 +110,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         arch,
         stages,
         waveform,
+        cap,
     })
 }
 
@@ -131,7 +155,7 @@ fn main() -> ExitCode {
     };
 
     match args.command.as_str() {
-        "check" => cmd_check(&stg),
+        "check" => cmd_check(&stg, &args),
         "synth" => cmd_synth(&stg, &args),
         "verify" => cmd_verify(&stg, &args),
         "resolve" => cmd_resolve(&stg, &args),
@@ -143,7 +167,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn cmd_check(stg: &sisyn::stg::Stg) -> ExitCode {
+fn cmd_check(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
     println!(
         "model {}: {} signals, {} transitions, {} places, free-choice: {}",
         stg.name(),
@@ -152,6 +176,20 @@ fn cmd_check(stg: &sisyn::stg::Stg) -> ExitCode {
         stg.net().place_count(),
         stg.net().is_free_choice()
     );
+    // Cheap default: the count is informational and the structural flow
+    // never needs the state graph, so don't burn time/memory on huge nets
+    // unless the user explicitly raises --cap.
+    match ReachabilityGraph::build(stg.net(), args.cap.unwrap_or(100_000)) {
+        Ok(rg) => println!("reachable markings: {}", rg.state_count()),
+        Err(sisyn::petri::ReachError::StateCapExceeded { cap }) => println!(
+            "reachable markings: > {cap} (cap exceeded — the structural flow \
+             does not need the state graph; raise --cap for exact counts)"
+        ),
+        Err(e) => {
+            println!("reachability: FAILED ({e})");
+            return ExitCode::FAILURE;
+        }
+    }
     match check_live_safe_fc(stg.net()) {
         sisyn::petri::StructuralCheck::Ok => println!("liveness/safeness: OK (Commoner)"),
         other => {
@@ -234,8 +272,21 @@ fn cmd_verify(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let functional = verify_circuit(stg, &syn.circuit);
-    let conformance = check_conformance(stg, &syn.circuit, 1_000_000);
+    let functional = match sisyn::verify::verify_circuit_capped(
+        stg,
+        &syn.circuit,
+        args.cap.unwrap_or(4_000_000),
+    ) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!(
+                "verification inconclusive: {e} — raise --cap (state-based \
+                 verification needs the full reachability graph)"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let conformance = check_conformance(stg, &syn.circuit, args.cap.unwrap_or(1_000_000));
     let sim = random_walks(stg, &syn.circuit, 4, 4000, 7);
     println!(
         "functional+monotonic: {} | conformance: {} ({} states) | random walks: {}",
@@ -252,7 +303,7 @@ fn cmd_verify(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
 }
 
 fn cmd_resolve(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
-    match resolve_csc(stg, 100_000) {
+    match resolve_csc(stg, args.cap.unwrap_or(100_000)) {
         Some((fixed, _plan)) => {
             eprintln!(
                 "resolved: {} -> {} signals",

@@ -319,8 +319,7 @@ fn dfs_paths(
             if v == target {
                 // Candidate path complete: via + realizability checks.
                 let via_ok = via.is_none_or(|x| on_path_p.get(x.index()));
-                if via_ok && path_realizable(stg, cr, sig, start, target, path_places, path_trans)
-                {
+                if via_ok && path_realizable(stg, cr, sig, start, target, path_places, path_trans) {
                     path_places.pop();
                     on_path_p.set(p.index(), false);
                     return true;
@@ -333,8 +332,18 @@ fn dfs_paths(
             on_path_t.set(v.index(), true);
             path_trans.push(v);
             let hit = dfs_paths(
-                stg, cr, sig, start, v, target, via, on_path_p, on_path_t, path_places,
-                path_trans, budget,
+                stg,
+                cr,
+                sig,
+                start,
+                v,
+                target,
+                via,
+                on_path_p,
+                on_path_t,
+                path_places,
+                path_trans,
+                budget,
             );
             path_trans.pop();
             on_path_t.set(v.index(), false);

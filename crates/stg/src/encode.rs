@@ -44,7 +44,11 @@ impl std::fmt::Display for EncodingError {
                 signal.0, state.0
             ),
             EncodingError::Undetermined { signal } => {
-                write!(f, "signal #{} never switches; its value is undetermined", signal.0)
+                write!(
+                    f,
+                    "signal #{} never switches; its value is undetermined",
+                    signal.0
+                )
             }
         }
     }
@@ -78,12 +82,7 @@ impl StateEncoding {
                     match val[state.index()][sig.index()] {
                         None => val[state.index()][sig.index()] = Some(v),
                         Some(old) if old == v => {}
-                        Some(_) => {
-                            return Err(EncodingError::Inconsistent {
-                                state,
-                                signal: sig,
-                            })
-                        }
+                        Some(_) => return Err(EncodingError::Inconsistent { state, signal: sig }),
                     }
                 }
             }
@@ -432,10 +431,9 @@ mod tests {
         let bad = semimodularity_violations(&stg, &rg);
         assert!(!bad.is_empty());
         // the disabled transition is the output y+
-        assert!(bad
-            .iter()
-            .any(|&(_, t, u)| stg.transition_display(t) == "y+"
-                && stg.transition_display(u) == "x+"));
+        assert!(bad.iter().any(
+            |&(_, t, u)| stg.transition_display(t) == "y+" && stg.transition_display(u) == "x+"
+        ));
     }
 
     #[test]

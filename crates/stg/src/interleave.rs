@@ -30,7 +30,12 @@ pub struct InterleavedNodes {
 
 /// Computes the nodes interleaved between adjacent transitions `from` and
 /// `to` (which should satisfy `to ∈ next(from)`).
-pub fn interleaved_nodes(stg: &Stg, analysis: &StgAnalysis, from: TransId, to: TransId) -> InterleavedNodes {
+pub fn interleaved_nodes(
+    stg: &Stg,
+    analysis: &StgAnalysis,
+    from: TransId,
+    to: TransId,
+) -> InterleavedNodes {
     let (fwd_p, fwd_t) = directed_reach(stg, analysis, from, to, true, true);
     let (bwd_p, bwd_t) = directed_reach(stg, analysis, to, from, false, true);
     let mut places = fwd_p.clone();

@@ -142,7 +142,10 @@ pub fn parse_g(text: &str) -> Result<Stg, ParseGError> {
                 line.split_whitespace().map(str::to_string).collect(),
             ));
         } else {
-            return Err(ParseGError::new(lineno, format!("unexpected line {line:?}")));
+            return Err(ParseGError::new(
+                lineno,
+                format!("unexpected line {line:?}"),
+            ));
         }
     }
 
@@ -176,19 +179,17 @@ pub fn parse_g(text: &str) -> Result<Stg, ParseGError> {
         T(TransId),
         P(PlaceId),
     }
-    let resolve = |b: &mut StgBuilder,
-                       places: &mut HashMap<String, PlaceId>,
-                       tok: &str|
-     -> NodeRef {
-        if let Some(r) = parse_trans_ref(tok, &signal_kinds) {
-            NodeRef::T(trans_ids[&r])
-        } else {
-            let id = *places
-                .entry(tok.to_string())
-                .or_insert_with(|| b.add_place(tok, false));
-            NodeRef::P(id)
-        }
-    };
+    let resolve =
+        |b: &mut StgBuilder, places: &mut HashMap<String, PlaceId>, tok: &str| -> NodeRef {
+            if let Some(r) = parse_trans_ref(tok, &signal_kinds) {
+                NodeRef::T(trans_ids[&r])
+            } else {
+                let id = *places
+                    .entry(tok.to_string())
+                    .or_insert_with(|| b.add_place(tok, false));
+                NodeRef::P(id)
+            }
+        };
     for (lineno, tokens) in &graph_lines {
         if tokens.len() < 2 {
             return Err(ParseGError::new(*lineno, "graph line needs >= 2 tokens"));
@@ -272,9 +273,7 @@ pub fn write_g(stg: &Stg) -> String {
     }
     let _ = writeln!(out, ".graph");
     let is_implicit = |p: si_petri::PlaceId| {
-        net.place_name(p).starts_with('<')
-            && net.pre_p(p).len() == 1
-            && net.post_p(p).len() == 1
+        net.place_name(p).starts_with('<') && net.pre_p(p).len() == 1 && net.post_p(p).len() == 1
     };
     for t in net.transitions() {
         let mut targets: Vec<String> = Vec::new();
@@ -416,7 +415,8 @@ d- a+
         assert!(err.to_string().contains("line 4"));
         let dup = ".model m\n.inputs a a\n";
         assert!(parse_g(dup).is_err());
-        let unknown_place = ".model m\n.inputs a\n.graph\na+ p\np a-\na- a+\n.marking { zz }\n.end\n";
+        let unknown_place =
+            ".model m\n.inputs a\n.graph\na+ p\np a-\na- a+\n.marking { zz }\n.end\n";
         assert!(parse_g(unknown_place).is_err());
     }
 

@@ -128,7 +128,8 @@ impl Stg {
 
     /// Human-readable name of a transition, e.g. `d+/2`.
     pub fn transition_display(&self, t: TransId) -> String {
-        self.label(t).display_with(self.signal_name(self.signal_of(t)))
+        self.label(t)
+            .display_with(self.signal_name(self.signal_of(t)))
     }
 
     /// Returns `true` if a transition switches an input signal.

@@ -38,7 +38,7 @@ pub fn render_waveform(stg: &Stg, trace: &[TransId]) -> String {
         .signals()
         .map(|s| format!("{:<width$} ", stg.signal_name(s)))
         .collect();
-    let mut push_step = |value: &[bool], rows: &mut Vec<String>, edge: Option<usize>| {
+    let push_step = |value: &[bool], rows: &mut Vec<String>, edge: Option<usize>| {
         for (i, row) in rows.iter_mut().enumerate() {
             let ch = match edge {
                 Some(e) if e == i => {

@@ -93,7 +93,25 @@ fn spec_next(
 /// Panics if the STG is not safe/consistent (callers verify synthesizable
 /// inputs, which always are).
 pub fn verify_circuit(stg: &Stg, circuit: &Circuit) -> VerificationReport {
-    let rg = ReachabilityGraph::build(stg.net(), 4_000_000).expect("safe net");
+    match verify_circuit_capped(stg, circuit, 4_000_000) {
+        Ok(report) => report,
+        Err(e) => panic!("state-based verification impossible: {e}"),
+    }
+}
+
+/// Like [`verify_circuit`] but with an explicit state cap: returns
+/// [`si_petri::ReachError::StateCapExceeded`] instead of hanging (or
+/// panicking) when the specification's state space is larger than `cap`.
+///
+/// # Errors
+///
+/// Any [`si_petri::ReachError`] from building the reachability graph.
+pub fn verify_circuit_capped(
+    stg: &Stg,
+    circuit: &Circuit,
+    cap: usize,
+) -> Result<VerificationReport, si_petri::ReachError> {
+    let rg = ReachabilityGraph::build(stg.net(), cap)?;
     let enc = StateEncoding::compute(stg, &rg).expect("consistent STG");
     let mut report = VerificationReport {
         violations: Vec::new(),
@@ -164,7 +182,7 @@ pub fn verify_circuit(stg: &Stg, circuit: &Circuit) -> VerificationReport {
             }
         }
     }
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -210,10 +228,7 @@ y- x+
         };
         let report = verify_circuit(&stg, &syn.circuit);
         assert!(!report.is_ok());
-        assert!(matches!(
-            report.violations[0],
-            Violation::Functional { .. }
-        ));
+        assert!(matches!(report.violations[0], Violation::Functional { .. }));
     }
 
     #[test]

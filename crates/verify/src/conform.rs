@@ -110,9 +110,9 @@ pub fn check_conformance(stg: &Stg, circuit: &Circuit, cap: usize) -> Conformanc
         // of that signal in the right direction.
         for &z in &excited_now {
             let target = !code.get(z.index());
-            let justified = enabled.iter().any(|&t| {
-                stg.signal_of(t) == z && stg.direction_of(t).target_value() == target
-            });
+            let justified = enabled
+                .iter()
+                .any(|&t| stg.signal_of(t) == z && stg.direction_of(t).target_value() == target);
             if !justified {
                 report.failures.push(ConformanceFailure::UnexpectedOutput {
                     signal: z,

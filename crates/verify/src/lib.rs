@@ -31,6 +31,6 @@ mod check;
 mod conform;
 mod sim;
 
-pub use check::{verify_circuit, VerificationReport, Violation};
+pub use check::{verify_circuit, verify_circuit_capped, VerificationReport, Violation};
 pub use conform::{check_conformance, ConformanceFailure, ConformanceReport};
 pub use sim::{random_walks, record_walk, WalkOutcome};

@@ -118,8 +118,7 @@ fn walk_inner(
             .implementations
             .iter()
             .filter(|imp| {
-                imp.next_value(code, code.get(imp.signal.index()))
-                    != code.get(imp.signal.index())
+                imp.next_value(code, code.get(imp.signal.index())) != code.get(imp.signal.index())
             })
             .map(|imp| imp.signal)
             .collect()
@@ -132,9 +131,9 @@ fn walk_inner(
         // Conformance: every excited output must be justified.
         for &z in &excited_now {
             let target = !code.get(z.index());
-            let ok = enabled.iter().any(|&t| {
-                stg.signal_of(t) == z && stg.direction_of(t).target_value() == target
-            });
+            let ok = enabled
+                .iter()
+                .any(|&t| stg.signal_of(t) == z && stg.direction_of(t).target_value() == target);
             if !ok {
                 return WalkOutcome::UnexpectedOutput { signal: z, step };
             }

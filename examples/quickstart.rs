@@ -24,8 +24,13 @@ done- req+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Parse the specification.
     let stg = parse_g(SPEC)?;
-    println!("model `{}`: {} signals, {} transitions, {} places", stg.name(),
-        stg.signal_count(), stg.net().transition_count(), stg.net().place_count());
+    println!(
+        "model `{}`: {} signals, {} transitions, {} places",
+        stg.name(),
+        stg.signal_count(),
+        stg.net().transition_count(),
+        stg.net().place_count()
+    );
 
     // 2. Structural consistency (Fig. 9 of the paper) -- no state space built.
     let analysis = StgAnalysis::analyze(&stg)?;
@@ -35,14 +40,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .map(|&u| stg.transition_display(u))
             .collect();
-        println!("  next({}) = {{{}}}", stg.transition_display(t), next.join(", "));
+        println!(
+            "  next({}) = {{{}}}",
+            stg.transition_display(t),
+            next.join(", ")
+        );
     }
 
     // 3. Synthesize with the default architecture (complex gate per
     //    excitation function, full minimization ladder).
     let syn = synthesize(&stg, &SynthesisOptions::default())?;
-    println!("\nsynthesized {} signals, area = {} literal units",
-        syn.results.len(), syn.literal_area);
+    println!(
+        "\nsynthesized {} signals, area = {} literal units",
+        syn.results.len(),
+        syn.literal_area
+    );
     for r in &syn.results {
         let name = stg.signal_name(r.signal);
         match &r.implementation.kind {
@@ -68,16 +80,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Map onto the cell library.
     let mapped = map_circuit(&syn.circuit);
-    println!("\nmapped area = {} transistor pairs over {} cells",
-        mapped.area, mapped.cells.len());
+    println!(
+        "\nmapped area = {} transistor pairs over {} cells",
+        mapped.area,
+        mapped.cells.len()
+    );
 
     // 5. Verify speed independence against the specification.
     let report = verify_circuit(&stg, &syn.circuit);
     let conform = check_conformance(&stg, &syn.circuit, 100_000);
-    println!("\nverification: functional+monotonic {}, conformance {} ({} product states)",
+    println!(
+        "\nverification: functional+monotonic {}, conformance {} ({} product states)",
         if report.is_ok() { "OK" } else { "FAILED" },
         if conform.is_ok() { "OK" } else { "FAILED" },
-        conform.states_explored);
+        conform.states_explored
+    );
     assert!(report.is_ok() && conform.is_ok());
     Ok(())
 }

@@ -11,31 +11,57 @@ use sisyn::stg::{benchmarks, SignalRegions, StateEncoding};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stg = benchmarks::running_example();
     let net = stg.net();
-    println!("running example `{}` (reconstruction of the paper's Fig. 1)", stg.name());
-    println!("signal order: {}",
-        stg.signals().map(|s| stg.signal_name(s).to_string()).collect::<Vec<_>>().join(" "));
+    println!(
+        "running example `{}` (reconstruction of the paper's Fig. 1)",
+        stg.name()
+    );
+    println!(
+        "signal order: {}",
+        stg.signals()
+            .map(|s| stg.signal_name(s).to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
 
     // Ground truth (Table I analog): the regions of output d.
     let rg = ReachabilityGraph::build(net, 100_000)?;
     let enc = StateEncoding::compute(&stg, &rg)?;
-    println!("\n== Table I: signal regions of d (ground truth, {} markings) ==", rg.state_count());
+    println!(
+        "\n== Table I: signal regions of d (ground truth, {} markings) ==",
+        rg.state_count()
+    );
     let d = stg.signal_by_name("d").expect("signal d");
     let regions = SignalRegions::compute(&stg, &rg, d);
     for (i, &t) in regions.transitions.iter().enumerate() {
-        let er: Vec<String> = regions.er[i].iter_ones()
-            .map(|s| enc.code(sisyn::petri::StateId(s as u32)).to_string()).collect();
-        let qr: Vec<String> = regions.qr[i].iter_ones()
-            .map(|s| enc.code(sisyn::petri::StateId(s as u32)).to_string()).collect();
-        println!("  ER({}) = {{{}}}   QR = {{{}}}",
-            stg.transition_display(t), er.join(", "), qr.join(", "));
+        let er: Vec<String> = regions.er[i]
+            .iter_ones()
+            .map(|s| enc.code(sisyn::petri::StateId(s as u32)).to_string())
+            .collect();
+        let qr: Vec<String> = regions.qr[i]
+            .iter_ones()
+            .map(|s| enc.code(sisyn::petri::StateId(s as u32)).to_string())
+            .collect();
+        println!(
+            "  ER({}) = {{{}}}   QR = {{{}}}",
+            stg.transition_display(t),
+            er.join(", "),
+            qr.join(", ")
+        );
     }
 
     // Table II analog: signal concurrency relation of places.
     let ctx = StructuralContext::build(&stg)?;
     println!("\n== Table II: place x signal concurrency (structural) ==");
     for p in net.places() {
-        let row: Vec<&str> = stg.signals()
-            .map(|s| if ctx.analysis.scr.place(p, s) { stg.signal_name(s) } else { "" })
+        let row: Vec<&str> = stg
+            .signals()
+            .map(|s| {
+                if ctx.analysis.scr.place(p, s) {
+                    stg.signal_name(s)
+                } else {
+                    ""
+                }
+            })
             .filter(|s| !s.is_empty())
             .collect();
         if !row.is_empty() {
@@ -50,8 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Table IV analog: refined approximations for d.
-    println!("\n== Table IV: region approximations of d (after {} refinement rounds) ==",
-        ctx.refinement_rounds);
+    println!(
+        "\n== Table IV: region approximations of d (after {} refinement rounds) ==",
+        ctx.refinement_rounds
+    );
     let sc = ctx.signal_covers(d);
     for (&t, cover) in sc.er.iter() {
         println!("  C({}) = {}", stg.transition_display(t), cover);
@@ -64,14 +92,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== structural coding conflicts ==");
     for c in ctx.conflicts() {
         let (p, q) = c.places;
-        println!("  SM#{}: {} x {}", c.sm_index, net.place_name(p), net.place_name(q));
+        println!(
+            "  SM#{}: {} x {}",
+            c.sm_index,
+            net.place_name(p),
+            net.place_name(q)
+        );
     }
     println!("CSC verdict: {:?}", ctx.csc_verdict());
 
     // And the final circuit.
     let syn = synthesize(&stg, &SynthesisOptions::default())?;
-    println!("\nsynthesized area: {} literal units; SI verified: {}",
+    println!(
+        "\nsynthesized area: {} literal units; SI verified: {}",
         syn.literal_area,
-        verify_circuit(&stg, &syn.circuit).is_ok());
+        verify_circuit(&stg, &syn.circuit).is_ok()
+    );
     Ok(())
 }

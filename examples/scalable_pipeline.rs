@@ -10,8 +10,10 @@ use sisyn::prelude::*;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("{:>5} {:>12} {:>14} {:>14} {:>10}",
-        "n", "|RG|", "structural", "state-based", "area");
+    println!(
+        "{:>5} {:>12} {:>14} {:>14} {:>10}",
+        "n", "|RG|", "structural", "state-based", "area"
+    );
     for n in [4usize, 8, 16, 32, 64, 90] {
         let stg = sisyn::stg::generators::clatch(n);
         // |RG| = 2^(n+1), known analytically.

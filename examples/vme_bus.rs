@@ -16,8 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let raw = benchmarks::vme_read_raw();
     match synthesize(&raw, &SynthesisOptions::default()) {
         Err(SynthesisError::CscViolationPossible { places }) => {
-            println!("raw VME rejected: CSC cannot be established ({} witness places)",
-                places.len());
+            println!(
+                "raw VME rejected: CSC cannot be established ({} witness places)",
+                places.len()
+            );
         }
         other => panic!("expected a CSC rejection, got {other:?}"),
     }
@@ -25,12 +27,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The library can search for the state-signal insertion automatically:
     match resolve_csc(&raw, 50_000) {
         Some((repaired, plan)) => {
-            println!("automatic CSC resolution found: split {} / {} (+{} wait arc(s))",
+            println!(
+                "automatic CSC resolution found: split {} / {} (+{} wait arc(s))",
                 repaired.net().place_count(),
                 repaired.net().transition_count(),
-                plan.rise_waits.len());
+                plan.rise_waits.len()
+            );
             let syn = synthesize(&repaired, &SynthesisOptions::default())?;
-            println!("  repaired spec synthesizes to {} literal units", syn.literal_area);
+            println!(
+                "  repaired spec synthesizes to {} literal units",
+                syn.literal_area
+            );
         }
         None => println!("automatic CSC resolution found nothing in budget"),
     }
@@ -66,12 +73,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Show the final equations of the default architecture.
     let syn = synthesize(&fixed, &SynthesisOptions::default())?;
     println!("\nfinal implementation (complex gate per excitation function):");
-    println!("  signal order: {}",
+    println!(
+        "  signal order: {}",
         fixed
             .signals()
             .map(|s| fixed.signal_name(s).to_string())
             .collect::<Vec<_>>()
-            .join(" "));
+            .join(" ")
+    );
     for r in &syn.results {
         let name = fixed.signal_name(r.signal);
         match &r.implementation.kind {
@@ -81,7 +90,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ImplKind::CLatch { set, reset } => {
                 let s: Vec<String> = set.iter().map(|c| c.to_string()).collect();
                 let r2: Vec<String> = reset.iter().map(|c| c.to_string()).collect();
-                println!("  {name}: C-latch set = {} ; reset = {}", s.join(" | "), r2.join(" | "))
+                println!(
+                    "  {name}: C-latch set = {} ; reset = {}",
+                    s.join(" | "),
+                    r2.join(" | ")
+                )
             }
             ImplKind::GcLatch { set, reset } => {
                 println!("  {name} = gC({set} ; {reset})")

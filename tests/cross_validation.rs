@@ -66,14 +66,24 @@ fn region_approximations_cover_ground_truth() {
                 let er_cover = ctx.er_cover(t);
                 for s in regions.er[i].iter_ones() {
                     let code = enc.code(sisyn::petri::StateId(s as u32));
-                    assert!(er_cover.contains_vertex(code),
-                        "{}: ER({}) misses {}", stg.name(), stg.transition_display(t), code);
+                    assert!(
+                        er_cover.contains_vertex(code),
+                        "{}: ER({}) misses {}",
+                        stg.name(),
+                        stg.transition_display(t),
+                        code
+                    );
                 }
                 let qr_cover = ctx.qr_cover(t);
                 for s in regions.qr[i].iter_ones() {
                     let code = enc.code(sisyn::petri::StateId(s as u32));
-                    assert!(qr_cover.contains_vertex(code),
-                        "{}: QR({}) misses {}", stg.name(), stg.transition_display(t), code);
+                    assert!(
+                        qr_cover.contains_vertex(code),
+                        "{}: QR({}) misses {}",
+                        stg.name(),
+                        stg.transition_display(t),
+                        code
+                    );
                 }
             }
         }
@@ -112,9 +122,12 @@ fn er_covers_never_hit_foreign_reachable_codes() {
                     .map(|&(u, _)| stg.direction_of(u).target_value())
                     .unwrap_or_else(|| enc.value(s, sig));
                 assert_eq!(
-                    implied, target,
+                    implied,
+                    target,
                     "{}: C({}) covers state {} with wrong implied value",
-                    stg.name(), stg.transition_display(t), s.0
+                    stg.name(),
+                    stg.transition_display(t),
+                    s.0
                 );
             }
         }
@@ -131,7 +144,11 @@ fn csc_verdict_matches_oracle() {
         let enc = StateEncoding::compute(&stg, &rg).unwrap();
         let coding = sisyn::stg::CodingAnalysis::compute(&stg, &rg, &enc);
         let verdict = ctx.csc_verdict();
-        assert!(coding.has_csc(), "{}: suite member must satisfy CSC", stg.name());
+        assert!(
+            coding.has_csc(),
+            "{}: suite member must satisfy CSC",
+            stg.name()
+        );
         assert!(
             !matches!(verdict, CscVerdict::Unknown { .. }),
             "{}: structural CSC too conservative: {verdict:?}",
@@ -148,7 +165,11 @@ fn csc_verdict_matches_oracle() {
 fn suite_is_semimodular() {
     for stg in suite() {
         let rg = ReachabilityGraph::build(stg.net(), 1_000_000).unwrap();
-        assert!(semimodularity_violations(&stg, &rg).is_empty(), "{}", stg.name());
+        assert!(
+            semimodularity_violations(&stg, &rg).is_empty(),
+            "{}",
+            stg.name()
+        );
     }
 }
 

@@ -16,7 +16,12 @@ fn roundtrip_preserves_structure_and_behaviour() {
             "{}",
             stg.name()
         );
-        assert_eq!(stg.net().place_count(), back.net().place_count(), "{}", stg.name());
+        assert_eq!(
+            stg.net().place_count(),
+            back.net().place_count(),
+            "{}",
+            stg.name()
+        );
         // Behavioural equality: same number of reachable states and the
         // same set of reachable codes modulo the signal reordering that
         // write_g introduces (it groups .inputs/.outputs/.internal).

@@ -50,7 +50,10 @@ fn structural_flow_is_conformant() {
 #[test]
 fn baseline_flow_verifies_everywhere() {
     for stg in benchmarks::synthesizable_suite() {
-        for flavor in [BaselineFlavor::ComplexGateExact, BaselineFlavor::ExcitationExact] {
+        for flavor in [
+            BaselineFlavor::ComplexGateExact,
+            BaselineFlavor::ExcitationExact,
+        ] {
             let syn = synthesize_state_based(&stg, flavor, 1_000_000)
                 .unwrap_or_else(|e| panic!("{} {flavor:?}: {e}", stg.name()));
             let report = verify_circuit(&stg, &syn.circuit);
@@ -72,8 +75,7 @@ fn structural_area_is_competitive_with_baseline() {
     let mut baseline_total = 0usize;
     for stg in benchmarks::synthesizable_suite() {
         let s = synthesize(&stg, &SynthesisOptions::default()).unwrap();
-        let b =
-            synthesize_state_based(&stg, BaselineFlavor::ExcitationExact, 1_000_000).unwrap();
+        let b = synthesize_state_based(&stg, BaselineFlavor::ExcitationExact, 1_000_000).unwrap();
         structural_total += s.literal_area;
         baseline_total += b.literal_area;
     }
