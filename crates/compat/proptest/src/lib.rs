@@ -230,7 +230,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy for vectors of `elem` values; see [`vec`].
+    /// Strategy for vectors of `elem` values; see [`vec()`].
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         elem: S,

@@ -23,7 +23,7 @@
 //! and output semimodularity.
 
 use crate::context::{CscVerdict, StructuralContext};
-use si_petri::{PlaceId, ReachabilityGraph, TransId};
+use si_petri::{PlaceId, ReachOptions, ReachabilityGraph, TransId};
 use si_stg::{
     semimodularity_violations, CodingAnalysis, Direction, SignalKind, StateEncoding, Stg,
 };
@@ -103,8 +103,8 @@ pub fn apply_insertion(stg: &Stg, name: &str, plan: &InsertionPlan) -> Stg {
 }
 
 /// Does the oracle accept the mutated STG completely?
-fn oracle_accepts(stg: &Stg, cap: usize) -> bool {
-    let Ok(rg) = ReachabilityGraph::build(stg.net(), cap) else {
+fn oracle_accepts(stg: &Stg, reach: ReachOptions) -> bool {
+    let Ok(rg) = ReachabilityGraph::build_with(stg.net(), reach) else {
         return false;
     };
     if !rg.is_live(stg.net()) {
@@ -130,6 +130,18 @@ fn oracle_accepts(stg: &Stg, cap: usize) -> bool {
 /// consumers are synthesized transitions, first without wait arcs, then
 /// with one wait arc from every transition (marked and unmarked variants).
 pub fn resolve_csc(stg: &Stg, budget: usize) -> Option<(Stg, InsertionPlan)> {
+    resolve_csc_with(stg, budget, ReachOptions::with_cap(1_000_000))
+}
+
+/// Like [`resolve_csc`] but with explicit [`ReachOptions`] for the
+/// behavioural acceptance oracle: `reach.cap` bounds the candidate's state
+/// space and `reach.shards > 1` runs the oracle's reachability build on
+/// the sharded multi-threaded engine.
+pub fn resolve_csc_with(
+    stg: &Stg,
+    budget: usize,
+    reach: ReachOptions,
+) -> Option<(Stg, InsertionPlan)> {
     if let Ok(ctx) = StructuralContext::build(stg) {
         if !matches!(ctx.csc_verdict(), CscVerdict::Unknown { .. }) {
             return Some((
@@ -196,7 +208,7 @@ pub fn resolve_csc(stg: &Stg, budget: usize) -> Option<(Stg, InsertionPlan)> {
                         continue;
                     }
                     // Behavioural acceptance.
-                    if oracle_accepts(&candidate, 1_000_000) {
+                    if oracle_accepts(&candidate, reach) {
                         return Some((candidate, plan));
                     }
                 }
@@ -251,6 +263,6 @@ mod tests {
             stg.net().transition_count() + 2
         );
         // behaviour stays live and consistent
-        assert!(oracle_accepts(&out, 10_000));
+        assert!(oracle_accepts(&out, ReachOptions::with_cap(10_000)));
     }
 }

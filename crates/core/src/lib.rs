@@ -43,10 +43,13 @@ pub mod techmap;
 
 pub use circuit::{Circuit, ImplKind, SignalImplementation};
 pub use context::{CodingConflict, CscVerdict, SignalCovers, StructuralContext, SynthesisError};
-pub use csc::{apply_insertion, resolve_csc, InsertionPlan};
+pub use csc::{apply_insertion, resolve_csc, resolve_csc_with, InsertionPlan};
 pub use cubes::PlaceCubes;
 pub use netlist::to_verilog;
-pub use statebased::{synthesize_state_based, BaselineError, BaselineFlavor, BaselineSynthesis};
+pub use statebased::{
+    synthesize_state_based, synthesize_state_based_with, BaselineError, BaselineFlavor,
+    BaselineSynthesis,
+};
 pub use synthesis::{
     synthesize, synthesize_signal, synthesize_with_context, Architecture, MinimizeStages,
     SignalResult, Synthesis, SynthesisOptions,

@@ -10,7 +10,7 @@
 
 use crate::circuit::{Circuit, ImplKind, SignalImplementation};
 use si_boolean::{minimize_against_off, Bits, Cover, Cube};
-use si_petri::{ReachError, ReachabilityGraph, StateId};
+use si_petri::{ReachError, ReachOptions, ReachabilityGraph, StateId};
 use si_stg::{
     codes_of, CodingAnalysis, EncodingError, SignalId, SignalRegions, StateEncoding, Stg,
 };
@@ -76,7 +76,25 @@ pub fn synthesize_state_based(
     flavor: BaselineFlavor,
     cap: usize,
 ) -> Result<BaselineSynthesis, BaselineError> {
-    let rg = ReachabilityGraph::build(stg.net(), cap).map_err(BaselineError::StateExplosion)?;
+    synthesize_state_based_with(stg, flavor, ReachOptions::with_cap(cap))
+}
+
+/// Like [`synthesize_state_based`] but with explicit [`ReachOptions`]:
+/// `reach.shards > 1` builds the reachability graph (the dominant cost of
+/// the baseline on the scalable benchmark families) on the sharded
+/// multi-threaded engine. The synthesized result is identical either way —
+/// the engines produce the same graph, state numbering included.
+///
+/// # Errors
+///
+/// Same contract as [`synthesize_state_based`].
+pub fn synthesize_state_based_with(
+    stg: &Stg,
+    flavor: BaselineFlavor,
+    reach: ReachOptions,
+) -> Result<BaselineSynthesis, BaselineError> {
+    let rg =
+        ReachabilityGraph::build_with(stg.net(), reach).map_err(BaselineError::StateExplosion)?;
     let enc = StateEncoding::compute(stg, &rg).map_err(BaselineError::Inconsistent)?;
     let coding = CodingAnalysis::compute(stg, &rg, &enc);
     if !coding.has_csc() {

@@ -144,6 +144,21 @@ pub struct Synthesis {
 ///
 /// Propagates context precondition failures and rejects STGs whose CSC
 /// property cannot be established structurally.
+///
+/// # Examples
+///
+/// Synthesizing the 2-input generalized C-latch of Fig. 7 yields one
+/// implementation (the output `z`) realized as a collapsed latch:
+///
+/// ```
+/// use si_core::{synthesize, SynthesisOptions};
+///
+/// let stg = si_stg::generators::clatch(2);
+/// let syn = synthesize(&stg, &SynthesisOptions::default())?;
+/// assert_eq!(syn.results.len(), 1);
+/// assert!(syn.literal_area > 0);
+/// # Ok::<(), si_core::SynthesisError>(())
+/// ```
 pub fn synthesize(stg: &Stg, options: &SynthesisOptions) -> Result<Synthesis, SynthesisError> {
     let ctx = StructuralContext::build(stg)?;
     synthesize_with_context(&ctx, options)

@@ -8,7 +8,9 @@
 //! * [`PetriNet`] — places/transitions/flow with a safe marking and the
 //!   firing rule, plus free-choice / state-machine / marked-graph checks;
 //! * [`ReachabilityGraph`] — the explicit state space (the thing the paper
-//!   avoids; used as baseline and oracle);
+//!   avoids; used as baseline and oracle), with a sequential word-parallel
+//!   engine and a sharded multi-threaded engine ([`shard`]) selected via
+//!   [`ReachOptions`];
 //! * [`SmComponent`], [`SmFinder`], [`sm_cover`] — one-token state-machine
 //!   components and SM-covers;
 //! * [`ConcurrencyRelation`] — the structural concurrency fixpoint (§V-A);
@@ -47,13 +49,14 @@ mod net;
 mod reach;
 mod reduce;
 mod redundant;
+pub mod shard;
 mod siphon;
 mod sm;
 
 pub use concurrency::ConcurrencyRelation;
 pub use invariant::{is_p_invariant, p_semiflows, t_semiflows, weighted_tokens, Semiflow};
-pub use net::{Marking, Node, PetriNet, PetriNetBuilder, PlaceId, TransId};
-pub use reach::{ReachError, ReachabilityGraph, StateId};
+pub use net::{FiringView, Marking, Node, PetriNet, PetriNetBuilder, PlaceId, TransId};
+pub use reach::{ReachError, ReachOptions, ReachabilityGraph, StateId};
 pub use reduce::ForwardReduction;
 pub use redundant::{duplicate_places, redundant_places};
 pub use siphon::{

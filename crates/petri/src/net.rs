@@ -353,6 +353,26 @@ impl PetriNet {
     ///
     /// Panics on width mismatch; in debug builds also if `t` is not
     /// enabled at `m`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use si_petri::PetriNet;
+    ///
+    /// // p0 -> t -> p1
+    /// let mut b = PetriNet::builder();
+    /// let p0 = b.add_place("p0", true);
+    /// let p1 = b.add_place("p1", false);
+    /// let t = b.add_transition("t");
+    /// b.arc_pt(p0, t);
+    /// b.arc_tp(t, p1);
+    /// let net = b.build();
+    ///
+    /// let m0 = net.initial_marking();
+    /// let mut out = m0.clone(); // scratch marking, reused across firings
+    /// net.fire_into(&m0, t, &mut out);
+    /// assert!(!out.get(p0.index()) && out.get(p1.index()));
+    /// ```
     pub fn fire_into(&self, m: &Marking, t: TransId, out: &mut Marking) {
         debug_assert!(self.is_enabled(m, t), "firing a disabled transition");
         out.copy_from(m);
@@ -465,6 +485,31 @@ impl PetriNet {
         (b.build(), removed)
     }
 
+    /// Builds the [`FiringView`] of this net: the per-transition masks
+    /// flattened into contiguous word arrays, ready for sharing across
+    /// worker threads.
+    pub fn firing_view(&self) -> FiringView {
+        let nt = self.transition_count();
+        let nw = self.initial.as_words().len();
+        let mut pre = vec![0u64; nt * nw];
+        let mut post = vec![0u64; nt * nw];
+        let mut gain = vec![0u64; nt * nw];
+        for t in self.transitions() {
+            let o = t.index() * nw;
+            pre[o..o + nw].copy_from_slice(self.pre_t_mask[t.index()].as_words());
+            post[o..o + nw].copy_from_slice(self.post_t_mask[t.index()].as_words());
+            gain[o..o + nw].copy_from_slice(self.gain_mask[t.index()].as_words());
+        }
+        FiringView {
+            nw,
+            nt,
+            np: self.place_count(),
+            pre,
+            post,
+            gain,
+        }
+    }
+
     /// Renders the net in a human-readable adjacency form (debugging aid).
     pub fn to_debug_string(&self) -> String {
         use std::fmt::Write;
@@ -487,6 +532,87 @@ impl PetriNet {
             .collect();
         let _ = writeln!(s, "m0 = {{{}}}", marked.join(","));
         s
+    }
+}
+
+/// A `Send + Sync` snapshot of a net's firing rule, flattened for the
+/// exploration hot loops.
+///
+/// The per-transition preset / postset / gain masks are stored as three
+/// contiguous `u64` arrays (`transition_count × words` each), so an enable
+/// scan streams straight through memory with no per-transition heap pointer
+/// to chase — and, because the view owns plain `Vec<u64>`s, a single
+/// instance can be shared by reference across the worker threads of the
+/// sharded reachability engine. Markings are handled as raw `&[u64]` word
+/// slices (the representation behind [`Marking::as_words`]).
+#[derive(Clone, Debug)]
+pub struct FiringView {
+    nw: usize,
+    nt: usize,
+    np: usize,
+    /// `•t` masks, transition-major: `pre[t*nw .. (t+1)*nw]`.
+    pre: Vec<u64>,
+    /// `t•` masks, same layout.
+    post: Vec<u64>,
+    /// `t• \ •t` masks, same layout.
+    gain: Vec<u64>,
+}
+
+impl FiringView {
+    /// Words per marking.
+    pub fn words(&self) -> usize {
+        self.nw
+    }
+
+    /// Number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.nt
+    }
+
+    /// Number of places (the marking width in bits).
+    pub fn place_count(&self) -> usize {
+        self.np
+    }
+
+    /// The `•t` mask words of transition `t`.
+    #[inline]
+    pub fn pre(&self, t: usize) -> &[u64] {
+        &self.pre[t * self.nw..(t + 1) * self.nw]
+    }
+
+    /// The `t•` mask words of transition `t`.
+    #[inline]
+    pub fn post(&self, t: usize) -> &[u64] {
+        &self.post[t * self.nw..(t + 1) * self.nw]
+    }
+
+    /// The `t• \ •t` mask words of transition `t`.
+    #[inline]
+    pub fn gain(&self, t: usize) -> &[u64] {
+        &self.gain[t * self.nw..(t + 1) * self.nw]
+    }
+
+    /// Is `t` enabled at marking `m` (`•t ⊆ m`, word-parallel)?
+    #[inline]
+    pub fn is_enabled(&self, m: &[u64], t: usize) -> bool {
+        self.pre(t).iter().zip(m).all(|(p, w)| p & !w == 0)
+    }
+
+    /// Would firing `t` at `m` put a second token on a place
+    /// (`m ∩ (t• \ •t) ≠ ∅`)? Only meaningful when `t` is enabled.
+    #[inline]
+    pub fn violates_safeness(&self, m: &[u64], t: usize) -> bool {
+        self.gain(t).iter().zip(m).any(|(g, w)| g & w != 0)
+    }
+
+    /// The firing rule `(m \ •t) ∪ t•`, written into `out`.
+    #[inline]
+    pub fn fire_into(&self, m: &[u64], t: usize, out: &mut [u64]) {
+        let pre = self.pre(t);
+        let post = self.post(t);
+        for w in 0..self.nw {
+            out[w] = (m[w] & !pre[w]) | post[w];
+        }
     }
 }
 
@@ -652,6 +778,31 @@ mod tests {
         b.arc_tp(t, p1);
         let n = b.build();
         assert!(!n.violates_safeness(&n.initial_marking(), TransId(0)));
+    }
+
+    #[test]
+    fn firing_view_matches_marking_api() {
+        let n = ring();
+        let view = n.firing_view();
+        assert_eq!(view.words(), 1);
+        assert_eq!(view.transition_count(), 2);
+        assert_eq!(view.place_count(), 2);
+        let m0 = n.initial_marking();
+        let mut out = vec![0u64; view.words()];
+        for t in n.transitions() {
+            assert_eq!(
+                view.is_enabled(m0.as_words(), t.index()),
+                n.is_enabled(&m0, t)
+            );
+            assert_eq!(
+                view.violates_safeness(m0.as_words(), t.index()),
+                n.violates_safeness(&m0, t)
+            );
+            if n.is_enabled(&m0, t) {
+                view.fire_into(m0.as_words(), t.index(), &mut out);
+                assert_eq!(&out, n.fire(&m0, t).as_words());
+            }
+        }
     }
 
     #[test]

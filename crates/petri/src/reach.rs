@@ -19,6 +19,74 @@
 use crate::net::{Marking, PetriNet, TransId};
 use std::collections::HashMap;
 
+/// Tuning knobs of a reachability exploration.
+///
+/// The only semantically relevant field is `cap` — every engine returns
+/// [`ReachError::StateCapExceeded`] when the state space outgrows it.
+/// `shards` selects the engine: `1` runs the sequential word-parallel
+/// builder, anything larger runs the sharded multi-threaded builder of
+/// [`crate::shard`] with that many workers. Worker counts are powers of
+/// two ≤ 64: the [`Self::shards`] setter and [`Self::auto`] normalize,
+/// and [`ReachabilityGraph::build_sharded`] rounds a raw field value up
+/// itself. All engines produce the *same* graph (state numbering
+/// included); see [`ReachabilityGraph::build_sharded`].
+///
+/// # Examples
+///
+/// ```
+/// use si_petri::ReachOptions;
+///
+/// let seq = ReachOptions::with_cap(10_000);
+/// assert_eq!(seq.shards, 1);
+/// let par = ReachOptions::with_cap(10_000).shards(4);
+/// assert_eq!(par.shards, 4);
+/// assert!(ReachOptions::auto(10_000).shards >= 1);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ReachOptions {
+    /// Maximum number of markings to enumerate before failing fast.
+    pub cap: usize,
+    /// Number of exploration shards (= worker threads when > 1).
+    pub shards: usize,
+}
+
+impl ReachOptions {
+    /// Sequential exploration with the given state cap.
+    pub fn with_cap(cap: usize) -> Self {
+        ReachOptions { cap, shards: 1 }
+    }
+
+    /// Sets the shard count, normalized to what the engine actually runs:
+    /// values < 1 become 1, everything else is rounded up to a power of
+    /// two and capped at 64.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1).next_power_of_two().min(64);
+        self
+    }
+
+    /// Picks the shard count from the machine's available parallelism:
+    /// sequential on a single-core box, otherwise the hardware-thread
+    /// count rounded **down** to a power of two (capped at 64) — idle
+    /// shard workers busy-wait, so oversubscribing the machine would slow
+    /// the workers doing real exploration. The stored `shards` value is
+    /// already normalized, so it equals the worker count the sharded
+    /// engine will actually run.
+    pub fn auto(cap: usize) -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let down = if n.is_power_of_two() {
+            n
+        } else {
+            n.next_power_of_two() / 2
+        };
+        ReachOptions {
+            cap,
+            shards: down.min(64),
+        }
+    }
+}
+
 /// Index of a marking inside a [`ReachabilityGraph`].
 #[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct StateId(pub u32);
@@ -67,10 +135,14 @@ impl std::error::Error for ReachError {}
 /// probe compares contiguous words — no per-marking heap pointer to chase,
 /// no clones, no `Hasher` machinery. The table stores `u32` state indices
 /// probed by a multiplicative hash of the words.
+///
+/// Crate-visible: the sharded engine ([`crate::shard`]) gives each worker
+/// thread one private interner, so the ids it hands out are *shard-local*
+/// there and only become global after the seal phase.
 #[derive(Clone, Debug)]
-struct MarkingInterner {
+pub(crate) struct MarkingInterner {
     /// Flat key storage: marking `s` is `words[s*nwords .. (s+1)*nwords]`.
-    words: Vec<u64>,
+    pub(crate) words: Vec<u64>,
     /// Words per marking.
     nwords: usize,
     /// Slot -> `(hash tag << 32) | state index`, `u64::MAX` = empty.
@@ -87,7 +159,7 @@ const TAG_MASK: u64 = 0xffff_ffff_0000_0000;
 use si_boolean::hash_word_slice as hash_key;
 
 impl MarkingInterner {
-    fn new(nwords: usize) -> Self {
+    pub(crate) fn new(nwords: usize) -> Self {
         MarkingInterner {
             words: Vec::new(),
             nwords,
@@ -97,13 +169,18 @@ impl MarkingInterner {
         }
     }
 
-    fn key(&self, s: usize) -> &[u64] {
+    pub(crate) fn key(&self, s: usize) -> &[u64] {
         &self.words[s * self.nwords..(s + 1) * self.nwords]
+    }
+
+    /// Number of interned markings.
+    pub(crate) fn len(&self) -> usize {
+        self.len
     }
 
     /// Looks up `key`; on a miss interns it as state `len` and returns
     /// `(id, true)`. One probe sequence for both outcomes.
-    fn intern(&mut self, key: &[u64]) -> (StateId, bool) {
+    pub(crate) fn intern(&mut self, key: &[u64]) -> (StateId, bool) {
         debug_assert_eq!(key.len(), self.nwords);
         let h = hash_key(key);
         let tag = h & TAG_MASK;
@@ -247,9 +324,55 @@ impl ReachabilityGraph {
         ))
     }
 
+    /// Explores the state space with the engine selected by `options`:
+    /// sequential ([`Self::build`]) for `shards == 1`, the sharded
+    /// multi-threaded engine ([`Self::build_sharded`]) otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::build`].
+    pub fn build_with(net: &PetriNet, options: ReachOptions) -> Result<Self, ReachError> {
+        if options.shards <= 1 {
+            Self::build(net, options.cap)
+        } else {
+            Self::build_sharded(net, options.cap, options.shards)
+        }
+    }
+
+    /// Explores the state space in parallel across `shards` worker threads,
+    /// each owning one hash-partition of the marking interner (see
+    /// [`crate::shard`] for the pipeline).
+    ///
+    /// The result is **bit-identical** to [`Self::build`] — same state
+    /// numbering, same adjacency — because the parallel phase is followed by
+    /// a canonical renumbering replaying the sequential exploration order
+    /// over the already-discovered graph. Callers can therefore switch
+    /// engines freely; property tests pin the equivalence on the full
+    /// random-net corpus.
+    ///
+    /// `shards` is clamped to `[1, 64]` and rounded up to a power of two;
+    /// `shards <= 1` falls back to the sequential engine.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::build`], with one caveat: the *first*
+    /// failure a racing worker hits wins. On a net with several safeness
+    /// violations, *which* transition a [`ReachError::NotSafe`] reports is
+    /// scheduling-dependent; on a net that is both unsafe **and** larger
+    /// than `cap`, even the error kind (`NotSafe` vs `StateCapExceeded`)
+    /// may differ from run to run and from the sequential engine. On safe
+    /// nets the cap error is deterministic and identical to
+    /// [`Self::build`]'s.
+    pub fn build_sharded(net: &PetriNet, cap: usize, shards: usize) -> Result<Self, ReachError> {
+        if shards <= 1 {
+            return Self::build(net, cap);
+        }
+        crate::shard::build_sharded(net, cap, shards.min(64).next_power_of_two())
+    }
+
     /// Builds the predecessor CSR and the excitation-region index from the
     /// successor adjacency in one fused pass over the edges.
-    fn index_edges(
+    pub(crate) fn index_edges(
         nt: usize,
         markings: Vec<Marking>,
         mut interner: MarkingInterner,
@@ -379,7 +502,6 @@ impl ReachabilityGraph {
         ),
         ReachError,
     > {
-        let nt = net.transition_count();
         let np = net.place_count();
         let m0 = net.initial_marking();
         let nw = m0.as_words().len();
@@ -387,15 +509,8 @@ impl ReachabilityGraph {
         // Flatten the per-transition masks into contiguous word arrays so
         // the inner loop streams through them without chasing a heap
         // pointer per transition per state.
-        let mut pre_flat = vec![0u64; nt * nw];
-        let mut post_flat = vec![0u64; nt * nw];
-        let mut gain_flat = vec![0u64; nt * nw];
-        for t in net.transitions() {
-            let o = t.index() * nw;
-            pre_flat[o..o + nw].copy_from_slice(net.pre_mask(t).as_words());
-            post_flat[o..o + nw].copy_from_slice(net.post_mask(t).as_words());
-            gain_flat[o..o + nw].copy_from_slice(net.gain_mask(t).as_words());
-        }
+        let view = net.firing_view();
+        let nt = view.transition_count();
 
         let mut scratch = vec![0u64; nw];
         let mut cur = vec![0u64; nw];
@@ -410,22 +525,17 @@ impl ReachabilityGraph {
             cur.copy_from_slice(interner.key(s as usize));
             let start = edges.len() as u32;
             for ti in 0..nt {
-                let pre = &pre_flat[ti * nw..ti * nw + nw];
                 // Enabled: •t ⊆ m, word-parallel.
-                if !pre.iter().zip(&cur).all(|(p, m)| p & !m == 0) {
+                if !view.is_enabled(&cur, ti) {
                     continue;
                 }
-                let gain = &gain_flat[ti * nw..ti * nw + nw];
                 // Safe: no place of t• \ •t already marked.
-                if gain.iter().zip(&cur).any(|(g, m)| g & m != 0) {
+                if view.violates_safeness(&cur, ti) {
                     return Err(ReachError::NotSafe {
                         transition: TransId(ti as u32),
                     });
                 }
-                let post = &post_flat[ti * nw..ti * nw + nw];
-                for w in 0..nw {
-                    scratch[w] = (cur[w] & !pre[w]) | post[w];
-                }
+                view.fire_into(&cur, ti, &mut scratch);
                 let (id, is_new) = interner.intern(&scratch);
                 if is_new {
                     if markings.len() >= cap {
@@ -487,16 +597,19 @@ impl ReachabilityGraph {
                 succs[s.index()].push((t, id));
             }
         }
-        Ok(Self::from_adjacency(net, markings, &succs))
+        Ok(Self::from_adjacency(
+            net.transition_count(),
+            markings,
+            &succs,
+        ))
     }
 
     /// Packs naive adjacency lists into the CSR/interned representation.
-    fn from_adjacency(
-        net: &PetriNet,
+    pub(crate) fn from_adjacency(
+        nt: usize,
         markings: Vec<Marking>,
         succs: &[Vec<(TransId, StateId)>],
     ) -> Self {
-        let nt = net.transition_count();
         let mut interner = MarkingInterner::new(markings[0].as_words().len());
         for m in &markings {
             interner.intern(m.as_words());

@@ -1,0 +1,580 @@
+//! Sharded parallel reachability exploration.
+//!
+//! The sequential engine behind [`ReachabilityGraph::build`] is bounded by one thread
+//! walking one marking interner. This module removes that bound by
+//! *partitioning the interner*: every reachable marking is owned by exactly
+//! one **shard**, chosen by a multiplicative mix of the marking's word
+//! hash, and every shard is explored by its own worker thread.
+//!
+//! # Pipeline
+//!
+//! ```text
+//!             ┌────────────────────── worker i ──────────────────────┐
+//!             │ frontier_i ─▶ fire all transitions (FiringView)      │
+//!             │     ▲               │                                │
+//!             │     │        shard_of(m') == i ? ──yes─▶ intern_i ───┤
+//!             │     └──────────────────────────────────── (if new)   │
+//!             │                      no                              │
+//!             │                      ▼                               │
+//!             │            queues[j][i]  (batched, mutexed)          │
+//!             └──────────────────────┬───────────────────────────────┘
+//!                                    ▼
+//!             ┌────────────────────── worker j ──────────────────────┐
+//!             │ drain queues[j][*] ─▶ intern_j ─▶ record edge        │
+//!             │                          │ (if new) ─▶ frontier_j    │
+//!             └──────────────────────────┴───────────────────────────┘
+//!
+//!   termination: global `pending` counter =
+//!       (discovered-but-unexplored states) + (sent-but-unprocessed msgs);
+//!   a worker may exit only when its frontier and inbox are empty AND
+//!   pending == 0.
+//! ```
+//!
+//! Each worker owns a private marking interner (open-addressing table +
+//! flat word arena) and a LIFO frontier, so the hot loop is identical to
+//! the sequential engine: no locks, no allocation per firing. Only
+//! *cross-shard successors* pay for communication, and those are staged in
+//! per-destination batches that are flushed under a per-`(src, dst)` pair
+//! mutex — workers never contend on a single global structure.
+//!
+//! # Sealing and canonical numbering
+//!
+//! After the parallel phase the shards hold disjoint state sets with
+//! *shard-local* ids and edge records scattered across workers (an edge is
+//! recorded by the shard owning its **destination**, which is the only
+//! worker that knows the destination's local id). The seal phase
+//!
+//! 1. concatenates the shards (global id = shard offset + local id),
+//! 2. rebuilds the successor adjacency and sorts each row by transition,
+//! 3. **renumbers states by replaying the sequential exploration order**
+//!    (LIFO stack from the initial marking, successors scanned in
+//!    transition order) over the discovered graph, and
+//! 4. hands the result to the same CSR/interner packing the sequential
+//!    engine uses.
+//!
+//! Step 3 makes the output *bit-identical* to [`ReachabilityGraph::build`]
+//! regardless of thread scheduling: the discovered state set and edge set
+//! are deterministic, and the replay derives the numbering purely from
+//! graph structure. Property tests
+//! (`crates/petri/tests/prop_substrate.rs`) pin this equivalence on the
+//! random live/safe/free-choice corpus.
+
+use crate::net::{FiringView, Marking, PetriNet, TransId};
+use crate::reach::{MarkingInterner, ReachError, ReachabilityGraph, StateId};
+use si_boolean::hash_word_slice;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Odd multiplier decorrelating the shard index from the interner's slot
+/// index (both are derived from the same word hash; without the remix a
+/// shard's keys would share their low hash bits and cluster in its table).
+const SHARD_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Staged cross-shard messages are flushed to the shared queue once this
+/// many have accumulated for one destination (or when the sender's local
+/// frontier drains). Batching amortizes the queue mutex.
+const FLUSH_AT: usize = 128;
+
+/// Owning shard of a marking key: top `log2(nshards)` bits of the remixed
+/// hash. `shift == 64 - log2(nshards)`.
+#[inline]
+fn shard_of(key: &[u64], shift: u32) -> usize {
+    (hash_word_slice(key).wrapping_mul(SHARD_MIX) >> shift) as usize
+}
+
+/// A batch of cross-shard messages: `nw` marking words plus
+/// `(source-local state, transition)` per message. The source shard is
+/// implied by which queue the batch sits in.
+#[derive(Default)]
+struct MsgBatch {
+    words: Vec<u64>,
+    meta: Vec<(u32, u32)>,
+}
+
+/// One `(src, dst)` message queue. The `nonempty` flag is written only
+/// while `buf`'s lock is held, so a receiver that reads `true` (Acquire)
+/// will find the messages, and a stale `false` merely defers the batch to
+/// the receiver's next spin (the `pending` counter keeps it spinning).
+/// Idle workers thereby skip empty inboxes without touching any mutex.
+#[derive(Default)]
+struct Queue {
+    nonempty: AtomicBool,
+    buf: Mutex<MsgBatch>,
+}
+
+/// One discovered edge, recorded by the shard owning its destination.
+struct EdgeRec {
+    src_shard: u32,
+    src_local: u32,
+    trans: u32,
+    /// Local id within the recording shard.
+    dst_local: u32,
+}
+
+/// State shared by all workers of one exploration.
+struct Shared {
+    nshards: usize,
+    shift: u32,
+    cap: usize,
+    /// In-flight work: discovered-but-unexplored states plus
+    /// sent-but-unprocessed messages. Zero ⇔ exploration complete.
+    pending: AtomicUsize,
+    /// Total markings interned across all shards (cap accounting).
+    states: AtomicUsize,
+    abort: AtomicBool,
+    error: Mutex<Option<ReachError>>,
+    /// `queues[dst][src]` — receiver `dst` drains row `dst`, sender `src`
+    /// appends under the pair's own mutex, so flushes to different
+    /// destinations never contend.
+    queues: Vec<Vec<Queue>>,
+}
+
+impl Shared {
+    /// First failure wins; everyone else sees `abort` and unwinds.
+    fn fail(&self, e: ReachError) {
+        let mut slot = self.error.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        self.abort.store(true, Ordering::Release);
+    }
+}
+
+/// Per-worker private state: one shard of the interner, its frontier, its
+/// edge records and its outbound staging buffers.
+struct Worker {
+    me: usize,
+    nw: usize,
+    interner: MarkingInterner,
+    /// LIFO frontier of shard-local state ids (same discipline as the
+    /// sequential engine).
+    frontier: Vec<u32>,
+    edges: Vec<EdgeRec>,
+    /// Outbound staging, one batch per destination shard.
+    out: Vec<MsgBatch>,
+}
+
+impl Worker {
+    fn new(me: usize, nw: usize, nshards: usize) -> Self {
+        Worker {
+            me,
+            nw,
+            interner: MarkingInterner::new(nw),
+            frontier: Vec::new(),
+            edges: Vec::new(),
+            out: (0..nshards).map(|_| MsgBatch::default()).collect(),
+        }
+    }
+
+    /// Interns `key` in this shard, recording the edge that discovered it;
+    /// new states are charged against the global cap and pushed on the
+    /// local frontier. Returns `false` when the exploration must abort.
+    fn accept(
+        &mut self,
+        key: &[u64],
+        src_shard: u32,
+        src_local: u32,
+        trans: u32,
+        shared: &Shared,
+    ) -> bool {
+        let (local, is_new) = self.interner.intern(key);
+        if is_new {
+            let before = shared.states.fetch_add(1, Ordering::AcqRel);
+            if before >= shared.cap {
+                shared.fail(ReachError::StateCapExceeded { cap: shared.cap });
+                return false;
+            }
+            shared.pending.fetch_add(1, Ordering::AcqRel);
+            self.frontier.push(local.0);
+        }
+        self.edges.push(EdgeRec {
+            src_shard,
+            src_local,
+            trans,
+            dst_local: local.0,
+        });
+        true
+    }
+
+    /// Takes every waiting inbound batch and interns its markings.
+    /// Returns whether anything was received.
+    fn drain_inbox(&mut self, shared: &Shared) -> bool {
+        let mut any = false;
+        for src in 0..shared.nshards {
+            if src == self.me {
+                continue;
+            }
+            let q = &shared.queues[self.me][src];
+            if !q.nonempty.load(Ordering::Acquire) {
+                continue;
+            }
+            let batch = {
+                let mut buf = q.buf.lock().unwrap();
+                q.nonempty.store(false, Ordering::Release);
+                std::mem::take(&mut *buf)
+            };
+            if batch.meta.is_empty() {
+                continue;
+            }
+            any = true;
+            for (k, &(src_local, trans)) in batch.meta.iter().enumerate() {
+                let key = &batch.words[k * self.nw..(k + 1) * self.nw];
+                let ok = self.accept(key, src as u32, src_local, trans, shared);
+                shared.pending.fetch_sub(1, Ordering::AcqRel);
+                if !ok {
+                    return any;
+                }
+            }
+        }
+        any
+    }
+
+    /// Publishes the staged batch for `dst` into the shared queue.
+    fn flush_to(&mut self, dst: usize, shared: &Shared) {
+        let staged = &mut self.out[dst];
+        if staged.meta.is_empty() {
+            return;
+        }
+        {
+            let q = &shared.queues[dst][self.me];
+            let mut buf = q.buf.lock().unwrap();
+            buf.words.extend_from_slice(&staged.words);
+            buf.meta.extend_from_slice(&staged.meta);
+            q.nonempty.store(true, Ordering::Release);
+        }
+        staged.words.clear();
+        staged.meta.clear();
+    }
+
+    fn flush_all(&mut self, shared: &Shared) {
+        for dst in 0..shared.nshards {
+            if dst != self.me {
+                self.flush_to(dst, shared);
+            }
+        }
+    }
+
+    /// The worker main loop: drain inbox, explore the local frontier,
+    /// flush outbound batches, spin-yield when idle until `pending`
+    /// reaches zero (or someone aborts).
+    fn run(&mut self, view: &FiringView, shared: &Shared) {
+        let nw = self.nw;
+        let nt = view.transition_count();
+        let mut cur = vec![0u64; nw];
+        let mut scratch = vec![0u64; nw];
+        loop {
+            if shared.abort.load(Ordering::Acquire) {
+                return;
+            }
+            let received = self.drain_inbox(shared);
+            let mut explored = 0usize;
+            while let Some(s) = self.frontier.pop() {
+                cur.copy_from_slice(self.interner.key(s as usize));
+                for ti in 0..nt {
+                    if !view.is_enabled(&cur, ti) {
+                        continue;
+                    }
+                    if view.violates_safeness(&cur, ti) {
+                        shared.fail(ReachError::NotSafe {
+                            transition: TransId(ti as u32),
+                        });
+                        return;
+                    }
+                    view.fire_into(&cur, ti, &mut scratch);
+                    let dst = shard_of(&scratch, shared.shift);
+                    if dst == self.me {
+                        if !self.accept(&scratch, self.me as u32, s, ti as u32, shared) {
+                            return;
+                        }
+                    } else {
+                        // Counted as in-flight from the moment it is
+                        // staged, so no receiver can observe pending == 0
+                        // while the message sits in our buffer.
+                        shared.pending.fetch_add(1, Ordering::AcqRel);
+                        let staged = &mut self.out[dst];
+                        staged.words.extend_from_slice(&scratch);
+                        staged.meta.push((s, ti as u32));
+                        if staged.meta.len() >= FLUSH_AT {
+                            self.flush_to(dst, shared);
+                        }
+                    }
+                }
+                shared.pending.fetch_sub(1, Ordering::AcqRel);
+                explored += 1;
+                if explored.is_multiple_of(64) {
+                    if shared.abort.load(Ordering::Acquire) {
+                        return;
+                    }
+                    // Keep cross-shard latency bounded even during long
+                    // local runs: publish what we have and take deliveries.
+                    self.flush_all(shared);
+                    self.drain_inbox(shared);
+                }
+            }
+            self.flush_all(shared);
+            if !received && self.frontier.is_empty() {
+                if shared.pending.load(Ordering::Acquire) == 0 {
+                    return;
+                }
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Parallel exploration entry point — see
+/// [`ReachabilityGraph::build_sharded`] for the public contract.
+/// `nshards` must be a power of two ≥ 2 (the caller normalizes).
+pub(crate) fn build_sharded(
+    net: &PetriNet,
+    cap: usize,
+    nshards: usize,
+) -> Result<ReachabilityGraph, ReachError> {
+    debug_assert!(nshards >= 2 && nshards.is_power_of_two());
+    let view = net.firing_view();
+    let nw = view.words();
+    let shift = 64 - nshards.trailing_zeros();
+
+    let shared = Shared {
+        nshards,
+        shift,
+        cap,
+        pending: AtomicUsize::new(1), // the initial marking
+        states: AtomicUsize::new(1),  // ditto (never charged against the cap)
+        abort: AtomicBool::new(false),
+        error: Mutex::new(None),
+        queues: (0..nshards)
+            .map(|_| (0..nshards).map(|_| Queue::default()).collect())
+            .collect(),
+    };
+
+    let mut workers: Vec<Worker> = (0..nshards).map(|i| Worker::new(i, nw, nshards)).collect();
+
+    // Seed the initial marking into its owner shard as local state 0.
+    // Like the sequential engine, m0 is admitted without a cap check (it
+    // has no discovering edge either, so `accept` does not apply).
+    let m0 = net.initial_marking();
+    let owner = shard_of(m0.as_words(), shift);
+    let (s0, _) = workers[owner].interner.intern(m0.as_words());
+    debug_assert_eq!(s0, StateId(0));
+    workers[owner].frontier.push(0);
+
+    std::thread::scope(|scope| {
+        for w in workers.iter_mut() {
+            let shared = &shared;
+            let view = &view;
+            scope.spawn(move || w.run(view, shared));
+        }
+    });
+
+    if let Some(e) = shared.error.into_inner().unwrap() {
+        return Err(e);
+    }
+    Ok(seal(net, &workers, owner))
+}
+
+/// Merges the shards and renumbers canonically (module docs, steps 1–4).
+fn seal(net: &PetriNet, workers: &[Worker], owner: usize) -> ReachabilityGraph {
+    let np = net.place_count();
+    let nt = net.transition_count();
+    let nshards = workers.len();
+
+    // 1. Shard offsets: provisional global id = off[shard] + local id.
+    let mut off = vec![0usize; nshards + 1];
+    for (i, w) in workers.iter().enumerate() {
+        off[i + 1] = off[i] + w.interner.len();
+    }
+    let n = off[nshards];
+
+    // Old-gid-indexed view of every marking's words (shards are
+    // contiguous ranges of the provisional numbering).
+    let mut words_of: Vec<&[u64]> = Vec::with_capacity(n);
+    for w in workers {
+        for l in 0..w.interner.len() {
+            words_of.push(w.interner.key(l));
+        }
+    }
+
+    // 2. Successor adjacency over provisional ids, rows sorted by
+    //    transition (each (state, transition) edge is unique, so this
+    //    recovers the sequential engine's in-row order).
+    let nedges: usize = workers.iter().map(|w| w.edges.len()).sum();
+    let mut deg = vec![0u32; n + 1];
+    for w in workers {
+        for e in &w.edges {
+            deg[off[e.src_shard as usize] + e.src_local as usize + 1] += 1;
+        }
+    }
+    for i in 0..n {
+        deg[i + 1] += deg[i];
+    }
+    let mut adj = vec![(0u32, 0u32); nedges];
+    let mut cursor = deg.clone();
+    for (j, w) in workers.iter().enumerate() {
+        for e in &w.edges {
+            let src = off[e.src_shard as usize] + e.src_local as usize;
+            let dst = (off[j] + e.dst_local as usize) as u32;
+            let c = &mut cursor[src];
+            adj[*c as usize] = (e.trans, dst);
+            *c += 1;
+        }
+    }
+    for s in 0..n {
+        adj[deg[s] as usize..deg[s + 1] as usize].sort_unstable_by_key(|&(t, _)| t);
+    }
+    let row = |s: usize| &adj[deg[s] as usize..deg[s + 1] as usize];
+
+    // 3. Canonical renumbering: replay the sequential exploration (LIFO
+    //    stack, successors in transition order, ids assigned at first
+    //    discovery) over the discovered graph.
+    let root = off[owner]; // m0 is local state 0 of its owner shard
+    let mut perm = vec![u32::MAX; n];
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    perm[root] = 0;
+    order.push(root as u32);
+    let mut stack: Vec<u32> = vec![root as u32];
+    while let Some(s) = stack.pop() {
+        for &(_, d) in row(s as usize) {
+            if perm[d as usize] == u32::MAX {
+                perm[d as usize] = order.len() as u32;
+                order.push(d);
+                stack.push(d);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "every state is reachable from m0");
+
+    // 4. Emit in canonical order, straight into the flat CSR layout (no
+    //    per-row Vec allocations — n can be millions).
+    let markings: Vec<Marking> = order
+        .iter()
+        .map(|&old| Marking::from_words(np, words_of[old as usize].to_vec()))
+        .collect();
+    let mut interner = MarkingInterner::new(words_of.first().map_or(1, |w| w.len()));
+    for m in &markings {
+        interner.intern(m.as_words());
+    }
+    let mut succ_edges: Vec<(TransId, StateId)> = Vec::with_capacity(nedges);
+    let mut succ_ranges: Vec<(u32, u32)> = Vec::with_capacity(n);
+    for &old in &order {
+        let start = succ_edges.len() as u32;
+        for &(t, d) in row(old as usize) {
+            succ_edges.push((TransId(t), StateId(perm[d as usize])));
+        }
+        succ_ranges.push((start, succ_edges.len() as u32));
+    }
+    ReachabilityGraph::index_edges(nt, markings, interner, succ_edges, succ_ranges)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::net::PetriNet;
+    use crate::reach::{ReachError, ReachabilityGraph};
+
+    /// An `n`-stage pipeline of fork-joins — enough states to exercise
+    /// cross-shard traffic and table growth.
+    fn pipeline(n: usize) -> PetriNet {
+        let mut b = PetriNet::builder();
+        let mut prev = b.add_place("p0", true);
+        for i in 0..n {
+            let fork = b.add_transition(format!("fork{i}"));
+            let a = b.add_place(format!("a{i}"), false);
+            let c = b.add_place(format!("b{i}"), false);
+            let a2 = b.add_place(format!("a{i}x"), false);
+            let c2 = b.add_place(format!("b{i}x"), false);
+            let join = b.add_transition(format!("join{i}"));
+            let next = b.add_place(format!("p{}", i + 1), false);
+            b.arc_pt(prev, fork);
+            b.arc_tp(fork, a);
+            b.arc_tp(fork, c);
+            let ta = b.add_transition(format!("ta{i}"));
+            let tb = b.add_transition(format!("tb{i}"));
+            b.arc_pt(a, ta);
+            b.arc_tp(ta, a2);
+            b.arc_pt(c, tb);
+            b.arc_tp(tb, c2);
+            b.arc_pt(a2, join);
+            b.arc_pt(c2, join);
+            b.arc_tp(join, next);
+            prev = next;
+        }
+        // Close the loop so the net is live.
+        let back = b.add_transition("back");
+        let first = crate::net::PlaceId(0);
+        b.arc_pt(prev, back);
+        b.arc_tp(back, first);
+        b.build()
+    }
+
+    fn assert_identical(a: &ReachabilityGraph, b: &ReachabilityGraph) {
+        assert_eq!(a.state_count(), b.state_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        for s in a.states() {
+            assert_eq!(a.marking(s), b.marking(s), "marking of {s:?}");
+            assert_eq!(a.successors(s), b.successors(s), "succs of {s:?}");
+            assert_eq!(a.predecessors(s), b.predecessors(s), "preds of {s:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_matches_sequential_bit_for_bit() {
+        for n in [1, 3, 6] {
+            let net = pipeline(n);
+            let seq = ReachabilityGraph::build(&net, 1_000_000).unwrap();
+            for shards in [2, 4, 8] {
+                let par = ReachabilityGraph::build_sharded(&net, 1_000_000, shards).unwrap();
+                assert_identical(&seq, &par);
+                for t in net.transitions() {
+                    assert_eq!(seq.states_enabling(t), par.states_enabling(t));
+                }
+                assert_eq!(seq.is_live(&net), par.is_live(&net));
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_respects_cap() {
+        let net = pipeline(4);
+        let full = ReachabilityGraph::build(&net, 1_000_000).unwrap();
+        let cap = full.state_count() - 1;
+        let err = ReachabilityGraph::build_sharded(&net, cap, 4).unwrap_err();
+        assert_eq!(err, ReachError::StateCapExceeded { cap });
+    }
+
+    #[test]
+    fn sharded_detects_unsafe_nets() {
+        // Two producers race tokens onto p1.
+        let mut b = PetriNet::builder();
+        let p0 = b.add_place("p0", true);
+        let p1 = b.add_place("p1", false);
+        let p2 = b.add_place("p2", true);
+        let t0 = b.add_transition("t0");
+        let t1 = b.add_transition("t1");
+        b.arc_pt(p0, t0);
+        b.arc_tp(t0, p1);
+        b.arc_pt(p2, t1);
+        b.arc_tp(t1, p1);
+        b.arc_tp(t1, p0);
+        let net = b.build();
+        let r = ReachabilityGraph::build_sharded(&net, 100, 2);
+        assert!(matches!(r, Err(ReachError::NotSafe { .. })));
+    }
+
+    #[test]
+    fn one_shard_falls_back_to_sequential() {
+        let net = pipeline(2);
+        let a = ReachabilityGraph::build_sharded(&net, 1_000, 1).unwrap();
+        let b = ReachabilityGraph::build(&net, 1_000).unwrap();
+        assert_identical(&a, &b);
+    }
+
+    #[test]
+    fn wide_nets_cross_word_boundaries() {
+        // > 64 places forces multi-word markings through the message path.
+        let n = 40; // 6 places per stage + 1 => ~241 places
+        let net = pipeline(n);
+        let seq = ReachabilityGraph::build(&net, 1_000_000).unwrap();
+        let par = ReachabilityGraph::build_sharded(&net, 1_000_000, 4).unwrap();
+        assert_identical(&seq, &par);
+    }
+}

@@ -14,10 +14,24 @@
 //!   --waveform N       also print an N-step simulated waveform
 //!   --cap N            state cap for every reachability-based oracle;
 //!                      exceeding it fails fast with a StateCapExceeded
-//!                      report instead of hanging. Per-command defaults
-//!                      when omitted: check 100000 (cheap count), verify
-//!                      4000000 functional / 1000000 conformance, resolve
-//!                      100000
+//!                      report that names this flag (pass a larger
+//!                      `--cap N` to raise the cap) instead of hanging.
+//!                      Per-command defaults when omitted: check 100000
+//!                      (cheap count), verify 4000000 functional /
+//!                      1000000 conformance, resolve 1000000 (acceptance
+//!                      oracle; the insertion-candidate search budget is
+//!                      a fixed 100000 and not affected by this flag)
+//!   --shards N|auto    explore reachability with N parallel shard
+//!                      workers (see si-petri's sharded engine; N is
+//!                      rounded up to a power of two, max 64); `auto`
+//!                      picks the hardware-thread count rounded down.
+//!                      Default 1 (sequential). Raising --cap on a big
+//!                      net? Combine it with --shards to keep the wall
+//!                      time down.
+//!   --budget N         resolve only: insertion-candidate search budget
+//!                      (default 100000) — how many state-signal
+//!                      insertions to try, distinct from the --cap that
+//!                      bounds each candidate's acceptance oracle
 //! ```
 
 use sisyn::prelude::*;
@@ -34,13 +48,25 @@ struct Args {
     /// `--cap`: one explicit cap for every oracle; `None` keeps the
     /// per-command defaults.
     cap: Option<usize>,
+    /// `--shards`: reachability shard workers (1 = sequential engine).
+    shards: usize,
+    /// `--budget`: candidate-search budget for `resolve`.
+    budget: usize,
+}
+
+impl Args {
+    /// The reachability options for an oracle whose default cap is
+    /// `default_cap` (overridden by `--cap`), sharded per `--shards`.
+    fn reach(&self, default_cap: usize) -> ReachOptions {
+        ReachOptions::with_cap(self.cap.unwrap_or(default_cap)).shards(self.shards)
+    }
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: sisyn <check|synth|verify|resolve|dot> SPEC.g \
          [-o FILE] [--arch complex|excitation|per-region] [--stages 0..4|full] [--waveform N] \
-         [--cap N]"
+         [--cap N] [--shards N|auto] [--budget N]"
     );
     ExitCode::from(2)
 }
@@ -54,6 +80,8 @@ fn parse_args() -> Result<Args, ExitCode> {
     let mut stages = MinimizeStages::full();
     let mut waveform = None;
     let mut cap = None;
+    let mut shards = 1usize;
+    let mut budget = 100_000usize;
     while let Some(a) = argv.next() {
         match a.as_str() {
             "-o" => output = Some(argv.next().ok_or_else(usage)?),
@@ -96,6 +124,26 @@ fn parse_args() -> Result<Args, ExitCode> {
                 }
                 cap = Some(n);
             }
+            "--shards" => {
+                let v = argv.next().ok_or_else(usage)?;
+                shards = if v == "auto" {
+                    ReachOptions::auto(1).shards
+                } else {
+                    let n: usize = v.parse().map_err(|_| usage())?;
+                    if n == 0 {
+                        eprintln!("--shards must be positive (or `auto`)");
+                        return Err(usage());
+                    }
+                    n
+                };
+            }
+            "--budget" => {
+                budget = argv
+                    .next()
+                    .ok_or_else(usage)?
+                    .parse()
+                    .map_err(|_| usage())?;
+            }
             _ if input.is_none() => input = Some(a),
             other => {
                 eprintln!("unexpected argument {other:?}");
@@ -111,6 +159,8 @@ fn parse_args() -> Result<Args, ExitCode> {
         stages,
         waveform,
         cap,
+        shards,
+        budget,
     })
 }
 
@@ -179,11 +229,13 @@ fn cmd_check(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
     // Cheap default: the count is informational and the structural flow
     // never needs the state graph, so don't burn time/memory on huge nets
     // unless the user explicitly raises --cap.
-    match ReachabilityGraph::build(stg.net(), args.cap.unwrap_or(100_000)) {
+    match ReachabilityGraph::build_with(stg.net(), args.reach(100_000)) {
         Ok(rg) => println!("reachable markings: {}", rg.state_count()),
         Err(sisyn::petri::ReachError::StateCapExceeded { cap }) => println!(
-            "reachable markings: > {cap} (cap exceeded — the structural flow \
-             does not need the state graph; raise --cap for exact counts)"
+            "reachable markings: > {cap} (state cap exceeded — the \
+             structural flow does not need the state graph; pass a larger \
+             `--cap N` for exact counts, and `--shards auto` to explore \
+             big state spaces in parallel)"
         ),
         Err(e) => {
             println!("reachability: FAILED ({e})");
@@ -272,21 +324,21 @@ fn cmd_verify(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let functional = match sisyn::verify::verify_circuit_capped(
-        stg,
-        &syn.circuit,
-        args.cap.unwrap_or(4_000_000),
-    ) {
-        Ok(report) => report,
-        Err(e) => {
-            eprintln!(
-                "verification inconclusive: {e} — raise --cap (state-based \
-                 verification needs the full reachability graph)"
-            );
-            return ExitCode::FAILURE;
-        }
-    };
-    let conformance = check_conformance(stg, &syn.circuit, args.cap.unwrap_or(1_000_000));
+    let functional =
+        match sisyn::verify::verify_circuit_with(stg, &syn.circuit, args.reach(4_000_000)) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!(
+                    "verification inconclusive: {e} — state-based \
+                     verification needs the full reachability graph; pass a \
+                     larger `--cap N` to raise the cap (and `--shards auto` \
+                     to build the graph in parallel)"
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+    let conformance =
+        sisyn::verify::check_conformance_with(stg, &syn.circuit, args.reach(1_000_000));
     let sim = random_walks(stg, &syn.circuit, 4, 4000, 7);
     println!(
         "functional+monotonic: {} | conformance: {} ({} states) | random walks: {}",
@@ -303,7 +355,10 @@ fn cmd_verify(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
 }
 
 fn cmd_resolve(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
-    match resolve_csc(stg, args.cap.unwrap_or(100_000)) {
+    // `--cap`/`--shards` govern the behavioural acceptance oracle (like
+    // every other reachability-based oracle); `--budget` bounds the
+    // candidate search, which is a search bound, not a state cap.
+    match resolve_csc_with(stg, args.budget, args.reach(1_000_000)) {
         Some((fixed, _plan)) => {
             eprintln!(
                 "resolved: {} -> {} signals",

@@ -37,11 +37,11 @@ pub use si_verify as verify;
 pub mod prelude {
     pub use si_boolean::{Bits, Cover, Cube};
     pub use si_core::{
-        map_circuit, resolve_csc, synthesize, synthesize_state_based, to_verilog, Architecture,
-        BaselineFlavor, Circuit, CscVerdict, ImplKind, MinimizeStages, StructuralContext,
-        Synthesis, SynthesisOptions,
+        map_circuit, resolve_csc, resolve_csc_with, synthesize, synthesize_state_based, to_verilog,
+        Architecture, BaselineFlavor, Circuit, CscVerdict, ImplKind, MinimizeStages,
+        StructuralContext, Synthesis, SynthesisOptions,
     };
-    pub use si_petri::{check_live_safe_fc, PetriNet, ReachabilityGraph};
+    pub use si_petri::{check_live_safe_fc, PetriNet, ReachOptions, ReachabilityGraph};
     pub use si_stg::{parse_g, stg_to_dot, write_g, SignalKind, Stg, StgAnalysis};
     pub use si_verify::{check_conformance, random_walks, record_walk, verify_circuit};
 }

@@ -111,7 +111,25 @@ pub fn verify_circuit_capped(
     circuit: &Circuit,
     cap: usize,
 ) -> Result<VerificationReport, si_petri::ReachError> {
-    let rg = ReachabilityGraph::build(stg.net(), cap)?;
+    verify_circuit_with(stg, circuit, si_petri::ReachOptions::with_cap(cap))
+}
+
+/// Like [`verify_circuit_capped`] but with explicit
+/// [`si_petri::ReachOptions`]: `reach.shards > 1` builds the specification's
+/// reachability graph — the dominant cost of state-based verification on
+/// the scalable families — with the sharded multi-threaded engine. The
+/// report is identical either way (the engines produce the same graph,
+/// state numbering included).
+///
+/// # Errors
+///
+/// Any [`si_petri::ReachError`] from building the reachability graph.
+pub fn verify_circuit_with(
+    stg: &Stg,
+    circuit: &Circuit,
+    reach: si_petri::ReachOptions,
+) -> Result<VerificationReport, si_petri::ReachError> {
+    let rg = ReachabilityGraph::build_with(stg.net(), reach)?;
     let enc = StateEncoding::compute(stg, &rg).expect("consistent STG");
     let mut report = VerificationReport {
         violations: Vec::new(),

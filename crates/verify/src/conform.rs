@@ -70,11 +70,50 @@ impl ConformanceReport {
 /// Exhaustively explores the circuit × environment product up to `cap`
 /// states.
 pub fn check_conformance(stg: &Stg, circuit: &Circuit, cap: usize) -> ConformanceReport {
+    check_conformance_with(stg, circuit, si_petri::ReachOptions::with_cap(cap))
+}
+
+/// Like [`check_conformance`] but with explicit [`si_petri::ReachOptions`]:
+/// `reach.cap` bounds the product exploration and `reach.shards > 1` builds
+/// the specification's reachability graph (the probe that seeds the initial
+/// wire encoding) on the sharded multi-threaded engine.
+///
+/// The probe keeps at least the historical 4M-state headroom so a small
+/// product cap still allows partial product exploration; if even that is
+/// exceeded the report carries
+/// [`ConformanceFailure::StateCapExceeded`] instead of panicking.
+///
+/// # Panics
+///
+/// Panics if the specification's net is not safe (callers verify
+/// synthesizable inputs, which always are) — an unsafe net is a broken
+/// specification, not an inconclusive exploration.
+pub fn check_conformance_with(
+    stg: &Stg,
+    circuit: &Circuit,
+    reach: si_petri::ReachOptions,
+) -> ConformanceReport {
+    let cap = reach.cap;
     let net = stg.net();
 
     // Initial wire values: derived from the STG's consistent encoding of
     // the initial marking.
-    let rg_probe = si_petri::ReachabilityGraph::build(net, 4_000_000).expect("safe");
+    let probe_opts = si_petri::ReachOptions {
+        cap: reach.cap.max(4_000_000),
+        shards: reach.shards,
+    };
+    let rg_probe = match si_petri::ReachabilityGraph::build_with(net, probe_opts) {
+        Ok(rg) => rg,
+        Err(si_petri::ReachError::StateCapExceeded { .. }) => {
+            return ConformanceReport {
+                failures: vec![ConformanceFailure::StateCapExceeded],
+                states_explored: 0,
+            };
+        }
+        Err(e @ si_petri::ReachError::NotSafe { .. }) => {
+            panic!("conformance check on a non-safe specification: {e}")
+        }
+    };
     let enc = si_stg::StateEncoding::compute(stg, &rg_probe).expect("consistent");
     let s0 = rg_probe
         .state_of(&net.initial_marking())

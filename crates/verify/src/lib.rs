@@ -31,6 +31,10 @@ mod check;
 mod conform;
 mod sim;
 
-pub use check::{verify_circuit, verify_circuit_capped, VerificationReport, Violation};
-pub use conform::{check_conformance, ConformanceFailure, ConformanceReport};
+pub use check::{
+    verify_circuit, verify_circuit_capped, verify_circuit_with, VerificationReport, Violation,
+};
+pub use conform::{
+    check_conformance, check_conformance_with, ConformanceFailure, ConformanceReport,
+};
 pub use sim::{random_walks, record_walk, WalkOutcome};

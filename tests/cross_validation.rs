@@ -228,3 +228,32 @@ fn dot_exports_are_wellformed() {
         assert_eq!(dot.matches('{').count(), dot.matches('}').count());
     }
 }
+
+#[test]
+fn sharded_reachability_agrees_across_the_suite() {
+    // The sharded engine must be a drop-in replacement for every
+    // reachability-based oracle: identical graph on the whole benchmark
+    // suite and an identical verification report through
+    // `verify_circuit_with`.
+    for stg in suite() {
+        let seq = ReachabilityGraph::build(stg.net(), 1_000_000).unwrap();
+        let par =
+            ReachabilityGraph::build_with(stg.net(), ReachOptions::with_cap(1_000_000).shards(4))
+                .unwrap();
+        assert_eq!(seq.state_count(), par.state_count(), "{}", stg.name());
+        assert_eq!(seq.edge_count(), par.edge_count(), "{}", stg.name());
+        for s in seq.states() {
+            assert_eq!(seq.marking(s), par.marking(s), "{}", stg.name());
+            assert_eq!(seq.successors(s), par.successors(s), "{}", stg.name());
+        }
+    }
+    let stg = benchmarks::vme_read_csc();
+    let syn = synthesize(&stg, &SynthesisOptions::default()).unwrap();
+    let report = sisyn::verify::verify_circuit_with(
+        &stg,
+        &syn.circuit,
+        ReachOptions::with_cap(1_000_000).shards(4),
+    )
+    .unwrap();
+    assert!(report.is_ok());
+}
