@@ -21,6 +21,7 @@ fn main() {
     let opts = SynthesisOptions {
         architecture: Architecture::PerRegion,
         stages: MinimizeStages::full(),
+        ..Default::default()
     };
     for stg in si_bench::small_set() {
         // Conflict-driven only: rebuild the context, then undo the liberal
@@ -70,6 +71,7 @@ fn main() {
                 &SynthesisOptions {
                     architecture: Architecture::PerRegion,
                     stages: MinimizeStages::stage(stage),
+                    ..Default::default()
                 },
             )
             .expect("synthesis");

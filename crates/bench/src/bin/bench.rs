@@ -12,7 +12,10 @@
 //! * `synth_ms` — the full structural synthesis flow;
 //! * `shard_scaling` — the sharded parallel reachability engine
 //!   (`ReachabilityGraph::build_sharded`) against the sequential engine on
-//!   the exponentially-growing `clatch(n)` family, at 1/2/4/8 shards.
+//!   the exponentially-growing `clatch(n)` family, at 1/2/4/8 shards;
+//! * `minimizer_backends` — literal counts and wall time of the pluggable
+//!   two-level minimizer backends (espresso / exact / bdd / auto) on the
+//!   complex-gate synthesis of the large set.
 //!
 //! ```text
 //! bench [--iters N] [--smoke] [--cap N] [--out FILE]
@@ -26,7 +29,8 @@
 //! ```
 
 use si_bench::{fmt_duration, large_set, small_set};
-use si_core::{synthesize, SynthesisOptions};
+use si_boolean::MinimizerChoice;
+use si_core::{synthesize, Architecture, SynthesisOptions};
 use si_petri::{ConcurrencyRelation, ReachabilityGraph};
 use si_stg::Stg;
 use std::fmt::Write as _;
@@ -215,6 +219,50 @@ fn measure_shard_scaling(cfg: &Config) -> (usize, Vec<usize>, Vec<ShardEntry>) {
     (cap, counts, entries)
 }
 
+/// One workload of the minimizer-backend section.
+struct MinimizerEntry {
+    name: String,
+    /// Backend name -> (literal area, best-of wall time); input order
+    /// follows [`MinimizerChoice::ALL`].
+    per_backend: Vec<(&'static str, usize, Duration)>,
+}
+
+/// Times every minimizer backend on the complex-gate synthesis (the
+/// architecture whose covers are plain two-level problems) of the large
+/// set. Workloads the structural flow rejects are skipped.
+fn measure_minimizer_backends(cfg: &Config) -> Vec<MinimizerEntry> {
+    let mut entries = Vec::new();
+    for stg in large_set() {
+        let mut per_backend = Vec::new();
+        for choice in MinimizerChoice::ALL {
+            let opts = SynthesisOptions {
+                architecture: Architecture::ComplexGate,
+                minimizer: choice,
+                ..Default::default()
+            };
+            let Ok(first) = synthesize(&stg, &opts) else {
+                break;
+            };
+            let d = best_of(cfg.iters.min(3), || synthesize(&stg, &opts).unwrap());
+            per_backend.push((choice.name(), first.literal_area, d));
+        }
+        if per_backend.is_empty() {
+            eprintln!("minimizers/{}: skipped (not synthesizable)", stg.name());
+            continue;
+        }
+        eprint!("minimizers/{}:", stg.name());
+        for &(name, lits, d) in &per_backend {
+            eprint!(" {name}={lits}lit/{}", fmt_duration(d));
+        }
+        eprintln!();
+        entries.push(MinimizerEntry {
+            name: stg.name().to_string(),
+            per_backend,
+        });
+    }
+    entries
+}
+
 fn json_ms(d: Option<Duration>) -> String {
     match d {
         Some(d) => format!("{:.6}", d.as_secs_f64() * 1e3),
@@ -255,10 +303,11 @@ fn main() {
     }
 
     let (shard_cap, shard_counts, shard_entries) = measure_shard_scaling(&cfg);
+    let minimizer_entries = measure_minimizer_backends(&cfg);
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"sisyn/bench-substrates/v2\",");
+    let _ = writeln!(json, "  \"schema\": \"sisyn/bench-substrates/v3\",");
     let _ = writeln!(json, "  \"iters\": {},", cfg.iters);
     let _ = writeln!(json, "  \"state_cap\": {},", cfg.cap);
     let _ = writeln!(
@@ -365,6 +414,53 @@ fn main() {
             json,
             "      }}{}",
             if i + 1 < shard_entries.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+    // Minimizer-backend section: literal counts and wall time per backend
+    // on the complex-gate synthesis of the large set.
+    let _ = writeln!(json, "  \"minimizer_backends\": {{");
+    let _ = writeln!(json, "    \"architecture\": \"complex-gate\",");
+    let _ = writeln!(
+        json,
+        "    \"backends\": [{}],",
+        MinimizerChoice::ALL
+            .iter()
+            .map(|c| format!("\"{}\"", c.name()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(json, "    \"entries\": [");
+    for (i, e) in minimizer_entries.iter().enumerate() {
+        let _ = writeln!(json, "      {{");
+        let _ = writeln!(json, "        \"name\": \"{}\",", e.name);
+        let _ = writeln!(
+            json,
+            "        \"literals\": {{{}}},",
+            e.per_backend
+                .iter()
+                .map(|&(n, lits, _)| format!("\"{n}\": {lits}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let _ = writeln!(
+            json,
+            "        \"synth_ms\": {{{}}}",
+            e.per_backend
+                .iter()
+                .map(|&(n, _, d)| format!("\"{n}\": {}", json_ms(Some(d))))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let _ = writeln!(
+            json,
+            "      }}{}",
+            if i + 1 < minimizer_entries.len() {
+                ","
+            } else {
+                ""
+            }
         );
     }
     let _ = writeln!(json, "    ]");

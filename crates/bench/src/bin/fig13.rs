@@ -16,6 +16,7 @@ fn series(set: &[si_stg::Stg]) -> (Vec<f64>, f64) {
                 &SynthesisOptions {
                     architecture: Architecture::PerRegion,
                     stages: MinimizeStages::stage(stage),
+                    ..Default::default()
                 },
             )
             .expect("structural");
@@ -30,6 +31,7 @@ fn series(set: &[si_stg::Stg]) -> (Vec<f64>, f64) {
             &SynthesisOptions {
                 architecture: Architecture::PerRegion,
                 stages: MinimizeStages::full(),
+                ..Default::default()
             },
         )
         .expect("structural");

@@ -38,6 +38,7 @@ fn main() {
             &SynthesisOptions {
                 architecture: arch,
                 stages: MinimizeStages::stage(1),
+                ..Default::default()
             },
         )
         .expect("synthesis");

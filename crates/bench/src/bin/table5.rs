@@ -31,6 +31,7 @@ fn main() {
             &SynthesisOptions {
                 architecture: Architecture::ExcitationFunction,
                 stages: MinimizeStages::stage(2), // no backward expansion / collapse
+                ..Default::default()
             },
         )
         .expect("structural");
@@ -39,6 +40,7 @@ fn main() {
             &SynthesisOptions {
                 architecture: Architecture::PerRegion,
                 stages: MinimizeStages::full(),
+                ..Default::default()
             },
         )
         .expect("structural");

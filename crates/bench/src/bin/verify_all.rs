@@ -1,9 +1,11 @@
 //! The §IX footnote, reproduced: "all synthesis results have been formally
 //! verified to be speed independent". Runs every benchmark through every
-//! architecture, then through the three independent verifiers.
+//! architecture, then through the three independent verifiers — over one
+//! [`Engine`] session per benchmark, so the reachability graph behind the
+//! six verifier calls is built once per STG, not once per (arch, verifier).
 
-use si_core::{synthesize, Architecture, MinimizeStages, SynthesisOptions};
-use si_verify::{check_conformance, random_walks, verify_circuit};
+use si_core::{Architecture, Engine, MinimizeStages, SynthesisOptions};
+use si_verify::{random_walks, EngineVerify};
 
 fn main() {
     let header = format!(
@@ -14,18 +16,20 @@ fn main() {
     si_bench::rule(&header);
     let mut failures = 0usize;
     for stg in si_bench::small_set() {
+        // The historical functional-verification cap (verify_circuit's
+        // 4M); conformance products on the small set are far below it, so
+        // one cap serves both oracles without narrowing either.
+        let engine = Engine::new(&stg).cap(4_000_000);
         for (label, arch) in [
             ("complex", Architecture::ComplexGate),
             ("excitation", Architecture::ExcitationFunction),
             ("per-region", Architecture::PerRegion),
         ] {
-            let syn = match synthesize(
-                &stg,
-                &SynthesisOptions {
-                    architecture: arch,
-                    stages: MinimizeStages::full(),
-                },
-            ) {
+            let syn = match engine.synthesize_with(&SynthesisOptions {
+                architecture: arch,
+                stages: MinimizeStages::full(),
+                ..Default::default()
+            }) {
                 Ok(s) => s,
                 Err(e) => {
                     println!("{:<16} {:<10} | synthesis failed: {e}", stg.name(), label);
@@ -33,8 +37,22 @@ fn main() {
                     continue;
                 }
             };
-            let functional = verify_circuit(&stg, &syn.circuit).is_ok();
-            let conform = check_conformance(&stg, &syn.circuit, 500_000).is_ok();
+            // A cap overflow is "never checked", not "checked and failed"
+            // — report it distinctly instead of conflating it with a
+            // genuine verification failure.
+            let functional = match engine.verify(&syn.circuit) {
+                Ok(r) => r.is_ok(),
+                Err(e) => {
+                    println!(
+                        "{:<16} {:<10} | verification inconclusive: {e}",
+                        stg.name(),
+                        label
+                    );
+                    failures += 1;
+                    continue;
+                }
+            };
+            let conform = engine.check_conformance(&syn.circuit).is_ok();
             let sim = random_walks(&stg, &syn.circuit, 4, 2000, 2024).is_clean();
             if !(functional && conform && sim) {
                 failures += 1;

@@ -1,0 +1,398 @@
+//! A small reduced-ordered BDD package over [`Bits`]-indexed variables.
+//!
+//! The exact minimizer backend ([`crate::BddMinimizer`]) represents the
+//! on-set and the care freedom as BDDs, enumerates **all prime implicants**
+//! with the classical recursive decomposition (Blake canonical form), and
+//! solves the covering problem on top. At STG-synthesis widths (one
+//! variable per signal, rarely beyond a few dozen) the node counts stay
+//! tiny, so the package favours clarity over sophistication: natural
+//! variable order, one manager per minimization call, no garbage
+//! collection. Prime sets are kept as explicit cube lists rather than ZDDs
+//! — at these sizes the implicit representation would cost more than it
+//! saves.
+//!
+//! # Examples
+//!
+//! ```
+//! use si_boolean::{Bdd, Cover};
+//!
+//! let mut bdd = Bdd::new(2);
+//! // f = a·b + a·b'  ==  a
+//! let f = bdd.from_cover(&Cover::from_cubes(2, vec![
+//!     "11".parse()?,
+//!     "10".parse()?,
+//! ]));
+//! assert_eq!(bdd.sat_count(f), 2);
+//! let primes = bdd.primes(f, 64).unwrap();
+//! assert_eq!(primes.len(), 1);
+//! assert_eq!(primes[0].to_positional(), "1-");
+//! # Ok::<(), si_boolean::ParseCubeError>(())
+//! ```
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+use std::collections::HashMap;
+
+/// A node reference inside one [`Bdd`] manager.
+pub type BddRef = u32;
+
+/// The constant FALSE function.
+pub const BDD_FALSE: BddRef = 0;
+/// The constant TRUE function.
+pub const BDD_TRUE: BddRef = 1;
+
+/// Sentinel variable index of the two terminal nodes (sorts after every
+/// real variable, which keeps the var-comparison logic branch-free).
+const TERMINAL_VAR: u32 = u32::MAX;
+
+#[derive(Copy, Clone, Debug)]
+struct Node {
+    var: u32,
+    lo: BddRef,
+    hi: BddRef,
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+enum Op {
+    And,
+    Or,
+}
+
+/// A reduced-ordered BDD manager with hash-consed nodes and memoized
+/// apply/negate operations. Variables are `0..width` in natural order.
+#[derive(Debug)]
+pub struct Bdd {
+    width: usize,
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, BddRef, BddRef), BddRef>,
+    apply_cache: HashMap<(Op, BddRef, BddRef), BddRef>,
+    not_cache: HashMap<BddRef, BddRef>,
+}
+
+impl Bdd {
+    /// A fresh manager for functions of `width` variables.
+    pub fn new(width: usize) -> Self {
+        Bdd {
+            width,
+            nodes: vec![
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: BDD_FALSE,
+                    hi: BDD_FALSE,
+                },
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: BDD_TRUE,
+                    hi: BDD_TRUE,
+                },
+            ],
+            unique: HashMap::new(),
+            apply_cache: HashMap::new(),
+            not_cache: HashMap::new(),
+        }
+    }
+
+    /// The number of variables.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The number of live nodes (terminals included).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn var(&self, f: BddRef) -> u32 {
+        self.nodes[f as usize].var
+    }
+
+    /// The reduced node `(var, lo, hi)` (hash-consed; skips redundant
+    /// tests).
+    fn mk(&mut self, var: u32, lo: BddRef, hi: BddRef) -> BddRef {
+        if lo == hi {
+            return lo;
+        }
+        *self.unique.entry((var, lo, hi)).or_insert_with(|| {
+            self.nodes.push(Node { var, lo, hi });
+            (self.nodes.len() - 1) as BddRef
+        })
+    }
+
+    /// The BDD of one cube (product of literals).
+    pub fn from_cube(&mut self, cube: &Cube) -> BddRef {
+        let mut f = BDD_TRUE;
+        for var in (0..self.width).rev() {
+            match cube.get(var) {
+                crate::cube::CubeVal::One => f = self.mk(var as u32, BDD_FALSE, f),
+                crate::cube::CubeVal::Zero => f = self.mk(var as u32, f, BDD_FALSE),
+                crate::cube::CubeVal::DontCare => {}
+            }
+        }
+        f
+    }
+
+    /// The BDD of a cover (sum of its cubes).
+    pub fn from_cover(&mut self, cover: &Cover) -> BddRef {
+        let mut f = BDD_FALSE;
+        for cube in cover.cubes() {
+            let c = self.from_cube(cube);
+            f = self.or(f, c);
+        }
+        f
+    }
+
+    fn apply(&mut self, op: Op, a: BddRef, b: BddRef) -> BddRef {
+        match (op, a, b) {
+            (Op::And, BDD_FALSE, _) | (Op::And, _, BDD_FALSE) => return BDD_FALSE,
+            (Op::And, BDD_TRUE, x) | (Op::And, x, BDD_TRUE) => return x,
+            (Op::Or, BDD_TRUE, _) | (Op::Or, _, BDD_TRUE) => return BDD_TRUE,
+            (Op::Or, BDD_FALSE, x) | (Op::Or, x, BDD_FALSE) => return x,
+            _ if a == b => return a,
+            _ => {}
+        }
+        // Commutative ops: canonicalize the cache key.
+        let key = (op, a.min(b), a.max(b));
+        if let Some(&r) = self.apply_cache.get(&key) {
+            return r;
+        }
+        let (va, vb) = (self.var(a), self.var(b));
+        let v = va.min(vb);
+        let (a0, a1) = if va == v {
+            (self.nodes[a as usize].lo, self.nodes[a as usize].hi)
+        } else {
+            (a, a)
+        };
+        let (b0, b1) = if vb == v {
+            (self.nodes[b as usize].lo, self.nodes[b as usize].hi)
+        } else {
+            (b, b)
+        };
+        let lo = self.apply(op, a0, b0);
+        let hi = self.apply(op, a1, b1);
+        let r = self.mk(v, lo, hi);
+        self.apply_cache.insert(key, r);
+        r
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, a: BddRef, b: BddRef) -> BddRef {
+        self.apply(Op::And, a, b)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, a: BddRef, b: BddRef) -> BddRef {
+        self.apply(Op::Or, a, b)
+    }
+
+    /// Negation.
+    pub fn not(&mut self, f: BddRef) -> BddRef {
+        match f {
+            BDD_FALSE => return BDD_TRUE,
+            BDD_TRUE => return BDD_FALSE,
+            _ => {}
+        }
+        if let Some(&r) = self.not_cache.get(&f) {
+            return r;
+        }
+        let Node { var, lo, hi } = self.nodes[f as usize];
+        let nlo = self.not(lo);
+        let nhi = self.not(hi);
+        let r = self.mk(var, nlo, nhi);
+        self.not_cache.insert(f, r);
+        r
+    }
+
+    /// `a ∧ ¬b`.
+    pub fn diff(&mut self, a: BddRef, b: BddRef) -> BddRef {
+        let nb = self.not(b);
+        self.and(a, nb)
+    }
+
+    /// Does `cube ⊆ f` hold (is the cube an implicant of `f`)?
+    pub fn cube_implies(&mut self, cube: &Cube, f: BddRef) -> bool {
+        let c = self.from_cube(cube);
+        self.diff(c, f) == BDD_FALSE
+    }
+
+    /// Number of satisfying assignments over all `width` variables.
+    pub fn sat_count(&self, f: BddRef) -> u128 {
+        let mut memo: HashMap<BddRef, u128> = HashMap::new();
+        // Solutions over the variables strictly below var(f) are counted by
+        // the recursion; the `2^var(f)` factor restores the free variables
+        // above the root.
+        let c = self.sat_below(f, &mut memo);
+        c << self.level(f)
+    }
+
+    /// The variable level of a node, with terminals at `width`.
+    fn level(&self, f: BddRef) -> u32 {
+        let v = self.var(f);
+        if v == TERMINAL_VAR {
+            self.width as u32
+        } else {
+            v
+        }
+    }
+
+    fn sat_below(&self, f: BddRef, memo: &mut HashMap<BddRef, u128>) -> u128 {
+        match f {
+            BDD_FALSE => return 0,
+            BDD_TRUE => return 1,
+            _ => {}
+        }
+        if let Some(&c) = memo.get(&f) {
+            return c;
+        }
+        let node = self.nodes[f as usize];
+        let lo = self.sat_below(node.lo, memo) << (self.level(node.lo) - node.var - 1);
+        let hi = self.sat_below(node.hi, memo) << (self.level(node.hi) - node.var - 1);
+        let c = lo + hi;
+        memo.insert(f, c);
+        c
+    }
+
+    /// All prime implicants of `f` (the Blake canonical form), by the
+    /// classical recursive decomposition on the top variable `x`:
+    ///
+    /// ```text
+    /// P(f) = P(f0 ∧ f1)
+    ///      ∪ { x'·c | c ∈ P(f0), c ⊄ f0 ∧ f1 }
+    ///      ∪ { x ·c | c ∈ P(f1), c ⊄ f0 ∧ f1 }
+    /// ```
+    ///
+    /// Returns `None` when more than `limit` primes accumulate (the caller
+    /// falls back to a heuristic cover) — a safety valve, not an expected
+    /// path at synthesis widths.
+    pub fn primes(&mut self, f: BddRef, limit: usize) -> Option<Vec<Cube>> {
+        let mut memo: HashMap<BddRef, Vec<Cube>> = HashMap::new();
+        self.primes_rec(f, limit, &mut memo)?;
+        memo.remove(&f)
+    }
+
+    fn primes_rec(
+        &mut self,
+        f: BddRef,
+        limit: usize,
+        memo: &mut HashMap<BddRef, Vec<Cube>>,
+    ) -> Option<()> {
+        if memo.contains_key(&f) {
+            return Some(());
+        }
+        let out = match f {
+            BDD_FALSE => Vec::new(),
+            BDD_TRUE => vec![Cube::full(self.width)],
+            _ => {
+                let Node { var, lo, hi } = self.nodes[f as usize];
+                let both = self.and(lo, hi);
+                self.primes_rec(both, limit, memo)?;
+                self.primes_rec(lo, limit, memo)?;
+                self.primes_rec(hi, limit, memo)?;
+                let mut out = memo[&both].clone();
+                for (branch, polarity) in [(lo, false), (hi, true)] {
+                    for cube in memo[&branch].clone() {
+                        // A branch prime survives iff it is not already an
+                        // implicant of the var-free part (else dropping the
+                        // literal keeps it an implicant — not prime).
+                        if !self.cube_implies(&cube, both) {
+                            let mut c = cube;
+                            c.set(var as usize, Some(polarity));
+                            out.push(c);
+                        }
+                    }
+                }
+                out
+            }
+        };
+        if out.len() > limit {
+            return None;
+        }
+        memo.insert(f, out);
+        Some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover(w: usize, cs: &[&str]) -> Cover {
+        Cover::from_cubes(w, cs.iter().map(|s| s.parse().unwrap()))
+    }
+
+    #[test]
+    fn terminals_and_trivial_ops() {
+        let mut b = Bdd::new(3);
+        assert_eq!(b.and(BDD_TRUE, BDD_FALSE), BDD_FALSE);
+        assert_eq!(b.or(BDD_TRUE, BDD_FALSE), BDD_TRUE);
+        assert_eq!(b.not(BDD_TRUE), BDD_FALSE);
+        assert_eq!(b.sat_count(BDD_TRUE), 8);
+        assert_eq!(b.sat_count(BDD_FALSE), 0);
+    }
+
+    #[test]
+    fn cover_roundtrip_sat_counts() {
+        let mut b = Bdd::new(3);
+        for (cs, expect) in [
+            (vec!["111"], 1u128),
+            (vec!["1--"], 4),
+            (vec!["11-", "0-1"], 4),
+            (vec!["000", "111"], 2),
+        ] {
+            let f = b.from_cover(&cover(3, &cs));
+            assert_eq!(b.sat_count(f), expect, "{cs:?}");
+        }
+    }
+
+    #[test]
+    fn semantic_equivalence_with_cover_algebra() {
+        let mut b = Bdd::new(4);
+        let f = cover(4, &["11--", "-011", "0-0-"]);
+        let g = cover(4, &["1-1-", "--00"]);
+        let bf = b.from_cover(&f);
+        let bg = b.from_cover(&g);
+        let band = b.and(bf, bg);
+        let bor = b.or(bf, bg);
+        assert_eq!(b.sat_count(band), f.and(&g).vertex_count());
+        assert_eq!(b.sat_count(bor), f.or(&g).vertex_count());
+        let bnot = b.not(bf);
+        assert_eq!(b.sat_count(bnot), f.complement().vertex_count());
+    }
+
+    #[test]
+    fn primes_of_classic_functions() {
+        let mut b = Bdd::new(2);
+        // XOR: both minterms are prime.
+        let x = b.from_cover(&cover(2, &["01", "10"]));
+        let mut p = b.primes(x, 16).unwrap();
+        p.sort_by_key(|c| c.to_positional());
+        assert_eq!(p.len(), 2);
+        // Consensus: ab + a'c has three primes (ab, a'c, bc).
+        let mut b3 = Bdd::new(3);
+        let f = b3.from_cover(&cover(3, &["11-", "0-1"]));
+        let p3 = b3.primes(f, 16).unwrap();
+        assert_eq!(p3.len(), 3);
+        assert!(p3.iter().any(|c| c.to_positional() == "-11"));
+    }
+
+    #[test]
+    fn primes_limit_bails_out() {
+        // The parity function of 6 vars has 2^5 = 32 primes (its minterms).
+        let mut b = Bdd::new(6);
+        let minterms: Vec<String> = (0..64u32)
+            .filter(|v| v.count_ones() % 2 == 1)
+            .map(|v| (0..6).rev().map(|i| ((v >> i) & 1).to_string()).collect())
+            .collect();
+        let refs: Vec<&str> = minterms.iter().map(|s| s.as_str()).collect();
+        let f = b.from_cover(&cover(6, &refs));
+        assert!(b.primes(f, 8).is_none());
+        assert_eq!(b.primes(f, 64).unwrap().len(), 32);
+    }
+
+    #[test]
+    fn cube_implies_is_containment() {
+        let mut b = Bdd::new(3);
+        let f = b.from_cover(&cover(3, &["1--"]));
+        assert!(b.cube_implies(&"11-".parse().unwrap(), f));
+        assert!(!b.cube_implies(&"-1-".parse().unwrap(), f));
+    }
+}

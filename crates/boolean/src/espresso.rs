@@ -53,8 +53,16 @@ pub fn essential_cubes(cover: &Cover, dc: &Cover) -> Vec<Cube> {
 /// (complement of `on ∪ dc`), literal count ≤ the single-pass result.
 pub fn minimize_exact_iterated(on: &Cover, dc: &Cover) -> MinimizeResult {
     let off = on.or(dc).complement();
+    minimize_exact_iterated_off(on, dc, &off)
+}
+
+/// Same as [`minimize_exact_iterated`] but with a caller-supplied off-set
+/// (the covers need not partition the space — the guarantee is that the
+/// result covers `on` and avoids `off`, like
+/// [`crate::minimize_against_off`]).
+pub fn minimize_exact_iterated_off(on: &Cover, dc: &Cover, off: &Cover) -> MinimizeResult {
     let literals_before = on.literal_count();
-    let mut best = minimize_against_off(on, dc, &off).cover;
+    let mut best = minimize_against_off(on, dc, off).cover;
     loop {
         // REDUCE each cube against the rest, then re-EXPAND.
         let mut reduced: Vec<Cube> = Vec::new();
@@ -73,7 +81,7 @@ pub fn minimize_exact_iterated(on: &Cover, dc: &Cover) -> MinimizeResult {
         }
         let mut candidate_cubes: Vec<Cube> = Vec::new();
         for cube in &reduced {
-            let e = expand_cube(cube, &off);
+            let e = expand_cube(cube, off);
             if !candidate_cubes.iter().any(|k| k.contains_cube(&e)) {
                 candidate_cubes.retain(|k| !e.contains_cube(k));
                 candidate_cubes.push(e);
@@ -81,7 +89,7 @@ pub fn minimize_exact_iterated(on: &Cover, dc: &Cover) -> MinimizeResult {
         }
         let candidate = Cover::from_cubes(on.width(), candidate_cubes);
         // Accept only if it is still a valid cover and improves.
-        let valid = candidate.or(dc).covers(on) && !candidate.intersects(&off);
+        let valid = candidate.or(dc).covers(on) && !candidate.intersects(off);
         if valid && candidate.literal_count() < best.literal_count() {
             best = candidate;
         } else {

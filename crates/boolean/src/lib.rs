@@ -8,7 +8,11 @@
 //! * [`Bits`] — fixed-width bit vectors (vertices, markings, node sets);
 //! * [`Cube`] — three-valued cubes in positional notation (`10-1`);
 //! * [`Cover`] — sums of cubes with tautology/containment/complement;
-//! * [`minimize`] — a compact espresso-style two-level minimizer.
+//! * [`minimize`] — a compact espresso-style two-level minimizer;
+//! * [`Minimizer`] / [`MinimizerChoice`] — pluggable minimizer backends
+//!   (espresso-style, iterated, BDD-backed exact, and per-cover `auto`);
+//! * [`Bdd`] — a small hash-consed ROBDD package behind the exact
+//!   backend.
 //!
 //! # Examples
 //!
@@ -25,14 +29,22 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod bdd;
 mod bits;
 mod cover;
 mod cube;
 mod espresso;
 mod minimize;
+mod minimizer;
 
+pub use bdd::{Bdd, BddRef, BDD_FALSE, BDD_TRUE};
 pub use bits::{hash_word_slice, Bits, IterOnes};
 pub use cover::Cover;
 pub use cube::{Cube, CubeVal, ParseCubeError, Vertices};
-pub use espresso::{essential_cubes, minimize_exact_iterated, reduce_cube};
+pub use espresso::{
+    essential_cubes, minimize_exact_iterated, minimize_exact_iterated_off, reduce_cube,
+};
 pub use minimize::{expand_cube, minimize, minimize_against_off, MinimizeResult};
+pub use minimizer::{
+    AutoMinimizer, BddMinimizer, EspressoMinimizer, ExactMinimizer, Minimizer, MinimizerChoice,
+};

@@ -1,0 +1,418 @@
+//! Pluggable two-level minimizer backends behind one trait.
+//!
+//! The synthesis flows minimize many independent single-output functions,
+//! and no one algorithm wins everywhere: the espresso-style single pass is
+//! fastest, the iterated EXPAND/IRREDUNDANT/REDUCE loop squeezes a few more
+//! literals out of medium covers, and the BDD-backed prime/cover backend is
+//! exact on the small covers where exactness is affordable. [`Minimizer`]
+//! makes the choice a runtime parameter — threaded from
+//! `sisyn --minimizer` through `SynthesisOptions` down to every cover — and
+//! [`MinimizerChoice::Auto`] selects per function by cover size, never
+//! doing worse than the espresso baseline.
+//!
+//! Every backend obeys one contract (checked by the shared property tests
+//! in `tests/prop_minimizers.rs`): the result **covers `on`** and is
+//! **disjoint from `off`**; `dc` is extra freedom the backend may use.
+//!
+//! # Examples
+//!
+//! ```
+//! use si_boolean::{Cover, Minimizer, MinimizerChoice};
+//!
+//! let on = Cover::from_cubes(2, vec!["11".parse()?, "10".parse()?]);
+//! let off = on.complement();
+//! for choice in MinimizerChoice::ALL {
+//!     let r = choice.backend().minimize(&on, &Cover::empty(2), &off);
+//!     assert!(r.cover.covers(&on));
+//!     assert!(!r.cover.intersects(&off));
+//!     assert_eq!(r.cover.literal_count(), 1); // all agree: f = a
+//! }
+//! # Ok::<(), si_boolean::ParseCubeError>(())
+//! ```
+
+use crate::bdd::Bdd;
+use crate::cover::Cover;
+use crate::cube::Cube;
+use crate::espresso::minimize_exact_iterated_off;
+use crate::minimize::{minimize_against_off, MinimizeResult};
+
+/// A two-level single-output minimizer backend.
+///
+/// Implementations minimize `on` against the freedom left by `off` (any
+/// vertex outside `off` may be covered; `dc` names the explicit don't-care
+/// part of that freedom for backends that use it). The covers need not
+/// partition the space; when `on` and `off` overlap the behaviour is
+/// unspecified — synthesis never produces such inputs.
+pub trait Minimizer: std::fmt::Debug + Send + Sync {
+    /// Short stable identifier (`"espresso"`, `"exact"`, `"bdd"`,
+    /// `"auto"`), used in CLI flags, JSON reports and the bench schema.
+    fn name(&self) -> &'static str;
+
+    /// Minimizes `on` against `off`, with `dc` as explicit extra freedom.
+    ///
+    /// The result covers `on` and is disjoint from `off`.
+    fn minimize(&self, on: &Cover, dc: &Cover, off: &Cover) -> MinimizeResult;
+}
+
+/// The classical espresso-style single EXPAND → IRREDUNDANT pass
+/// ([`crate::minimize_against_off`]) — the default backend and the fastest.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct EspressoMinimizer;
+
+impl Minimizer for EspressoMinimizer {
+    fn name(&self) -> &'static str {
+        "espresso"
+    }
+
+    fn minimize(&self, on: &Cover, dc: &Cover, off: &Cover) -> MinimizeResult {
+        minimize_against_off(on, dc, off)
+    }
+}
+
+/// The iterated EXPAND / IRREDUNDANT / REDUCE loop
+/// ([`crate::minimize_exact_iterated`]): never more literals than
+/// [`EspressoMinimizer`], a few times slower.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct ExactMinimizer;
+
+impl Minimizer for ExactMinimizer {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn minimize(&self, on: &Cover, dc: &Cover, off: &Cover) -> MinimizeResult {
+        minimize_exact_iterated_off(on, dc, off)
+    }
+}
+
+/// The BDD-backed exact backend: builds the BDDs of `on` and of the
+/// care-freedom `on ∨ ¬off`, enumerates **all** prime implicants
+/// ([`Bdd::primes`]), then solves the covering problem with
+/// essential-prime extraction plus greedy selection and an irredundancy
+/// sweep. Exact prime generation makes it the strongest backend on small
+/// covers; past [`BddMinimizer::PRIME_LIMIT`] primes it falls back to the
+/// espresso pass (same contract, so callers never see the difference).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct BddMinimizer;
+
+impl BddMinimizer {
+    /// Safety valve on the prime enumeration (the number of primes of a
+    /// width-`n` function can reach `3^n/n`); beyond this the backend falls
+    /// back to the espresso pass.
+    pub const PRIME_LIMIT: usize = 4096;
+}
+
+impl Minimizer for BddMinimizer {
+    fn name(&self) -> &'static str {
+        "bdd"
+    }
+
+    fn minimize(&self, on: &Cover, dc: &Cover, off: &Cover) -> MinimizeResult {
+        let literals_before = on.literal_count();
+        if on.is_empty() {
+            return MinimizeResult {
+                cover: Cover::empty(on.width()),
+                literals_before,
+                literals_after: 0,
+            };
+        }
+        let mut bdd = Bdd::new(on.width());
+        let on_f = bdd.from_cover(on);
+        let off_f = bdd.from_cover(off);
+        // The upper bound of any valid cover: everything that is not OFF
+        // (plus ON itself, in case the caller's covers overlap).
+        let not_off = bdd.not(off_f);
+        let upper = bdd.or(on_f, not_off);
+        let Some(primes) = bdd.primes(upper, Self::PRIME_LIMIT) else {
+            return minimize_against_off(on, dc, off);
+        };
+
+        // Covering: pick primes until every ON vertex is covered. Essential
+        // primes (sole cover of some ON vertex) are forced; the rest are
+        // chosen greedily by covered-vertices-per-literal; a final reverse
+        // sweep drops any cube the greedy phase made redundant.
+        let mut chosen: Vec<Cube> = Vec::new();
+        let mut remaining = on_f;
+        let mut available: Vec<(Cube, crate::bdd::BddRef)> = primes
+            .into_iter()
+            .map(|c| {
+                let f = bdd.from_cube(&c);
+                (c, f)
+            })
+            .collect();
+        // Essential pass: a prime is essential iff some ON vertex is inside
+        // it and outside the union of all other primes. Prefix/suffix
+        // union arrays give each "union of the others" in O(p) total ORs
+        // instead of O(p²).
+        let (prefix, suffix) = union_scans(&mut bdd, &available);
+        let mut essential_idx = Vec::new();
+        for i in 0..available.len() {
+            let others = bdd.or(prefix[i], suffix[i + 1]);
+            let only_here = bdd.diff(on_f, others);
+            let covered_only_here = bdd.and(only_here, available[i].1);
+            if covered_only_here != crate::bdd::BDD_FALSE {
+                essential_idx.push(i);
+            }
+        }
+        for &i in essential_idx.iter().rev() {
+            let (cube, f) = available.swap_remove(i);
+            remaining = bdd.diff(remaining, f);
+            chosen.push(cube);
+        }
+        while remaining != crate::bdd::BDD_FALSE {
+            let mut best: Option<(usize, u128, usize)> = None;
+            for (i, &(ref cube, f)) in available.iter().enumerate() {
+                let gain = bdd.and(remaining, f);
+                let covered = bdd.sat_count(gain);
+                if covered == 0 {
+                    continue;
+                }
+                let lits = cube.literal_count();
+                // More coverage wins; fewer literals break ties.
+                let better = match best {
+                    None => true,
+                    Some((_, bc, bl)) => covered > bc || (covered == bc && lits < bl),
+                };
+                if better {
+                    best = Some((i, covered, lits));
+                }
+            }
+            let Some((i, _, _)) = best else {
+                // No prime advances the cover — only possible when ON
+                // overlaps OFF (contract violation); fall back.
+                return minimize_against_off(on, dc, off);
+            };
+            let (cube, f) = available.swap_remove(i);
+            remaining = bdd.diff(remaining, f);
+            chosen.push(cube);
+        }
+        // Irredundancy: drop cubes (most-literal first) whose removal keeps
+        // ON covered. Prefix/suffix scans make each "rest of the cover"
+        // one OR; they are rebuilt only when a cube is actually dropped.
+        chosen.sort_by_key(|c| std::cmp::Reverse(c.literal_count()));
+        let mut with_refs: Vec<(Cube, crate::bdd::BddRef)> = chosen
+            .into_iter()
+            .map(|c| {
+                let f = bdd.from_cube(&c);
+                (c, f)
+            })
+            .collect();
+        let mut i = 0;
+        let (mut prefix, mut suffix) = union_scans(&mut bdd, &with_refs);
+        while with_refs.len() > 1 && i < with_refs.len() {
+            let rest = bdd.or(prefix[i], suffix[i + 1]);
+            if bdd.diff(on_f, rest) == crate::bdd::BDD_FALSE {
+                with_refs.remove(i);
+                (prefix, suffix) = union_scans(&mut bdd, &with_refs);
+            } else {
+                i += 1;
+            }
+        }
+        let chosen: Vec<Cube> = with_refs.into_iter().map(|(c, _)| c).collect();
+        let cover = Cover::from_cubes(on.width(), chosen);
+        MinimizeResult {
+            literals_before,
+            literals_after: cover.literal_count(),
+            cover,
+        }
+    }
+}
+
+/// Prefix/suffix OR-scans over `(cube, bdd)` pairs: `prefix[i]` is the
+/// union of items `< i`, `suffix[i]` of items `>= i`, so "the union of
+/// everything except `i`" is one OR — the O(p) replacement for the naive
+/// O(p²) rest-of-cover unions in the essential and irredundancy passes.
+fn union_scans(
+    bdd: &mut Bdd,
+    items: &[(Cube, crate::bdd::BddRef)],
+) -> (Vec<crate::bdd::BddRef>, Vec<crate::bdd::BddRef>) {
+    let n = items.len();
+    let mut prefix = vec![crate::bdd::BDD_FALSE; n + 1];
+    for i in 0..n {
+        prefix[i + 1] = bdd.or(prefix[i], items[i].1);
+    }
+    let mut suffix = vec![crate::bdd::BDD_FALSE; n + 1];
+    for i in (0..n).rev() {
+        suffix[i] = bdd.or(suffix[i + 1], items[i].1);
+    }
+    (prefix, suffix)
+}
+
+/// Per-function backend selection by cover size, with the espresso result
+/// as a floor: the selected backend's cover is kept only when it does not
+/// lose literals to the espresso pass, so `auto` is **never worse in
+/// literals than `espresso`** (the property the benchmark gate pins).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct AutoMinimizer;
+
+impl AutoMinimizer {
+    /// Covers at most this many cubes wide go to the exact BDD backend.
+    pub const BDD_CUBES: usize = 24;
+    /// Functions of at most this many variables go to the BDD backend.
+    pub const BDD_WIDTH: usize = 28;
+    /// Covers at most this many cubes wide go to the iterated backend;
+    /// anything larger takes the single espresso pass only.
+    pub const EXACT_CUBES: usize = 96;
+}
+
+impl Minimizer for AutoMinimizer {
+    fn name(&self) -> &'static str {
+        "auto"
+    }
+
+    fn minimize(&self, on: &Cover, dc: &Cover, off: &Cover) -> MinimizeResult {
+        let espresso = EspressoMinimizer.minimize(on, dc, off);
+        let candidate = if on.cube_count() <= Self::BDD_CUBES && on.width() <= Self::BDD_WIDTH {
+            Some(BddMinimizer.minimize(on, dc, off))
+        } else if on.cube_count() <= Self::EXACT_CUBES {
+            Some(ExactMinimizer.minimize(on, dc, off))
+        } else {
+            None
+        };
+        match candidate {
+            Some(c) if c.cover.literal_count() < espresso.cover.literal_count() => c,
+            _ => espresso,
+        }
+    }
+}
+
+/// Which minimizer backend a synthesis run uses — the one options surface
+/// shared by `SynthesisOptions`, the `Engine` builder and
+/// `sisyn --minimizer`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum MinimizerChoice {
+    /// [`EspressoMinimizer`] — the fast single-pass default.
+    #[default]
+    Espresso,
+    /// [`ExactMinimizer`] — the iterated loop.
+    Exact,
+    /// [`BddMinimizer`] — BDD-backed exact primes + covering.
+    Bdd,
+    /// [`AutoMinimizer`] — per-function selection by cover size.
+    Auto,
+}
+
+impl MinimizerChoice {
+    /// Every selectable backend, in CLI order.
+    pub const ALL: [MinimizerChoice; 4] = [
+        MinimizerChoice::Espresso,
+        MinimizerChoice::Exact,
+        MinimizerChoice::Bdd,
+        MinimizerChoice::Auto,
+    ];
+
+    /// The backend this choice names.
+    pub fn backend(self) -> &'static dyn Minimizer {
+        match self {
+            MinimizerChoice::Espresso => &EspressoMinimizer,
+            MinimizerChoice::Exact => &ExactMinimizer,
+            MinimizerChoice::Bdd => &BddMinimizer,
+            MinimizerChoice::Auto => &AutoMinimizer,
+        }
+    }
+
+    /// The stable identifier ([`Minimizer::name`]).
+    pub fn name(self) -> &'static str {
+        self.backend().name()
+    }
+}
+
+impl std::str::FromStr for MinimizerChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "espresso" => Ok(MinimizerChoice::Espresso),
+            "exact" => Ok(MinimizerChoice::Exact),
+            "bdd" => Ok(MinimizerChoice::Bdd),
+            "auto" => Ok(MinimizerChoice::Auto),
+            other => Err(format!(
+                "unknown minimizer {other:?} (expected espresso|exact|bdd|auto)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for MinimizerChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover(w: usize, cs: &[&str]) -> Cover {
+        Cover::from_cubes(w, cs.iter().map(|s| s.parse().unwrap()))
+    }
+
+    /// Shared fixtures: (on, dc) pairs exercising merges, don't-cares and
+    /// covers with no single-cube solution.
+    fn fixtures() -> Vec<(Cover, Cover)> {
+        vec![
+            (cover(2, &["11", "10"]), Cover::empty(2)),
+            (cover(2, &["01", "10"]), Cover::empty(2)),
+            (cover(3, &["111", "001"]), cover(3, &["011"])),
+            (cover(4, &["1100", "1101", "1111", "1110"]), Cover::empty(4)),
+            (cover(4, &["0000", "0001", "1001"]), cover(4, &["1000"])),
+            (cover(3, &["000", "011", "101", "110"]), Cover::empty(3)),
+            (Cover::empty(3), Cover::empty(3)),
+            (cover(1, &["0", "1"]), Cover::empty(1)),
+        ]
+    }
+
+    #[test]
+    fn all_backends_valid_on_fixtures() {
+        for (on, dc) in fixtures() {
+            let off = on.or(&dc).complement();
+            for choice in MinimizerChoice::ALL {
+                let r = choice.backend().minimize(&on, &dc, &off);
+                assert!(
+                    r.cover.covers(&on),
+                    "{choice}: does not cover on={on} (got {})",
+                    r.cover
+                );
+                assert!(
+                    !r.cover.intersects(&off),
+                    "{choice}: touches off (on={on}, got {})",
+                    r.cover
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bdd_backend_is_exact_on_consensus() {
+        // ab + a'c: the exact minimum is 4 literals (ab + a'c).
+        let on = cover(3, &["110", "111", "001", "011"]);
+        let off = on.complement();
+        let r = BddMinimizer.minimize(&on, &Cover::empty(3), &off);
+        assert_eq!(r.cover.literal_count(), 4, "got {}", r.cover);
+    }
+
+    #[test]
+    fn auto_never_worse_than_espresso_on_fixtures() {
+        for (on, dc) in fixtures() {
+            let off = on.or(&dc).complement();
+            let auto = AutoMinimizer.minimize(&on, &dc, &off);
+            let esp = EspressoMinimizer.minimize(&on, &dc, &off);
+            assert!(
+                auto.cover.literal_count() <= esp.cover.literal_count(),
+                "auto {} vs espresso {} on {on}",
+                auto.cover.literal_count(),
+                esp.cover.literal_count()
+            );
+        }
+    }
+
+    #[test]
+    fn choice_parses_and_displays() {
+        for choice in MinimizerChoice::ALL {
+            let s = choice.to_string();
+            assert_eq!(s.parse::<MinimizerChoice>().unwrap(), choice);
+        }
+        assert!("quine".parse::<MinimizerChoice>().is_err());
+        assert_eq!(MinimizerChoice::default(), MinimizerChoice::Espresso);
+    }
+}

@@ -1,0 +1,83 @@
+//! Shared property tests for the minimizer backends: every backend's
+//! result covers the on-set and avoids the off-set, on random (on, dc)
+//! pairs; backends are literal-count-compared against the espresso
+//! baseline where they carry an ordering guarantee.
+
+use proptest::prelude::*;
+use si_boolean::{
+    AutoMinimizer, Cover, Cube, EspressoMinimizer, ExactMinimizer, Minimizer, MinimizerChoice,
+};
+
+const W: usize = 5;
+
+fn arb_cube() -> impl Strategy<Value = Cube> {
+    proptest::collection::vec(0..3u8, W).prop_map(|vals| {
+        let mut c = Cube::full(W);
+        for (i, v) in vals.into_iter().enumerate() {
+            match v {
+                0 => c.set(i, Some(false)),
+                1 => c.set(i, Some(true)),
+                _ => {}
+            }
+        }
+        c
+    })
+}
+
+fn arb_cover(max: usize) -> impl Strategy<Value = Cover> {
+    proptest::collection::vec(arb_cube(), 0..max).prop_map(|cs| Cover::from_cubes(W, cs))
+}
+
+proptest! {
+    /// The backend contract: covers `on`, disjoint from `off` — for every
+    /// backend, on random on/dc pairs with `off` as the strict complement.
+    #[test]
+    fn every_backend_covers_on_and_avoids_off(on in arb_cover(5), dc in arb_cover(3)) {
+        let dc = dc.sharp(&on); // freedom outside the on-set
+        let off = on.or(&dc).complement();
+        for choice in MinimizerChoice::ALL {
+            let r = choice.backend().minimize(&on, &dc, &off);
+            prop_assert!(
+                r.cover.covers(&on),
+                "{}: result {} misses part of on {}", choice, r.cover, on
+            );
+            prop_assert!(
+                !r.cover.intersects(&off),
+                "{}: result {} touches off", choice, r.cover
+            );
+            prop_assert_eq!(r.literals_after, r.cover.literal_count());
+        }
+    }
+
+    /// Ordering guarantees: `exact` iterates from the espresso result so it
+    /// never gains literals; `auto` keeps espresso as its floor.
+    #[test]
+    fn literal_count_ordering(on in arb_cover(5), dc in arb_cover(3)) {
+        let dc = dc.sharp(&on);
+        let off = on.or(&dc).complement();
+        let esp = EspressoMinimizer.minimize(&on, &dc, &off);
+        let exact = ExactMinimizer.minimize(&on, &dc, &off);
+        let auto = AutoMinimizer.minimize(&on, &dc, &off);
+        prop_assert!(
+            exact.cover.literal_count() <= esp.cover.literal_count(),
+            "exact {} > espresso {}", exact.cover.literal_count(), esp.cover.literal_count()
+        );
+        prop_assert!(
+            auto.cover.literal_count() <= esp.cover.literal_count(),
+            "auto {} > espresso {}", auto.cover.literal_count(), esp.cover.literal_count()
+        );
+    }
+
+    /// Backends also honour a caller-supplied *partial* off-set (the
+    /// structural flow's case): freedom is everything outside `off`, not
+    /// just `on ∪ dc`.
+    #[test]
+    fn partial_off_sets_are_respected(on in arb_cover(4), off in arb_cover(4)) {
+        let off = off.sharp(&on); // contract: on and off disjoint
+        for choice in MinimizerChoice::ALL {
+            let r = choice.backend().minimize(&on, &Cover::empty(W), &off);
+            prop_assert!(r.cover.covers(&on), "{}: misses on", choice);
+            prop_assert!(!r.cover.intersects(&off), "{}: touches off", choice);
+        }
+    }
+}

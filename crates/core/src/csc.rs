@@ -142,7 +142,20 @@ pub fn resolve_csc_with(
     budget: usize,
     reach: ReachOptions,
 ) -> Option<(Stg, InsertionPlan)> {
-    if let Ok(ctx) = StructuralContext::build(stg) {
+    crate::Engine::new(stg).reach(reach).resolve_csc(budget)
+}
+
+/// Like [`resolve_csc_with`] but reusing an already-built
+/// [`StructuralContext`] of `stg` for the no-conflict fast path — the form
+/// the [`crate::Engine`] calls so a check-then-resolve pipeline analyzes
+/// the input only once. `ctx`, when given, **must** belong to `stg`.
+pub(crate) fn resolve_csc_in(
+    stg: &Stg,
+    budget: usize,
+    reach: ReachOptions,
+    ctx: Option<&StructuralContext<'_>>,
+) -> Option<(Stg, InsertionPlan)> {
+    if let Some(ctx) = ctx {
         if !matches!(ctx.csc_verdict(), CscVerdict::Unknown { .. }) {
             return Some((
                 stg.clone(),

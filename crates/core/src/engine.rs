@@ -1,0 +1,315 @@
+//! The synthesis session: one pipeline over shared, lazily-cached
+//! artifacts.
+//!
+//! The paper's flow is a pipeline — structural analysis feeding synthesis,
+//! CSC resolution and verification — but free functions like
+//! [`crate::synthesize`] and `si_verify::verify_circuit` each re-derive the
+//! expensive shared artifacts per call: the [`StructuralContext`], the
+//! explicit [`ReachabilityGraph`] and the [`ConcurrencyRelation`].
+//! [`Engine`] owns one specification and computes each artifact **at most
+//! once**, on first use, whatever order the pipeline methods are called in:
+//!
+//! ```text
+//!              Engine::new(&stg).cap(..).shards(..).minimizer(..)
+//!                                  │
+//!          ┌───────────────────────┼──────────────────────────┐
+//!          ▼ (lazy, cached)        ▼ (lazy, cached)           ▼ (lazy, cached)
+//!   StructuralContext       ReachabilityGraph + enc     ConcurrencyRelation
+//!          │                        │
+//!   analyze / synthesize     synthesize_state_based / verify / conformance
+//!          └────────── resolve_csc uses both ──────────┘
+//! ```
+//!
+//! The legacy free functions remain as one-shot wrappers over a fresh
+//! `Engine`, so both spellings stay bit-identical; pipelines that make more
+//! than one call should hold an `Engine` (a synth-then-verify run builds
+//! the reachability graph once instead of twice — pinned by a build-count
+//! test against [`ReachabilityGraph::build_count`]).
+//!
+//! Speed-independence verification is provided on the same object by the
+//! `EngineVerify` extension trait of `si_verify` (the verifier depends on
+//! this crate, not the other way around).
+
+use crate::context::{CscVerdict, StructuralContext, SynthesisError};
+use crate::csc::{resolve_csc_in, InsertionPlan};
+use crate::statebased::{synthesize_state_based_on, BaselineError, BaselineFlavor};
+use crate::synthesis::{
+    synthesize_with_context, Architecture, MinimizeStages, Synthesis, SynthesisOptions,
+};
+use si_boolean::MinimizerChoice;
+use si_petri::{ConcurrencyRelation, ReachError, ReachOptions, ReachabilityGraph};
+use si_stg::{EncodingError, StateEncoding, Stg};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Summary of the structural analysis (the `analyze()` step of the
+/// pipeline): what `sisyn check` reports, as data.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// Surviving structural coding conflicts (Def. 11).
+    pub conflicts: usize,
+    /// Refinement rounds the context ran (Fig. 12).
+    pub refinement_rounds: usize,
+    /// Size of the SM-cover.
+    pub sm_count: usize,
+    /// Total cubes over all place cover functions (Table VIII).
+    pub place_cover_cubes: usize,
+    /// The structural CSC verdict (Theorems 14/15).
+    pub csc: CscVerdict,
+}
+
+/// A synthesis session over one STG: builder-configured options, lazily
+/// cached shared artifacts, and the whole flow as methods.
+///
+/// # Examples
+///
+/// Configure once, then run any part of the pipeline; artifacts are shared
+/// between the steps:
+///
+/// ```
+/// use si_core::{BaselineFlavor, Engine};
+///
+/// let stg = si_stg::generators::clatch(3);
+/// let engine = Engine::new(&stg).cap(100_000);
+///
+/// let report = engine.analyze()?;           // structural only, no graph
+/// assert_eq!(report.conflicts, 0);
+///
+/// let syn = engine.synthesize()?;           // structural flow
+/// let base = engine.synthesize_state_based(BaselineFlavor::ExcitationExact)
+///     .expect("within cap");                // baseline — builds the graph …
+/// assert_eq!(syn.results.len(), base.circuit.implementations.len());
+///
+/// let rg = engine.reachability()?;          // … which is now cached
+/// assert_eq!(rg.state_count(), 16);
+/// assert_eq!(engine.reach_build_count(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Engine<'a> {
+    stg: &'a Stg,
+    options: SynthesisOptions,
+    reach: ReachOptions,
+    ctx: OnceLock<Result<StructuralContext<'a>, SynthesisError>>,
+    rg: OnceLock<Result<ReachabilityGraph, ReachError>>,
+    enc: OnceLock<Result<StateEncoding, EncodingError>>,
+    conc: OnceLock<ConcurrencyRelation>,
+    rg_builds: AtomicUsize,
+}
+
+impl<'a> Engine<'a> {
+    /// A session over `stg` with default options: excitation-function
+    /// architecture, full minimization ladder, espresso minimizer, a
+    /// 4M-state cap and the sequential reachability engine.
+    pub fn new(stg: &'a Stg) -> Self {
+        Engine {
+            stg,
+            options: SynthesisOptions::default(),
+            reach: ReachOptions::with_cap(4_000_000),
+            ctx: OnceLock::new(),
+            rg: OnceLock::new(),
+            enc: OnceLock::new(),
+            conc: OnceLock::new(),
+            rg_builds: AtomicUsize::new(0),
+        }
+    }
+
+    /// Sets the state cap of every reachability-backed method.
+    pub fn cap(mut self, cap: usize) -> Self {
+        self.reach.cap = cap;
+        self
+    }
+
+    /// Sets the shard-worker count of the reachability engine
+    /// (see [`ReachOptions::shards`]).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.reach = self.reach.shards(shards);
+        self
+    }
+
+    /// Replaces the whole reachability option set.
+    pub fn reach(mut self, reach: ReachOptions) -> Self {
+        self.reach = reach;
+        self
+    }
+
+    /// Selects the two-level minimizer backend.
+    pub fn minimizer(mut self, minimizer: MinimizerChoice) -> Self {
+        self.options.minimizer = minimizer;
+        self
+    }
+
+    /// Selects the implementation architecture.
+    pub fn architecture(mut self, architecture: Architecture) -> Self {
+        self.options.architecture = architecture;
+        self
+    }
+
+    /// Selects the minimization stages.
+    pub fn stages(mut self, stages: MinimizeStages) -> Self {
+        self.options.stages = stages;
+        self
+    }
+
+    /// Replaces the whole synthesis option set.
+    pub fn options(mut self, options: SynthesisOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The specification this session is bound to.
+    pub fn stg(&self) -> &'a Stg {
+        self.stg
+    }
+
+    /// The configured reachability options.
+    pub fn reach_options(&self) -> ReachOptions {
+        self.reach
+    }
+
+    /// The configured synthesis options.
+    pub fn synthesis_options(&self) -> &SynthesisOptions {
+        &self.options
+    }
+
+    /// The cached structural context (built on first use).
+    ///
+    /// # Errors
+    ///
+    /// The construction error of [`StructuralContext::build`], replayed on
+    /// every call once it failed.
+    pub fn context(&self) -> Result<&StructuralContext<'a>, SynthesisError> {
+        self.ctx
+            .get_or_init(|| StructuralContext::build(self.stg))
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// The cached explicit reachability graph (built on first use with the
+    /// configured cap and shard count).
+    ///
+    /// # Errors
+    ///
+    /// The construction error of [`ReachabilityGraph::build_with`],
+    /// replayed on every call once it failed.
+    pub fn reachability(&self) -> Result<&ReachabilityGraph, ReachError> {
+        self.rg
+            .get_or_init(|| {
+                let built = ReachabilityGraph::build_with(self.stg.net(), self.reach);
+                if built.is_ok() {
+                    self.rg_builds.fetch_add(1, Ordering::Relaxed);
+                }
+                built
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// The cached encoding computation (built on first use, inconsistency
+    /// kept as a value so each caller can map it to its own error type).
+    fn encoding_entry(&self) -> Result<&Result<StateEncoding, EncodingError>, ReachError> {
+        let rg = self.reachability()?;
+        Ok(self
+            .enc
+            .get_or_init(|| StateEncoding::compute(self.stg, rg)))
+    }
+
+    /// The cached state encoding over [`Engine::reachability`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the reachability error.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the STG is behaviourally inconsistent (verification
+    /// callers only pass synthesizable inputs, which never are; the
+    /// state-based baseline reports inconsistency as a value instead).
+    pub fn encoding(&self) -> Result<&StateEncoding, ReachError> {
+        Ok(self.encoding_entry()?.as_ref().expect("consistent STG"))
+    }
+
+    /// The cached structural concurrency relation (§V-A fixpoint).
+    pub fn concurrency(&self) -> &ConcurrencyRelation {
+        self.conc
+            .get_or_init(|| ConcurrencyRelation::compute(self.stg.net()))
+    }
+
+    /// How many times **this session** actually constructed a reachability
+    /// graph (0 until a reachability-backed method runs, then 1 forever —
+    /// the artifact-cache guarantee; the process-wide analog is
+    /// [`ReachabilityGraph::build_count`]).
+    pub fn reach_build_count(&self) -> usize {
+        self.rg_builds.load(Ordering::Relaxed)
+    }
+
+    /// Structural analysis: conflicts, refinement effort, SM-cover size
+    /// and the CSC verdict — without building any state graph.
+    ///
+    /// # Errors
+    ///
+    /// Context precondition failures ([`SynthesisError::Inconsistent`],
+    /// [`SynthesisError::NotSmCoverable`]). An unresolved CSC verdict is
+    /// **data** here, not an error.
+    pub fn analyze(&self) -> Result<Analysis, SynthesisError> {
+        let ctx = self.context()?;
+        Ok(Analysis {
+            conflicts: ctx.conflicts().len(),
+            refinement_rounds: ctx.refinement_rounds,
+            sm_count: ctx.sm_cover.len(),
+            place_cover_cubes: ctx.total_cubes(),
+            csc: ctx.csc_verdict(),
+        })
+    }
+
+    /// The structural synthesis flow (§VIII) under the session options,
+    /// over the cached context.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::synthesize`].
+    pub fn synthesize(&self) -> Result<Synthesis, SynthesisError> {
+        self.synthesize_with(&self.options)
+    }
+
+    /// Like [`Engine::synthesize`] with one-off options (the cached
+    /// context is shared across architecture/stage sweeps).
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::synthesize`].
+    pub fn synthesize_with(&self, options: &SynthesisOptions) -> Result<Synthesis, SynthesisError> {
+        synthesize_with_context(self.context()?, options)
+    }
+
+    /// The state-based baseline (§IX-B/C) over the cached reachability
+    /// graph, with the session's minimizer backend.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::synthesize_state_based`]; a cap overflow surfaces as
+    /// [`BaselineError::StateExplosion`].
+    pub fn synthesize_state_based(
+        &self,
+        flavor: BaselineFlavor,
+    ) -> Result<crate::statebased::BaselineSynthesis, BaselineError> {
+        let rg = self.reachability().map_err(BaselineError::StateExplosion)?;
+        let enc = self
+            .encoding_entry()
+            .map_err(BaselineError::StateExplosion)?
+            .as_ref()
+            .map_err(|e| BaselineError::Inconsistent(e.clone()))?;
+        synthesize_state_based_on(self.stg, flavor, rg, enc, self.options.minimizer)
+    }
+
+    /// CSC resolution by state-signal insertion (reusing the cached
+    /// context for the no-conflict fast path); the acceptance oracle runs
+    /// under the session's reachability options.
+    ///
+    /// Returns the repaired STG and the insertion plan, or `None` when no
+    /// candidate within `budget` works; see [`crate::resolve_csc`] for the
+    /// plan semantics.
+    pub fn resolve_csc(&self, budget: usize) -> Option<(Stg, InsertionPlan)> {
+        resolve_csc_in(self.stg, budget, self.reach, self.context().ok())
+    }
+}

@@ -17,14 +17,23 @@
 //! baseline the paper compares against (SIS / ASSASSIN / SYN / FORCAGE
 //! stand-in).
 //!
+//! The whole flow is exposed as methods on one session object,
+//! [`Engine`], which lazily caches the shared artifacts (structural
+//! context, reachability graph, concurrency relation); the free functions
+//! below are one-shot wrappers over it.
+//!
 //! # Examples
 //!
 //! ```
-//! use si_core::{synthesize, SynthesisOptions};
+//! use si_core::{Engine, SynthesisOptions};
 //!
 //! let stg = si_stg::generators::clatch(2);
-//! let syn = synthesize(&stg, &SynthesisOptions::default())?;
+//! let syn = Engine::new(&stg).synthesize()?;
 //! assert_eq!(syn.results.len(), 1); // one output: the C-element
+//!
+//! // Equivalent one-shot spelling:
+//! let same = si_core::synthesize(&stg, &SynthesisOptions::default())?;
+//! assert_eq!(syn.circuit, same.circuit);
 //! # Ok::<(), si_core::SynthesisError>(())
 //! ```
 
@@ -36,6 +45,7 @@ pub mod circuit;
 pub mod context;
 pub mod csc;
 pub mod cubes;
+pub mod engine;
 pub mod netlist;
 pub mod statebased;
 pub mod synthesis;
@@ -45,10 +55,11 @@ pub use circuit::{Circuit, ImplKind, SignalImplementation};
 pub use context::{CodingConflict, CscVerdict, SignalCovers, StructuralContext, SynthesisError};
 pub use csc::{apply_insertion, resolve_csc, resolve_csc_with, InsertionPlan};
 pub use cubes::PlaceCubes;
+pub use engine::{Analysis, Engine};
 pub use netlist::to_verilog;
 pub use statebased::{
-    synthesize_state_based, synthesize_state_based_with, BaselineError, BaselineFlavor,
-    BaselineSynthesis,
+    synthesize_state_based, synthesize_state_based_on, synthesize_state_based_with, BaselineError,
+    BaselineFlavor, BaselineSynthesis,
 };
 pub use synthesis::{
     synthesize, synthesize_signal, synthesize_with_context, Architecture, MinimizeStages,

@@ -9,7 +9,7 @@
 //! quantify.
 
 use crate::circuit::{Circuit, ImplKind, SignalImplementation};
-use si_boolean::{minimize_against_off, Bits, Cover, Cube};
+use si_boolean::{Bits, Cover, Cube, Minimizer, MinimizerChoice};
 use si_petri::{ReachError, ReachOptions, ReachabilityGraph, StateId};
 use si_stg::{
     codes_of, CodingAnalysis, EncodingError, SignalId, SignalRegions, StateEncoding, Stg,
@@ -93,10 +93,30 @@ pub fn synthesize_state_based_with(
     flavor: BaselineFlavor,
     reach: ReachOptions,
 ) -> Result<BaselineSynthesis, BaselineError> {
-    let rg =
-        ReachabilityGraph::build_with(stg.net(), reach).map_err(BaselineError::StateExplosion)?;
-    let enc = StateEncoding::compute(stg, &rg).map_err(BaselineError::Inconsistent)?;
-    let coding = CodingAnalysis::compute(stg, &rg, &enc);
+    crate::Engine::new(stg)
+        .reach(reach)
+        .synthesize_state_based(flavor)
+}
+
+/// The baseline over a **prebuilt** reachability graph and state encoding
+/// — the form the [`crate::Engine`] artifact cache calls so a
+/// baseline-then-verify pipeline computes both exactly once — with an
+/// explicit two-level minimizer backend for the exact region covers.
+///
+/// # Errors
+///
+/// [`BaselineError::CscConflict`] as in [`synthesize_state_based`]; state
+/// explosion and inconsistency cannot occur here (the caller already
+/// built the graph and the encoding).
+pub fn synthesize_state_based_on(
+    stg: &Stg,
+    flavor: BaselineFlavor,
+    rg: &ReachabilityGraph,
+    enc: &StateEncoding,
+    minimizer: MinimizerChoice,
+) -> Result<BaselineSynthesis, BaselineError> {
+    let backend = minimizer.backend();
+    let coding = CodingAnalysis::compute(stg, rg, enc);
     if !coding.has_csc() {
         return Err(BaselineError::CscConflict);
     }
@@ -104,11 +124,11 @@ pub fn synthesize_state_based_with(
     let mut implementations = Vec::new();
 
     for signal in stg.synthesized_signals() {
-        let regions = SignalRegions::compute(stg, &rg, signal);
-        let ger_rise = codes_of(&enc, &regions.ger_rise);
-        let ger_fall = codes_of(&enc, &regions.ger_fall);
-        let gqr_one = codes_of(&enc, &regions.gqr_one);
-        let gqr_zero = codes_of(&enc, &regions.gqr_zero);
+        let regions = SignalRegions::compute(stg, rg, signal);
+        let ger_rise = codes_of(enc, &regions.ger_rise);
+        let ger_fall = codes_of(enc, &regions.ger_fall);
+        let gqr_one = codes_of(enc, &regions.gqr_one);
+        let gqr_zero = codes_of(enc, &regions.gqr_zero);
 
         let kind = match flavor {
             BaselineFlavor::ComplexGateExact => {
@@ -118,7 +138,9 @@ pub fn synthesize_state_based_with(
                 off.extend(gqr_zero.iter().cloned());
                 let on_cover = Cover::from_cubes(nsig, minterms(&on));
                 let off_cover = Cover::from_cubes(nsig, minterms(&off));
-                let min = minimize_against_off(&on_cover, &Cover::empty(nsig), &off_cover).cover;
+                let min = backend
+                    .minimize(&on_cover, &Cover::empty(nsig), &off_cover)
+                    .cover;
                 ImplKind::Combinational {
                     cover: min,
                     inverted: false,
@@ -126,10 +148,10 @@ pub fn synthesize_state_based_with(
             }
             BaselineFlavor::ExcitationExact => {
                 let set = region_cover(
-                    stg, &rg, &enc, signal, &ger_rise, &ger_fall, &gqr_zero, true,
+                    stg, rg, enc, signal, backend, &ger_rise, &ger_fall, &gqr_zero, true,
                 );
                 let reset = region_cover(
-                    stg, &rg, &enc, signal, &ger_fall, &ger_rise, &gqr_one, false,
+                    stg, rg, enc, signal, backend, &ger_fall, &ger_rise, &gqr_one, false,
                 );
                 // Complete-cover detection was standard practice in the
                 // era tools (Appendix B cites [5]): when the set cover
@@ -175,6 +197,7 @@ fn region_cover(
     rg: &ReachabilityGraph,
     enc: &StateEncoding,
     signal: SignalId,
+    backend: &dyn Minimizer,
     own_ger: &[Bits],
     opp_ger: &[Bits],
     opp_gqr: &[Bits],
@@ -185,7 +208,9 @@ fn region_cover(
     off.extend(opp_gqr.iter().cloned());
     let off_cover = Cover::from_cubes(nsig, minterms(&off));
     let on_cover = Cover::from_cubes(nsig, minterms(own_ger));
-    let mut cover = minimize_against_off(&on_cover, &Cover::empty(nsig), &off_cover).cover;
+    let mut cover = backend
+        .minimize(&on_cover, &Cover::empty(nsig), &off_cover)
+        .cover;
 
     // Monotonicity filter: while some RG edge shows a re-rise (signal high,
     // cover 0→1 for set; low for reset) or a pre-excitation fall, shrink

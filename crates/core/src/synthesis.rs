@@ -95,6 +95,13 @@ pub struct SynthesisOptions {
     pub architecture: Architecture,
     /// Minimization stages.
     pub stages: MinimizeStages,
+    /// Two-level minimizer backend for the cover minimizations that are
+    /// plain Boolean problems: the complex-gate architecture (Fig. 3(a))
+    /// and the state-based baselines. The excitation-function ladder
+    /// (M0–M4) keeps its structural expansion loop regardless — its moves
+    /// are re-validated against monotonicity, which a generic backend
+    /// cannot do.
+    pub minimizer: si_boolean::MinimizerChoice,
 }
 
 impl Default for SynthesisOptions {
@@ -102,6 +109,7 @@ impl Default for SynthesisOptions {
         SynthesisOptions {
             architecture: Architecture::ExcitationFunction,
             stages: MinimizeStages::full(),
+            minimizer: si_boolean::MinimizerChoice::Espresso,
         }
     }
 }
@@ -160,8 +168,7 @@ pub struct Synthesis {
 /// # Ok::<(), si_core::SynthesisError>(())
 /// ```
 pub fn synthesize(stg: &Stg, options: &SynthesisOptions) -> Result<Synthesis, SynthesisError> {
-    let ctx = StructuralContext::build(stg)?;
-    synthesize_with_context(&ctx, options)
+    crate::Engine::new(stg).options(*options).synthesize()
 }
 
 /// Like [`synthesize`] but reusing an existing context (the expensive
@@ -271,7 +278,11 @@ fn complex_gate_signal(
         });
     }
     let cover = if options.stages.expand {
-        si_boolean::minimize_against_off(&on_req, &Cover::empty(on_req.width()), &off).cover
+        options
+            .minimizer
+            .backend()
+            .minimize(&on_req, &Cover::empty(on_req.width()), &off)
+            .cover
     } else {
         on_req.clone()
     };
@@ -679,6 +690,7 @@ y- x+
         let opts = SynthesisOptions {
             architecture: Architecture::ExcitationFunction,
             stages: MinimizeStages::stage(0),
+            ..Default::default()
         };
         let syn = synthesize(&stg, &opts).unwrap();
         let r = &syn.results[0];
@@ -714,6 +726,7 @@ y- x+
                 let opts = SynthesisOptions {
                     architecture: arch,
                     stages: MinimizeStages::full(),
+                    ..Default::default()
                 };
                 let syn = synthesize(&stg, &opts);
                 assert!(
@@ -734,6 +747,7 @@ y- x+
                 let opts = SynthesisOptions {
                     architecture: Architecture::PerRegion,
                     stages: MinimizeStages::stage(n),
+                    ..Default::default()
                 };
                 let syn = synthesize(&stg, &opts).unwrap();
                 assert!(

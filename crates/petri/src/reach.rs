@@ -258,6 +258,11 @@ impl MarkingInterner {
     }
 }
 
+/// Process-wide construction counter feeding
+/// [`ReachabilityGraph::build_count`] (all engines funnel through
+/// [`ReachabilityGraph::index_edges`]).
+static BUILD_COUNT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
 /// The explicit reachability graph of a safe net.
 ///
 /// # Examples
@@ -370,6 +375,17 @@ impl ReachabilityGraph {
         crate::shard::build_sharded(net, cap, shards.min(64).next_power_of_two())
     }
 
+    /// Process-wide number of reachability-graph constructions completed so
+    /// far (every engine: sequential, sharded and naive).
+    ///
+    /// This is the **build-count hook** behind the `Engine` artifact-cache
+    /// guarantee: tests snapshot it, run a synth-then-verify pipeline, and
+    /// assert the graph was constructed exactly once. Monotonic, never
+    /// reset; callers compare deltas, not absolute values.
+    pub fn build_count() -> usize {
+        BUILD_COUNT.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Builds the predecessor CSR and the excitation-region index from the
     /// successor adjacency in one fused pass over the edges.
     pub(crate) fn index_edges(
@@ -379,6 +395,7 @@ impl ReachabilityGraph {
         succ_edges: Vec<(TransId, StateId)>,
         succ_ranges: Vec<(u32, u32)>,
     ) -> Self {
+        BUILD_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         interner.seal();
         let n = markings.len();
         let mut pred_off = vec![0u32; n + 1];

@@ -11,16 +11,25 @@
 //!   -o FILE            write the main artifact (Verilog / .g / dot) to FILE
 //!   --arch ARCH        complex | excitation | per-region   (default excitation)
 //!   --stages N         minimization stage 0..4 or "full"    (default full)
+//!   --minimizer M      two-level minimizer backend for the complex-gate
+//!                      architecture and the state-based oracles:
+//!                      espresso | exact | bdd | auto        (default espresso;
+//!                      `auto` picks per signal by cover size and is never
+//!                      worse in literals than espresso)
+//!   --json             machine-readable JSON report on stdout for
+//!                      synth / verify / resolve (exit codes unchanged;
+//!                      the artifact is only written when -o is given)
 //!   --waveform N       also print an N-step simulated waveform
 //!   --cap N            state cap for every reachability-based oracle;
 //!                      exceeding it fails fast with a StateCapExceeded
 //!                      report that names this flag (pass a larger
 //!                      `--cap N` to raise the cap) instead of hanging.
 //!                      Per-command defaults when omitted: check 100000
-//!                      (cheap count), verify 4000000 functional /
-//!                      1000000 conformance, resolve 1000000 (acceptance
-//!                      oracle; the insertion-candidate search budget is
-//!                      a fixed 100000 and not affected by this flag)
+//!                      (cheap count), verify 4000000 (one cached graph
+//!                      serves the functional and conformance oracles),
+//!                      resolve 1000000 (acceptance oracle; the
+//!                      insertion-candidate search budget is a fixed
+//!                      100000 and not affected by this flag)
 //!   --shards N|auto    explore reachability with N parallel shard
 //!                      workers (see si-petri's sharded engine; N is
 //!                      rounded up to a power of two, max 64); `auto`
@@ -33,6 +42,10 @@
 //!                      insertions to try, distinct from the --cap that
 //!                      bounds each candidate's acceptance oracle
 //! ```
+//!
+//! Every command drives one [`Engine`] session, so oracles that need the
+//! same artifact (the reachability graph, the structural context) compute
+//! it once.
 
 use sisyn::prelude::*;
 use std::io::Read;
@@ -44,6 +57,8 @@ struct Args {
     output: Option<String>,
     arch: Architecture,
     stages: MinimizeStages,
+    minimizer: MinimizerChoice,
+    json: bool,
     waveform: Option<usize>,
     /// `--cap`: one explicit cap for every oracle; `None` keeps the
     /// per-command defaults.
@@ -60,12 +75,30 @@ impl Args {
     fn reach(&self, default_cap: usize) -> ReachOptions {
         ReachOptions::with_cap(self.cap.unwrap_or(default_cap)).shards(self.shards)
     }
+
+    /// The synthesis options of this invocation.
+    fn synthesis(&self) -> SynthesisOptions {
+        SynthesisOptions {
+            architecture: self.arch,
+            stages: self.stages,
+            minimizer: self.minimizer,
+        }
+    }
+
+    /// The configured session over `stg`, with `default_cap` as the
+    /// `--cap` fallback.
+    fn engine<'a>(&self, stg: &'a Stg, default_cap: usize) -> Engine<'a> {
+        Engine::new(stg)
+            .reach(self.reach(default_cap))
+            .options(self.synthesis())
+    }
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: sisyn <check|synth|verify|resolve|dot> SPEC.g \
-         [-o FILE] [--arch complex|excitation|per-region] [--stages 0..4|full] [--waveform N] \
+         [-o FILE] [--arch complex|excitation|per-region] [--stages 0..4|full] \
+         [--minimizer espresso|exact|bdd|auto] [--json] [--waveform N] \
          [--cap N] [--shards N|auto] [--budget N]"
     );
     ExitCode::from(2)
@@ -78,6 +111,8 @@ fn parse_args() -> Result<Args, ExitCode> {
     let mut output = None;
     let mut arch = Architecture::ExcitationFunction;
     let mut stages = MinimizeStages::full();
+    let mut minimizer = MinimizerChoice::Espresso;
+    let mut json = false;
     let mut waveform = None;
     let mut cap = None;
     let mut shards = 1usize;
@@ -104,6 +139,13 @@ fn parse_args() -> Result<Args, ExitCode> {
                     n => MinimizeStages::stage(n.parse().map_err(|_| usage())?),
                 }
             }
+            "--minimizer" => {
+                minimizer = argv.next().ok_or_else(usage)?.parse().map_err(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })?;
+            }
+            "--json" => json = true,
             "--waveform" => {
                 waveform = Some(
                     argv.next()
@@ -157,6 +199,8 @@ fn parse_args() -> Result<Args, ExitCode> {
         output,
         arch,
         stages,
+        minimizer,
+        json,
         waveform,
         cap,
         shards,
@@ -174,14 +218,45 @@ fn read_input(path: &str) -> std::io::Result<String> {
     }
 }
 
-fn emit(output: &Option<String>, content: &str) -> std::io::Result<()> {
-    match output {
+/// Writes `content` to `-o FILE`, or to stdout when no file was given and
+/// plain-text mode is on (`--json` owns stdout otherwise).
+fn emit(args: &Args, content: &str) -> std::io::Result<()> {
+    match &args.output {
         Some(path) => std::fs::write(path, content),
-        None => {
+        None if !args.json => {
             print!("{content}");
             Ok(())
         }
+        None => Ok(()),
     }
+}
+
+/// The stable CLI identifier of an architecture — the same vocabulary
+/// `--arch` accepts, so JSON reports round-trip into reproduction
+/// commands.
+fn arch_name(arch: Architecture) -> &'static str {
+    match arch {
+        Architecture::ComplexGate => "complex",
+        Architecture::ExcitationFunction => "excitation",
+        Architecture::PerRegion => "per-region",
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn main() -> ExitCode {
@@ -204,13 +279,21 @@ fn main() -> ExitCode {
         }
     };
 
+    // `--json` is defined for the commands that emit a report; rejecting
+    // it elsewhere beats silently swallowing the artifact (`dot --json`
+    // would otherwise print nothing and exit 0).
+    if args.json && !matches!(args.command.as_str(), "synth" | "verify" | "resolve") {
+        eprintln!("--json is only supported for synth, verify and resolve");
+        return usage();
+    }
+
     match args.command.as_str() {
         "check" => cmd_check(&stg, &args),
         "synth" => cmd_synth(&stg, &args),
         "verify" => cmd_verify(&stg, &args),
         "resolve" => cmd_resolve(&stg, &args),
         "dot" => {
-            let _ = emit(&args.output, &stg_to_dot(&stg));
+            let _ = emit(&args, &stg_to_dot(&stg));
             ExitCode::SUCCESS
         }
         _ => usage(),
@@ -218,6 +301,7 @@ fn main() -> ExitCode {
 }
 
 fn cmd_check(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
+    let engine = args.engine(stg, 100_000);
     println!(
         "model {}: {} signals, {} transitions, {} places, free-choice: {}",
         stg.name(),
@@ -229,7 +313,7 @@ fn cmd_check(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
     // Cheap default: the count is informational and the structural flow
     // never needs the state graph, so don't burn time/memory on huge nets
     // unless the user explicitly raises --cap.
-    match ReachabilityGraph::build_with(stg.net(), args.reach(100_000)) {
+    match engine.reachability() {
         Ok(rg) => println!("reachable markings: {}", rg.state_count()),
         Err(sisyn::petri::ReachError::StateCapExceeded { cap }) => println!(
             "reachable markings: > {cap} (state cap exceeded — the \
@@ -256,14 +340,13 @@ fn cmd_check(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    match StructuralContext::build(stg) {
-        Ok(ctx) => {
+    match engine.analyze() {
+        Ok(report) => {
             println!(
                 "coding conflicts: {} (after {} refinement round(s))",
-                ctx.conflicts().len(),
-                ctx.refinement_rounds
+                report.conflicts, report.refinement_rounds
             );
-            match ctx.csc_verdict() {
+            match report.csc {
                 CscVerdict::UscHolds => println!("state coding: USC holds"),
                 CscVerdict::CscHolds => println!("state coding: CSC holds"),
                 CscVerdict::Unknown { places } => {
@@ -284,11 +367,8 @@ fn cmd_check(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
 }
 
 fn cmd_synth(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
-    let opts = SynthesisOptions {
-        architecture: args.arch,
-        stages: args.stages,
-    };
-    match synthesize(stg, &opts) {
+    let engine = args.engine(stg, 4_000_000);
+    match engine.synthesize() {
         Ok(syn) => {
             let mapped = map_circuit(&syn.circuit);
             eprintln!(
@@ -297,7 +377,25 @@ fn cmd_synth(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
                 syn.literal_area,
                 mapped.area
             );
-            let _ = emit(&args.output, &to_verilog(stg, &syn.circuit));
+            if args.json {
+                println!(
+                    "{{\"command\": \"synth\", \"ok\": true, \"model\": {}, \
+                     \"architecture\": {}, \"minimizer\": {}, \
+                     \"signals\": {}, \"literal_area\": {}, \"mapped_area\": {}, \
+                     \"place_cover_cubes\": {}, \"sm_count\": {}, \
+                     \"refinement_rounds\": {}}}",
+                    json_str(stg.name()),
+                    json_str(arch_name(args.arch)),
+                    json_str(args.minimizer.name()),
+                    syn.results.len(),
+                    syn.literal_area,
+                    mapped.area,
+                    syn.place_cover_cubes,
+                    syn.sm_count,
+                    syn.refinement_rounds,
+                );
+            }
+            let _ = emit(args, &to_verilog(stg, &syn.circuit));
             if let Some(n) = args.waveform {
                 let (outcome, trace) = record_walk(stg, &syn.circuit, n, 1);
                 eprintln!("simulation: {outcome:?}");
@@ -307,47 +405,92 @@ fn cmd_synth(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
         }
         Err(e) => {
             eprintln!("synthesis failed: {e}");
+            if args.json {
+                println!(
+                    "{{\"command\": \"synth\", \"ok\": false, \"model\": {}, \"error\": {}}}",
+                    json_str(stg.name()),
+                    json_str(&e.to_string()),
+                );
+            }
             ExitCode::FAILURE
         }
     }
 }
 
 fn cmd_verify(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
-    let opts = SynthesisOptions {
-        architecture: args.arch,
-        stages: args.stages,
-    };
-    let syn = match synthesize(stg, &opts) {
+    // One session: the graph built for the functional oracle doubles as
+    // the conformance probe, so the state space is explored once.
+    let engine = args.engine(stg, 4_000_000);
+    let syn = match engine.synthesize() {
         Ok(s) => s,
         Err(e) => {
             eprintln!("synthesis failed: {e}");
+            if args.json {
+                println!(
+                    "{{\"command\": \"verify\", \"ok\": false, \"model\": {}, \"error\": {}}}",
+                    json_str(stg.name()),
+                    json_str(&e.to_string()),
+                );
+            }
             return ExitCode::FAILURE;
         }
     };
-    let functional =
-        match sisyn::verify::verify_circuit_with(stg, &syn.circuit, args.reach(4_000_000)) {
-            Ok(report) => report,
-            Err(e) => {
-                eprintln!(
-                    "verification inconclusive: {e} — state-based \
-                     verification needs the full reachability graph; pass a \
-                     larger `--cap N` to raise the cap (and `--shards auto` \
-                     to build the graph in parallel)"
+    let functional = match engine.verify(&syn.circuit) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!(
+                "verification inconclusive: {e} — state-based \
+                 verification needs the full reachability graph; pass a \
+                 larger `--cap N` to raise the cap (and `--shards auto` \
+                 to build the graph in parallel)"
+            );
+            if args.json {
+                println!(
+                    "{{\"command\": \"verify\", \"ok\": false, \"model\": {}, \"error\": {}}}",
+                    json_str(stg.name()),
+                    json_str(&e.to_string()),
                 );
-                return ExitCode::FAILURE;
             }
-        };
-    let conformance =
-        sisyn::verify::check_conformance_with(stg, &syn.circuit, args.reach(1_000_000));
+            return ExitCode::FAILURE;
+        }
+    };
+    let conformance = engine.check_conformance(&syn.circuit);
     let sim = random_walks(stg, &syn.circuit, 4, 4000, 7);
-    println!(
+    let summary = format!(
         "functional+monotonic: {} | conformance: {} ({} states) | random walks: {}",
         if functional.is_ok() { "OK" } else { "FAILED" },
         if conformance.is_ok() { "OK" } else { "FAILED" },
         conformance.states_explored,
         if sim.is_clean() { "OK" } else { "FAILED" },
     );
-    if functional.is_ok() && conformance.is_ok() && sim.is_clean() {
+    // `--json` owns stdout; the human summary moves to stderr there.
+    if args.json {
+        eprintln!("{summary}");
+    } else {
+        println!("{summary}");
+    }
+    let ok = functional.is_ok() && conformance.is_ok() && sim.is_clean();
+    if args.json {
+        println!(
+            "{{\"command\": \"verify\", \"ok\": {}, \"model\": {}, \
+             \"functional_ok\": {}, \"violations\": {}, \"states_checked\": {}, \
+             \"conformance_ok\": {}, \"conformance_failures\": {}, \
+             \"states_explored\": {}, \"random_walks_ok\": {}, \
+             \"literal_area\": {}, \"minimizer\": {}}}",
+            ok,
+            json_str(stg.name()),
+            functional.is_ok(),
+            functional.violations.len(),
+            functional.states_checked,
+            conformance.is_ok(),
+            conformance.failures.len(),
+            conformance.states_explored,
+            sim.is_clean(),
+            syn.literal_area,
+            json_str(args.minimizer.name()),
+        );
+    }
+    if ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -358,18 +501,35 @@ fn cmd_resolve(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
     // `--cap`/`--shards` govern the behavioural acceptance oracle (like
     // every other reachability-based oracle); `--budget` bounds the
     // candidate search, which is a search bound, not a state cap.
-    match resolve_csc_with(stg, args.budget, args.reach(1_000_000)) {
+    let engine = args.engine(stg, 1_000_000);
+    match engine.resolve_csc(args.budget) {
         Some((fixed, _plan)) => {
             eprintln!(
                 "resolved: {} -> {} signals",
                 stg.signal_count(),
                 fixed.signal_count()
             );
-            let _ = emit(&args.output, &write_g(&fixed));
+            if args.json {
+                println!(
+                    "{{\"command\": \"resolve\", \"ok\": true, \"model\": {}, \
+                     \"signals_before\": {}, \"signals_after\": {}}}",
+                    json_str(stg.name()),
+                    stg.signal_count(),
+                    fixed.signal_count(),
+                );
+            }
+            let _ = emit(args, &write_g(&fixed));
             ExitCode::SUCCESS
         }
         None => {
             eprintln!("no single-signal insertion found within budget");
+            if args.json {
+                println!(
+                    "{{\"command\": \"resolve\", \"ok\": false, \"model\": {}, \
+                     \"error\": \"no single-signal insertion found within budget\"}}",
+                    json_str(stg.name()),
+                );
+            }
             ExitCode::FAILURE
         }
     }

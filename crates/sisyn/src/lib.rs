@@ -15,14 +15,19 @@
 //!
 //! # Examples
 //!
+//! The pipeline API: one [`Engine`](crate::core::Engine) session per STG,
+//! shared artifacts, the whole flow as methods:
+//!
 //! ```
 //! use sisyn::prelude::*;
 //!
-//! // Parse an STG, synthesize it structurally, verify the result.
+//! // Parse an STG, synthesize it structurally, verify the result — the
+//! // reachability graph behind `verify` is built once and cached.
 //! let stg = sisyn::stg::generators::clatch(3);
-//! let syn = synthesize(&stg, &SynthesisOptions::default())?;
-//! assert!(verify_circuit(&stg, &syn.circuit).is_ok());
-//! # Ok::<(), sisyn::core::SynthesisError>(())
+//! let engine = Engine::new(&stg);
+//! let syn = engine.synthesize()?;
+//! assert!(engine.verify(&syn.circuit)?.is_ok());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -35,13 +40,16 @@ pub use si_verify as verify;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use si_boolean::{Bits, Cover, Cube};
+    pub use si_boolean::{Bits, Cover, Cube, Minimizer, MinimizerChoice};
     pub use si_core::{
         map_circuit, resolve_csc, resolve_csc_with, synthesize, synthesize_state_based, to_verilog,
-        Architecture, BaselineFlavor, Circuit, CscVerdict, ImplKind, MinimizeStages,
-        StructuralContext, Synthesis, SynthesisOptions,
+        Analysis, Architecture, BaselineFlavor, Circuit, CscVerdict, Engine, ImplKind,
+        MinimizeStages, StructuralContext, Synthesis, SynthesisOptions,
     };
     pub use si_petri::{check_live_safe_fc, PetriNet, ReachOptions, ReachabilityGraph};
     pub use si_stg::{parse_g, stg_to_dot, write_g, SignalKind, Stg, StgAnalysis};
-    pub use si_verify::{check_conformance, random_walks, record_walk, verify_circuit};
+    pub use si_verify::{
+        check_conformance, random_walks, record_walk, verify_circuit, verify_circuit_with,
+        EngineVerify,
+    };
 }

@@ -93,19 +93,22 @@ fn spec_next(
 /// Panics if the STG is not safe/consistent (callers verify synthesizable
 /// inputs, which always are).
 pub fn verify_circuit(stg: &Stg, circuit: &Circuit) -> VerificationReport {
-    match verify_circuit_capped(stg, circuit, 4_000_000) {
+    match verify_circuit_with(stg, circuit, si_petri::ReachOptions::with_cap(4_000_000)) {
         Ok(report) => report,
         Err(e) => panic!("state-based verification impossible: {e}"),
     }
 }
 
-/// Like [`verify_circuit`] but with an explicit state cap: returns
-/// [`si_petri::ReachError::StateCapExceeded`] instead of hanging (or
-/// panicking) when the specification's state space is larger than `cap`.
+/// Superseded spelling of [`verify_circuit_with`] with a bare state cap.
 ///
 /// # Errors
 ///
 /// Any [`si_petri::ReachError`] from building the reachability graph.
+#[deprecated(
+    since = "0.2.0",
+    note = "use verify_circuit_with(stg, circuit, ReachOptions::with_cap(cap)) — one options \
+            surface for cap and shards — or Engine::verify for cached-artifact pipelines"
+)]
 pub fn verify_circuit_capped(
     stg: &Stg,
     circuit: &Circuit,
@@ -114,12 +117,17 @@ pub fn verify_circuit_capped(
     verify_circuit_with(stg, circuit, si_petri::ReachOptions::with_cap(cap))
 }
 
-/// Like [`verify_circuit_capped`] but with explicit
-/// [`si_petri::ReachOptions`]: `reach.shards > 1` builds the specification's
-/// reachability graph — the dominant cost of state-based verification on
-/// the scalable families — with the sharded multi-threaded engine. The
-/// report is identical either way (the engines produce the same graph,
-/// state numbering included).
+/// Verifies with explicit [`si_petri::ReachOptions`]: `reach.cap` bounds
+/// the specification's state space (the call returns
+/// [`si_petri::ReachError::StateCapExceeded`] instead of hanging past it)
+/// and `reach.shards > 1` builds the reachability graph — the dominant
+/// cost of state-based verification on the scalable families — with the
+/// sharded multi-threaded engine. The report is identical either way (the
+/// engines produce the same graph, state numbering included).
+///
+/// This is a one-shot wrapper over [`si_core::Engine`]; pipelines that
+/// also synthesize or check conformance should hold an `Engine` and call
+/// [`crate::EngineVerify::verify`] so the graph is built once.
 ///
 /// # Errors
 ///
@@ -129,8 +137,20 @@ pub fn verify_circuit_with(
     circuit: &Circuit,
     reach: si_petri::ReachOptions,
 ) -> Result<VerificationReport, si_petri::ReachError> {
-    let rg = ReachabilityGraph::build_with(stg.net(), reach)?;
-    let enc = StateEncoding::compute(stg, &rg).expect("consistent STG");
+    use crate::EngineVerify;
+    si_core::Engine::new(stg).reach(reach).verify(circuit)
+}
+
+/// Verification over a **prebuilt** reachability graph and encoding — the
+/// form the [`si_core::Engine`] artifact cache calls (via
+/// [`crate::EngineVerify`]) so a synth-then-verify pipeline explores the
+/// state space once.
+pub fn verify_circuit_on(
+    stg: &Stg,
+    circuit: &Circuit,
+    rg: &ReachabilityGraph,
+    enc: &StateEncoding,
+) -> VerificationReport {
     let mut report = VerificationReport {
         violations: Vec::new(),
         states_checked: rg.state_count(),
@@ -141,7 +161,7 @@ pub fn verify_circuit_with(
         // Functional check at every reachable state.
         for s in rg.states() {
             let produced = imp.next_value(enc.code(s), enc.value(s, signal));
-            let required = spec_next(stg, &rg, &enc, s, signal);
+            let required = spec_next(stg, rg, enc, s, signal);
             if produced != required {
                 report.violations.push(Violation::Functional {
                     signal,
@@ -200,7 +220,7 @@ pub fn verify_circuit_with(
             }
         }
     }
-    Ok(report)
+    report
 }
 
 #[cfg(test)]
@@ -259,6 +279,7 @@ y- x+
             &SynthesisOptions {
                 architecture: Architecture::ExcitationFunction,
                 stages: MinimizeStages::none(),
+                ..Default::default()
             },
         )
         .unwrap();
@@ -294,6 +315,7 @@ y- x+
                         &SynthesisOptions {
                             architecture: arch,
                             stages: stage,
+                            ..Default::default()
                         },
                     )
                     .unwrap_or_else(|e| panic!("{} {arch:?}: {e}", stg.name()));

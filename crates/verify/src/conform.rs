@@ -81,7 +81,10 @@ pub fn check_conformance(stg: &Stg, circuit: &Circuit, cap: usize) -> Conformanc
 /// The probe keeps at least the historical 4M-state headroom so a small
 /// product cap still allows partial product exploration; if even that is
 /// exceeded the report carries
-/// [`ConformanceFailure::StateCapExceeded`] instead of panicking.
+/// [`ConformanceFailure::StateCapExceeded`] instead of panicking. This is a
+/// one-shot wrapper over [`si_core::Engine`]; pipelines that also verify
+/// should hold an `Engine` and call
+/// [`crate::EngineVerify::check_conformance`] so the probe graph is shared.
 ///
 /// # Panics
 ///
@@ -93,17 +96,65 @@ pub fn check_conformance_with(
     circuit: &Circuit,
     reach: si_petri::ReachOptions,
 ) -> ConformanceReport {
-    let cap = reach.cap;
-    let net = stg.net();
-
-    // Initial wire values: derived from the STG's consistent encoding of
-    // the initial marking.
     let probe_opts = si_petri::ReachOptions {
         cap: reach.cap.max(4_000_000),
         shards: reach.shards,
     };
-    let rg_probe = match si_petri::ReachabilityGraph::build_with(net, probe_opts) {
-        Ok(rg) => rg,
+    let engine = si_core::Engine::new(stg).reach(probe_opts);
+    engine_conformance(&engine, circuit, reach.cap)
+}
+
+/// Conformance over an [`si_core::Engine`]'s cached probe graph: the
+/// engine supplies the reachability graph and encoding that seed the
+/// initial wire values, `cap` bounds the product exploration itself.
+///
+/// When the session's cap is too small for the specification, the probe
+/// falls back to a **one-shot** graph at the historical 4M-state headroom
+/// (without touching the session cache), so a small product cap still
+/// allows partial product exploration — the same contract as
+/// [`check_conformance_with`]. Only past that headroom does the report
+/// carry [`ConformanceFailure::StateCapExceeded`].
+pub(crate) fn engine_conformance(
+    engine: &si_core::Engine<'_>,
+    circuit: &Circuit,
+    cap: usize,
+) -> ConformanceReport {
+    let stg = engine.stg();
+    let code0 = match engine.reachability() {
+        Ok(rg) => {
+            let enc = engine.encoding().expect("reachability already succeeded");
+            let s0 = rg
+                .state_of(&stg.net().initial_marking())
+                .expect("initial state");
+            enc.code(s0).clone()
+        }
+        Err(si_petri::ReachError::StateCapExceeded { cap: session_cap })
+            if session_cap < 4_000_000 =>
+        {
+            // Probe-headroom fallback, outside the session cache.
+            let probe = si_petri::ReachOptions {
+                cap: 4_000_000,
+                shards: engine.reach_options().shards,
+            };
+            match si_petri::ReachabilityGraph::build_with(stg.net(), probe) {
+                Ok(rg) => {
+                    let enc = si_stg::StateEncoding::compute(stg, &rg).expect("consistent");
+                    let s0 = rg
+                        .state_of(&stg.net().initial_marking())
+                        .expect("initial state");
+                    enc.code(s0).clone()
+                }
+                Err(si_petri::ReachError::StateCapExceeded { .. }) => {
+                    return ConformanceReport {
+                        failures: vec![ConformanceFailure::StateCapExceeded],
+                        states_explored: 0,
+                    };
+                }
+                Err(e @ si_petri::ReachError::NotSafe { .. }) => {
+                    panic!("conformance check on a non-safe specification: {e}")
+                }
+            }
+        }
         Err(si_petri::ReachError::StateCapExceeded { .. }) => {
             return ConformanceReport {
                 failures: vec![ConformanceFailure::StateCapExceeded],
@@ -114,12 +165,13 @@ pub fn check_conformance_with(
             panic!("conformance check on a non-safe specification: {e}")
         }
     };
-    let enc = si_stg::StateEncoding::compute(stg, &rg_probe).expect("consistent");
-    let s0 = rg_probe
-        .state_of(&net.initial_marking())
-        .expect("initial state");
-    let code0 = enc.code(s0).clone();
+    explore_product(stg, circuit, code0, cap)
+}
 
+/// The product-automaton exploration proper, from explicit initial wire
+/// values `code0`.
+fn explore_product(stg: &Stg, circuit: &Circuit, code0: Bits, cap: usize) -> ConformanceReport {
+    let net = stg.net();
     let excited = |code: &Bits| -> Vec<SignalId> {
         circuit
             .implementations

@@ -1,0 +1,65 @@
+//! Verification methods on the synthesis session.
+//!
+//! `si_core::Engine` owns the cached reachability artifacts but cannot
+//! depend on this crate (the dependency points the other way), so the
+//! verification half of the pipeline arrives as an extension trait:
+//! import [`EngineVerify`] (it is in `sisyn::prelude`) and the whole flow
+//! reads as methods on one session object.
+
+use crate::check::{verify_circuit_on, VerificationReport};
+use crate::conform::{engine_conformance, ConformanceReport};
+use si_core::{Circuit, Engine};
+use si_petri::ReachError;
+
+/// Speed-independence verification over an [`Engine`]'s cached artifacts.
+///
+/// Both methods reuse the session's reachability graph: a
+/// synthesize-then-verify-then-conformance pipeline explores the
+/// specification's state space **exactly once** (pinned by a build-count
+/// test).
+///
+/// # Examples
+///
+/// ```
+/// use si_core::Engine;
+/// use si_verify::EngineVerify;
+///
+/// let stg = si_stg::generators::clatch(2);
+/// let engine = Engine::new(&stg);
+/// let syn = engine.synthesize()?;
+/// assert!(engine.verify(&syn.circuit)?.is_ok());
+/// assert!(engine.check_conformance(&syn.circuit).is_ok());
+/// assert_eq!(engine.reach_build_count(), 1); // graph shared by both checks
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub trait EngineVerify {
+    /// Functional + monotonic-cover verification
+    /// ([`crate::verify_circuit_with`] semantics) over the cached graph.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ReachError`] from building the session's reachability graph.
+    fn verify(&self, circuit: &Circuit) -> Result<VerificationReport, ReachError>;
+
+    /// Product-automaton conformance checking
+    /// ([`crate::check_conformance_with`] semantics). The session's cap
+    /// bounds the product exploration; the probe graph falls back to the
+    /// historical 4M-state headroom (one-shot, outside the session cache)
+    /// when the session cap is too small for the specification, so a
+    /// small cap still allows partial product exploration. Past that,
+    /// overflow surfaces as
+    /// [`crate::ConformanceFailure::StateCapExceeded`] in the report.
+    fn check_conformance(&self, circuit: &Circuit) -> ConformanceReport;
+}
+
+impl EngineVerify for Engine<'_> {
+    fn verify(&self, circuit: &Circuit) -> Result<VerificationReport, ReachError> {
+        let rg = self.reachability()?;
+        let enc = self.encoding()?;
+        Ok(verify_circuit_on(self.stg(), circuit, rg, enc))
+    }
+
+    fn check_conformance(&self, circuit: &Circuit) -> ConformanceReport {
+        engine_conformance(self, circuit, self.reach_options().cap)
+    }
+}

@@ -5,36 +5,50 @@
 //! independently verified against its STG specification on the explicit
 //! state space —
 //!
-//! * [`verify_circuit`]: functional correctness at every reachable marking
-//!   plus Property-1 monotonicity of every set/reset network;
+//! * [`verify_circuit`] / [`verify_circuit_with`]: functional correctness
+//!   at every reachable marking plus Property-1 monotonicity of every
+//!   set/reset network;
 //! * [`check_conformance`]: exhaustive product-automaton exploration under
 //!   the unbounded gate delay model, detecting unexpected outputs, disabled
-//!   (hazardous) outputs and starved outputs.
+//!   (hazardous) outputs and starved outputs;
+//! * [`EngineVerify`]: both checks as methods on the `si_core::Engine`
+//!   session, sharing its cached reachability graph.
 //!
 //! # Examples
 //!
+//! The pipeline spelling — synthesize, verify and conformance-check over
+//! one session, building the reachability graph once:
+//!
 //! ```
-//! use si_core::{synthesize, SynthesisOptions};
-//! use si_verify::{check_conformance, verify_circuit};
+//! use si_core::Engine;
+//! use si_verify::EngineVerify;
 //!
 //! let stg = si_stg::generators::clatch(2);
-//! let syn = synthesize(&stg, &SynthesisOptions::default())?;
-//! assert!(verify_circuit(&stg, &syn.circuit).is_ok());
-//! assert!(check_conformance(&stg, &syn.circuit, 100_000).is_ok());
-//! # Ok::<(), si_core::SynthesisError>(())
+//! let engine = Engine::new(&stg);
+//! let syn = engine.synthesize()?;
+//! assert!(engine.verify(&syn.circuit)?.is_ok());
+//! assert!(engine.check_conformance(&syn.circuit).is_ok());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! The one-shot free functions ([`verify_circuit`], [`check_conformance`])
+//! remain as thin wrappers for single calls.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod check;
 mod conform;
+mod engine_ext;
 mod sim;
 
+#[allow(deprecated)]
+pub use check::verify_circuit_capped;
 pub use check::{
-    verify_circuit, verify_circuit_capped, verify_circuit_with, VerificationReport, Violation,
+    verify_circuit, verify_circuit_on, verify_circuit_with, VerificationReport, Violation,
 };
 pub use conform::{
     check_conformance, check_conformance_with, ConformanceFailure, ConformanceReport,
 };
+pub use engine_ext::EngineVerify;
 pub use sim::{random_walks, record_walk, WalkOutcome};

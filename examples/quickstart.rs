@@ -47,9 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // 3. Synthesize with the default architecture (complex gate per
-    //    excitation function, full minimization ladder).
-    let syn = synthesize(&stg, &SynthesisOptions::default())?;
+    // 3. Open a synthesis session and run the flow. The `Engine` caches
+    //    every shared artifact, so the verification steps below reuse one
+    //    reachability graph instead of rebuilding it per call.
+    let engine = Engine::new(&stg).cap(100_000);
+    let syn = engine.synthesize()?;
     println!(
         "\nsynthesized {} signals, area = {} literal units",
         syn.results.len(),
@@ -86,9 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mapped.cells.len()
     );
 
-    // 5. Verify speed independence against the specification.
-    let report = verify_circuit(&stg, &syn.circuit);
-    let conform = check_conformance(&stg, &syn.circuit, 100_000);
+    // 5. Verify speed independence against the specification — both
+    //    checks run over the session's cached reachability graph.
+    let report = engine.verify(&syn.circuit)?;
+    let conform = engine.check_conformance(&syn.circuit);
     println!(
         "\nverification: functional+monotonic {}, conformance {} ({} product states)",
         if report.is_ok() { "OK" } else { "FAILED" },
@@ -96,5 +99,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         conform.states_explored
     );
     assert!(report.is_ok() && conform.is_ok());
+    assert_eq!(engine.reach_build_count(), 1); // one graph served both oracles
     Ok(())
 }

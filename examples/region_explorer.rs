@@ -23,15 +23,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .join(" ")
     );
 
+    // One session drives the whole walk-through: the reachability graph
+    // (ground truth) and the structural context (the paper's tables) are
+    // each computed once and shared by every step below.
+    let engine = Engine::new(&stg).cap(100_000);
+
     // Ground truth (Table I analog): the regions of output d.
-    let rg = ReachabilityGraph::build(net, 100_000)?;
-    let enc = StateEncoding::compute(&stg, &rg)?;
+    let rg = engine.reachability()?;
+    let enc = StateEncoding::compute(&stg, rg)?;
     println!(
         "\n== Table I: signal regions of d (ground truth, {} markings) ==",
         rg.state_count()
     );
     let d = stg.signal_by_name("d").expect("signal d");
-    let regions = SignalRegions::compute(&stg, &rg, d);
+    let regions = SignalRegions::compute(&stg, rg, d);
     for (i, &t) in regions.transitions.iter().enumerate() {
         let er: Vec<String> = regions.er[i]
             .iter_ones()
@@ -50,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Table II analog: signal concurrency relation of places.
-    let ctx = StructuralContext::build(&stg)?;
+    let ctx = engine.context()?;
     println!("\n== Table II: place x signal concurrency (structural) ==");
     for p in net.places() {
         let row: Vec<&str> = stg
@@ -101,12 +106,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("CSC verdict: {:?}", ctx.csc_verdict());
 
-    // And the final circuit.
-    let syn = synthesize(&stg, &SynthesisOptions::default())?;
+    // And the final circuit — synthesis reuses the cached context, the
+    // verification the cached graph.
+    let syn = engine.synthesize()?;
     println!(
         "\nsynthesized area: {} literal units; SI verified: {}",
         syn.literal_area,
-        verify_circuit(&stg, &syn.circuit).is_ok()
+        engine.verify(&syn.circuit)?.is_ok()
     );
     Ok(())
 }

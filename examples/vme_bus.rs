@@ -14,7 +14,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // request phase, lds- in the release phase). The structural flow must
     // reject it.
     let raw = benchmarks::vme_read_raw();
-    match synthesize(&raw, &SynthesisOptions::default()) {
+    let raw_engine = Engine::new(&raw);
+    match raw_engine.synthesize() {
         Err(SynthesisError::CscViolationPossible { places }) => {
             println!(
                 "raw VME rejected: CSC cannot be established ({} witness places)",
@@ -24,8 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         other => panic!("expected a CSC rejection, got {other:?}"),
     }
 
-    // The library can search for the state-signal insertion automatically:
-    match resolve_csc(&raw, 50_000) {
+    // The same session can search for the state-signal insertion
+    // automatically (reusing its cached structural context):
+    match raw_engine.resolve_csc(50_000) {
         Some((repaired, plan)) => {
             println!(
                 "automatic CSC resolution found: split {} / {} (+{} wait arc(s))",
@@ -43,23 +45,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Insert the state signal csc0 (the standard resolution) and retry.
+    // One session serves all three architectures: the structural context
+    // is shared across the sweep and the reachability graph behind the
+    // six verification calls is built exactly once.
     let fixed = benchmarks::vme_read_csc();
+    let engine = Engine::new(&fixed).cap(200_000);
     println!("\nwith csc0 inserted:");
     for arch in [
         Architecture::ComplexGate,
         Architecture::ExcitationFunction,
         Architecture::PerRegion,
     ] {
-        let syn = synthesize(
-            &fixed,
-            &SynthesisOptions {
-                architecture: arch,
-                stages: MinimizeStages::full(),
-            },
-        )?;
+        let syn = engine.synthesize_with(&SynthesisOptions {
+            architecture: arch,
+            stages: MinimizeStages::full(),
+            ..Default::default()
+        })?;
         let mapped = map_circuit(&syn.circuit);
-        let ok = verify_circuit(&fixed, &syn.circuit).is_ok()
-            && check_conformance(&fixed, &syn.circuit, 200_000).is_ok();
+        let ok =
+            engine.verify(&syn.circuit)?.is_ok() && engine.check_conformance(&syn.circuit).is_ok();
         println!(
             "  {:?}: {} literal units, {} transistor pairs, SI verification {}",
             arch,
@@ -71,7 +75,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Show the final equations of the default architecture.
-    let syn = synthesize(&fixed, &SynthesisOptions::default())?;
+    let syn = engine.synthesize()?;
+    assert_eq!(engine.reach_build_count(), 1); // shared across the sweep
     println!("\nfinal implementation (complex gate per excitation function):");
     println!(
         "  signal order: {}",

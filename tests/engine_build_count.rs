@@ -1,0 +1,48 @@
+//! The artifact-cache guarantee, pinned by the build-count hook: an
+//! `Engine` running the whole pipeline — synthesize, state-based baseline,
+//! functional verification, conformance — constructs the reachability
+//! graph **exactly once**.
+//!
+//! This test is deliberately alone in its binary: the hook
+//! (`ReachabilityGraph::build_count`) is process-wide, and a sibling test
+//! building graphs concurrently would make the delta assertion racy.
+
+use sisyn::prelude::*;
+
+#[test]
+fn pipeline_builds_the_reachability_graph_exactly_once() {
+    let stg = sisyn::stg::benchmarks::vme_read_csc();
+    let engine = Engine::new(&stg).cap(500_000);
+
+    let before = ReachabilityGraph::build_count();
+    let syn = engine.synthesize().expect("synthesizable");
+    assert_eq!(
+        ReachabilityGraph::build_count(),
+        before,
+        "structural synthesis must not touch the state graph"
+    );
+
+    let functional = engine.verify(&syn.circuit).expect("within cap");
+    assert!(functional.is_ok());
+    let conformance = engine.check_conformance(&syn.circuit);
+    assert!(conformance.is_ok());
+    let baseline = engine
+        .synthesize_state_based(BaselineFlavor::ExcitationExact)
+        .expect("within cap");
+    assert!(baseline.literal_area > 0);
+
+    assert_eq!(
+        ReachabilityGraph::build_count() - before,
+        1,
+        "verify + conformance + baseline must share one cached graph"
+    );
+    assert_eq!(engine.reach_build_count(), 1);
+
+    // The legacy free functions, by contrast, rebuild per call: the same
+    // three reachability-backed steps cost three constructions.
+    let before_legacy = ReachabilityGraph::build_count();
+    let _ = verify_circuit(&stg, &syn.circuit);
+    let _ = check_conformance(&stg, &syn.circuit, 500_000);
+    let _ = synthesize_state_based(&stg, BaselineFlavor::ExcitationExact, 500_000);
+    assert_eq!(ReachabilityGraph::build_count() - before_legacy, 3);
+}

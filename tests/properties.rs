@@ -91,6 +91,7 @@ proptest! {
             let opts = SynthesisOptions {
                 architecture: Architecture::PerRegion,
                 stages: MinimizeStages::stage(n),
+                ..Default::default()
             };
             match synthesize(&stg, &opts) {
                 Ok(s) => {

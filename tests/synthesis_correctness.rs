@@ -18,6 +18,7 @@ fn structural_flow_verifies_everywhere() {
                 let opts = SynthesisOptions {
                     architecture: arch,
                     stages: MinimizeStages::stage(stage),
+                    ..Default::default()
                 };
                 let syn = synthesize(&stg, &opts)
                     .unwrap_or_else(|e| panic!("{} {arch:?} M{stage}: {e}", stg.name()));
