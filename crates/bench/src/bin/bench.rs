@@ -15,7 +15,11 @@
 //!   the exponentially-growing `clatch(n)` family, at 1/2/4/8 shards;
 //! * `minimizer_backends` — literal counts and wall time of the pluggable
 //!   two-level minimizer backends (espresso / exact / bdd / auto) on the
-//!   complex-gate synthesis of the large set.
+//!   complex-gate synthesis of the large set;
+//! * `product_exploration` — the spec×circuit conformance product on the
+//!   generic explorers (`si_petri::space`): wall time and states/s of the
+//!   sequential vs sharded exploration on the large set (the probe graph
+//!   is cached per engine, so only the product walk is timed).
 //!
 //! ```text
 //! bench [--iters N] [--smoke] [--cap N] [--out FILE]
@@ -263,6 +267,71 @@ fn measure_minimizer_backends(cfg: &Config) -> Vec<MinimizerEntry> {
     entries
 }
 
+/// One workload of the product-exploration section.
+struct ProductEntry {
+    name: String,
+    /// Product states of the (conformant) synthesized circuit.
+    product_states: usize,
+    /// Shard count -> best-of wall time of the product exploration
+    /// (`[0]` is the sequential explorer).
+    times: Vec<(usize, Duration)>,
+}
+
+/// Times the conformance product of each large-set member's synthesized
+/// circuit on the sequential and sharded explorers. Each engine caches
+/// its probe graph before the timed loop, so the measurement isolates the
+/// product walk itself.
+fn measure_product_exploration(cfg: &Config) -> (Vec<usize>, Vec<ProductEntry>) {
+    use si_verify::EngineVerify;
+    let counts: Vec<usize> = if cfg.smoke {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 4, 8]
+    };
+    debug_assert_eq!(counts[0], 1, "the sweep leads with the sequential explorer");
+    let mut entries = Vec::new();
+    for stg in large_set() {
+        let Ok(syn) = synthesize(&stg, &SynthesisOptions::default()) else {
+            eprintln!("product/{}: skipped (not synthesizable)", stg.name());
+            continue;
+        };
+        let mut times = Vec::new();
+        let mut product_states = 0usize;
+        let mut skipped = false;
+        for &k in &counts {
+            let engine = si_core::Engine::new(&stg).cap(cfg.cap).shards(k);
+            if engine.reachability().is_err() {
+                eprintln!("product/{}: skipped (probe over cap)", stg.name());
+                skipped = true;
+                break;
+            }
+            let first = engine.check_conformance(&syn.circuit);
+            if !first.is_ok() {
+                eprintln!("product/{}: skipped (inconclusive or failing)", stg.name());
+                skipped = true;
+                break;
+            }
+            product_states = first.states_explored;
+            let d = best_of(cfg.iters.min(3), || engine.check_conformance(&syn.circuit));
+            times.push((k, d));
+        }
+        if skipped || times.is_empty() {
+            continue;
+        }
+        eprint!("product/{} ({product_states} states):", stg.name());
+        for &(k, d) in &times {
+            eprint!(" {k}={}", fmt_duration(d));
+        }
+        eprintln!();
+        entries.push(ProductEntry {
+            name: stg.name().to_string(),
+            product_states,
+            times,
+        });
+    }
+    (counts, entries)
+}
+
 fn json_ms(d: Option<Duration>) -> String {
     match d {
         Some(d) => format!("{:.6}", d.as_secs_f64() * 1e3),
@@ -304,10 +373,11 @@ fn main() {
 
     let (shard_cap, shard_counts, shard_entries) = measure_shard_scaling(&cfg);
     let minimizer_entries = measure_minimizer_backends(&cfg);
+    let (product_counts, product_entries) = measure_product_exploration(&cfg);
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"sisyn/bench-substrates/v3\",");
+    let _ = writeln!(json, "  \"schema\": \"sisyn/bench-substrates/v4\",");
     let _ = writeln!(json, "  \"iters\": {},", cfg.iters);
     let _ = writeln!(json, "  \"state_cap\": {},", cfg.cap);
     let _ = writeln!(
@@ -457,6 +527,76 @@ fn main() {
             json,
             "      }}{}",
             if i + 1 < minimizer_entries.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+    // Product-exploration section: the conformance product on the generic
+    // sequential vs sharded explorers, large set.
+    let _ = writeln!(json, "  \"product_exploration\": {{");
+    let _ = writeln!(json, "    \"state_cap\": {},", cfg.cap);
+    let _ = writeln!(
+        json,
+        "    \"shard_counts\": [{}],",
+        product_counts
+            .iter()
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        json,
+        "    \"hardware_threads\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let _ = writeln!(json, "    \"entries\": [");
+    for (i, e) in product_entries.iter().enumerate() {
+        let _ = writeln!(json, "      {{");
+        let _ = writeln!(json, "        \"name\": \"{}\",", e.name);
+        let _ = writeln!(json, "        \"product_states\": {},", e.product_states);
+        let _ = writeln!(
+            json,
+            "        \"conform_ms\": {{{}}},",
+            e.times
+                .iter()
+                .map(|&(k, d)| format!("\"{k}\": {}", json_ms(Some(d))))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let _ = writeln!(
+            json,
+            "        \"states_per_s\": {{{}}},",
+            e.times
+                .iter()
+                .map(|&(k, d)| {
+                    let rate = if d.is_zero() {
+                        "null".to_string()
+                    } else {
+                        format!("{:.0}", e.product_states as f64 / d.as_secs_f64())
+                    };
+                    format!("\"{k}\": {rate}")
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let seq = e.times[0].1;
+        let _ = writeln!(
+            json,
+            "        \"speedup_vs_seq\": {{{}}}",
+            e.times[1..]
+                .iter()
+                .map(|&(k, d)| format!("\"{k}\": {}", json_speedup(Some(seq), Some(d))))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let _ = writeln!(
+            json,
+            "      }}{}",
+            if i + 1 < product_entries.len() {
                 ","
             } else {
                 ""

@@ -120,8 +120,12 @@ impl<'a> Engine<'a> {
         self
     }
 
-    /// Sets the shard-worker count of the reachability engine
-    /// (see [`ReachOptions::shards`]).
+    /// Sets the shard-worker count of every state-space traversal the
+    /// session runs (see [`ReachOptions::shards`]): the reachability
+    /// build, and — through `si-verify`'s `EngineVerify` methods — the
+    /// speed-independence violation search and the conformance product
+    /// exploration, which all ride the generic explorers of
+    /// `si_petri::space`.
     pub fn shards(mut self, shards: usize) -> Self {
         self.reach = self.reach.shards(shards);
         self

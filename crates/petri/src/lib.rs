@@ -7,10 +7,15 @@
 //!
 //! * [`PetriNet`] — places/transitions/flow with a safe marking and the
 //!   firing rule, plus free-choice / state-machine / marked-graph checks;
+//! * [`space`] — the generic state-space layer: the [`space::StateSpace`]
+//!   abstraction (packed states + lazy successors + a verdict hook) with
+//!   **one** sequential explorer ([`space::explore`]) and **one** sharded
+//!   multi-threaded explorer ([`shard::explore_sharded`]) behind every
+//!   traversal in the workspace — reachability, speed-independence
+//!   verification and conformance checking;
 //! * [`ReachabilityGraph`] — the explicit state space (the thing the paper
-//!   avoids; used as baseline and oracle), with a sequential word-parallel
-//!   engine and a sharded multi-threaded engine ([`shard`]) selected via
-//!   [`ReachOptions`];
+//!   avoids; used as baseline and oracle), built on the generic explorers
+//!   over the trivial marking space, engine selected via [`ReachOptions`];
 //! * [`SmComponent`], [`SmFinder`], [`sm_cover`] — one-token state-machine
 //!   components and SM-covers;
 //! * [`ConcurrencyRelation`] — the structural concurrency fixpoint (§V-A);
@@ -52,6 +57,7 @@ mod redundant;
 pub mod shard;
 mod siphon;
 mod sm;
+pub mod space;
 
 pub use concurrency::ConcurrencyRelation;
 pub use invariant::{is_p_invariant, p_semiflows, t_semiflows, weighted_tokens, Semiflow};

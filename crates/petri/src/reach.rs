@@ -312,16 +312,38 @@ impl ReachabilityGraph {
     /// reachable; [`ReachError::NotSafe`] if a firing puts a second token on
     /// a place.
     pub fn build(net: &PetriNet, cap: usize) -> Result<Self, ReachError> {
-        let nt = net.transition_count();
-        let m0 = net.initial_marking();
-        let nw = m0.as_words().len();
-        let (markings, interner, succ_edges, succ_ranges) = if nw == 1 {
-            Self::explore_scalar(net, cap)?
+        use crate::space::{explore, ExploreOptions, MarkingSpace, ScalarMarkingSpace};
+        let opts = ExploreOptions::with_cap(cap).record_edges();
+        let nw = net.initial_marking().as_words().len();
+        let expl = if nw == 1 {
+            explore(&ScalarMarkingSpace::new(net), opts)?
         } else {
-            Self::explore_wide(net, cap)?
+            explore(&MarkingSpace::new(net), opts)?
         };
+        Self::from_exploration(net, cap, expl)
+    }
+
+    /// Packs a marking-space [`crate::space::Exploration`] (sequential
+    /// engine, edge recording on) into the CSR/interned representation.
+    fn from_exploration(
+        net: &PetriNet,
+        cap: usize,
+        expl: crate::space::Exploration<ReachError>,
+    ) -> Result<Self, ReachError> {
+        if expl.cap_exceeded {
+            return Err(ReachError::StateCapExceeded { cap });
+        }
+        let np = net.place_count();
+        let (interner, succ_edges, succ_ranges) = expl.into_interned_parts();
+        let markings: Vec<Marking> = (0..interner.len())
+            .map(|s| Marking::from_words(np, interner.key(s).to_vec()))
+            .collect();
+        let succ_edges = succ_edges
+            .into_iter()
+            .map(|(t, d)| (TransId(t), StateId(d)))
+            .collect();
         Ok(Self::index_edges(
-            nt,
+            net.transition_count(),
             markings,
             interner,
             succ_edges,
@@ -369,10 +391,17 @@ impl ReachabilityGraph {
     /// nets the cap error is deterministic and identical to
     /// [`Self::build`]'s.
     pub fn build_sharded(net: &PetriNet, cap: usize, shards: usize) -> Result<Self, ReachError> {
+        use crate::space::{ExploreOptions, MarkingSpace};
         if shards <= 1 {
             return Self::build(net, cap);
         }
-        crate::shard::build_sharded(net, cap, shards.min(64).next_power_of_two())
+        let space = MarkingSpace::new(net);
+        let opts = ExploreOptions::with_cap(cap).shards(shards).record_edges();
+        let expl = crate::shard::explore_sharded(&space, opts)?;
+        if expl.cap_exceeded {
+            return Err(ReachError::StateCapExceeded { cap });
+        }
+        Ok(crate::shard::seal(net, &expl))
     }
 
     /// Process-wide number of reachability-graph constructions completed so
@@ -436,137 +465,6 @@ impl ReachabilityGraph {
             er_off,
             er_states,
         }
-    }
-
-    /// Exploration fast path for nets of at most 64 places: markings are
-    /// single machine words, so enable / safeness / firing are 2–4 scalar
-    /// ALU ops per transition with no slice iteration at all.
-    #[allow(clippy::type_complexity)]
-    fn explore_scalar(
-        net: &PetriNet,
-        cap: usize,
-    ) -> Result<
-        (
-            Vec<Marking>,
-            MarkingInterner,
-            Vec<(TransId, StateId)>,
-            Vec<(u32, u32)>,
-        ),
-        ReachError,
-    > {
-        let np = net.place_count();
-        // One interleaved [pre, gain, post] record per transition: the
-        // enable scan streams a single contiguous array.
-        let masks: Vec<[u64; 3]> = net
-            .transitions()
-            .map(|t| {
-                [
-                    net.pre_mask(t).as_words()[0],
-                    net.gain_mask(t).as_words()[0],
-                    net.post_mask(t).as_words()[0],
-                ]
-            })
-            .collect();
-        let m0 = net.initial_marking();
-        let mut interner = MarkingInterner::new(1);
-        let (s0, _) = interner.intern(m0.as_words());
-        debug_assert_eq!(s0, StateId(0));
-        let mut markings = vec![m0];
-        let mut edges: Vec<(TransId, StateId)> = Vec::new();
-        let mut ranges: Vec<(u32, u32)> = vec![(0, 0)];
-        let mut frontier: Vec<u32> = vec![0];
-        while let Some(s) = frontier.pop() {
-            let cur = interner.words[s as usize];
-            let start = edges.len() as u32;
-            for (ti, &[pre, gain, post]) in masks.iter().enumerate() {
-                if pre & !cur != 0 {
-                    continue; // •t ⊄ m
-                }
-                if gain & cur != 0 {
-                    return Err(ReachError::NotSafe {
-                        transition: TransId(ti as u32),
-                    });
-                }
-                let next = (cur & !pre) | post;
-                let (id, is_new) = interner.intern(&[next]);
-                if is_new {
-                    if markings.len() >= cap {
-                        return Err(ReachError::StateCapExceeded { cap });
-                    }
-                    markings.push(Marking::from_words(np, vec![next]));
-                    ranges.push((0, 0));
-                    frontier.push(id.0);
-                }
-                edges.push((TransId(ti as u32), id));
-            }
-            ranges[s as usize] = (start, edges.len() as u32);
-        }
-        Ok((markings, interner, edges, ranges))
-    }
-
-    /// Generic exploration for nets wider than one word: the same loop over
-    /// flattened contiguous mask arrays.
-    #[allow(clippy::type_complexity)]
-    fn explore_wide(
-        net: &PetriNet,
-        cap: usize,
-    ) -> Result<
-        (
-            Vec<Marking>,
-            MarkingInterner,
-            Vec<(TransId, StateId)>,
-            Vec<(u32, u32)>,
-        ),
-        ReachError,
-    > {
-        let np = net.place_count();
-        let m0 = net.initial_marking();
-        let nw = m0.as_words().len();
-
-        // Flatten the per-transition masks into contiguous word arrays so
-        // the inner loop streams through them without chasing a heap
-        // pointer per transition per state.
-        let view = net.firing_view();
-        let nt = view.transition_count();
-
-        let mut scratch = vec![0u64; nw];
-        let mut cur = vec![0u64; nw];
-        let mut interner = MarkingInterner::new(nw);
-        let (s0, _) = interner.intern(m0.as_words());
-        debug_assert_eq!(s0, StateId(0));
-        let mut markings = vec![m0];
-        let mut edges: Vec<(TransId, StateId)> = Vec::new();
-        let mut ranges: Vec<(u32, u32)> = vec![(0, 0)];
-        let mut frontier: Vec<u32> = vec![0];
-        while let Some(s) = frontier.pop() {
-            cur.copy_from_slice(interner.key(s as usize));
-            let start = edges.len() as u32;
-            for ti in 0..nt {
-                // Enabled: •t ⊆ m, word-parallel.
-                if !view.is_enabled(&cur, ti) {
-                    continue;
-                }
-                // Safe: no place of t• \ •t already marked.
-                if view.violates_safeness(&cur, ti) {
-                    return Err(ReachError::NotSafe {
-                        transition: TransId(ti as u32),
-                    });
-                }
-                view.fire_into(&cur, ti, &mut scratch);
-                let (id, is_new) = interner.intern(&scratch);
-                if is_new {
-                    if markings.len() >= cap {
-                        return Err(ReachError::StateCapExceeded { cap });
-                    }
-                    markings.push(Marking::from_words(np, scratch.clone()));
-                    ranges.push((0, 0));
-                    frontier.push(id.0);
-                }
-                edges.push((TransId(ti as u32), id));
-            }
-            ranges[s as usize] = (start, edges.len() as u32);
-        }
-        Ok((markings, interner, edges, ranges))
     }
 
     /// The original textbook implementation: `HashMap<Marking, StateId>`

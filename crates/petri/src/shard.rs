@@ -1,18 +1,22 @@
-//! Sharded parallel reachability exploration.
+//! The generic **sharded** state-space explorer.
 //!
-//! The sequential engine behind [`ReachabilityGraph::build`] is bounded by one thread
-//! walking one marking interner. This module removes that bound by
-//! *partitioning the interner*: every reachable marking is owned by exactly
-//! one **shard**, chosen by a multiplicative mix of the marking's word
-//! hash, and every shard is explored by its own worker thread.
+//! The sequential explorer of [`crate::space`] is bounded by one thread
+//! walking one interner. This module removes that bound for *any*
+//! [`StateSpace`] by *partitioning the interner*: every discovered packed
+//! state is owned by exactly one **shard**, chosen by a multiplicative mix
+//! of the state's word hash, and every shard is explored by its own worker
+//! thread. Reachability-graph construction
+//! ([`crate::ReachabilityGraph::build_sharded`]), speed-independence
+//! verification and conformance product exploration all ride the same
+//! pipeline.
 //!
 //! # Pipeline
 //!
 //! ```text
 //!             ┌────────────────────── worker i ──────────────────────┐
-//!             │ frontier_i ─▶ fire all transitions (FiringView)      │
+//!             │ frontier_i ─▶ space.for_each_successor(state)        │
 //!             │     ▲               │                                │
-//!             │     │        shard_of(m') == i ? ──yes─▶ intern_i ───┤
+//!             │     │        shard_of(s') == i ? ──yes─▶ intern_i ───┤
 //!             │     └──────────────────────────────────── (if new)   │
 //!             │                      no                              │
 //!             │                      ▼                               │
@@ -20,47 +24,47 @@
 //!             └──────────────────────┬───────────────────────────────┘
 //!                                    ▼
 //!             ┌────────────────────── worker j ──────────────────────┐
-//!             │ drain queues[j][*] ─▶ intern_j ─▶ record edge        │
+//!             │ drain queues[j][*] ─▶ intern_j ─▶ record edge/parent │
 //!             │                          │ (if new) ─▶ frontier_j    │
 //!             └──────────────────────────┴───────────────────────────┘
 //!
 //!   termination: global `pending` counter =
 //!       (discovered-but-unexplored states) + (sent-but-unprocessed msgs);
 //!   a worker may exit only when its frontier and inbox are empty AND
-//!   pending == 0.
+//!   pending == 0 — or when the shared stop flag is raised (fatal
+//!   violation, state cap, or violation budget spent).
 //! ```
 //!
-//! Each worker owns a private marking interner (open-addressing table +
-//! flat word arena) and a LIFO frontier, so the hot loop is identical to
-//! the sequential engine: no locks, no allocation per firing. Only
+//! Each worker owns a private interner (open-addressing table + flat word
+//! arena) and a LIFO frontier, so the hot loop is identical to the
+//! sequential explorer: no locks, no allocation per successor. Only
 //! *cross-shard successors* pay for communication, and those are staged in
 //! per-destination batches that are flushed under a per-`(src, dst)` pair
 //! mutex — workers never contend on a single global structure.
 //!
-//! # Sealing and canonical numbering
+//! # Merging, and canonical reachability numbering
 //!
 //! After the parallel phase the shards hold disjoint state sets with
-//! *shard-local* ids and edge records scattered across workers (an edge is
-//! recorded by the shard owning its **destination**, which is the only
-//! worker that knows the destination's local id). The seal phase
+//! *shard-local* ids. [`explore_sharded`] merges them into one
+//! [`Exploration`] under provisional global ids (shard offset + local id):
+//! states into a flat arena, per-state discovering edges (witnesses),
+//! violations, and — when edge recording is on — the successor adjacency
+//! as CSR rows sorted by label. Verdict-style clients (verification,
+//! conformance) consume that directly: the violation *set* and the
+//! witness validity are deterministic even though ids are not.
 //!
-//! 1. concatenates the shards (global id = shard offset + local id),
-//! 2. rebuilds the successor adjacency and sorts each row by transition,
-//! 3. **renumbers states by replaying the sequential exploration order**
-//!    (LIFO stack from the initial marking, successors scanned in
-//!    transition order) over the discovered graph, and
-//! 4. hands the result to the same CSR/interner packing the sequential
-//!    engine uses.
-//!
-//! Step 3 makes the output *bit-identical* to [`ReachabilityGraph::build`]
-//! regardless of thread scheduling: the discovered state set and edge set
-//! are deterministic, and the replay derives the numbering purely from
-//! graph structure. Property tests
+//! Reachability needs more: the crate-private `seal` step **renumbers
+//! states by replaying the
+//! sequential exploration order** (LIFO stack from the initial state,
+//! successors scanned in label order) over the discovered graph, making
+//! [`crate::ReachabilityGraph::build_sharded`] *bit-identical* to the
+//! sequential engine regardless of thread scheduling. Property tests
 //! (`crates/petri/tests/prop_substrate.rs`) pin this equivalence on the
 //! random live/safe/free-choice corpus.
 
-use crate::net::{FiringView, Marking, PetriNet, TransId};
+use crate::net::{Marking, PetriNet, TransId};
 use crate::reach::{MarkingInterner, ReachError, ReachabilityGraph, StateId};
+use crate::space::{Exploration, ExploreOptions, SpaceVisitor, StateSpace, Store, NO_PARENT};
 use si_boolean::hash_word_slice;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -75,15 +79,15 @@ const SHARD_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
 /// frontier drains). Batching amortizes the queue mutex.
 const FLUSH_AT: usize = 128;
 
-/// Owning shard of a marking key: top `log2(nshards)` bits of the remixed
+/// Owning shard of a packed state: top `log2(nshards)` bits of the remixed
 /// hash. `shift == 64 - log2(nshards)`.
 #[inline]
 fn shard_of(key: &[u64], shift: u32) -> usize {
     (hash_word_slice(key).wrapping_mul(SHARD_MIX) >> shift) as usize
 }
 
-/// A batch of cross-shard messages: `nw` marking words plus
-/// `(source-local state, transition)` per message. The source shard is
+/// A batch of cross-shard messages: `nw` state words plus
+/// `(source-local state, label)` per message. The source shard is
 /// implied by which queue the batch sits in.
 #[derive(Default)]
 struct MsgBatch {
@@ -106,99 +110,134 @@ struct Queue {
 struct EdgeRec {
     src_shard: u32,
     src_local: u32,
-    trans: u32,
+    label: u32,
     /// Local id within the recording shard.
     dst_local: u32,
 }
 
 /// State shared by all workers of one exploration.
-struct Shared {
+struct Shared<V> {
     nshards: usize,
     shift: u32,
     cap: usize,
+    max_violations: usize,
     /// In-flight work: discovered-but-unexplored states plus
     /// sent-but-unprocessed messages. Zero ⇔ exploration complete.
     pending: AtomicUsize,
-    /// Total markings interned across all shards (cap accounting).
+    /// Total states interned across all shards (cap accounting).
     states: AtomicUsize,
-    abort: AtomicBool,
-    error: Mutex<Option<ReachError>>,
+    /// Total violations reported across all shards (budget accounting).
+    violations: AtomicUsize,
+    /// Raised on fatal violation, cap overflow or a spent violation
+    /// budget; every worker unwinds when it sees it.
+    stop: AtomicBool,
+    cap_exceeded: AtomicBool,
+    fatal: Mutex<Option<V>>,
     /// `queues[dst][src]` — receiver `dst` drains row `dst`, sender `src`
     /// appends under the pair's own mutex, so flushes to different
     /// destinations never contend.
     queues: Vec<Vec<Queue>>,
 }
 
-impl Shared {
-    /// First failure wins; everyone else sees `abort` and unwinds.
-    fn fail(&self, e: ReachError) {
-        let mut slot = self.error.lock().unwrap();
+impl<V> Shared<V> {
+    /// First fatal violation wins; everyone else sees `stop` and unwinds.
+    fn fail(&self, v: V) {
+        let mut slot = self.fatal.lock().unwrap();
         if slot.is_none() {
-            *slot = Some(e);
+            *slot = Some(v);
         }
-        self.abort.store(true, Ordering::Release);
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// The state cap was burst: record it and stop every worker.
+    fn cap_burst(&self) {
+        self.cap_exceeded.store(true, Ordering::Release);
+        self.stop.store(true, Ordering::Release);
+    }
+
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
     }
 }
 
 /// Per-worker private state: one shard of the interner, its frontier, its
-/// edge records and its outbound staging buffers.
-struct Worker {
+/// edge/parent/violation records and its outbound staging buffers.
+struct Worker<V> {
     me: usize,
     nw: usize,
     interner: MarkingInterner,
     /// LIFO frontier of shard-local state ids (same discipline as the
-    /// sequential engine).
+    /// sequential explorer).
     frontier: Vec<u32>,
+    /// All discovered edges, when [`ExploreOptions::record_edges`].
     edges: Vec<EdgeRec>,
+    /// Discovering `(src_shard, src_local, label)` per local state, when
+    /// [`ExploreOptions::witness`].
+    parents: Vec<(u32, u32, u32)>,
+    /// Violations observed while exploring, tagged with the local id of
+    /// the observing state.
+    violations: Vec<(u32, V)>,
     /// Outbound staging, one batch per destination shard.
     out: Vec<MsgBatch>,
+    record_edges: bool,
+    witness: bool,
 }
 
-impl Worker {
-    fn new(me: usize, nw: usize, nshards: usize) -> Self {
+impl<V: Send> Worker<V> {
+    fn new(me: usize, nw: usize, nshards: usize, opts: &ExploreOptions) -> Self {
         Worker {
             me,
             nw,
             interner: MarkingInterner::new(nw),
             frontier: Vec::new(),
             edges: Vec::new(),
+            parents: Vec::new(),
+            violations: Vec::new(),
             out: (0..nshards).map(|_| MsgBatch::default()).collect(),
+            record_edges: opts.record_edges,
+            witness: opts.witness,
         }
     }
 
-    /// Interns `key` in this shard, recording the edge that discovered it;
-    /// new states are charged against the global cap and pushed on the
-    /// local frontier. Returns `false` when the exploration must abort.
+    /// Interns `key` in this shard, recording the edge/parent that
+    /// discovered it; new states are charged against the global cap and
+    /// pushed on the local frontier. Returns `false` when the exploration
+    /// must stop.
     fn accept(
         &mut self,
         key: &[u64],
         src_shard: u32,
         src_local: u32,
-        trans: u32,
-        shared: &Shared,
+        label: u32,
+        shared: &Shared<V>,
     ) -> bool {
         let (local, is_new) = self.interner.intern(key);
         if is_new {
+            if self.witness {
+                self.parents.push((src_shard, src_local, label));
+            }
             let before = shared.states.fetch_add(1, Ordering::AcqRel);
             if before >= shared.cap {
-                shared.fail(ReachError::StateCapExceeded { cap: shared.cap });
+                shared.cap_burst();
                 return false;
             }
             shared.pending.fetch_add(1, Ordering::AcqRel);
             self.frontier.push(local.0);
         }
-        self.edges.push(EdgeRec {
-            src_shard,
-            src_local,
-            trans,
-            dst_local: local.0,
-        });
+        if self.record_edges {
+            self.edges.push(EdgeRec {
+                src_shard,
+                src_local,
+                label,
+                dst_local: local.0,
+            });
+        }
         true
     }
 
-    /// Takes every waiting inbound batch and interns its markings.
+    /// Takes every waiting inbound batch and interns its states.
     /// Returns whether anything was received.
-    fn drain_inbox(&mut self, shared: &Shared) -> bool {
+    fn drain_inbox(&mut self, shared: &Shared<V>) -> bool {
         let mut any = false;
         for src in 0..shared.nshards {
             if src == self.me {
@@ -217,9 +256,9 @@ impl Worker {
                 continue;
             }
             any = true;
-            for (k, &(src_local, trans)) in batch.meta.iter().enumerate() {
+            for (k, &(src_local, label)) in batch.meta.iter().enumerate() {
                 let key = &batch.words[k * self.nw..(k + 1) * self.nw];
-                let ok = self.accept(key, src as u32, src_local, trans, shared);
+                let ok = self.accept(key, src as u32, src_local, label, shared);
                 shared.pending.fetch_sub(1, Ordering::AcqRel);
                 if !ok {
                     return any;
@@ -230,7 +269,7 @@ impl Worker {
     }
 
     /// Publishes the staged batch for `dst` into the shared queue.
-    fn flush_to(&mut self, dst: usize, shared: &Shared) {
+    fn flush_to(&mut self, dst: usize, shared: &Shared<V>) {
         let staged = &mut self.out[dst];
         if staged.meta.is_empty() {
             return;
@@ -246,7 +285,7 @@ impl Worker {
         staged.meta.clear();
     }
 
-    fn flush_all(&mut self, shared: &Shared) {
+    fn flush_all(&mut self, shared: &Shared<V>) {
         for dst in 0..shared.nshards {
             if dst != self.me {
                 self.flush_to(dst, shared);
@@ -254,55 +293,53 @@ impl Worker {
         }
     }
 
-    /// The worker main loop: drain inbox, explore the local frontier,
-    /// flush outbound batches, spin-yield when idle until `pending`
-    /// reaches zero (or someone aborts).
-    fn run(&mut self, view: &FiringView, shared: &Shared) {
+    /// The worker main loop: drain inbox, explore the local frontier
+    /// through the space's `inspect` + `for_each_successor`, flush
+    /// outbound batches, spin-yield when idle until `pending` reaches
+    /// zero (or someone stops the run).
+    fn run<S: StateSpace<Violation = V>>(&mut self, space: &S, shared: &Shared<V>) {
         let nw = self.nw;
-        let nt = view.transition_count();
         let mut cur = vec![0u64; nw];
         let mut scratch = vec![0u64; nw];
         loop {
-            if shared.abort.load(Ordering::Acquire) {
+            if shared.stopped() {
                 return;
             }
             let received = self.drain_inbox(shared);
             let mut explored = 0usize;
             while let Some(s) = self.frontier.pop() {
+                if shared.violations.load(Ordering::Acquire) >= shared.max_violations {
+                    shared.stop.store(true, Ordering::Release);
+                    return;
+                }
                 cur.copy_from_slice(self.interner.key(s as usize));
-                for ti in 0..nt {
-                    if !view.is_enabled(&cur, ti) {
-                        continue;
-                    }
-                    if view.violates_safeness(&cur, ti) {
-                        shared.fail(ReachError::NotSafe {
-                            transition: TransId(ti as u32),
-                        });
+                let fatal = {
+                    let mut vis = WorkerVisitor {
+                        worker: self,
+                        shared,
+                        src: s,
+                        stopped: false,
+                    };
+                    // A violating verdict re-checks the budget at once: a
+                    // spent budget stops the run before this state's
+                    // successors are expanded (mirrors the sequential
+                    // explorer).
+                    if space.inspect(&cur, &mut vis) == crate::space::Verdict::Violation
+                        && shared.violations.load(Ordering::Acquire) >= shared.max_violations
+                    {
+                        shared.stop.store(true, Ordering::Release);
                         return;
                     }
-                    view.fire_into(&cur, ti, &mut scratch);
-                    let dst = shard_of(&scratch, shared.shift);
-                    if dst == self.me {
-                        if !self.accept(&scratch, self.me as u32, s, ti as u32, shared) {
-                            return;
-                        }
-                    } else {
-                        // Counted as in-flight from the moment it is
-                        // staged, so no receiver can observe pending == 0
-                        // while the message sits in our buffer.
-                        shared.pending.fetch_add(1, Ordering::AcqRel);
-                        let staged = &mut self.out[dst];
-                        staged.words.extend_from_slice(&scratch);
-                        staged.meta.push((s, ti as u32));
-                        if staged.meta.len() >= FLUSH_AT {
-                            self.flush_to(dst, shared);
-                        }
-                    }
+                    space.for_each_successor(&cur, &mut scratch, &mut vis).err()
+                };
+                if let Some(v) = fatal {
+                    shared.fail(v);
+                    return;
                 }
                 shared.pending.fetch_sub(1, Ordering::AcqRel);
                 explored += 1;
                 if explored.is_multiple_of(64) {
-                    if shared.abort.load(Ordering::Acquire) {
+                    if shared.stopped() {
                         return;
                     }
                     // Keep cross-shard latency bounded even during long
@@ -322,112 +359,221 @@ impl Worker {
     }
 }
 
-/// Parallel exploration entry point — see
-/// [`ReachabilityGraph::build_sharded`] for the public contract.
-/// `nshards` must be a power of two ≥ 2 (the caller normalizes).
-pub(crate) fn build_sharded(
-    net: &PetriNet,
-    cap: usize,
-    nshards: usize,
-) -> Result<ReachabilityGraph, ReachError> {
-    debug_assert!(nshards >= 2 && nshards.is_power_of_two());
-    let view = net.firing_view();
-    let nw = view.words();
+/// The space-facing visitor of one state expansion inside a worker:
+/// routes successors to their owning shard, collects violations.
+struct WorkerVisitor<'a, V> {
+    worker: &'a mut Worker<V>,
+    shared: &'a Shared<V>,
+    /// Local id of the state being expanded.
+    src: u32,
+    /// This expansion must stop (cap burst locally).
+    stopped: bool,
+}
+
+impl<V: Send> SpaceVisitor<V> for WorkerVisitor<'_, V> {
+    fn successor(&mut self, label: u32, next: &[u64]) -> bool {
+        if self.stopped {
+            return false;
+        }
+        let dst = shard_of(next, self.shared.shift);
+        if dst == self.worker.me {
+            let me = self.worker.me as u32;
+            if !self.worker.accept(next, me, self.src, label, self.shared) {
+                self.stopped = true;
+                return false;
+            }
+        } else {
+            // Counted as in-flight from the moment it is staged, so no
+            // receiver can observe pending == 0 while the message sits in
+            // our buffer.
+            self.shared.pending.fetch_add(1, Ordering::AcqRel);
+            let staged = &mut self.worker.out[dst];
+            staged.words.extend_from_slice(next);
+            staged.meta.push((self.src, label));
+            if staged.meta.len() >= FLUSH_AT {
+                self.worker.flush_to(dst, self.shared);
+            }
+        }
+        true
+    }
+
+    fn violation(&mut self, v: V) {
+        self.shared.violations.fetch_add(1, Ordering::AcqRel);
+        self.worker.violations.push((self.src, v));
+    }
+}
+
+/// The generic **sharded** explorer: one worker thread per shard of the
+/// hash-partitioned interner, exploring `space` under `opts`. See the
+/// module docs for the pipeline; see [`crate::space::explore`] for the
+/// sequential counterpart sharing the same contract.
+///
+/// `opts.shards` is normalized like [`crate::ReachOptions::shards`];
+/// `shards <= 1` falls back to the sequential explorer.
+///
+/// # Errors
+///
+/// The first fatal violation a racing worker hits wins; see
+/// [`crate::ReachabilityGraph::build_sharded`] for the determinism
+/// contract this implies.
+pub fn explore_sharded<S: StateSpace>(
+    space: &S,
+    opts: ExploreOptions,
+) -> Result<Exploration<S::Violation>, S::Violation> {
+    let nshards = opts.shards.max(1).next_power_of_two().min(64);
+    if nshards <= 1 {
+        return crate::space::explore(space, opts);
+    }
+    let nw = space.words();
     let shift = 64 - nshards.trailing_zeros();
 
-    let shared = Shared {
+    let shared: Shared<S::Violation> = Shared {
         nshards,
         shift,
-        cap,
-        pending: AtomicUsize::new(1), // the initial marking
+        cap: opts.cap,
+        max_violations: opts.max_violations,
+        pending: AtomicUsize::new(1), // the initial state
         states: AtomicUsize::new(1),  // ditto (never charged against the cap)
-        abort: AtomicBool::new(false),
-        error: Mutex::new(None),
+        violations: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+        cap_exceeded: AtomicBool::new(false),
+        fatal: Mutex::new(None),
         queues: (0..nshards)
             .map(|_| (0..nshards).map(|_| Queue::default()).collect())
             .collect(),
     };
 
-    let mut workers: Vec<Worker> = (0..nshards).map(|i| Worker::new(i, nw, nshards)).collect();
+    let mut workers: Vec<Worker<S::Violation>> = (0..nshards)
+        .map(|i| Worker::new(i, nw, nshards, &opts))
+        .collect();
 
-    // Seed the initial marking into its owner shard as local state 0.
-    // Like the sequential engine, m0 is admitted without a cap check (it
-    // has no discovering edge either, so `accept` does not apply).
-    let m0 = net.initial_marking();
-    let owner = shard_of(m0.as_words(), shift);
-    let (s0, _) = workers[owner].interner.intern(m0.as_words());
+    // Seed the initial state into its owner shard as local state 0. Like
+    // the sequential explorer, it is admitted without a cap check (it has
+    // no discovering edge either, so `accept` does not apply).
+    let init = space.initial();
+    let owner = shard_of(&init, shift);
+    let (s0, _) = workers[owner].interner.intern(&init);
     debug_assert_eq!(s0, StateId(0));
+    if opts.witness {
+        workers[owner].parents.push((NO_PARENT, 0, 0));
+    }
     workers[owner].frontier.push(0);
 
     std::thread::scope(|scope| {
         for w in workers.iter_mut() {
             let shared = &shared;
-            let view = &view;
-            scope.spawn(move || w.run(view, shared));
+            scope.spawn(move || w.run(space, shared));
         }
     });
 
-    if let Some(e) = shared.error.into_inner().unwrap() {
-        return Err(e);
+    if let Some(v) = shared.fatal.lock().unwrap().take() {
+        return Err(v);
     }
-    Ok(seal(net, &workers, owner))
+    Ok(merge(workers, &shared, owner, &opts))
 }
 
-/// Merges the shards and renumbers canonically (module docs, steps 1–4).
-fn seal(net: &PetriNet, workers: &[Worker], owner: usize) -> ReachabilityGraph {
-    let np = net.place_count();
-    let nt = net.transition_count();
+/// Merges the shards into one [`Exploration`] under provisional global
+/// ids (`gid = shard offset + local id`).
+fn merge<V>(
+    workers: Vec<Worker<V>>,
+    shared: &Shared<V>,
+    owner: usize,
+    opts: &ExploreOptions,
+) -> Exploration<V> {
     let nshards = workers.len();
+    let nw = workers[0].nw;
 
-    // 1. Shard offsets: provisional global id = off[shard] + local id.
+    // Shard offsets: gid = off[shard] + local id.
     let mut off = vec![0usize; nshards + 1];
     for (i, w) in workers.iter().enumerate() {
         off[i + 1] = off[i] + w.interner.len();
     }
     let n = off[nshards];
+    let gid = |shard: u32, local: u32| (off[shard as usize] + local as usize) as u32;
 
-    // Old-gid-indexed view of every marking's words (shards are
-    // contiguous ranges of the provisional numbering).
-    let mut words_of: Vec<&[u64]> = Vec::with_capacity(n);
-    for w in workers {
-        for l in 0..w.interner.len() {
-            words_of.push(w.interner.key(l));
-        }
-    }
-
-    // 2. Successor adjacency over provisional ids, rows sorted by
-    //    transition (each (state, transition) edge is unique, so this
-    //    recovers the sequential engine's in-row order).
+    // Successor CSR over gids (edges are recorded by the shard owning
+    // their destination, so rows are scattered across workers): count,
+    // prefix-sum, scatter, then sort each row by label — which recovers
+    // the sequential explorer's in-row order, since every (state, label)
+    // edge is unique and labels are enumerated ascending.
     let nedges: usize = workers.iter().map(|w| w.edges.len()).sum();
     let mut deg = vec![0u32; n + 1];
-    for w in workers {
-        for e in &w.edges {
-            deg[off[e.src_shard as usize] + e.src_local as usize + 1] += 1;
+    if opts.record_edges {
+        for w in &workers {
+            for e in &w.edges {
+                deg[gid(e.src_shard, e.src_local) as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            deg[i + 1] += deg[i];
         }
     }
-    for i in 0..n {
-        deg[i + 1] += deg[i];
-    }
-    let mut adj = vec![(0u32, 0u32); nedges];
     let mut cursor = deg.clone();
-    for (j, w) in workers.iter().enumerate() {
+    let mut succ_edges = vec![(0u32, 0u32); nedges];
+
+    // One consuming pass per worker: states into the flat arena, parents
+    // and violations remapped to gids, edges scattered into the CSR.
+    let mut words: Vec<u64> = Vec::with_capacity(n * nw);
+    let mut parents: Vec<(u32, u32)> = Vec::with_capacity(if opts.witness { n } else { 0 });
+    let mut violations: Vec<(u32, V)> = Vec::new();
+    for (j, w) in workers.into_iter().enumerate() {
+        let j = j as u32;
+        words.extend_from_slice(&w.interner.words);
+        for &(ps, pl, label) in &w.parents {
+            parents.push(if ps == NO_PARENT {
+                (NO_PARENT, 0)
+            } else {
+                (gid(ps, pl), label)
+            });
+        }
+        violations.extend(w.violations.into_iter().map(|(l, v)| (gid(j, l), v)));
         for e in &w.edges {
-            let src = off[e.src_shard as usize] + e.src_local as usize;
-            let dst = (off[j] + e.dst_local as usize) as u32;
-            let c = &mut cursor[src];
-            adj[*c as usize] = (e.trans, dst);
+            let c = &mut cursor[gid(e.src_shard, e.src_local) as usize];
+            succ_edges[*c as usize] = (e.label, gid(j, e.dst_local));
             *c += 1;
         }
     }
-    for s in 0..n {
-        adj[deg[s] as usize..deg[s + 1] as usize].sort_unstable_by_key(|&(t, _)| t);
+    debug_assert!(!opts.witness || parents.len() == n);
+    let mut succ_ranges: Vec<(u32, u32)> = Vec::new();
+    if opts.record_edges {
+        for s in 0..n {
+            succ_edges[deg[s] as usize..deg[s + 1] as usize].sort_unstable_by_key(|&(l, _)| l);
+        }
+        succ_ranges = (0..n).map(|s| (deg[s], deg[s + 1])).collect();
     }
-    let row = |s: usize| &adj[deg[s] as usize..deg[s + 1] as usize];
 
-    // 3. Canonical renumbering: replay the sequential exploration (LIFO
-    //    stack, successors in transition order, ids assigned at first
-    //    discovery) over the discovered graph.
-    let root = off[owner]; // m0 is local state 0 of its owner shard
+    let cap_exceeded = shared.cap_exceeded.load(Ordering::Acquire);
+    Exploration {
+        store: Store::Flat { nw, words, len: n },
+        root: off[owner] as u32,
+        succ_edges,
+        succ_ranges,
+        parents,
+        violations,
+        cap_exceeded,
+        states: n.min(shared.cap),
+    }
+}
+
+/// Canonical reachability numbering over a sharded [`Exploration`] of the
+/// marking space: replays the sequential exploration order (LIFO stack
+/// from the initial marking, successors in transition order, ids assigned
+/// at first discovery) over the discovered graph, then packs the result
+/// into the CSR/interner representation — making
+/// [`ReachabilityGraph::build_sharded`] bit-identical to
+/// [`ReachabilityGraph::build`]. The renumbering derives purely from
+/// graph structure, so thread scheduling cannot leak into the output.
+pub(crate) fn seal(net: &PetriNet, expl: &Exploration<ReachError>) -> ReachabilityGraph {
+    let np = net.place_count();
+    let nt = net.transition_count();
+    let n = expl.interned();
+    let row = |s: usize| {
+        let (start, end) = expl.succ_ranges[s];
+        &expl.succ_edges[start as usize..end as usize]
+    };
+
+    // Replay: LIFO stack, successors in label order, ids at discovery.
+    let root = expl.root() as usize;
     let mut perm = vec![u32::MAX; n];
     let mut order: Vec<u32> = Vec::with_capacity(n);
     perm[root] = 0;
@@ -444,17 +590,17 @@ fn seal(net: &PetriNet, workers: &[Worker], owner: usize) -> ReachabilityGraph {
     }
     debug_assert_eq!(order.len(), n, "every state is reachable from m0");
 
-    // 4. Emit in canonical order, straight into the flat CSR layout (no
-    //    per-row Vec allocations — n can be millions).
+    // Emit in canonical order, straight into the flat CSR layout (no
+    // per-row Vec allocations — n can be millions).
     let markings: Vec<Marking> = order
         .iter()
-        .map(|&old| Marking::from_words(np, words_of[old as usize].to_vec()))
+        .map(|&old| Marking::from_words(np, expl.key(old).to_vec()))
         .collect();
-    let mut interner = MarkingInterner::new(words_of.first().map_or(1, |w| w.len()));
+    let mut interner = MarkingInterner::new(markings.first().map_or(1, |m| m.as_words().len()));
     for m in &markings {
         interner.intern(m.as_words());
     }
-    let mut succ_edges: Vec<(TransId, StateId)> = Vec::with_capacity(nedges);
+    let mut succ_edges: Vec<(TransId, StateId)> = Vec::with_capacity(expl.succ_edges.len());
     let mut succ_ranges: Vec<(u32, u32)> = Vec::with_capacity(n);
     for &old in &order {
         let start = succ_edges.len() as u32;
@@ -576,5 +722,32 @@ mod tests {
         let seq = ReachabilityGraph::build(&net, 1_000_000).unwrap();
         let par = ReachabilityGraph::build_sharded(&net, 1_000_000, 4).unwrap();
         assert_identical(&seq, &par);
+    }
+
+    #[test]
+    fn sharded_witnesses_replay() {
+        use crate::shard::explore_sharded;
+        use crate::space::{ExploreOptions, MarkingSpace};
+        let net = pipeline(3);
+        let space = MarkingSpace::new(&net);
+        let e = explore_sharded(
+            &space,
+            ExploreOptions::with_cap(1_000_000).shards(4).witness(),
+        )
+        .unwrap();
+        // Every discovered state's witness must replay, via the firing
+        // rule, from m0 to that state's packed words.
+        let view = net.firing_view();
+        let nw = view.words();
+        for s in (0..e.interned() as u32).step_by(7) {
+            let mut cur = net.initial_marking().as_words().to_vec();
+            let mut scratch = vec![0u64; nw];
+            for label in e.witness(s) {
+                assert!(view.is_enabled(&cur, label as usize));
+                view.fire_into(&cur, label as usize, &mut scratch);
+                std::mem::swap(&mut cur, &mut scratch);
+            }
+            assert_eq!(&cur[..], e.key(s), "witness of state {s} does not replay");
+        }
     }
 }

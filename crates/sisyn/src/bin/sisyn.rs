@@ -30,13 +30,18 @@
 //!                      resolve 1000000 (acceptance oracle; the
 //!                      insertion-candidate search budget is a fixed
 //!                      100000 and not affected by this flag)
-//!   --shards N|auto    explore reachability with N parallel shard
-//!                      workers (see si-petri's sharded engine; N is
-//!                      rounded up to a power of two, max 64); `auto`
+//!   --shards N|auto    explore state spaces with N parallel shard
+//!                      workers (see si-petri's generic sharded explorer;
+//!                      N is rounded up to a power of two, max 64); `auto`
 //!                      picks the hardware-thread count rounded down.
-//!                      Default 1 (sequential). Raising --cap on a big
-//!                      net? Combine it with --shards to keep the wall
-//!                      time down.
+//!                      Applies to every traversal of the run: the
+//!                      reachability build, the speed-independence
+//!                      violation search and the spec×circuit conformance
+//!                      product. Default 1 (sequential). Raising --cap on
+//!                      a big net? Combine it with --shards to keep the
+//!                      wall time down. When `verify` finds a violation
+//!                      it prints (and emits in --json as "trace") a
+//!                      firing-sequence counterexample leading to it.
 //!   --budget N         resolve only: insertion-candidate search budget
 //!                      (default 100000) — how many state-signal
 //!                      insertions to try, distinct from the --cap that
@@ -469,13 +474,49 @@ fn cmd_verify(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
     } else {
         println!("{summary}");
     }
+    // The product exploration is capped like every other oracle: name the
+    // flags that raise/parallelize it instead of leaving an opaque FAILED.
+    if conformance
+        .failures
+        .contains(&ConformanceFailure::StateCapExceeded)
+    {
+        eprintln!(
+            "conformance inconclusive: the spec×circuit product exploration \
+             hit the state cap — pass a larger `--cap N` to raise it (and \
+             `--shards auto` to explore the product in parallel)"
+        );
+    }
+    // A failing check comes with a firing-sequence counterexample from the
+    // explorer's witness machinery; print it as transition names.
+    let trace = functional.trace.as_ref().or(conformance.trace.as_ref());
+    if let Some(trace) = trace {
+        let names: Vec<&str> = trace
+            .iter()
+            .map(|&t| stg.net().transition_name(t))
+            .collect();
+        eprintln!(
+            "counterexample ({} firings from the initial state): {}",
+            names.len(),
+            names.join(" ")
+        );
+    }
     let ok = functional.is_ok() && conformance.is_ok() && sim.is_clean();
     if args.json {
+        let trace_json = match trace {
+            None => "null".to_string(),
+            Some(ts) => format!(
+                "[{}]",
+                ts.iter()
+                    .map(|&t| json_str(stg.net().transition_name(t)))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        };
         println!(
             "{{\"command\": \"verify\", \"ok\": {}, \"model\": {}, \
              \"functional_ok\": {}, \"violations\": {}, \"states_checked\": {}, \
              \"conformance_ok\": {}, \"conformance_failures\": {}, \
-             \"states_explored\": {}, \"random_walks_ok\": {}, \
+             \"states_explored\": {}, \"trace\": {}, \"random_walks_ok\": {}, \
              \"literal_area\": {}, \"minimizer\": {}}}",
             ok,
             json_str(stg.name()),
@@ -485,6 +526,7 @@ fn cmd_verify(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
             conformance.is_ok(),
             conformance.failures.len(),
             conformance.states_explored,
+            trace_json,
             sim.is_clean(),
             syn.literal_area,
             json_str(args.minimizer.name()),

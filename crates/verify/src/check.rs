@@ -13,10 +13,20 @@
 //!   edges a set network never re-rises while its signal is high and never
 //!   falls while the signal is low (symmetrically for reset) — the
 //!   glitch-freedom condition behind speed independence.
+//!
+//! The search for violating states is a [`si_petri::space::StateSpace`]
+//! over the prebuilt reachability graph — states are graph ids, successors
+//! its edges, the [`inspect`](si_petri::space::StateSpace::inspect) hook
+//! runs both checks — driven by the workspace's generic explorers. That
+//! buys sharded parallel verification (`shards > 1` splits the walk across
+//! worker threads) and a firing-sequence **counterexample trace** to the
+//! first violation ([`VerificationReport::trace`]) from the explorer's
+//! witness machinery.
 
 use si_boolean::Cover;
 use si_core::{Circuit, ImplKind};
-use si_petri::{ReachabilityGraph, StateId};
+use si_petri::space::{explore_with, ExploreOptions, SpaceVisitor, StateSpace, Verdict};
+use si_petri::{ReachabilityGraph, StateId, TransId};
 use si_stg::{SignalId, StateEncoding, Stg};
 
 /// One verification failure.
@@ -53,13 +63,41 @@ pub enum Violation {
     },
 }
 
+impl Violation {
+    /// The state a counterexample trace should reach: the violating state
+    /// itself for functional violations, the source of the offending edge
+    /// for monotonicity violations.
+    pub fn at_state(&self) -> StateId {
+        match *self {
+            Violation::Functional { state, .. } => state,
+            Violation::NonMonotonicSet { from, .. } | Violation::NonMonotonicReset { from, .. } => {
+                from
+            }
+        }
+    }
+
+    /// Total order making reports deterministic at any shard count:
+    /// by state, then violation kind, then signal, then edge target.
+    fn sort_key(&self) -> (u32, u8, u16, u32) {
+        match *self {
+            Violation::Functional { signal, state, .. } => (state.0, 0, signal.0, 0),
+            Violation::NonMonotonicSet { signal, from, to } => (from.0, 1, signal.0, to.0),
+            Violation::NonMonotonicReset { signal, from, to } => (from.0, 2, signal.0, to.0),
+        }
+    }
+}
+
 /// Result of [`verify_circuit`].
 #[derive(Clone, Debug, Default)]
 pub struct VerificationReport {
-    /// All found violations (empty = verified).
+    /// All found violations (empty = verified), ordered by state / kind /
+    /// signal — deterministic at any shard count.
     pub violations: Vec<Violation>,
     /// Number of reachable states examined.
     pub states_checked: usize,
+    /// Counterexample: a firing sequence from the initial marking to
+    /// `violations[0].at_state()` (`None` when the circuit verifies).
+    pub trace: Option<Vec<TransId>>,
 }
 
 impl VerificationReport {
@@ -99,31 +137,13 @@ pub fn verify_circuit(stg: &Stg, circuit: &Circuit) -> VerificationReport {
     }
 }
 
-/// Superseded spelling of [`verify_circuit_with`] with a bare state cap.
-///
-/// # Errors
-///
-/// Any [`si_petri::ReachError`] from building the reachability graph.
-#[deprecated(
-    since = "0.2.0",
-    note = "use verify_circuit_with(stg, circuit, ReachOptions::with_cap(cap)) — one options \
-            surface for cap and shards — or Engine::verify for cached-artifact pipelines"
-)]
-pub fn verify_circuit_capped(
-    stg: &Stg,
-    circuit: &Circuit,
-    cap: usize,
-) -> Result<VerificationReport, si_petri::ReachError> {
-    verify_circuit_with(stg, circuit, si_petri::ReachOptions::with_cap(cap))
-}
-
 /// Verifies with explicit [`si_petri::ReachOptions`]: `reach.cap` bounds
 /// the specification's state space (the call returns
 /// [`si_petri::ReachError::StateCapExceeded`] instead of hanging past it)
-/// and `reach.shards > 1` builds the reachability graph — the dominant
-/// cost of state-based verification on the scalable families — with the
-/// sharded multi-threaded engine. The report is identical either way (the
-/// engines produce the same graph, state numbering included).
+/// and `reach.shards > 1` runs both the reachability build **and** the
+/// violation search on the sharded multi-threaded explorer. The report is
+/// identical at any shard count (violations are canonically ordered; only
+/// the counterexample trace may differ between equally valid witnesses).
 ///
 /// This is a one-shot wrapper over [`si_core::Engine`]; pipelines that
 /// also synthesize or check conformance should hold an `Engine` and call
@@ -144,83 +164,166 @@ pub fn verify_circuit_with(
 /// Verification over a **prebuilt** reachability graph and encoding — the
 /// form the [`si_core::Engine`] artifact cache calls (via
 /// [`crate::EngineVerify`]) so a synth-then-verify pipeline explores the
-/// state space once.
+/// state space once. Sequential; see [`verify_circuit_on_with`] for the
+/// sharded walk.
 pub fn verify_circuit_on(
     stg: &Stg,
     circuit: &Circuit,
     rg: &ReachabilityGraph,
     enc: &StateEncoding,
 ) -> VerificationReport {
-    let mut report = VerificationReport {
-        violations: Vec::new(),
-        states_checked: rg.state_count(),
-    };
+    verify_circuit_on_with(stg, circuit, rg, enc, 1)
+}
 
-    for imp in &circuit.implementations {
-        let signal = imp.signal;
-        // Functional check at every reachable state.
-        for s in rg.states() {
-            let produced = imp.next_value(enc.code(s), enc.value(s, signal));
-            let required = spec_next(stg, rg, enc, s, signal);
+/// Like [`verify_circuit_on`], walking the graph with `shards` parallel
+/// explorer workers (`<= 1` = sequential). The violation list is
+/// identical at any shard count; the counterexample trace is always a
+/// valid firing sequence to `violations[0].at_state()` but may differ
+/// between runs (any witness is a witness).
+pub fn verify_circuit_on_with(
+    stg: &Stg,
+    circuit: &Circuit,
+    rg: &ReachabilityGraph,
+    enc: &StateEncoding,
+    shards: usize,
+) -> VerificationReport {
+    let space = VerifySpace::new(stg, circuit, rg, enc);
+    let opts = ExploreOptions::with_cap(usize::MAX)
+        .shards(shards)
+        .witness();
+    let mut expl = explore_with(&space, opts).expect("the verify space has no fatal violations");
+    let mut tagged = std::mem::take(&mut expl.violations);
+    tagged.sort_by_key(|(_, v)| v.sort_key());
+    let trace = tagged
+        .first()
+        .map(|&(gid, _)| expl.witness(gid).into_iter().map(TransId).collect());
+    VerificationReport {
+        violations: tagged.into_iter().map(|(_, v)| v).collect(),
+        states_checked: rg.state_count(),
+        trace,
+    }
+}
+
+/// The speed-independence verification space: packed states are
+/// reachability-graph ids (one word), successors its edges, and
+/// [`StateSpace::inspect`] runs the functional and monotonicity checks of
+/// the module docs at each state.
+struct VerifySpace<'a> {
+    stg: &'a Stg,
+    circuit: &'a Circuit,
+    rg: &'a ReachabilityGraph,
+    enc: &'a StateEncoding,
+    /// Per-implementation excitation networks; `None` for combinational
+    /// implementations (eq. (1) suffices \[5\]).
+    covers: Vec<Option<(Cover, Cover)>>,
+}
+
+impl<'a> VerifySpace<'a> {
+    fn new(
+        stg: &'a Stg,
+        circuit: &'a Circuit,
+        rg: &'a ReachabilityGraph,
+        enc: &'a StateEncoding,
+    ) -> Self {
+        let covers = circuit
+            .implementations
+            .iter()
+            .map(|imp| match &imp.kind {
+                ImplKind::CLatch { .. } | ImplKind::GcLatch { .. } => {
+                    Some(imp.excitation_covers().expect("latch kinds have covers"))
+                }
+                ImplKind::GatedLatch { data, control } => {
+                    Some((control.and(data), control.and(&data.complement())))
+                }
+                ImplKind::Combinational { .. } => None,
+            })
+            .collect();
+        VerifySpace {
+            stg,
+            circuit,
+            rg,
+            enc,
+            covers,
+        }
+    }
+}
+
+impl StateSpace for VerifySpace<'_> {
+    type Violation = Violation;
+
+    fn words(&self) -> usize {
+        1
+    }
+
+    fn initial(&self) -> Vec<u64> {
+        vec![0] // the reachability graph numbers its initial marking 0
+    }
+
+    fn inspect<Vis: SpaceVisitor<Violation>>(&self, state: &[u64], sink: &mut Vis) -> Verdict {
+        let s = StateId(state[0] as u32);
+        let mut verdict = Verdict::Continue;
+        for (imp, covers) in self.circuit.implementations.iter().zip(&self.covers) {
+            let signal = imp.signal;
+            // Functional check at this state.
+            let produced = imp.next_value(self.enc.code(s), self.enc.value(s, signal));
+            let required = spec_next(self.stg, self.rg, self.enc, s, signal);
             if produced != required {
-                report.violations.push(Violation::Functional {
+                sink.violation(Violation::Functional {
                     signal,
                     state: s,
                     produced,
                     required,
                 });
+                verdict = Verdict::Violation;
             }
-        }
 
-        // Monotonicity of the excitation networks.
-        let (set, reset) = match &imp.kind {
-            ImplKind::CLatch { .. } | ImplKind::GcLatch { .. } => {
-                imp.excitation_covers().expect("latch kinds have covers")
-            }
-            ImplKind::GatedLatch { data, control } => {
-                (control.and(data), control.and(&data.complement()))
-            }
-            ImplKind::Combinational { .. } => continue, // eq. (1) suffices [5]
-        };
-        let on = |cover: &Cover, s: StateId| cover.contains_vertex(enc.code(s));
-        for s in rg.states() {
-            for &(_, d) in rg.successors(s) {
-                let (vs, vd) = (enc.value(s, signal), enc.value(d, signal));
+            // Monotonicity of the excitation networks along outgoing edges.
+            let Some((set, reset)) = covers else { continue };
+            let on = |cover: &Cover, s: StateId| cover.contains_vertex(self.enc.code(s));
+            let vs = self.enc.value(s, signal);
+            for &(_, d) in self.rg.successors(s) {
+                let vd = self.enc.value(d, signal);
                 // Set network: may not re-rise while the signal is high, may
                 // not fall while the signal is low (pre-excitation).
-                if vs && vd && !on(&set, s) && on(&set, d) {
-                    report.violations.push(Violation::NonMonotonicSet {
+                if vs && vd && !on(set, s) && on(set, d) || !vs && !vd && on(set, s) && !on(set, d)
+                {
+                    sink.violation(Violation::NonMonotonicSet {
                         signal,
                         from: s,
                         to: d,
                     });
-                }
-                if !vs && !vd && on(&set, s) && !on(&set, d) {
-                    report.violations.push(Violation::NonMonotonicSet {
-                        signal,
-                        from: s,
-                        to: d,
-                    });
+                    verdict = Verdict::Violation;
                 }
                 // Reset network: symmetric.
-                if !vs && !vd && !on(&reset, s) && on(&reset, d) {
-                    report.violations.push(Violation::NonMonotonicReset {
+                if !vs && !vd && !on(reset, s) && on(reset, d)
+                    || vs && vd && on(reset, s) && !on(reset, d)
+                {
+                    sink.violation(Violation::NonMonotonicReset {
                         signal,
                         from: s,
                         to: d,
                     });
-                }
-                if vs && vd && on(&reset, s) && !on(&reset, d) {
-                    report.violations.push(Violation::NonMonotonicReset {
-                        signal,
-                        from: s,
-                        to: d,
-                    });
+                    verdict = Verdict::Violation;
                 }
             }
         }
+        verdict
     }
-    report
+
+    fn for_each_successor<Vis: SpaceVisitor<Violation>>(
+        &self,
+        state: &[u64],
+        scratch: &mut [u64],
+        visit: &mut Vis,
+    ) -> Result<(), Violation> {
+        for &(t, d) in self.rg.successors(StateId(state[0] as u32)) {
+            scratch[0] = d.0 as u64;
+            if !visit.successor(t.0, scratch) {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -249,6 +352,7 @@ y- x+
         let syn = synthesize(&stg, &SynthesisOptions::default()).unwrap();
         let report = verify_circuit(&stg, &syn.circuit);
         assert!(report.is_ok(), "violations: {:?}", report.violations);
+        assert!(report.trace.is_none());
     }
 
     #[test]
@@ -260,7 +364,7 @@ y- x+
         syn.circuit.implementations[0] = si_core::SignalImplementation {
             signal: z,
             kind: ImplKind::Combinational {
-                cover: Cover::empty(stg.signal_count()),
+                cover: si_boolean::Cover::empty(stg.signal_count()),
                 inverted: false,
             },
         };
@@ -299,6 +403,67 @@ y- x+
             .violations
             .iter()
             .any(|v| matches!(v, Violation::NonMonotonicSet { .. })));
+    }
+
+    #[test]
+    fn counterexample_trace_replays_to_the_violating_state() {
+        let stg = si_stg::generators::clatch(3);
+        let mut syn = synthesize(&stg, &SynthesisOptions::default()).unwrap();
+        let z = syn.results[0].signal;
+        syn.circuit.implementations[0] = si_core::SignalImplementation {
+            signal: z,
+            kind: ImplKind::Combinational {
+                cover: si_boolean::Cover::empty(stg.signal_count()),
+                inverted: false,
+            },
+        };
+        let rg = ReachabilityGraph::build(stg.net(), 100_000).unwrap();
+        let enc = StateEncoding::compute(&stg, &rg).unwrap();
+        for shards in [1, 4] {
+            let report = verify_circuit_on_with(&stg, &syn.circuit, &rg, &enc, shards);
+            assert!(!report.is_ok());
+            let trace = report.trace.as_ref().expect("violations come with a trace");
+            // Replay the firing sequence on the net: it must be enabled at
+            // every step and end at the state of the first violation.
+            let net = stg.net();
+            let mut m = net.initial_marking();
+            for &t in trace {
+                assert!(
+                    net.is_enabled(&m, t),
+                    "{shards} shards: dead trace step {t}"
+                );
+                m = net.fire(&m, t);
+            }
+            assert_eq!(
+                rg.state_of(&m),
+                Some(report.violations[0].at_state()),
+                "{shards} shards: trace does not reach the violating state"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_verification_matches_sequential() {
+        let stg = benchmarks::running_example();
+        let syn = synthesize(&stg, &SynthesisOptions::default()).unwrap();
+        let rg = ReachabilityGraph::build(stg.net(), 100_000).unwrap();
+        let enc = StateEncoding::compute(&stg, &rg).unwrap();
+        // A clean circuit and a sabotaged one: violation lists must be
+        // identical at any shard count.
+        let mut broken = syn.circuit.clone();
+        broken.implementations[0].kind = ImplKind::Combinational {
+            cover: Cover::empty(stg.signal_count()),
+            inverted: false,
+        };
+        for circuit in [&syn.circuit, &broken] {
+            let seq = verify_circuit_on_with(&stg, circuit, &rg, &enc, 1);
+            for shards in [2, 4, 8] {
+                let par = verify_circuit_on_with(&stg, circuit, &rg, &enc, shards);
+                assert_eq!(seq.violations, par.violations);
+                assert_eq!(seq.states_checked, par.states_checked);
+                assert_eq!(seq.is_ok(), par.is_ok());
+            }
+        }
     }
 
     #[test]

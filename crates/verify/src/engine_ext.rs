@@ -6,7 +6,7 @@
 //! import [`EngineVerify`] (it is in `sisyn::prelude`) and the whole flow
 //! reads as methods on one session object.
 
-use crate::check::{verify_circuit_on, VerificationReport};
+use crate::check::{verify_circuit_on_with, VerificationReport};
 use crate::conform::{engine_conformance, ConformanceReport};
 use si_core::{Circuit, Engine};
 use si_petri::ReachError;
@@ -35,6 +35,8 @@ use si_petri::ReachError;
 pub trait EngineVerify {
     /// Functional + monotonic-cover verification
     /// ([`crate::verify_circuit_with`] semantics) over the cached graph.
+    /// The violation search runs on the session's configured shard count
+    /// (`Engine::shards`); the report is identical at any.
     ///
     /// # Errors
     ///
@@ -43,7 +45,8 @@ pub trait EngineVerify {
 
     /// Product-automaton conformance checking
     /// ([`crate::check_conformance_with`] semantics). The session's cap
-    /// bounds the product exploration; the probe graph falls back to the
+    /// bounds the product exploration and the session's shard count
+    /// parallelizes it; the probe graph falls back to the
     /// historical 4M-state headroom (one-shot, outside the session cache)
     /// when the session cap is too small for the specification, so a
     /// small cap still allows partial product exploration. Past that,
@@ -56,10 +59,16 @@ impl EngineVerify for Engine<'_> {
     fn verify(&self, circuit: &Circuit) -> Result<VerificationReport, ReachError> {
         let rg = self.reachability()?;
         let enc = self.encoding()?;
-        Ok(verify_circuit_on(self.stg(), circuit, rg, enc))
+        Ok(verify_circuit_on_with(
+            self.stg(),
+            circuit,
+            rg,
+            enc,
+            self.reach_options().shards,
+        ))
     }
 
     fn check_conformance(&self, circuit: &Circuit) -> ConformanceReport {
-        engine_conformance(self, circuit, self.reach_options().cap)
+        engine_conformance(self, circuit, self.reach_options())
     }
 }

@@ -14,6 +14,14 @@
 //! * [`EngineVerify`]: both checks as methods on the `si_core::Engine`
 //!   session, sharing its cached reachability graph.
 //!
+//! Both checks are implemented as [`si_petri::space::StateSpace`]s driven
+//! by the workspace's generic explorers: passing `shards > 1` (via
+//! [`si_petri::ReachOptions`] or `Engine::shards`) runs the violation
+//! search and the conformance product on the sharded multi-threaded
+//! explorer, and every failing report carries a firing-sequence
+//! counterexample ([`VerificationReport::trace`],
+//! [`ConformanceReport::trace`]).
+//!
 //! # Examples
 //!
 //! The pipeline spelling — synthesize, verify and conformance-check over
@@ -42,10 +50,9 @@ mod conform;
 mod engine_ext;
 mod sim;
 
-#[allow(deprecated)]
-pub use check::verify_circuit_capped;
 pub use check::{
-    verify_circuit, verify_circuit_on, verify_circuit_with, VerificationReport, Violation,
+    verify_circuit, verify_circuit_on, verify_circuit_on_with, verify_circuit_with,
+    VerificationReport, Violation,
 };
 pub use conform::{
     check_conformance, check_conformance_with, ConformanceFailure, ConformanceReport,

@@ -1,0 +1,135 @@
+//! The verify-heavy suite at 4 explorer shards: every reachability-backed
+//! check of the pipeline — graph build, speed-independence verification,
+//! conformance product — run on the sharded explorer across the large
+//! benchmark set, pinned against the sequential engine.
+//!
+//! These tests repeat the most expensive verification workloads of the
+//! repository, so they are `#[ignore]`d by default and run explicitly by
+//! the dedicated CI step (`cargo test --test verify_sharded -- --ignored`).
+
+use sisyn::prelude::*;
+use sisyn::stg::generators;
+
+/// The large benchmark set (mirrors `si_bench::large_set()`, which this
+/// crate cannot depend on).
+fn large_set() -> Vec<sisyn::stg::Stg> {
+    vec![
+        generators::clatch(8),
+        generators::clatch(12),
+        generators::burst(6),
+        generators::burst(8),
+        generators::muller_pipeline(8),
+        generators::muller_pipeline(12),
+        generators::philosophers(5),
+        generators::philosophers(7),
+        generators::sequencer(10),
+        generators::selector(8),
+    ]
+}
+
+#[test]
+#[ignore = "verify-heavy sharded suite; CI runs it with -- --ignored"]
+fn large_set_pipeline_identical_at_4_shards() {
+    for stg in large_set() {
+        let seq = Engine::new(&stg).cap(2_000_000);
+        let par = Engine::new(&stg).cap(2_000_000).shards(4);
+        let syn = match seq.synthesize() {
+            Ok(s) => s,
+            Err(_) => continue, // not structurally synthesizable — skip
+        };
+
+        // The sharded graph is bit-identical, so the encodings agree too.
+        let rg_seq = seq.reachability().unwrap();
+        let rg_par = par.reachability().unwrap();
+        assert_eq!(rg_seq.state_count(), rg_par.state_count(), "{}", stg.name());
+        assert_eq!(rg_seq.edge_count(), rg_par.edge_count(), "{}", stg.name());
+
+        // Speed-independence verification: identical violation lists.
+        let v_seq = seq.verify(&syn.circuit).unwrap();
+        let v_par = par.verify(&syn.circuit).unwrap();
+        assert_eq!(v_seq.violations, v_par.violations, "{}", stg.name());
+        assert_eq!(v_seq.states_checked, v_par.states_checked, "{}", stg.name());
+        assert!(
+            v_seq.is_ok(),
+            "{}: synthesized circuit must verify",
+            stg.name()
+        );
+
+        // Conformance: identical verdict and (conformant ⇒ exhaustive)
+        // identical product size.
+        let c_seq = seq.check_conformance(&syn.circuit);
+        let c_par = par.check_conformance(&syn.circuit);
+        assert_eq!(c_seq.is_ok(), c_par.is_ok(), "{}", stg.name());
+        assert!(
+            c_seq.is_ok(),
+            "{}: synthesized circuit must conform",
+            stg.name()
+        );
+        assert_eq!(
+            c_seq.states_explored,
+            c_par.states_explored,
+            "{}",
+            stg.name()
+        );
+    }
+}
+
+#[test]
+#[ignore = "verify-heavy sharded suite; CI runs it with -- --ignored"]
+fn large_set_counterexamples_replay_at_4_shards() {
+    for stg in large_set() {
+        let engine = Engine::new(&stg).cap(2_000_000).shards(4);
+        let syn = match engine.synthesize() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        // Sabotage: pin the first implementation permanently excited.
+        let mut bad = syn.circuit.clone();
+        bad.implementations[0].kind = ImplKind::Combinational {
+            cover: Cover::universe(stg.signal_count()),
+            inverted: false,
+        };
+
+        let report = engine.verify(&bad).unwrap();
+        if !report.is_ok() {
+            let trace = report
+                .trace
+                .as_ref()
+                .expect("failing verify carries a trace");
+            let net = stg.net();
+            let mut m = net.initial_marking();
+            for &t in trace {
+                assert!(net.is_enabled(&m, t), "{}: dead trace step", stg.name());
+                m = net.fire(&m, t);
+            }
+            let rg = engine.reachability().unwrap();
+            assert_eq!(
+                rg.state_of(&m),
+                Some(report.violations[0].at_state()),
+                "{}: verify trace must reach the violating state",
+                stg.name()
+            );
+        }
+
+        let conf = engine.check_conformance(&bad);
+        assert!(
+            !conf.is_ok(),
+            "{}: sabotage must break conformance",
+            stg.name()
+        );
+        let trace = conf
+            .trace
+            .as_ref()
+            .expect("failing conformance carries a trace");
+        let net = stg.net();
+        let mut m = net.initial_marking();
+        for &t in trace {
+            assert!(
+                net.is_enabled(&m, t),
+                "{}: dead conformance trace step",
+                stg.name()
+            );
+            m = net.fire(&m, t);
+        }
+    }
+}
