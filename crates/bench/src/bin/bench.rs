@@ -19,7 +19,13 @@
 //! * `product_exploration` — the spec×circuit conformance product on the
 //!   generic explorers (`si_petri::space`): wall time and states/s of the
 //!   sequential vs sharded exploration on the large set (the probe graph
-//!   is cached per engine, so only the product walk is timed).
+//!   is cached per engine, so only the product walk is timed);
+//! * `csc_resolution` — the CSC resolve subsystem on the conflicted
+//!   `vme_read_raw` / `vme_chain(n)` / `vme_burst(n)` workloads at one
+//!   worker thread: end-to-end wall time of the pre-subsystem blind
+//!   search (full context rebuild per candidate) vs the conflict-core
+//!   greedy search (incremental re-analysis), plus the per-candidate
+//!   structural-evaluation rate on both paths.
 //!
 //! ```text
 //! bench [--iters N] [--smoke] [--cap N] [--out FILE]
@@ -332,6 +338,106 @@ fn measure_product_exploration(cfg: &Config) -> (Vec<usize>, Vec<ProductEntry>) 
     (counts, entries)
 }
 
+/// One workload of the CSC-resolution section.
+struct CscEntry {
+    name: String,
+    places: usize,
+    transitions: usize,
+    /// End-to-end blind search (full rebuild per candidate).
+    blind: Duration,
+    /// End-to-end conflict-core greedy search (incremental re-analysis).
+    greedy: Duration,
+    /// End-to-end beam search.
+    beam: Duration,
+    /// Candidates the greedy search structurally evaluated.
+    greedy_evaluated: usize,
+    /// Per-candidate structural evaluation over a fixed plan sample:
+    /// full rebuild vs incremental re-analysis (total over the sample).
+    sample: usize,
+    rebuild: Duration,
+    reanalyze: Duration,
+}
+
+/// Times the resolve subsystem against the pre-subsystem blind baseline
+/// on conflicted workloads, at one scoring worker (`--smoke` shrinks the
+/// family sweep). Both paths run the same acceptance-oracle cap.
+fn measure_csc_resolution(cfg: &Config) -> (usize, usize, Vec<CscEntry>) {
+    use si_csc::{
+        conflict_cores, resolve, resolve_csc_blind, targeted_candidates, CscOptions, Strategy,
+    };
+    let oracle_cap = 1_000_000.min(cfg.cap);
+    let budget = 2_000_000;
+    let reach = si_petri::ReachOptions::with_cap(oracle_cap);
+    let mut workloads = vec![si_stg::benchmarks::vme_read_raw()];
+    let sizes: &[usize] = if cfg.smoke { &[2] } else { &[4, 8, 12] };
+    for &n in sizes {
+        workloads.push(si_stg::generators::vme_chain(n));
+    }
+    workloads.push(si_stg::generators::vme_burst(if cfg.smoke { 2 } else { 4 }));
+    let mut entries = Vec::new();
+    for stg in workloads {
+        let iters = cfg.iters.min(3);
+        let blind = best_of(iters, || resolve_csc_blind(&stg, budget, reach));
+        let opts = CscOptions::default().budget(budget).reach(reach).workers(1);
+        // The search is deterministic, so the stats of the timed runs are
+        // interchangeable — capture them from inside the loop instead of
+        // paying one extra untimed resolve.
+        let mut evaluated = 0;
+        let greedy = best_of(iters, || {
+            evaluated = resolve(&stg, &opts).stats.evaluated;
+        });
+        let beam = best_of(iters, || {
+            resolve(&stg, &opts.clone().strategy(Strategy::Beam))
+        });
+        // Per-candidate structural evaluation on a fixed plan sample.
+        let (parent, trace) = si_core::StructuralContext::build_traced(&stg).unwrap();
+        let cores = conflict_cores(&parent);
+        let plans = targeted_candidates(&parent, &cores, 100);
+        let rebuild = best_of(iters, || {
+            for plan in &plans {
+                let (cand, _) = si_stg::apply_insertion_mapped(&stg, "cscx", plan);
+                if let Ok(ctx) = si_core::StructuralContext::build(&cand) {
+                    std::hint::black_box(ctx.csc_holds());
+                }
+            }
+        });
+        let reanalyze = best_of(iters, || {
+            for plan in &plans {
+                let (cand, map) = si_stg::apply_insertion_mapped(&stg, "cscx", plan);
+                if let Ok(ctx) =
+                    si_core::StructuralContext::build_incremental(&parent, &trace, &cand, &map)
+                {
+                    std::hint::black_box(ctx.csc_holds());
+                }
+            }
+        });
+        eprintln!(
+            "csc/{}: blind {} greedy {} ({} cand) beam {} | sample x{}: rebuild {} reanalyze {}",
+            stg.name(),
+            fmt_duration(blind),
+            fmt_duration(greedy),
+            evaluated,
+            fmt_duration(beam),
+            plans.len(),
+            fmt_duration(rebuild),
+            fmt_duration(reanalyze),
+        );
+        entries.push(CscEntry {
+            name: stg.name().to_string(),
+            places: stg.net().place_count(),
+            transitions: stg.net().transition_count(),
+            blind,
+            greedy,
+            beam,
+            greedy_evaluated: evaluated,
+            sample: plans.len(),
+            rebuild,
+            reanalyze,
+        });
+    }
+    (oracle_cap, budget, entries)
+}
+
 fn json_ms(d: Option<Duration>) -> String {
     match d {
         Some(d) => format!("{:.6}", d.as_secs_f64() * 1e3),
@@ -374,10 +480,11 @@ fn main() {
     let (shard_cap, shard_counts, shard_entries) = measure_shard_scaling(&cfg);
     let minimizer_entries = measure_minimizer_backends(&cfg);
     let (product_counts, product_entries) = measure_product_exploration(&cfg);
+    let (csc_cap, csc_budget, csc_entries) = measure_csc_resolution(&cfg);
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"sisyn/bench-substrates/v4\",");
+    let _ = writeln!(json, "  \"schema\": \"sisyn/bench-substrates/v5\",");
     let _ = writeln!(json, "  \"iters\": {},", cfg.iters);
     let _ = writeln!(json, "  \"state_cap\": {},", cfg.cap);
     let _ = writeln!(
@@ -601,6 +708,74 @@ fn main() {
             } else {
                 ""
             }
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+    // CSC-resolution section: blind baseline vs conflict-core subsystem,
+    // one scoring worker.
+    let _ = writeln!(json, "  \"csc_resolution\": {{");
+    let _ = writeln!(json, "    \"oracle_cap\": {csc_cap},");
+    let _ = writeln!(json, "    \"budget\": {csc_budget},");
+    let _ = writeln!(json, "    \"workers\": 1,");
+    let _ = writeln!(json, "    \"entries\": [");
+    for (i, e) in csc_entries.iter().enumerate() {
+        let _ = writeln!(json, "      {{");
+        let _ = writeln!(json, "        \"name\": \"{}\",", e.name);
+        let _ = writeln!(json, "        \"places\": {},", e.places);
+        let _ = writeln!(json, "        \"transitions\": {},", e.transitions);
+        let _ = writeln!(
+            json,
+            "        \"resolve_blind_ms\": {},",
+            json_ms(Some(e.blind))
+        );
+        let _ = writeln!(
+            json,
+            "        \"resolve_greedy_ms\": {},",
+            json_ms(Some(e.greedy))
+        );
+        let _ = writeln!(
+            json,
+            "        \"resolve_beam_ms\": {},",
+            json_ms(Some(e.beam))
+        );
+        let _ = writeln!(
+            json,
+            "        \"end_to_end_speedup\": {},",
+            json_speedup(Some(e.blind), Some(e.greedy))
+        );
+        let _ = writeln!(
+            json,
+            "        \"greedy_candidates\": {},",
+            e.greedy_evaluated
+        );
+        let _ = writeln!(json, "        \"sample_candidates\": {},", e.sample);
+        let rate = |d: Duration| {
+            if d.is_zero() {
+                "null".to_string()
+            } else {
+                format!("{:.0}", e.sample as f64 / d.as_secs_f64())
+            }
+        };
+        let _ = writeln!(
+            json,
+            "        \"rebuild_candidates_per_s\": {},",
+            rate(e.rebuild)
+        );
+        let _ = writeln!(
+            json,
+            "        \"reanalyze_candidates_per_s\": {},",
+            rate(e.reanalyze)
+        );
+        let _ = writeln!(
+            json,
+            "        \"reanalyze_speedup\": {}",
+            json_speedup(Some(e.rebuild), Some(e.reanalyze))
+        );
+        let _ = writeln!(
+            json,
+            "      }}{}",
+            if i + 1 < csc_entries.len() { "," } else { "" }
         );
     }
     let _ = writeln!(json, "    ]");

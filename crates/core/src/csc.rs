@@ -1,281 +1,50 @@
-//! CSC resolution by state-signal insertion.
+//! CSC resolution surface of the core crate.
 //!
-//! When the structural analysis cannot establish complete state coding
-//! (§VI: "by adding state signals, the covers can always be reduced to
-//! nonintersecting" — the procedure itself is deferred to the companion
-//! paper \[27\]), synthesis rejects the STG. This module implements the
-//! missing piece: a search over insertion plans for one internal signal
-//! `cscN`:
+//! The actual resolution subsystem lives in the dedicated `si-csc` crate
+//! (conflict-core extraction, incremental re-analysis, parallel candidate
+//! search); this module keeps the core-side surface thin:
 //!
-//! * `cscN+` and `cscN-` are inserted by **splitting** two simple places
-//!   (the transition pairs they connect become `t → cscN± → u`);
-//! * optionally `cscN+` additionally **waits** for another transition
-//!   (a join arc, possibly initially marked) — the shape needed by e.g.
-//!   the VME bus controller, where the rising edge must also wait for the
-//!   release phase to finish;
-//! * only synthesized (non-input) transitions may be delayed — inserting
-//!   state signals in front of environment transitions would change the
-//!   interface contract (input properness).
+//! * the STG surgery ([`InsertionPlan`], [`apply_insertion`]) is re-exported
+//!   from `si_stg::edit`, where it moved so both `si-core` and `si-csc` can
+//!   share it;
+//! * [`no_conflict_resolution`] implements the no-op fast path every
+//!   resolver spells the same way: an STG that already satisfies CSC is
+//!   returned unchanged with the sentinel plan.
 //!
-//! Candidates are pruned with the *structural* machinery (consistency +
-//! Theorems 14/15); the single surviving candidate is accepted only after
-//! the behavioural oracle confirms liveness, safeness, consistency, CSC
-//! and output semimodularity.
+//! `resolve_csc` / `resolve_csc_with` themselves are provided by `si-csc`
+//! (and re-exported from the `sisyn` umbrella crate): resolution needs the
+//! structural context *and* drives whole `Engine` sessions per candidate,
+//! so it sits above this crate in the dependency order — the same pattern
+//! as speed-independence verification (`si-verify`'s `EngineVerify`).
 
 use crate::context::{CscVerdict, StructuralContext};
-use si_petri::{PlaceId, ReachOptions, ReachabilityGraph, TransId};
-use si_stg::{
-    semimodularity_violations, CodingAnalysis, Direction, SignalKind, StateEncoding, Stg,
-};
+use si_petri::PlaceId;
+use si_stg::Stg;
 
-/// One candidate insertion of a state signal.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct InsertionPlan {
-    /// The simple place split by the rising transition.
-    pub rise_split: PlaceId,
-    /// The simple place split by the falling transition.
-    pub fall_split: PlaceId,
-    /// Extra preset arcs of the rising transition: `(producer, marked)`.
-    pub rise_waits: Vec<(TransId, bool)>,
+pub use si_stg::edit::{apply_insertion, apply_insertion_mapped, InsertionMap, InsertionPlan};
+
+/// The sentinel plan returned when the input already satisfies CSC:
+/// `rise_split == fall_split == PlaceId(0)`, no waits — impossible for a
+/// real insertion, whose split places always differ.
+pub fn sentinel_plan() -> InsertionPlan {
+    InsertionPlan {
+        rise_split: PlaceId(0),
+        fall_split: PlaceId(0),
+        rise_waits: Vec::new(),
+    }
 }
 
-/// Applies an insertion plan, producing a new STG with one more internal
-/// signal named `name`.
-///
-/// # Panics
-///
-/// Panics if a split place is not simple (one producer, one consumer) or
-/// is initially marked.
-pub fn apply_insertion(stg: &Stg, name: &str, plan: &InsertionPlan) -> Stg {
-    let net = stg.net();
-    for &p in [&plan.rise_split, &plan.fall_split] {
-        assert_eq!(net.pre_p(p).len(), 1, "split place must be simple");
-        assert_eq!(net.post_p(p).len(), 1, "split place must be simple");
-        assert!(
-            !net.initial_marking().get(p.index()),
-            "split place must be unmarked"
-        );
-    }
-    let mut b = Stg::builder(format!("{}_{}", stg.name(), name));
-    // Signals.
-    let mut sig_map = Vec::new();
-    for s in stg.signals() {
-        sig_map.push(b.add_signal(stg.signal_name(s), stg.signal_kind(s)));
-    }
-    let x = b.add_signal(name, SignalKind::Internal);
-    // Transitions (same order ⇒ same ids).
-    let mut t_map = Vec::new();
-    for t in net.transitions() {
-        let l = stg.label(t);
-        t_map.push(b.add_transition_with_instance(
-            sig_map[l.signal.index()],
-            l.direction,
-            l.instance,
-        ));
-    }
-    let xp = b.add_transition(x, Direction::Rise);
-    let xm = b.add_transition(x, Direction::Fall);
-
-    // Places and arcs; split places are re-routed through x+/x-.
-    for p in net.places() {
-        if p == plan.rise_split || p == plan.fall_split {
-            let xt = if p == plan.rise_split { xp } else { xm };
-            let producer = t_map[net.pre_p(p)[0].index()];
-            let consumer = t_map[net.post_p(p)[0].index()];
-            b.arc(producer, xt);
-            b.arc(xt, consumer);
-        } else {
-            let np = b.add_place(net.place_name(p), net.initial_marking().get(p.index()));
-            for &t in net.pre_p(p) {
-                b.arc_tp(t_map[t.index()], np);
-            }
-            for &t in net.post_p(p) {
-                b.arc_pt(np, t_map[t.index()]);
-            }
-        }
-    }
-    for &(producer, marked) in &plan.rise_waits {
-        let wp = b.add_place(format!("<wait_{}>", producer.index()), marked);
-        b.arc_tp(t_map[producer.index()], wp);
-        b.arc_pt(wp, xp);
-    }
-    b.build()
-}
-
-/// Does the oracle accept the mutated STG completely?
-fn oracle_accepts(stg: &Stg, reach: ReachOptions) -> bool {
-    let Ok(rg) = ReachabilityGraph::build_with(stg.net(), reach) else {
-        return false;
-    };
-    if !rg.is_live(stg.net()) {
-        return false;
-    }
-    let Ok(enc) = StateEncoding::compute(stg, &rg) else {
-        return false;
-    };
-    let coding = CodingAnalysis::compute(stg, &rg, &enc);
-    coding.has_csc() && semimodularity_violations(stg, &rg).is_empty()
-}
-
-/// Searches for a single-signal insertion that resolves the CSC conflicts
-/// of `stg`. Returns the repaired STG and the plan, or `None` when no
-/// candidate within `budget` works.
-///
-/// When the input already satisfies CSC it is returned unchanged together
-/// with the no-op sentinel plan (`rise_split == fall_split == PlaceId(0)`,
-/// no waits — impossible for a real insertion, whose split places always
-/// differ).
-///
-/// The search space: all ordered pairs of distinct simple places whose
-/// consumers are synthesized transitions, first without wait arcs, then
-/// with one wait arc from every transition (marked and unmarked variants).
-pub fn resolve_csc(stg: &Stg, budget: usize) -> Option<(Stg, InsertionPlan)> {
-    resolve_csc_with(stg, budget, ReachOptions::with_cap(1_000_000))
-}
-
-/// Like [`resolve_csc`] but with explicit [`ReachOptions`] for the
-/// behavioural acceptance oracle: `reach.cap` bounds the candidate's state
-/// space and `reach.shards > 1` runs the oracle's reachability build on
-/// the sharded multi-threaded engine.
-pub fn resolve_csc_with(
+/// The no-conflict fast path of CSC resolution: when `ctx` (a context of
+/// `stg`) proves CSC structurally, the STG is returned unchanged together
+/// with the [`sentinel_plan`]. Returns `None` when state-signal insertion
+/// is actually required.
+pub fn no_conflict_resolution(
     stg: &Stg,
-    budget: usize,
-    reach: ReachOptions,
+    ctx: &StructuralContext<'_>,
 ) -> Option<(Stg, InsertionPlan)> {
-    crate::Engine::new(stg).reach(reach).resolve_csc(budget)
-}
-
-/// Like [`resolve_csc_with`] but reusing an already-built
-/// [`StructuralContext`] of `stg` for the no-conflict fast path — the form
-/// the [`crate::Engine`] calls so a check-then-resolve pipeline analyzes
-/// the input only once. `ctx`, when given, **must** belong to `stg`.
-pub(crate) fn resolve_csc_in(
-    stg: &Stg,
-    budget: usize,
-    reach: ReachOptions,
-    ctx: Option<&StructuralContext<'_>>,
-) -> Option<(Stg, InsertionPlan)> {
-    if let Some(ctx) = ctx {
-        if !matches!(ctx.csc_verdict(), CscVerdict::Unknown { .. }) {
-            return Some((
-                stg.clone(),
-                InsertionPlan {
-                    rise_split: PlaceId(0),
-                    fall_split: PlaceId(0),
-                    rise_waits: Vec::new(),
-                },
-            ));
-        }
-    }
-    let net = stg.net();
-    let splittable: Vec<PlaceId> = net
-        .places()
-        .filter(|&p| {
-            net.pre_p(p).len() == 1
-                && net.post_p(p).len() == 1
-                && !net.initial_marking().get(p.index())
-                && stg
-                    .signal_kind(stg.signal_of(net.post_p(p)[0]))
-                    .is_synthesized()
-        })
-        .collect();
-
-    let mut tried = 0usize;
-    // Pass 1: plain arc splits. Pass 2: with one wait arc.
-    for with_waits in [false, true] {
-        for &rise in &splittable {
-            for &fall in &splittable {
-                if rise == fall {
-                    continue;
-                }
-                let wait_options: Vec<Vec<(TransId, bool)>> = if with_waits {
-                    net.transitions()
-                        .flat_map(|t| [vec![(t, true)], vec![(t, false)]])
-                        .collect()
-                } else {
-                    vec![Vec::new()]
-                };
-                for rise_waits in wait_options {
-                    // A wait from the transition x+ precedes is cyclic junk.
-                    if rise_waits
-                        .iter()
-                        .any(|&(t, _)| t == net.post_p(rise)[0] || t == net.pre_p(rise)[0])
-                    {
-                        continue;
-                    }
-                    tried += 1;
-                    if tried > budget {
-                        return None;
-                    }
-                    let plan = InsertionPlan {
-                        rise_split: rise,
-                        fall_split: fall,
-                        rise_waits,
-                    };
-                    let candidate = apply_insertion(stg, "csc0", &plan);
-                    // Structural pruning.
-                    let Ok(ctx) = StructuralContext::build(&candidate) else {
-                        continue;
-                    };
-                    if matches!(ctx.csc_verdict(), CscVerdict::Unknown { .. }) {
-                        continue;
-                    }
-                    // Behavioural acceptance.
-                    if oracle_accepts(&candidate, reach) {
-                        return Some((candidate, plan));
-                    }
-                }
-            }
-        }
-    }
-    None
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::synthesis::{synthesize, SynthesisOptions};
-
-    #[test]
-    fn vme_read_conflict_is_resolved_automatically() {
-        let raw = si_stg::benchmarks::vme_read_raw();
-        let (fixed, plan) = resolve_csc(&raw, 50_000).expect("resolvable");
-        assert_eq!(fixed.signal_count(), raw.signal_count() + 1);
-        // The repaired STG synthesizes and verifies.
-        let syn = synthesize(&fixed, &SynthesisOptions::default()).expect("synthesizable");
-        assert!(syn.literal_area > 0);
-        let _ = plan;
-    }
-
-    #[test]
-    fn csc_clean_stg_returned_unchanged() {
-        let stg = si_stg::benchmarks::burst2();
-        let (same, plan) = resolve_csc(&stg, 10).expect("already clean");
-        assert_eq!(same.signal_count(), stg.signal_count());
-        assert!(plan.rise_waits.is_empty());
-    }
-
-    #[test]
-    fn apply_insertion_shapes_the_net() {
-        let stg = si_stg::benchmarks::half_handshake();
-        let net = stg.net();
-        // split <a+,b+> for x+ and <a-,b-> for x-.
-        let ap = stg.transition_by_display("a+").unwrap();
-        let am = stg.transition_by_display("a-").unwrap();
-        let rise = net.post_t(ap)[0];
-        let fall = net.post_t(am)[0];
-        let plan = InsertionPlan {
-            rise_split: rise,
-            fall_split: fall,
-            rise_waits: Vec::new(),
-        };
-        let out = apply_insertion(&stg, "x", &plan);
-        assert_eq!(out.signal_count(), stg.signal_count() + 1);
-        assert_eq!(
-            out.net().transition_count(),
-            stg.net().transition_count() + 2
-        );
-        // behaviour stays live and consistent
-        assert!(oracle_accepts(&out, ReachOptions::with_cap(10_000)));
+    if matches!(ctx.csc_verdict(), CscVerdict::Unknown { .. }) {
+        None
+    } else {
+        Some((stg.clone(), sentinel_plan()))
     }
 }

@@ -17,7 +17,7 @@
 //!   StructuralContext       ReachabilityGraph + enc     ConcurrencyRelation
 //!          │                        │
 //!   analyze / synthesize     synthesize_state_based / verify / conformance
-//!          └────────── resolve_csc uses both ──────────┘
+//!          └── resolve_csc (si-csc's EngineResolve) uses both ──┘
 //! ```
 //!
 //! The legacy free functions remain as one-shot wrappers over a fresh
@@ -31,7 +31,6 @@
 //! this crate, not the other way around).
 
 use crate::context::{CscVerdict, StructuralContext, SynthesisError};
-use crate::csc::{resolve_csc_in, InsertionPlan};
 use crate::statebased::{synthesize_state_based_on, BaselineError, BaselineFlavor};
 use crate::synthesis::{
     synthesize_with_context, Architecture, MinimizeStages, Synthesis, SynthesisOptions,
@@ -304,16 +303,5 @@ impl<'a> Engine<'a> {
             .as_ref()
             .map_err(|e| BaselineError::Inconsistent(e.clone()))?;
         synthesize_state_based_on(self.stg, flavor, rg, enc, self.options.minimizer)
-    }
-
-    /// CSC resolution by state-signal insertion (reusing the cached
-    /// context for the no-conflict fast path); the acceptance oracle runs
-    /// under the session's reachability options.
-    ///
-    /// Returns the repaired STG and the insertion plan, or `None` when no
-    /// candidate within `budget` works; see [`crate::resolve_csc`] for the
-    /// plan semantics.
-    pub fn resolve_csc(&self, budget: usize) -> Option<(Stg, InsertionPlan)> {
-        resolve_csc_in(self.stg, budget, self.reach, self.context().ok())
     }
 }

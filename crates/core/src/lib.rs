@@ -52,8 +52,10 @@ pub mod synthesis;
 pub mod techmap;
 
 pub use circuit::{Circuit, ImplKind, SignalImplementation};
-pub use context::{CodingConflict, CscVerdict, SignalCovers, StructuralContext, SynthesisError};
-pub use csc::{apply_insertion, resolve_csc, resolve_csc_with, InsertionPlan};
+pub use context::{
+    CodingConflict, CscVerdict, RefinementTrace, SignalCovers, StructuralContext, SynthesisError,
+};
+pub use csc::{apply_insertion, no_conflict_resolution, sentinel_plan, InsertionPlan};
 pub use cubes::PlaceCubes;
 pub use engine::{Analysis, Engine};
 pub use netlist::to_verilog;

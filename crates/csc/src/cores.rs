@@ -1,0 +1,292 @@
+//! Conflict-core extraction and targeted candidate generation.
+//!
+//! A **conflict core** is the structural obstruction behind an unresolved
+//! CSC verdict: a preset place `p` of a synthesized transition `t` for
+//! which no SM-component free of Theorem 14 witnesses exists — together
+//! with the witness places `q` whose (refined) cover still intersects the
+//! excitation cover `C(t)`. The refinement rounds of the
+//! [`StructuralContext`] could not separate these ER/QR covers, so a state
+//! signal must be inserted to tell the two regions apart.
+//!
+//! Because the separating signal has to flip *between* the core's regions,
+//! useful insertion points cluster around the core in the net graph. The
+//! candidate generator exploits that: it emits insertion plans in
+//! expanding-radius tiers around the cores — nearest first — and only
+//! degenerates to the full blind enumeration (the pre-subsystem search
+//! space) in the last tier. At an unbounded budget it covers exactly the
+//! old search space, just ordered by how likely a candidate is to break
+//! a core; a finite budget is spent on the core-proximal subset first.
+
+use si_core::{CscVerdict, StructuralContext};
+use si_petri::{PlaceId, TransId};
+use si_stg::InsertionPlan;
+use std::collections::HashSet;
+
+/// One structural CSC obstruction (Theorem 14): a preset place of a
+/// synthesized transition that no witness-free SM-component covers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConflictCore {
+    /// The unresolved preset place `p`.
+    pub place: PlaceId,
+    /// The synthesized transitions `t` with `p ∈ •t` whose ER the
+    /// refinement could not separate.
+    pub transitions: Vec<TransId>,
+    /// Witness places `q` (within the SM-cover components containing `p`)
+    /// whose cover intersects some `C(t)`.
+    pub witnesses: Vec<PlaceId>,
+}
+
+/// Extracts the conflict cores of a context whose CSC verdict is
+/// [`CscVerdict::Unknown`]; empty when CSC already holds.
+pub fn conflict_cores(ctx: &StructuralContext<'_>) -> Vec<ConflictCore> {
+    let CscVerdict::Unknown { places } = ctx.csc_verdict() else {
+        return Vec::new();
+    };
+    let stg = ctx.stg;
+    let net = stg.net();
+    places
+        .into_iter()
+        .map(|p| {
+            let mut transitions = Vec::new();
+            let mut witnesses = Vec::new();
+            for &t in net.post_p(p) {
+                if !stg.signal_kind(stg.signal_of(t)).is_synthesized() {
+                    continue;
+                }
+                transitions.push(t);
+                let er = ctx.er_cover(t);
+                let sig = stg.signal_of(t);
+                for sm in &ctx.sm_cover {
+                    if !sm.contains_place(p) {
+                        continue;
+                    }
+                    for &q in sm.places() {
+                        if q == p {
+                            continue;
+                        }
+                        // Same-signal-feeding places cannot witness
+                        // (Theorem 14, condition 2).
+                        if net.post_p(q).iter().any(|&u| stg.signal_of(u) == sig) {
+                            continue;
+                        }
+                        if ctx.place_cover[q.index()].intersects(&er) {
+                            witnesses.push(q);
+                        }
+                    }
+                }
+            }
+            witnesses.sort_unstable();
+            witnesses.dedup();
+            ConflictCore {
+                place: p,
+                transitions,
+                witnesses,
+            }
+        })
+        .collect()
+}
+
+/// The places an insertion may split: simple (one producer, one consumer),
+/// initially unmarked, and delaying only a synthesized transition —
+/// inserting state signals in front of environment transitions would
+/// change the interface contract (input properness).
+fn splittable_places(ctx: &StructuralContext<'_>) -> Vec<PlaceId> {
+    let stg = ctx.stg;
+    let net = stg.net();
+    net.places()
+        .filter(|&p| {
+            net.pre_p(p).len() == 1
+                && net.post_p(p).len() == 1
+                && !net.initial_marking().get(p.index())
+                && stg
+                    .signal_kind(stg.signal_of(net.post_p(p)[0]))
+                    .is_synthesized()
+        })
+        .collect()
+}
+
+/// Undirected arc-hop distance from the core seed transitions to every
+/// transition (`t → p → t'` counts one hop).
+fn core_distances(ctx: &StructuralContext<'_>, cores: &[ConflictCore]) -> Vec<usize> {
+    let net = ctx.stg.net();
+    let nt = net.transition_count();
+    let mut dist = vec![usize::MAX; nt];
+    let mut frontier: Vec<TransId> = Vec::new();
+    let seed = |t: TransId, dist: &mut Vec<usize>, frontier: &mut Vec<TransId>| {
+        if dist[t.index()] == usize::MAX {
+            dist[t.index()] = 0;
+            frontier.push(t);
+        }
+    };
+    for core in cores {
+        for &t in &core.transitions {
+            seed(t, &mut dist, &mut frontier);
+        }
+        for &p in std::iter::once(&core.place).chain(&core.witnesses) {
+            for &t in net.pre_p(p).iter().chain(net.post_p(p)) {
+                seed(t, &mut dist, &mut frontier);
+            }
+        }
+    }
+    while let Some(t) = frontier.pop() {
+        let d = dist[t.index()] + 1;
+        for &p in net.post_t(t).iter().chain(net.pre_t(t)) {
+            for &u in net.post_p(p).iter().chain(net.pre_p(p)) {
+                if dist[u.index()] > d {
+                    dist[u.index()] = d;
+                    frontier.push(u);
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Generates insertion candidates targeted at breaking `cores`, as
+/// expanding-radius tiers (deduplicated across tiers, at most `limit`
+/// plans in total). The final tier is the full blind enumeration, so
+/// with an unbounded `limit` the tiers together cover the exact search
+/// space of [`crate::resolve_csc_blind`] — only ordered by core
+/// proximity. Under a *finite* `limit` the generator spends the budget
+/// on core-proximal plans first, which is a different (deliberately
+/// better-ordered) budget subset than the blind search's place-id
+/// order. The beam strategy consumes the tier structure (it ranks
+/// within completed tiers); greedy just flattens it.
+pub fn targeted_candidate_tiers(
+    ctx: &StructuralContext<'_>,
+    cores: &[ConflictCore],
+    limit: usize,
+) -> Vec<Vec<InsertionPlan>> {
+    let net = ctx.stg.net();
+    let splittable = splittable_places(ctx);
+    let dist = core_distances(ctx, cores);
+    let place_dist = |p: PlaceId| dist[net.pre_p(p)[0].index()].min(dist[net.post_p(p)[0].index()]);
+
+    let mut tiers: Vec<Vec<InsertionPlan>> = Vec::new();
+    let mut seen: HashSet<InsertionPlan> = HashSet::new();
+    let mut total = 0usize;
+    let mut emit = |plan: InsertionPlan, plans: &mut Vec<InsertionPlan>, total: &mut usize| {
+        if seen.insert(plan.clone()) {
+            plans.push(plan);
+            *total += 1;
+        }
+    };
+
+    'tiers: for radius in [1usize, 2, 3, usize::MAX] {
+        let tier_places: Vec<PlaceId> = splittable
+            .iter()
+            .copied()
+            .filter(|&p| radius == usize::MAX || place_dist(p) <= radius)
+            .collect();
+        let tier_waits: Vec<TransId> = net
+            .transitions()
+            .filter(|&t| radius == usize::MAX || dist[t.index()] <= radius)
+            .collect();
+        // Pass 1: plain arc splits. Pass 2: with one wait arc (marked and
+        // unmarked variants) — the same shapes as the blind search.
+        let mut tier = Vec::new();
+        for with_waits in [false, true] {
+            for &rise in &tier_places {
+                for &fall in &tier_places {
+                    if rise == fall {
+                        continue;
+                    }
+                    let wait_options: Vec<Vec<(TransId, bool)>> = if with_waits {
+                        tier_waits
+                            .iter()
+                            .flat_map(|&t| [vec![(t, true)], vec![(t, false)]])
+                            .collect()
+                    } else {
+                        vec![Vec::new()]
+                    };
+                    for rise_waits in wait_options {
+                        // A wait from the transitions x+ sits between is
+                        // cyclic junk.
+                        if rise_waits
+                            .iter()
+                            .any(|&(t, _)| t == net.post_p(rise)[0] || t == net.pre_p(rise)[0])
+                        {
+                            continue;
+                        }
+                        if total >= limit {
+                            // Budget exhausted: stop enumerating instead of
+                            // walking the remaining O(|P|²·|T|) shapes.
+                            if !tier.is_empty() {
+                                tiers.push(tier);
+                            }
+                            break 'tiers;
+                        }
+                        emit(
+                            InsertionPlan {
+                                rise_split: rise,
+                                fall_split: fall,
+                                rise_waits,
+                            },
+                            &mut tier,
+                            &mut total,
+                        );
+                    }
+                }
+            }
+        }
+        if !tier.is_empty() {
+            tiers.push(tier);
+        }
+    }
+    tiers
+}
+
+/// The flattened form of [`targeted_candidate_tiers`].
+pub fn targeted_candidates(
+    ctx: &StructuralContext<'_>,
+    cores: &[ConflictCore],
+    limit: usize,
+) -> Vec<InsertionPlan> {
+    targeted_candidate_tiers(ctx, cores, limit)
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vme_cores_point_at_the_conflict() {
+        let stg = si_stg::benchmarks::vme_read_raw();
+        let ctx = StructuralContext::build(&stg).unwrap();
+        let cores = conflict_cores(&ctx);
+        assert!(!cores.is_empty());
+        for core in &cores {
+            assert!(!core.transitions.is_empty(), "core without transitions");
+            assert!(!core.witnesses.is_empty(), "core without witnesses");
+        }
+    }
+
+    #[test]
+    fn clean_stg_has_no_cores() {
+        let stg = si_stg::benchmarks::burst2();
+        let ctx = StructuralContext::build(&stg).unwrap();
+        assert!(conflict_cores(&ctx).is_empty());
+    }
+
+    #[test]
+    fn targeted_candidates_are_tiered_and_complete() {
+        let stg = si_stg::benchmarks::vme_read_raw();
+        let ctx = StructuralContext::build(&stg).unwrap();
+        let cores = conflict_cores(&ctx);
+        let few = targeted_candidates(&ctx, &cores, 50);
+        assert_eq!(few.len(), 50);
+        // Unlimited generation reaches the blind search space: all ordered
+        // pairs without waits appear somewhere.
+        let all = targeted_candidates(&ctx, &cores, usize::MAX);
+        let splittable = splittable_places(&ctx);
+        let pair_count = splittable.len() * (splittable.len() - 1);
+        let no_wait = all.iter().filter(|p| p.rise_waits.is_empty()).count();
+        assert_eq!(no_wait, pair_count);
+        // No duplicates.
+        let set: HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(set.len(), all.len());
+    }
+}

@@ -1,0 +1,42 @@
+//! Pins the headline property of the CSC subsystem: the resolve loop
+//! evaluates candidates through the **incremental** re-analysis path and
+//! never pays a full `StructuralContext::build` per candidate.
+//!
+//! Deliberately a single-test binary — the build-count hooks are
+//! process-wide (the same pattern as `tests/engine_build_count.rs` for
+//! `ReachabilityGraph::build_count`), so no other test may run in this
+//! process.
+
+use si_core::StructuralContext;
+use si_csc::CscOptions;
+
+#[test]
+fn resolve_loop_reanalyzes_instead_of_rebuilding() {
+    let raw = si_stg::benchmarks::vme_read_raw();
+    let full_before = StructuralContext::build_count();
+    let inc_before = StructuralContext::incremental_count();
+
+    let outcome = si_csc::resolve(&raw, &CscOptions::default().budget(50_000));
+    assert!(outcome.resolution.is_some(), "VME must resolve");
+
+    let full = StructuralContext::build_count() - full_before;
+    let inc = StructuralContext::incremental_count() - inc_before;
+    assert!(
+        outcome.stats.evaluated >= 10,
+        "expected a real candidate search, evaluated only {}",
+        outcome.stats.evaluated
+    );
+    // Every candidate went through the incremental path …
+    assert_eq!(
+        inc, outcome.stats.evaluated,
+        "every evaluated candidate must use build_incremental"
+    );
+    // … while the full analysis ran a constant number of times (the traced
+    // parent build), independent of how many candidates were tried.
+    assert!(
+        full <= 2,
+        "resolve must not rebuild the context per candidate \
+         ({full} full builds for {} candidates)",
+        outcome.stats.evaluated
+    );
+}

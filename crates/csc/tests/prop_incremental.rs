@@ -1,0 +1,205 @@
+//! Bit-identity of the incremental re-analysis: for any STG and any
+//! applicable insertion plan, `StructuralContext::build_incremental` after
+//! `apply_insertion` must equal `StructuralContext::build` on the fresh
+//! STG in every derived artifact — covers, refinement rounds, conflicts
+//! and the CSC verdict. The incremental path may only be *faster*, never
+//! different.
+
+use proptest::prelude::*;
+use si_core::{CscVerdict, StructuralContext};
+use si_petri::{PlaceId, TransId};
+use si_stg::{apply_insertion_mapped, InsertionPlan, Stg};
+
+/// The places the resolve loop may split (same filter as the search).
+fn splittable(stg: &Stg) -> Vec<PlaceId> {
+    let net = stg.net();
+    net.places()
+        .filter(|&p| {
+            net.pre_p(p).len() == 1
+                && net.post_p(p).len() == 1
+                && !net.initial_marking().get(p.index())
+                && stg
+                    .signal_kind(stg.signal_of(net.post_p(p)[0]))
+                    .is_synthesized()
+        })
+        .collect()
+}
+
+/// A deterministic plan sample: all ordered pairs (capped), one wait
+/// variant per pair drawn round-robin from the transitions.
+fn plan_sample(stg: &Stg, cap: usize) -> Vec<InsertionPlan> {
+    let net = stg.net();
+    let places = splittable(stg);
+    let nt = net.transition_count();
+    let mut plans = Vec::new();
+    let mut wait_seed = 0usize;
+    'done: for (i, &rise) in places.iter().enumerate() {
+        for &fall in &places {
+            if rise == fall {
+                continue;
+            }
+            plans.push(InsertionPlan {
+                rise_split: rise,
+                fall_split: fall,
+                rise_waits: Vec::new(),
+            });
+            // One wait variant, skipping the cyclic-junk shapes.
+            let w = TransId(((wait_seed + i) % nt) as u32);
+            wait_seed += 1;
+            if w != net.post_p(rise)[0] && w != net.pre_p(rise)[0] {
+                plans.push(InsertionPlan {
+                    rise_split: rise,
+                    fall_split: fall,
+                    rise_waits: vec![(w, wait_seed.is_multiple_of(2))],
+                });
+            }
+            if plans.len() >= cap {
+                break 'done;
+            }
+        }
+    }
+    plans
+}
+
+/// Asserts every observable artifact of the two contexts is identical.
+fn assert_identical(
+    name: &str,
+    plan: &InsertionPlan,
+    full: &StructuralContext,
+    inc: &StructuralContext,
+) {
+    assert_eq!(
+        full.refinement_rounds, inc.refinement_rounds,
+        "{name} {plan:?}: refinement rounds differ"
+    );
+    assert_eq!(
+        full.place_cover, inc.place_cover,
+        "{name} {plan:?}: place covers differ"
+    );
+    assert_eq!(
+        full.cubes.cubes, inc.cubes.cubes,
+        "{name} {plan:?}: cover cubes differ"
+    );
+    assert_eq!(full.qps, inc.qps, "{name} {plan:?}: QPS differ");
+    assert_eq!(
+        full.sm_cover.len(),
+        inc.sm_cover.len(),
+        "{name} {plan:?}: SM-cover sizes differ"
+    );
+    for (a, b) in full.sm_cover.iter().zip(&inc.sm_cover) {
+        assert_eq!(a.place_set(), b.place_set(), "{name} {plan:?}: SM differs");
+    }
+    assert_eq!(
+        full.conflicts(),
+        inc.conflicts(),
+        "{name} {plan:?}: conflicts differ"
+    );
+    assert_eq!(
+        full.csc_verdict(),
+        inc.csc_verdict(),
+        "{name} {plan:?}: verdict differs"
+    );
+}
+
+/// Cross-checks one STG over a plan sample. Returns how many plans were
+/// actually comparable (some candidates fail the structural preconditions
+/// on both paths — that must agree too).
+fn check_stg(stg: &Stg, cap: usize) -> usize {
+    let (parent, trace) = match StructuralContext::build_traced(stg) {
+        Ok(p) => p,
+        Err(_) => return 0,
+    };
+    let mut compared = 0;
+    for plan in plan_sample(stg, cap) {
+        let (candidate, map) = apply_insertion_mapped(stg, "cscx", &plan);
+        let full = StructuralContext::build(&candidate);
+        let inc = StructuralContext::build_incremental(&parent, &trace, &candidate, &map);
+        match (full, inc) {
+            (Ok(full), Ok(inc)) => {
+                assert_identical(stg.name(), &plan, &full, &inc);
+                compared += 1;
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "{} {plan:?}: errors differ", stg.name()),
+            (a, b) => panic!(
+                "{} {plan:?}: one path failed — full: {:?}, incremental: {:?}",
+                stg.name(),
+                a.err(),
+                b.err()
+            ),
+        }
+    }
+    compared
+}
+
+#[test]
+fn incremental_matches_full_rebuild_on_benchmarks() {
+    let mut compared = 0;
+    for stg in si_stg::benchmarks::synthesizable_suite() {
+        compared += check_stg(&stg, 40);
+    }
+    compared += check_stg(&si_stg::benchmarks::vme_read_raw(), 60);
+    assert!(compared > 100, "only {compared} candidates compared");
+}
+
+#[test]
+fn incremental_matches_full_rebuild_on_generators() {
+    let mut compared = 0;
+    for stg in [
+        si_stg::generators::vme_chain(2),
+        si_stg::generators::vme_chain(5),
+        si_stg::generators::clatch(4),
+        si_stg::generators::burst(3),
+        si_stg::generators::muller_pipeline(4),
+        si_stg::generators::sequencer(4),
+        si_stg::generators::selector(3),
+    ] {
+        compared += check_stg(&stg, 30);
+    }
+    assert!(compared > 60, "only {compared} candidates compared");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random plans over the conflicted scalable family: random split
+    /// pairs, random wait sources, marked and unmarked.
+    #[test]
+    fn random_plans_on_vme_chain(
+        n in 1usize..6,
+        rise_seed in 0usize..1000,
+        fall_seed in 0usize..1000,
+        wait_seed in 0usize..1000,
+        marked_seed in 0usize..2,
+        with_wait_seed in 0usize..2,
+    ) {
+        let (marked, with_wait) = (marked_seed == 1, with_wait_seed == 1);
+        let stg = si_stg::generators::vme_chain(n);
+        let places = splittable(&stg);
+        prop_assume!(places.len() >= 2);
+        let rise = places[rise_seed % places.len()];
+        let fall = places[fall_seed % places.len()];
+        prop_assume!(rise != fall);
+        let net = stg.net();
+        let mut rise_waits = Vec::new();
+        if with_wait {
+            let w = TransId((wait_seed % net.transition_count()) as u32);
+            prop_assume!(w != net.post_p(rise)[0] && w != net.pre_p(rise)[0]);
+            rise_waits.push((w, marked));
+        }
+        let plan = InsertionPlan { rise_split: rise, fall_split: fall, rise_waits };
+        let (parent, trace) = StructuralContext::build_traced(&stg).unwrap();
+        let (candidate, map) = apply_insertion_mapped(&stg, "cscx", &plan);
+        let full = StructuralContext::build(&candidate);
+        let inc = StructuralContext::build_incremental(&parent, &trace, &candidate, &map);
+        match (full, inc) {
+            (Ok(full), Ok(inc)) => assert_identical(stg.name(), &plan, &full, &inc),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => panic!("one path failed: full {:?} vs inc {:?}", a.err(), b.err()),
+        }
+        // The verdict drives the pruning: spot-check it is CSC-meaningful.
+        let _ = matches!(
+            StructuralContext::build(&candidate).map(|c| c.csc_verdict()),
+            Ok(CscVerdict::UscHolds) | Ok(CscVerdict::CscHolds) | Ok(CscVerdict::Unknown { .. }) | Err(_)
+        );
+    }
+}

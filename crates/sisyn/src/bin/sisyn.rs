@@ -27,9 +27,14 @@
 //!                      Per-command defaults when omitted: check 100000
 //!                      (cheap count), verify 4000000 (one cached graph
 //!                      serves the functional and conformance oracles),
-//!                      resolve 1000000 (acceptance oracle; the
-//!                      insertion-candidate search budget is a fixed
-//!                      100000 and not affected by this flag)
+//!                      resolve 1000000. NOTE for resolve: --cap and
+//!                      --budget bound different things — --cap bounds
+//!                      the state space of the behavioural *acceptance
+//!                      oracle* run on each surviving candidate, while
+//!                      --budget bounds the *candidate search* itself
+//!                      (how many insertion plans may be structurally
+//!                      evaluated). Raising --cap admits bigger
+//!                      candidates; raising --budget searches longer.
 //!   --shards N|auto    explore state spaces with N parallel shard
 //!                      workers (see si-petri's generic sharded explorer;
 //!                      N is rounded up to a power of two, max 64); `auto`
@@ -44,8 +49,16 @@
 //!                      firing-sequence counterexample leading to it.
 //!   --budget N         resolve only: insertion-candidate search budget
 //!                      (default 100000) — how many state-signal
-//!                      insertions to try, distinct from the --cap that
-//!                      bounds each candidate's acceptance oracle
+//!                      insertions may be structurally evaluated,
+//!                      distinct from the --cap that bounds each
+//!                      candidate's acceptance oracle (see --cap)
+//!   --strategy S       resolve only: candidate-selection strategy,
+//!                      greedy | beam (default greedy). greedy accepts
+//!                      the first oracle-approved candidate in
+//!                      conflict-core proximity order; beam scores the
+//!                      whole nearest candidate tier, ranks survivors by
+//!                      the cost model (literal delta + concurrency
+//!                      penalty) and oracles the best ones
 //! ```
 //!
 //! Every command drives one [`Engine`] session, so oracles that need the
@@ -72,6 +85,8 @@ struct Args {
     shards: usize,
     /// `--budget`: candidate-search budget for `resolve`.
     budget: usize,
+    /// `--strategy`: candidate-selection strategy for `resolve`.
+    strategy: Strategy,
 }
 
 impl Args {
@@ -104,7 +119,7 @@ fn usage() -> ExitCode {
         "usage: sisyn <check|synth|verify|resolve|dot> SPEC.g \
          [-o FILE] [--arch complex|excitation|per-region] [--stages 0..4|full] \
          [--minimizer espresso|exact|bdd|auto] [--json] [--waveform N] \
-         [--cap N] [--shards N|auto] [--budget N]"
+         [--cap N] [--shards N|auto] [--budget N] [--strategy greedy|beam]"
     );
     ExitCode::from(2)
 }
@@ -122,6 +137,7 @@ fn parse_args() -> Result<Args, ExitCode> {
     let mut cap = None;
     let mut shards = 1usize;
     let mut budget = 100_000usize;
+    let mut strategy = Strategy::Greedy;
     while let Some(a) = argv.next() {
         match a.as_str() {
             "-o" => output = Some(argv.next().ok_or_else(usage)?),
@@ -191,6 +207,12 @@ fn parse_args() -> Result<Args, ExitCode> {
                     .parse()
                     .map_err(|_| usage())?;
             }
+            "--strategy" => {
+                strategy = argv.next().ok_or_else(usage)?.parse().map_err(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })?;
+            }
             _ if input.is_none() => input = Some(a),
             other => {
                 eprintln!("unexpected argument {other:?}");
@@ -210,6 +232,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         cap,
         shards,
         budget,
+        strategy,
     })
 }
 
@@ -539,28 +562,91 @@ fn cmd_verify(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
     }
 }
 
+/// The per-candidate search statistics as a JSON object fragment.
+fn stats_json(stats: &ResolveStats) -> String {
+    format!(
+        "{{\"strategy\": {}, \"cores\": {}, \"candidates_generated\": {}, \
+         \"candidates_evaluated\": {}, \"candidates_rejected\": {}, \
+         \"oracle_calls\": {}, \"oracle_rejected\": {}, \"wall_ms\": {:.3}}}",
+        json_str(stats.strategy.name()),
+        stats.cores,
+        stats.generated,
+        stats.evaluated,
+        stats.rejected,
+        stats.oracle_calls,
+        stats.oracle_rejected,
+        stats.wall_ms,
+    )
+}
+
+/// Renders an accepted insertion plan over the *input* STG's node names
+/// (`null` for the no-conflict sentinel plan).
+fn plan_json(stg: &sisyn::stg::Stg, plan: &InsertionPlan) -> String {
+    if plan.rise_split == plan.fall_split {
+        return "null".to_string(); // sentinel: input already satisfied CSC
+    }
+    let net = stg.net();
+    let waits = plan
+        .rise_waits
+        .iter()
+        .map(|&(t, marked)| {
+            format!(
+                "{{\"after\": {}, \"marked\": {marked}}}",
+                json_str(&stg.transition_display(t))
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\"rise_split\": {}, \"fall_split\": {}, \"rise_waits\": [{waits}]}}",
+        json_str(net.place_name(plan.rise_split)),
+        json_str(net.place_name(plan.fall_split)),
+    )
+}
+
 fn cmd_resolve(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
     // `--cap`/`--shards` govern the behavioural acceptance oracle (like
     // every other reachability-based oracle); `--budget` bounds the
     // candidate search, which is a search bound, not a state cap.
     let engine = args.engine(stg, 1_000_000);
-    match engine.resolve_csc(args.budget) {
-        Some((fixed, _plan)) => {
+    let options = CscOptions::default()
+        .budget(args.budget)
+        .strategy(args.strategy)
+        .reach(args.reach(1_000_000));
+    let outcome = engine.resolve_csc_outcome(&options);
+    let stats = &outcome.stats;
+    eprintln!(
+        "search[{}]: {} core(s), {} candidate(s) generated, {} evaluated, \
+         {} rejected, {} oracle call(s), {:.1} ms",
+        stats.strategy.name(),
+        stats.cores,
+        stats.generated,
+        stats.evaluated,
+        stats.rejected,
+        stats.oracle_calls,
+        stats.wall_ms,
+    );
+    match outcome.resolution {
+        Some(resolution) => {
             eprintln!(
                 "resolved: {} -> {} signals",
                 stg.signal_count(),
-                fixed.signal_count()
+                resolution.stg.signal_count()
             );
             if args.json {
                 println!(
                     "{{\"command\": \"resolve\", \"ok\": true, \"model\": {}, \
-                     \"signals_before\": {}, \"signals_after\": {}}}",
+                     \"signals_before\": {}, \"signals_after\": {}, \
+                     \"plan\": {}, \"cost\": {}, \"stats\": {}}}",
                     json_str(stg.name()),
                     stg.signal_count(),
-                    fixed.signal_count(),
+                    resolution.stg.signal_count(),
+                    plan_json(stg, &resolution.plan),
+                    resolution.cost,
+                    stats_json(stats),
                 );
             }
-            let _ = emit(args, &write_g(&fixed));
+            let _ = emit(args, &write_g(&resolution.stg));
             ExitCode::SUCCESS
         }
         None => {
@@ -568,8 +654,10 @@ fn cmd_resolve(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
             if args.json {
                 println!(
                     "{{\"command\": \"resolve\", \"ok\": false, \"model\": {}, \
-                     \"error\": \"no single-signal insertion found within budget\"}}",
+                     \"error\": \"no single-signal insertion found within budget\", \
+                     \"stats\": {}}}",
                     json_str(stg.name()),
+                    stats_json(stats),
                 );
             }
             ExitCode::FAILURE

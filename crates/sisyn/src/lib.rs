@@ -11,6 +11,9 @@
 //!   ground-truth oracles, benchmarks and generators;
 //! * [`core`] — the structural synthesis flow (the paper's contribution)
 //!   plus the state-based baseline and technology mapping;
+//! * [`csc`] — the conflict-core CSC resolution subsystem (state-signal
+//!   insertion with incremental re-analysis and parallel candidate
+//!   search);
 //! * [`verify`] — speed-independence verification.
 //!
 //! # Examples
@@ -34,6 +37,7 @@
 
 pub use si_boolean as boolean;
 pub use si_core as core;
+pub use si_csc as csc;
 pub use si_petri as petri;
 pub use si_stg as stg;
 pub use si_verify as verify;
@@ -42,9 +46,13 @@ pub use si_verify as verify;
 pub mod prelude {
     pub use si_boolean::{Bits, Cover, Cube, Minimizer, MinimizerChoice};
     pub use si_core::{
-        map_circuit, resolve_csc, resolve_csc_with, synthesize, synthesize_state_based, to_verilog,
-        Analysis, Architecture, BaselineFlavor, Circuit, CscVerdict, Engine, ImplKind,
-        MinimizeStages, StructuralContext, Synthesis, SynthesisOptions,
+        map_circuit, synthesize, synthesize_state_based, to_verilog, Analysis, Architecture,
+        BaselineFlavor, Circuit, CscVerdict, Engine, ImplKind, MinimizeStages, StructuralContext,
+        Synthesis, SynthesisOptions,
+    };
+    pub use si_csc::{
+        resolve_csc, resolve_csc_with, CscOptions, EngineResolve, InsertionPlan, ResolveOutcome,
+        ResolveStats, Strategy,
     };
     pub use si_petri::{check_live_safe_fc, PetriNet, ReachOptions, ReachabilityGraph};
     pub use si_stg::{parse_g, stg_to_dot, write_g, SignalKind, Stg, StgAnalysis};

@@ -199,6 +199,130 @@ pub fn sequencer(n: usize) -> Stg {
     b.build()
 }
 
+/// A VME-style bus controller with an `n`-stage internal data chain — a
+/// scalable family with a **genuine CSC conflict** (the `vme_read_raw`
+/// archetype): after the release phase `lds- ; ldtack-` the controller
+/// returns to the binary code of the initial state while the underlying
+/// marking differs, so synthesis must insert a state signal. The chain
+/// signals `c0 … c{n-1}` rise between `ldtack+` and `d+` and fall between
+/// `dsr-` and `d-`; they are all low in both conflicting states, so the
+/// conflict survives at every `n` while the STG (and the CSC-insertion
+/// search space) grows linearly.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn vme_chain(n: usize) -> Stg {
+    assert!(n > 0, "vme_chain needs at least one chain stage");
+    let mut b = Stg::builder(format!("vmechain_{n}"));
+    let dsr = b.add_signal("dsr", SignalKind::Input);
+    let ldtack = b.add_signal("ldtack", SignalKind::Input);
+    let lds = b.add_signal("lds", SignalKind::Output);
+    let d = b.add_signal("d", SignalKind::Output);
+    let dtack = b.add_signal("dtack", SignalKind::Output);
+    let cs: Vec<_> = (0..n)
+        .map(|i| b.add_signal(format!("c{i}"), SignalKind::Output))
+        .collect();
+    let dsrp = b.add_transition(dsr, Rise);
+    let dsrm = b.add_transition(dsr, Fall);
+    let ldtackp = b.add_transition(ldtack, Rise);
+    let ldtackm = b.add_transition(ldtack, Fall);
+    let ldsp = b.add_transition(lds, Rise);
+    let ldsm = b.add_transition(lds, Fall);
+    let dp = b.add_transition(d, Rise);
+    let dm = b.add_transition(d, Fall);
+    let dtackp = b.add_transition(dtack, Rise);
+    let dtackm = b.add_transition(dtack, Fall);
+    // Request: dsr+ ; lds+ ; ldtack+ ; c0+ ; … ; c{n-1}+ ; d+ ; dtack+ ; dsr-.
+    b.arc(dsrp, ldsp);
+    b.arc(ldsp, ldtackp);
+    let mut prev = ldtackp;
+    for &c in &cs {
+        let cp = b.add_transition(c, Rise);
+        b.arc(prev, cp);
+        prev = cp;
+    }
+    b.arc(prev, dp);
+    b.arc(dp, dtackp);
+    b.arc(dtackp, dsrm);
+    // Release: dsr- ; c0- ; … ; c{n-1}- ; d- ; then dtack- ∥ (lds- ; ldtack-).
+    let mut prev = dsrm;
+    for &c in &cs {
+        let cm = b.add_transition(c, Fall);
+        b.arc(prev, cm);
+        prev = cm;
+    }
+    b.arc(prev, dm);
+    b.arc(dm, dtackm);
+    b.arc(dm, ldsm);
+    b.arc(ldsm, ldtackm);
+    // lds+ rejoins the ldtack handshake: it waits for dsr+ AND ldtack-.
+    let ploop = b.arc(ldtackm, ldsp);
+    b.mark_place(ploop);
+    let p0 = b.arc(dtackm, dsrp);
+    b.mark_place(p0);
+    b.build()
+}
+
+/// The concurrent sibling of [`vme_chain`]: the same VME-style CSC
+/// conflict, but the `n` internal stages run as a **parallel burst**
+/// (`ldtack+` forks `c0+ … c{n-1}+`, `d+` joins them; `dsr-` forks the
+/// falling burst, `d-` joins). The conflict core stays the same size
+/// while almost every place is concurrent with the inserted state signal
+/// — the regime where incremental re-analysis skips most of the
+/// refinement replay.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn vme_burst(n: usize) -> Stg {
+    assert!(n > 0, "vme_burst needs at least one branch");
+    let mut b = Stg::builder(format!("vmeburst_{n}"));
+    let dsr = b.add_signal("dsr", SignalKind::Input);
+    let ldtack = b.add_signal("ldtack", SignalKind::Input);
+    let lds = b.add_signal("lds", SignalKind::Output);
+    let d = b.add_signal("d", SignalKind::Output);
+    let dtack = b.add_signal("dtack", SignalKind::Output);
+    let cs: Vec<_> = (0..n)
+        .map(|i| b.add_signal(format!("c{i}"), SignalKind::Output))
+        .collect();
+    let dsrp = b.add_transition(dsr, Rise);
+    let dsrm = b.add_transition(dsr, Fall);
+    let ldtackp = b.add_transition(ldtack, Rise);
+    let ldtackm = b.add_transition(ldtack, Fall);
+    let ldsp = b.add_transition(lds, Rise);
+    let ldsm = b.add_transition(lds, Fall);
+    let dp = b.add_transition(d, Rise);
+    let dm = b.add_transition(d, Fall);
+    let dtackp = b.add_transition(dtack, Rise);
+    let dtackm = b.add_transition(dtack, Fall);
+    // Request: dsr+ ; lds+ ; ldtack+ ; (c0+ ∥ … ∥ c{n-1}+) ; d+ ; dtack+.
+    b.arc(dsrp, ldsp);
+    b.arc(ldsp, ldtackp);
+    let mut falls = Vec::with_capacity(n);
+    for &c in &cs {
+        let cp = b.add_transition(c, Rise);
+        b.arc(ldtackp, cp);
+        b.arc(cp, dp);
+        falls.push(b.add_transition(c, Fall));
+    }
+    b.arc(dp, dtackp);
+    b.arc(dtackp, dsrm);
+    // Release: dsr- ; (c0- ∥ … ∥ c{n-1}-) ; d- ; then dtack- ∥ (lds- ; ldtack-).
+    for &cm in &falls {
+        b.arc(dsrm, cm);
+        b.arc(cm, dm);
+    }
+    b.arc(dm, dtackm);
+    b.arc(dm, ldsm);
+    b.arc(ldsm, ldtackm);
+    let ploop = b.arc(ldtackm, ldsp);
+    b.mark_place(ploop);
+    let p0 = b.arc(dtackm, dsrp);
+    b.mark_place(p0);
+    b.build()
+}
+
 /// A free-choice selector: the environment picks one of `n` request lines;
 /// each is served by its own acknowledge output (the `mmu`/`trimos`
 /// choice-controller archetype).
@@ -287,6 +411,37 @@ mod tests {
         let stg = sequencer(3);
         let rg = check_basics(&stg, true, 1000);
         assert_eq!(rg.state_count(), 12); // 4 phases x 3 stages
+    }
+
+    #[test]
+    fn vme_chain_and_burst_have_genuine_csc_conflicts() {
+        for stg in [vme_chain(1), vme_chain(4), vme_burst(1), vme_burst(4)] {
+            let rg = check_basics(&stg, true, 100_000);
+            let enc = crate::encode::StateEncoding::compute(&stg, &rg).unwrap();
+            let coding = crate::encode::CodingAnalysis::compute(&stg, &rg, &enc);
+            assert!(
+                !coding.has_csc(),
+                "{} must carry the VME CSC conflict",
+                stg.name()
+            );
+        }
+        // n = 1 of both families degenerates to the same shape.
+        assert_eq!(
+            vme_chain(1).net().place_count(),
+            vme_burst(1).net().place_count()
+        );
+    }
+
+    #[test]
+    fn vme_chain_grows_linearly() {
+        let small = vme_chain(2);
+        let large = vme_chain(10);
+        assert_eq!(
+            large.net().transition_count() - small.net().transition_count(),
+            16
+        );
+        let rg = ReachabilityGraph::build(large.net(), 100_000).unwrap();
+        assert!(rg.is_live(large.net()));
     }
 
     #[test]

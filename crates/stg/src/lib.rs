@@ -44,6 +44,7 @@
 pub mod benchmarks;
 mod consistency;
 mod dot;
+pub mod edit;
 mod encode;
 pub mod generators;
 mod interleave;
@@ -55,6 +56,7 @@ mod waveform;
 
 pub use consistency::{next_behavioural, ConsistencyError, SignalConcurrency, StgAnalysis};
 pub use dot::{rg_to_dot, stg_to_dot};
+pub use edit::{apply_insertion, apply_insertion_mapped, InsertionMap, InsertionPlan};
 pub use encode::{
     semimodularity_violations, CodingAnalysis, EncodingError, NextStateSets, StateEncoding,
 };

@@ -1,0 +1,16 @@
+.model vme_read
+.inputs dsr ldtack
+.outputs lds d dtack
+.graph
+dsr+ lds+
+lds+ ldtack+
+ldtack+ d+
+d+ dtack+
+dtack+ dsr-
+dsr- d-
+d- dtack- lds-
+lds- ldtack-
+ldtack- lds+
+dtack- dsr+
+.marking { <dtack-,dsr+> <ldtack-,lds+> }
+.end
