@@ -311,7 +311,11 @@ fn measure_product_exploration(cfg: &Config) -> (Vec<usize>, Vec<ProductEntry>) 
                 skipped = true;
                 break;
             }
-            let first = engine.check_conformance(&syn.circuit);
+            let Ok(first) = engine.check_conformance(&syn.circuit) else {
+                eprintln!("product/{}: skipped (exploration error)", stg.name());
+                skipped = true;
+                break;
+            };
             if !first.is_ok() {
                 eprintln!("product/{}: skipped (inconclusive or failing)", stg.name());
                 skipped = true;
@@ -377,8 +381,11 @@ fn measure_csc_resolution(cfg: &Config) -> (usize, usize, Vec<CscEntry>) {
     let mut entries = Vec::new();
     for stg in workloads {
         let iters = cfg.iters.min(3);
-        let blind = best_of(iters, || resolve_csc_blind(&stg, budget, reach));
-        let opts = CscOptions::default().budget(budget).reach(reach).workers(1);
+        let blind = best_of(iters, || resolve_csc_blind(&stg, budget, reach.clone()));
+        let opts = CscOptions::default()
+            .budget(budget)
+            .reach(reach.clone())
+            .workers(1);
         // The search is deterministic, so the stats of the timed runs are
         // interchangeable — capture them from inside the loop instead of
         // paying one extra untimed resolve.

@@ -15,7 +15,7 @@ use si_bench::large_set;
 use si_core::{synthesize, Circuit, SynthesisOptions};
 use si_petri::ReachOptions;
 use si_stg::Stg;
-use si_verify::{check_conformance_with, ConformanceFailure, ConformanceReport};
+use si_verify::{check_conformance_with, ConformanceReport};
 use std::sync::OnceLock;
 
 struct Member {
@@ -51,16 +51,9 @@ fn members() -> &'static [Member] {
 /// Replays a conformance counterexample under the product semantics and
 /// asserts every step is a live firing.
 fn assert_witness_replays(stg: &Stg, report: &ConformanceReport, label: &str) {
-    let only_cap = report
-        .failures
-        .iter()
-        .all(|f| matches!(f, ConformanceFailure::StateCapExceeded));
     if report.is_ok() {
         assert!(report.trace.is_none(), "{label}: spurious trace");
         return;
-    }
-    if only_cap {
-        return; // inconclusive, no violating state to witness
     }
     let trace = report
         .trace
@@ -87,9 +80,15 @@ proptest! {
         let m = &ms[idx % ms.len()];
         let circuit = if sabotage { &m.bad } else { &m.good };
         let cap = 2_000_000;
-        let seq = check_conformance_with(&m.stg, circuit, ReachOptions::with_cap(cap));
+        let seq = check_conformance_with(&m.stg, circuit, ReachOptions::with_cap(cap)).unwrap();
         let par =
-            check_conformance_with(&m.stg, circuit, ReachOptions::with_cap(cap).shards(shards));
+            check_conformance_with(&m.stg, circuit, ReachOptions::with_cap(cap).shards(shards))
+                .unwrap();
+        prop_assert!(
+            seq.is_conclusive() && par.is_conclusive(),
+            "{}: the 2M cap must cover the whole product",
+            m.stg.name()
+        );
         prop_assert_eq!(
             seq.is_ok(),
             par.is_ok(),

@@ -95,6 +95,17 @@ pub enum SynthesisError {
         /// Human-readable detail.
         detail: String,
     },
+    /// A worker of the per-signal synthesis pool panicked while
+    /// synthesizing this signal. The panic was caught at the worker
+    /// boundary — the process (and the other signals' results) survive;
+    /// the earliest-listed failing signal still wins, so this is as
+    /// deterministic as any other per-signal error.
+    WorkerPanicked {
+        /// The signal whose synthesis panicked.
+        signal: SignalId,
+        /// The panic message.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for SynthesisError {
@@ -107,6 +118,13 @@ impl std::fmt::Display for SynthesisError {
             }
             SynthesisError::CoverCheckFailed { signal, detail } => {
                 write!(f, "cover check failed for signal #{}: {detail}", signal.0)
+            }
+            SynthesisError::WorkerPanicked { signal, detail } => {
+                write!(
+                    f,
+                    "synthesis worker panicked on signal #{}: {detail}",
+                    signal.0
+                )
             }
         }
     }

@@ -115,7 +115,29 @@ impl<'a> Engine<'a> {
 
     /// Sets the state cap of every reachability-backed method.
     pub fn cap(mut self, cap: usize) -> Self {
-        self.reach.cap = cap;
+        self.reach.budget.cap = cap;
+        self
+    }
+
+    /// Sets a wall-clock deadline on every state-space traversal the
+    /// session runs: past it, explorations wind down gracefully and
+    /// surface as [`ReachError::Interrupted`] (graph builds) or partial
+    /// verdicts (verification/conformance via `si-verify`).
+    pub fn deadline(mut self, at: std::time::Instant) -> Self {
+        self.reach.budget.deadline = Some(at);
+        self
+    }
+
+    /// Sets the deadline `d` from now (see [`Engine::deadline`]).
+    pub fn timeout(self, d: std::time::Duration) -> Self {
+        self.deadline(std::time::Instant::now() + d)
+    }
+
+    /// Attaches a cooperative cancellation token to every state-space
+    /// traversal the session runs; cancelling it winds explorations down
+    /// gracefully, like [`Engine::deadline`].
+    pub fn cancel(mut self, token: si_petri::CancelToken) -> Self {
+        self.reach.budget.cancel = Some(token);
         self
     }
 
@@ -167,7 +189,7 @@ impl<'a> Engine<'a> {
 
     /// The configured reachability options.
     pub fn reach_options(&self) -> ReachOptions {
-        self.reach
+        self.reach.clone()
     }
 
     /// The configured synthesis options.
@@ -198,7 +220,7 @@ impl<'a> Engine<'a> {
     pub fn reachability(&self) -> Result<&ReachabilityGraph, ReachError> {
         self.rg
             .get_or_init(|| {
-                let built = ReachabilityGraph::build_with(self.stg.net(), self.reach);
+                let built = ReachabilityGraph::build_with(self.stg.net(), self.reach.clone());
                 if built.is_ok() {
                     self.rg_builds.fetch_add(1, Ordering::Relaxed);
                 }

@@ -205,6 +205,12 @@ pub fn synthesize_with_context(
 /// reported when several signals fail — is identical to the sequential
 /// loop: results come back in input order and the failure of the
 /// earliest-listed failing signal wins.
+///
+/// Workers are panic-isolated: a panic while synthesizing one signal is
+/// caught at the worker boundary and recorded as that signal's
+/// [`SynthesisError::WorkerPanicked`] — it competes for the
+/// earliest-listed-failure slot like any other per-signal error, and the
+/// process stays alive.
 pub fn synthesize_signals(
     ctx: &StructuralContext<'_>,
     signals: &[SignalId],
@@ -228,8 +234,16 @@ pub fn synthesize_signals(
                     scope.spawn(|| loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         let Some(&signal) = signals.get(i) else { break };
-                        let r = synthesize_signal(ctx, signal, options);
-                        *slots[i].lock().unwrap() = Some(r);
+                        let r = si_fault::run_isolated(|| {
+                            // Injection site: a worker that panics on the
+                            // i-th signal of the batch.
+                            si_fault::fail_point!("synthesis::signal", i);
+                            synthesize_signal(ctx, signal, options)
+                        })
+                        .unwrap_or_else(|detail| {
+                            Err(SynthesisError::WorkerPanicked { signal, detail })
+                        });
+                        *si_fault::relock(&slots[i]) = Some(r);
                     });
                 }
             });
@@ -237,7 +251,7 @@ pub fn synthesize_signals(
                 .into_iter()
                 .map(|slot| {
                     slot.into_inner()
-                        .unwrap()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
                         .expect("worker filled every slot")
                 })
                 .collect();

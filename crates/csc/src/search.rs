@@ -20,7 +20,7 @@
 
 use crate::cores::{conflict_cores, targeted_candidate_tiers};
 use si_core::{no_conflict_resolution, CscVerdict, Engine, RefinementTrace, StructuralContext};
-use si_petri::{PlaceId, ReachOptions, TransId};
+use si_petri::{Interrupt, PlaceId, ReachOptions, TransId};
 use si_stg::{
     apply_insertion, apply_insertion_mapped, semimodularity_violations, CodingAnalysis,
     InsertionMap, InsertionPlan, StateEncoding, Stg,
@@ -167,6 +167,16 @@ pub struct ResolveStats {
     pub oracle_calls: usize,
     /// Oracle runs that rejected the candidate.
     pub oracle_rejected: usize,
+    /// Candidates whose scoring worker panicked. Panics are isolated per
+    /// candidate (`si_fault::run_isolated`): the panicking candidate is
+    /// skipped and the search continues on the surviving ones.
+    pub panicked: usize,
+    /// Set when the oracle budget's deadline or cancellation token stopped
+    /// the search early; `states_explored` carries the number of
+    /// candidates evaluated up to that point. The outcome then reports the
+    /// best resolution found so far (possibly none) — inconclusive, not
+    /// failed.
+    pub interrupted: Option<Interrupt>,
     /// End-to-end wall time in milliseconds.
     pub wall_ms: f64,
 }
@@ -181,7 +191,19 @@ impl ResolveStats {
             rejected: 0,
             oracle_calls: 0,
             oracle_rejected: 0,
+            panicked: 0,
+            interrupted: None,
             wall_ms: 0.0,
+        }
+    }
+
+    /// Records a deadline/cancellation interruption (first one wins).
+    fn interrupt(&mut self, reason: si_petri::InterruptReason) {
+        if self.interrupted.is_none() {
+            self.interrupted = Some(Interrupt {
+                reason,
+                states_explored: self.evaluated,
+            });
         }
     }
 }
@@ -225,7 +247,7 @@ pub fn resolve(stg: &Stg, options: &CscOptions) -> ResolveOutcome {
         // semantics). The blind search has no counters, so only `wall_ms`
         // and the requested strategy label are meaningful in the returned
         // stats on this path.
-        let resolution = resolve_csc_blind(stg, options.budget, options.reach)
+        let resolution = resolve_csc_blind(stg, options.budget, options.reach.clone())
             .map(|(stg, plan)| Resolution { stg, plan, cost: 0 });
         stats.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         return ResolveOutcome { resolution, stats };
@@ -257,15 +279,26 @@ pub fn resolve(stg: &Stg, options: &CscOptions) -> ResolveOutcome {
             // order before the next batch is scored.
             let batch = (workers * 8).max(32);
             'outer: for chunk in tiers.iter().flat_map(|tier| tier.chunks(batch)) {
+                if let Some(reason) = options.reach.budget.check_soft(0) {
+                    stats.interrupt(reason);
+                    break 'outer;
+                }
                 let results = evaluate_batch(stg, &parent, &trace, &name, chunk, workers);
                 stats.evaluated += chunk.len();
                 for (i, result) in results.into_iter().enumerate() {
+                    let result = match result {
+                        Ok(scored) => scored,
+                        Err(_panic) => {
+                            stats.panicked += 1;
+                            continue;
+                        }
+                    };
                     let Some((candidate, cost)) = result else {
                         stats.rejected += 1;
                         continue;
                     };
                     stats.oracle_calls += 1;
-                    if oracle_accepts(&candidate, options.reach) {
+                    if oracle_accepts(&candidate, &options.reach) {
                         resolution = Some(Resolution {
                             stg: candidate,
                             plan: chunk[i].clone(),
@@ -286,16 +319,23 @@ pub fn resolve(stg: &Stg, options: &CscOptions) -> ResolveOutcome {
             let batch = (workers * 8).max(32);
             let mut survivors: Vec<(i64, usize, Stg, InsertionPlan)> = Vec::new();
             let mut order = 0usize;
-            for tier in &tiers {
+            'scoring: for tier in &tiers {
                 for chunk in tier.chunks(batch) {
+                    if let Some(reason) = options.reach.budget.check_soft(0) {
+                        // Graceful degradation: rank whatever survived the
+                        // batches scored so far instead of discarding them.
+                        stats.interrupt(reason);
+                        break 'scoring;
+                    }
                     let results = evaluate_batch(stg, &parent, &trace, &name, chunk, workers);
                     stats.evaluated += chunk.len();
                     for (i, result) in results.into_iter().enumerate() {
                         match result {
-                            Some((candidate, cost)) => {
+                            Ok(Some((candidate, cost))) => {
                                 survivors.push((cost, order, candidate, chunk[i].clone()))
                             }
-                            None => stats.rejected += 1,
+                            Ok(None) => stats.rejected += 1,
+                            Err(_panic) => stats.panicked += 1,
                         }
                         order += 1;
                     }
@@ -306,8 +346,12 @@ pub fn resolve(stg: &Stg, options: &CscOptions) -> ResolveOutcome {
             }
             survivors.sort_by_key(|&(cost, index, _, _)| (cost, index));
             for (cost, _, candidate, plan) in survivors.into_iter().take(options.beam_width) {
+                if let Some(reason) = options.reach.budget.check_soft(0) {
+                    stats.interrupt(reason);
+                    break;
+                }
                 stats.oracle_calls += 1;
-                if oracle_accepts(&candidate, options.reach) {
+                if oracle_accepts(&candidate, &options.reach) {
                     resolution = Some(Resolution {
                         stg: candidate,
                         plan,
@@ -337,10 +381,21 @@ fn fresh_signal_name(stg: &Stg, base: &str) -> String {
         .expect("some suffixed name is free")
 }
 
+/// One candidate's scoring outcome: `Ok(Some)` on a structural survivor
+/// with its cost, `Ok(None)` on a structural reject, `Err` on a panic
+/// captured by the isolation boundary.
+type EvalOutcome = Result<Option<(Stg, i64)>, String>;
+
 /// Scores one batch of candidates, preserving input order. With the
 /// `parallel` feature and `workers > 1` the batch is distributed over a
 /// scoped std-thread pool; the per-slot results make the outcome
 /// independent of scheduling.
+///
+/// Each candidate is scored inside a panic-isolation boundary
+/// (`si_fault::run_isolated`): a panicking candidate yields `Err(message)`
+/// in its slot — and, under the `failpoints` feature, hosts the
+/// `csc::evaluate` injection site (value = in-batch candidate index) —
+/// while the pool and every other candidate proceed normally.
 fn evaluate_batch(
     base: &Stg,
     parent: &StructuralContext<'_>,
@@ -348,13 +403,19 @@ fn evaluate_batch(
     name: &str,
     plans: &[InsertionPlan],
     workers: usize,
-) -> Vec<Option<(Stg, i64)>> {
+) -> Vec<EvalOutcome> {
+    let eval_isolated = |i: usize| {
+        si_fault::run_isolated(|| {
+            si_fault::fail_point!("csc::evaluate", i);
+            evaluate_one(base, parent, trace, name, &plans[i])
+        })
+    };
     #[cfg(feature = "parallel")]
     if workers > 1 && plans.len() > 1 {
         use std::sync::atomic::{AtomicUsize, Ordering};
         use std::sync::Mutex;
         let cursor = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<(Stg, i64)>>> =
+        let slots: Vec<Mutex<Option<EvalOutcome>>> =
             plans.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers.min(plans.len()) {
@@ -363,20 +424,21 @@ fn evaluate_batch(
                     if i >= plans.len() {
                         break;
                     }
-                    *slots[i].lock().unwrap() = evaluate_one(base, parent, trace, name, &plans[i]);
+                    *si_fault::relock(&slots[i]) = Some(eval_isolated(i));
                 });
             }
         });
         return slots
             .into_iter()
-            .map(|slot| slot.into_inner().unwrap())
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .expect("worker filled every slot")
+            })
             .collect();
     }
     let _ = workers;
-    plans
-        .iter()
-        .map(|plan| evaluate_one(base, parent, trace, name, plan))
-        .collect()
+    (0..plans.len()).map(eval_isolated).collect()
 }
 
 /// Structural evaluation of one candidate: surgery, incremental
@@ -430,8 +492,8 @@ fn cost_of(parent: &StructuralContext<'_>, ctx: &StructuralContext<'_>, map: &In
 /// the candidate's own [`Engine`] session under `reach` (cap and shard
 /// count): liveness, safeness, consistency, CSC and output
 /// semimodularity.
-fn oracle_accepts(stg: &Stg, reach: ReachOptions) -> bool {
-    let engine = Engine::new(stg).reach(reach);
+fn oracle_accepts(stg: &Stg, reach: &ReachOptions) -> bool {
+    let engine = Engine::new(stg).reach(reach.clone());
     let Ok(rg) = engine.reachability() else {
         return false;
     };
@@ -541,7 +603,7 @@ pub fn resolve_csc_blind(
                         continue;
                     }
                     // Behavioural acceptance.
-                    if oracle_accepts(&candidate, reach) {
+                    if oracle_accepts(&candidate, &reach) {
                         return Some((candidate, plan));
                     }
                 }
@@ -596,7 +658,7 @@ mod tests {
             stg.net().transition_count() + 2
         );
         // behaviour stays live and consistent
-        assert!(oracle_accepts(&out, ReachOptions::with_cap(10_000)));
+        assert!(oracle_accepts(&out, &ReachOptions::with_cap(10_000)));
     }
 
     #[test]
@@ -626,14 +688,14 @@ mod tests {
             (si_stg::benchmarks::burst2(), 100),
         ] {
             let reach = ReachOptions::with_cap(100_000);
-            let blind = resolve_csc_blind(&stg, budget, reach);
-            let new = resolve_csc_with(&stg, budget, reach);
+            let blind = resolve_csc_blind(&stg, budget, reach.clone());
+            let new = resolve_csc_with(&stg, budget, reach.clone());
             assert_eq!(blind.is_some(), new.is_some(), "{}", stg.name());
             if let (Some((b, _)), Some((n, _))) = (blind, new) {
                 assert_eq!(b.signal_count(), n.signal_count(), "{}", stg.name());
                 // Both picks must pass the full behavioural oracle.
-                assert!(oracle_accepts(&b, reach));
-                assert!(oracle_accepts(&n, reach));
+                assert!(oracle_accepts(&b, &reach));
+                assert!(oracle_accepts(&n, &reach));
             }
         }
     }

@@ -1,0 +1,183 @@
+//! The deterministic fault-injection suite: drives the real worker pools
+//! of the workspace — the sharded state-space explorer, parallel
+//! per-signal synthesis, CSC candidate scoring — with faults armed at
+//! their named failpoints, and asserts the robustness contract: every
+//! injected panic surfaces as a structured `WorkerPanicked` (process
+//! intact), stalls never deadlock the termination counter, and a
+//! simulated cap burst degrades into the ordinary cap verdict.
+//!
+//! Requires the `failpoints` feature (CI runs
+//! `cargo test -p si-fault --features failpoints`); without it the
+//! downstream sites compile to nothing and this file is empty.
+#![cfg(feature = "failpoints")]
+
+use si_fault::{arm, armed_count, relock, reset, FaultAction};
+use si_petri::{ReachError, ReachOptions, ReachabilityGraph};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+/// The failpoint registry is process-global, so the injection tests must
+/// not interleave: each takes this lock for its whole body. `relock`
+/// because a failing test poisons it for every later one.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    relock(&LOCK)
+}
+
+#[test]
+fn shard_worker_panic_becomes_structured_error() {
+    let _guard = serial();
+    let stg = si_stg::generators::clatch(6);
+    let net = stg.net();
+    // Every shard of the explorer must convert a dying worker into the
+    // structured error naming it, with the process intact.
+    for shard in 0..4u64 {
+        reset();
+        arm("shard::worker", Some(shard), FaultAction::Panic);
+        let err = ReachabilityGraph::build_with(net, ReachOptions::with_cap(1_000_000).shards(4))
+            .unwrap_err();
+        match err {
+            ReachError::WorkerPanicked { shard: s, message } => {
+                assert_eq!(s, shard as usize);
+                assert!(message.contains("injected fault"), "got: {message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        assert_eq!(armed_count(), 0, "the armed fault must have fired");
+    }
+    // The pool is reusable after the panic: a clean rebuild succeeds and
+    // matches the sequential engine.
+    let seq = ReachabilityGraph::build(net, 1_000_000).unwrap();
+    let par =
+        ReachabilityGraph::build_with(net, ReachOptions::with_cap(1_000_000).shards(4)).unwrap();
+    assert_eq!(seq.state_count(), par.state_count());
+    assert_eq!(seq.edge_count(), par.edge_count());
+    reset();
+}
+
+#[test]
+fn first_worker_panic_wins_and_only_one_is_reported() {
+    let _guard = serial();
+    reset();
+    let stg = si_stg::generators::clatch(6);
+    let net = stg.net();
+    arm("shard::worker", Some(1), FaultAction::Panic);
+    arm("shard::worker", Some(2), FaultAction::Panic);
+    let err = ReachabilityGraph::build_with(net, ReachOptions::with_cap(1_000_000).shards(4))
+        .unwrap_err();
+    match err {
+        ReachError::WorkerPanicked { shard, .. } => {
+            assert!(
+                shard == 1 || shard == 2,
+                "reported shard {shard} was never armed"
+            );
+        }
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+    reset();
+}
+
+#[test]
+fn flush_stall_does_not_deadlock_and_the_sealed_graph_is_identical() {
+    let _guard = serial();
+    reset();
+    let stg = si_stg::generators::clatch(6);
+    let net = stg.net();
+    // Delay one cross-shard publish: the in-flight counter must keep the
+    // receiver spinning until the batch lands, and the canonical seal must
+    // still reproduce the sequential graph bit for bit.
+    arm(
+        "shard::flush",
+        None,
+        FaultAction::Stall(Duration::from_millis(50)),
+    );
+    let par =
+        ReachabilityGraph::build_with(net, ReachOptions::with_cap(1_000_000).shards(4)).unwrap();
+    let seq = ReachabilityGraph::build(net, 1_000_000).unwrap();
+    assert_eq!(seq.state_count(), par.state_count());
+    assert_eq!(seq.edge_count(), par.edge_count());
+    assert_eq!(armed_count(), 0, "the stall must have fired");
+    reset();
+}
+
+#[test]
+fn injected_cap_burst_degrades_into_the_ordinary_cap_verdict() {
+    let _guard = serial();
+    reset();
+    let stg = si_stg::generators::clatch(6);
+    let net = stg.net();
+    // Simulate the global state counter bursting at the 4th interned
+    // state (value = count before the add): the run winds down exactly
+    // like a genuine cap hit, not a crash.
+    arm("shard::accept", Some(3), FaultAction::Trigger);
+    let err = ReachabilityGraph::build_with(net, ReachOptions::with_cap(1_000_000).shards(4))
+        .unwrap_err();
+    assert!(
+        matches!(err, ReachError::StateCapExceeded { .. }),
+        "expected StateCapExceeded, got {err:?}"
+    );
+    assert_eq!(armed_count(), 0, "the trigger must have fired");
+    // And the burst leaves no residue: the next build is exhaustive.
+    let rg =
+        ReachabilityGraph::build_with(net, ReachOptions::with_cap(1_000_000).shards(4)).unwrap();
+    assert_eq!(
+        rg.state_count(),
+        ReachabilityGraph::build(net, 1_000_000)
+            .unwrap()
+            .state_count()
+    );
+    reset();
+}
+
+#[test]
+fn synthesis_worker_panic_names_the_signal_and_the_pool_survives() {
+    let _guard = serial();
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if workers < 2 {
+        return; // the parallel pool (and its failpoint) never engages
+    }
+    reset();
+    let stg = si_stg::generators::muller_pipeline(4);
+    assert!(
+        stg.synthesized_signals().len() >= 2,
+        "need a multi-signal batch to engage the pool"
+    );
+    // Kill the worker synthesizing the first signal of the batch.
+    arm("synthesis::signal", Some(0), FaultAction::Panic);
+    let err = si_core::synthesize(&stg, &si_core::SynthesisOptions::default()).unwrap_err();
+    match err {
+        si_core::SynthesisError::WorkerPanicked { signal, detail } => {
+            assert_eq!(signal, stg.synthesized_signals()[0]);
+            assert!(detail.contains("injected fault"), "got: {detail}");
+        }
+        other => panic!("expected WorkerPanicked, got {other}"),
+    }
+    assert_eq!(armed_count(), 0, "the armed fault must have fired");
+    // First-error-wins slot and poison-tolerant collection leave the pool
+    // reusable: the same synthesis succeeds on the next call.
+    let syn = si_core::synthesize(&stg, &si_core::SynthesisOptions::default()).unwrap();
+    assert!(syn.literal_area > 0);
+    reset();
+}
+
+#[test]
+fn csc_scoring_panic_skips_the_candidate_and_the_search_continues() {
+    let _guard = serial();
+    reset();
+    let stg = si_stg::benchmarks::vme_read_raw();
+    // Kill the worker scoring the first candidate of the first batch: the
+    // search must count the casualty, skip it and resolve on a survivor.
+    arm("csc::evaluate", Some(0), FaultAction::Panic);
+    let opts = si_csc::CscOptions::default().workers(2);
+    let outcome = si_csc::resolve(&stg, &opts);
+    assert_eq!(outcome.stats.panicked, 1, "stats: {:?}", outcome.stats);
+    assert!(
+        outcome.resolution.is_some(),
+        "surviving candidates must still resolve the conflict"
+    );
+    assert_eq!(armed_count(), 0, "the armed fault must have fired");
+    // The panicking candidate is charged against neither verdict counter.
+    let stats = &outcome.stats;
+    assert!(stats.evaluated + stats.panicked <= stats.generated.max(stats.evaluated + 1));
+    reset();
+}

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod budget;
 mod concurrency;
 mod invariant;
 mod net;
@@ -59,6 +60,7 @@ mod siphon;
 mod sm;
 pub mod space;
 
+pub use budget::{Budget, CancelToken, Interrupt, InterruptReason};
 pub use concurrency::ConcurrencyRelation;
 pub use invariant::{is_p_invariant, p_semiflows, t_semiflows, weighted_tokens, Semiflow};
 pub use net::{FiringView, Marking, Node, PetriNet, PetriNetBuilder, PlaceId, TransId};

@@ -16,13 +16,19 @@
 //! `HashMap<Marking, StateId>` + `Vec<Vec<…>>` implementation as the
 //! equivalence oracle and the "before" side of the benchmark.
 
+use crate::budget::{Budget, CancelToken, InterruptReason};
 use crate::net::{Marking, PetriNet, TransId};
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs of a reachability exploration.
 ///
-/// The only semantically relevant field is `cap` — every engine returns
-/// [`ReachError::StateCapExceeded`] when the state space outgrows it.
+/// `budget` governs the resources the build may consume: the state cap
+/// maps to [`ReachError::StateCapExceeded`], the soft dimensions
+/// (deadline, cancellation, byte ceiling) to [`ReachError::Interrupted`]
+/// — a reachability *graph* is an all-or-nothing artifact, so budget
+/// exhaustion is an error here even though the underlying explorers
+/// return partial results (verdict-style clients consume those).
 /// `shards` selects the engine: `1` runs the sequential word-parallel
 /// builder, anything larger runs the sharded multi-threaded builder of
 /// [`crate::shard`] with that many workers. Worker counts are powers of
@@ -38,14 +44,16 @@ use std::collections::HashMap;
 ///
 /// let seq = ReachOptions::with_cap(10_000);
 /// assert_eq!(seq.shards, 1);
+/// assert_eq!(seq.cap(), 10_000);
 /// let par = ReachOptions::with_cap(10_000).shards(4);
 /// assert_eq!(par.shards, 4);
 /// assert!(ReachOptions::auto(10_000).shards >= 1);
 /// ```
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ReachOptions {
-    /// Maximum number of markings to enumerate before failing fast.
-    pub cap: usize,
+    /// Resource budget of the exploration (state cap, byte ceiling,
+    /// deadline, cancellation).
+    pub budget: Budget,
     /// Number of exploration shards (= worker threads when > 1).
     pub shards: usize,
 }
@@ -53,7 +61,38 @@ pub struct ReachOptions {
 impl ReachOptions {
     /// Sequential exploration with the given state cap.
     pub fn with_cap(cap: usize) -> Self {
-        ReachOptions { cap, shards: 1 }
+        ReachOptions {
+            budget: Budget::with_cap(cap),
+            shards: 1,
+        }
+    }
+
+    /// The state cap (shorthand for `self.budget.cap`).
+    pub fn cap(&self) -> usize {
+        self.budget.cap
+    }
+
+    /// Replaces the whole resource budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets an absolute wall-clock deadline on the exploration.
+    pub fn deadline(mut self, at: Instant) -> Self {
+        self.budget.deadline = Some(at);
+        self
+    }
+
+    /// Sets the deadline `d` from now.
+    pub fn timeout(self, d: Duration) -> Self {
+        self.deadline(Instant::now() + d)
+    }
+
+    /// Attaches a cooperative cancellation token.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.budget.cancel = Some(token);
+        self
     }
 
     /// Sets the shard count, normalized to what the engine actually runs:
@@ -81,7 +120,7 @@ impl ReachOptions {
             n.next_power_of_two() / 2
         };
         ReachOptions {
-            cap,
+            budget: Budget::with_cap(cap),
             shards: down.min(64),
         }
     }
@@ -106,12 +145,42 @@ pub enum ReachError {
         /// The cap that was configured.
         cap: usize,
     },
+    /// A soft budget dimension (deadline, cancellation, byte ceiling) ran
+    /// out before the state space was exhausted. Not a property of the
+    /// net — the analysis is *inconclusive*, and `states_explored` says
+    /// how far it got.
+    Interrupted {
+        /// Which budget dimension ran out.
+        reason: InterruptReason,
+        /// States explored before the interruption.
+        states_explored: usize,
+    },
     /// A transition firing produced a non-safe marking (a token added to an
     /// already-marked place).
     NotSafe {
         /// The transition whose firing violated safeness.
         transition: TransId,
     },
+    /// A worker thread of the sharded engine panicked; the panic was
+    /// caught at the worker boundary and the process is intact.
+    WorkerPanicked {
+        /// Index of the shard whose worker panicked.
+        shard: usize,
+        /// The panic message.
+        message: String,
+    },
+}
+
+impl ReachError {
+    /// Whether this error means "analysis ran out of budget" (cap, time,
+    /// memory, cancellation) rather than "the net is defective" — the
+    /// failed-vs-inconclusive distinction surfaced by `sisyn` exit codes.
+    pub fn is_inconclusive(&self) -> bool {
+        matches!(
+            self,
+            ReachError::StateCapExceeded { .. } | ReachError::Interrupted { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for ReachError {
@@ -120,8 +189,20 @@ impl std::fmt::Display for ReachError {
             ReachError::StateCapExceeded { cap } => {
                 write!(f, "state space exceeds the cap of {cap} markings")
             }
+            ReachError::Interrupted {
+                reason,
+                states_explored,
+            } => {
+                write!(
+                    f,
+                    "exploration {reason} after {states_explored} states (inconclusive)"
+                )
+            }
             ReachError::NotSafe { transition } => {
                 write!(f, "net is not safe: firing {transition} duplicates a token")
+            }
+            ReachError::WorkerPanicked { shard, message } => {
+                write!(f, "exploration worker {shard} panicked: {message}")
             }
         }
     }
@@ -176,6 +257,12 @@ impl MarkingInterner {
     /// Number of interned markings.
     pub(crate) fn len(&self) -> usize {
         self.len
+    }
+
+    /// Approximate heap bytes held (key arena + slot table) — feeds the
+    /// explorers' byte-budget accounting.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        (self.words.len() + self.slots.len()) * 8
     }
 
     /// Looks up `key`; on a miss interns it as state `len` and returns
@@ -312,27 +399,33 @@ impl ReachabilityGraph {
     /// reachable; [`ReachError::NotSafe`] if a firing puts a second token on
     /// a place.
     pub fn build(net: &PetriNet, cap: usize) -> Result<Self, ReachError> {
-        use crate::space::{explore, ExploreOptions, MarkingSpace, ScalarMarkingSpace};
-        let opts = ExploreOptions::with_cap(cap).record_edges();
-        let nw = net.initial_marking().as_words().len();
-        let expl = if nw == 1 {
-            explore(&ScalarMarkingSpace::new(net), opts)?
-        } else {
-            explore(&MarkingSpace::new(net), opts)?
-        };
-        Self::from_exploration(net, cap, expl)
+        Self::build_with(net, ReachOptions::with_cap(cap))
+    }
+
+    /// Maps a partial exploration's interruption tag onto the
+    /// corresponding [`ReachError`] — a graph is an all-or-nothing
+    /// artifact, so any interruption fails the build (carrying how far
+    /// the exploration got).
+    fn check_interrupt(expl: &crate::space::Exploration<ReachError>) -> Result<(), ReachError> {
+        match expl.interrupted {
+            None => Ok(()),
+            Some(InterruptReason::CapExceeded) => {
+                Err(ReachError::StateCapExceeded { cap: expl.states })
+            }
+            Some(reason) => Err(ReachError::Interrupted {
+                reason,
+                states_explored: expl.states,
+            }),
+        }
     }
 
     /// Packs a marking-space [`crate::space::Exploration`] (sequential
     /// engine, edge recording on) into the CSR/interned representation.
     fn from_exploration(
         net: &PetriNet,
-        cap: usize,
         expl: crate::space::Exploration<ReachError>,
     ) -> Result<Self, ReachError> {
-        if expl.cap_exceeded {
-            return Err(ReachError::StateCapExceeded { cap });
-        }
+        Self::check_interrupt(&expl)?;
         let np = net.place_count();
         let (interner, succ_edges, succ_ranges) = expl.into_interned_parts();
         let markings: Vec<Marking> = (0..interner.len())
@@ -357,12 +450,38 @@ impl ReachabilityGraph {
     ///
     /// # Errors
     ///
-    /// Same contract as [`Self::build`].
+    /// Same contract as [`Self::build`], plus [`ReachError::Interrupted`]
+    /// when a soft budget dimension (deadline, cancellation, byte
+    /// ceiling) runs out and [`ReachError::WorkerPanicked`] when a
+    /// sharded worker dies (caught; the process is intact).
     pub fn build_with(net: &PetriNet, options: ReachOptions) -> Result<Self, ReachError> {
+        use crate::space::{explore, ExploreOptions, MarkingSpace, ScalarMarkingSpace};
+        let opts = ExploreOptions::from(&options).record_edges();
         if options.shards <= 1 {
-            Self::build(net, options.cap)
+            let nw = net.initial_marking().as_words().len();
+            let expl = if nw == 1 {
+                explore(&ScalarMarkingSpace::new(net), opts)
+            } else {
+                explore(&MarkingSpace::new(net), opts)
+            };
+            Self::from_exploration(net, expl.map_err(Self::unwrap_explore_error)?)
         } else {
-            Self::build_sharded(net, options.cap, options.shards)
+            let space = MarkingSpace::new(net);
+            let expl =
+                crate::shard::explore_sharded(&space, opts).map_err(Self::unwrap_explore_error)?;
+            Self::check_interrupt(&expl)?;
+            Ok(crate::shard::seal(net, &expl))
+        }
+    }
+
+    /// Flattens the generic explorer error into [`ReachError`] (whose
+    /// fatal-violation payload *is* a `ReachError`).
+    fn unwrap_explore_error(e: crate::space::ExploreError<ReachError>) -> ReachError {
+        match e {
+            crate::space::ExploreError::Fatal(e) => e,
+            crate::space::ExploreError::WorkerPanicked { shard, message } => {
+                ReachError::WorkerPanicked { shard, message }
+            }
         }
     }
 
@@ -391,17 +510,7 @@ impl ReachabilityGraph {
     /// nets the cap error is deterministic and identical to
     /// [`Self::build`]'s.
     pub fn build_sharded(net: &PetriNet, cap: usize, shards: usize) -> Result<Self, ReachError> {
-        use crate::space::{ExploreOptions, MarkingSpace};
-        if shards <= 1 {
-            return Self::build(net, cap);
-        }
-        let space = MarkingSpace::new(net);
-        let opts = ExploreOptions::with_cap(cap).shards(shards).record_edges();
-        let expl = crate::shard::explore_sharded(&space, opts)?;
-        if expl.cap_exceeded {
-            return Err(ReachError::StateCapExceeded { cap });
-        }
-        Ok(crate::shard::seal(net, &expl))
+        Self::build_with(net, ReachOptions::with_cap(cap).shards(shards))
     }
 
     /// Process-wide number of reachability-graph constructions completed so

@@ -62,11 +62,15 @@
 //! (`crates/petri/tests/prop_substrate.rs`) pin this equivalence on the
 //! random live/safe/free-choice corpus.
 
+use crate::budget::{Budget, InterruptReason};
 use crate::net::{Marking, PetriNet, TransId};
 use crate::reach::{MarkingInterner, ReachError, ReachabilityGraph, StateId};
-use crate::space::{Exploration, ExploreOptions, SpaceVisitor, StateSpace, Store, NO_PARENT};
+use crate::space::{
+    Exploration, ExploreError, ExploreOptions, SpaceVisitor, StateSpace, Store, NO_PARENT,
+};
 use si_boolean::hash_word_slice;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use si_fault::{fail_point, fail_trigger, relock, run_isolated};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Odd multiplier decorrelating the shard index from the interner's slot
@@ -115,11 +119,36 @@ struct EdgeRec {
     dst_local: u32,
 }
 
+/// [`Shared::interrupted`] codes: 0 = none, otherwise an
+/// [`InterruptReason`] (first writer wins via compare-exchange).
+const INTR_NONE: u8 = 0;
+
+fn intr_code(reason: InterruptReason) -> u8 {
+    match reason {
+        InterruptReason::CapExceeded => 1,
+        InterruptReason::DeadlineExpired => 2,
+        InterruptReason::Cancelled => 3,
+        InterruptReason::MemoryExhausted => 4,
+    }
+}
+
+fn intr_reason(code: u8) -> Option<InterruptReason> {
+    match code {
+        1 => Some(InterruptReason::CapExceeded),
+        2 => Some(InterruptReason::DeadlineExpired),
+        3 => Some(InterruptReason::Cancelled),
+        4 => Some(InterruptReason::MemoryExhausted),
+        _ => None,
+    }
+}
+
 /// State shared by all workers of one exploration.
 struct Shared<V> {
     nshards: usize,
     shift: u32,
-    cap: usize,
+    /// Words per state (byte accounting).
+    nw: usize,
+    budget: Budget,
     max_violations: usize,
     /// In-flight work: discovered-but-unexplored states plus
     /// sent-but-unprocessed messages. Zero ⇔ exploration complete.
@@ -128,11 +157,16 @@ struct Shared<V> {
     states: AtomicUsize,
     /// Total violations reported across all shards (budget accounting).
     violations: AtomicUsize,
-    /// Raised on fatal violation, cap overflow or a spent violation
-    /// budget; every worker unwinds when it sees it.
+    /// Raised on fatal violation, worker panic, or an exhausted budget
+    /// dimension; every worker winds down when it sees it — even with
+    /// `pending` still nonzero (a panicked worker can never drain its
+    /// share, so termination must not depend on the counter then).
     stop: AtomicBool,
-    cap_exceeded: AtomicBool,
+    /// First exhausted budget dimension ([`INTR_NONE`] = none).
+    interrupted: AtomicU8,
     fatal: Mutex<Option<V>>,
+    /// First worker panic `(shard, message)`; like `fatal`, first wins.
+    panic_slot: Mutex<Option<(usize, String)>>,
     /// `queues[dst][src]` — receiver `dst` drains row `dst`, sender `src`
     /// appends under the pair's own mutex, so flushes to different
     /// destinations never contend.
@@ -142,17 +176,51 @@ struct Shared<V> {
 impl<V> Shared<V> {
     /// First fatal violation wins; everyone else sees `stop` and unwinds.
     fn fail(&self, v: V) {
-        let mut slot = self.fatal.lock().unwrap();
+        let mut slot = relock(&self.fatal);
         if slot.is_none() {
             *slot = Some(v);
         }
         self.stop.store(true, Ordering::Release);
     }
 
+    /// A worker panicked (caught at the worker boundary): record the
+    /// first panic and stop every other worker.
+    fn worker_panicked(&self, shard: usize, message: String) {
+        let mut slot = relock(&self.panic_slot);
+        if slot.is_none() {
+            *slot = Some((shard, message));
+        }
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// A budget dimension ran out: record the first reason (the partial
+    /// result is still merged and returned) and stop every worker.
+    fn interrupt(&self, reason: InterruptReason) {
+        let _ = self.interrupted.compare_exchange(
+            INTR_NONE,
+            intr_code(reason),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+        self.stop.store(true, Ordering::Release);
+    }
+
     /// The state cap was burst: record it and stop every worker.
     fn cap_burst(&self) {
-        self.cap_exceeded.store(true, Ordering::Release);
-        self.stop.store(true, Ordering::Release);
+        self.interrupt(InterruptReason::CapExceeded);
+    }
+
+    /// Amortized soft-budget check (deadline / cancellation / bytes),
+    /// called from the workers' periodic checkpoints. The byte estimate
+    /// is the interned-state arena plus interner-table overhead.
+    fn check_budget(&self) {
+        let approx_bytes = self
+            .states
+            .load(Ordering::Relaxed)
+            .saturating_mul(self.nw * 8 + 16);
+        if let Some(reason) = self.budget.check_soft(approx_bytes) {
+            self.interrupt(reason);
+        }
     }
 
     fn stopped(&self) -> bool {
@@ -217,7 +285,12 @@ impl<V: Send> Worker<V> {
                 self.parents.push((src_shard, src_local, label));
             }
             let before = shared.states.fetch_add(1, Ordering::AcqRel);
-            if before >= shared.cap {
+            // Injection site: simulate the cap bursting at state k.
+            if fail_trigger!("shard::accept", before) {
+                shared.cap_burst();
+                return false;
+            }
+            if before >= shared.budget.cap {
                 shared.cap_burst();
                 return false;
             }
@@ -248,11 +321,18 @@ impl<V: Send> Worker<V> {
                 continue;
             }
             let batch = {
-                let mut buf = q.buf.lock().unwrap();
+                let mut buf = relock(&q.buf);
                 q.nonempty.store(false, Ordering::Release);
                 std::mem::take(&mut *buf)
             };
             if batch.meta.is_empty() {
+                continue;
+            }
+            if batch.words.len() != batch.meta.len() * self.nw {
+                // A sender panicked mid-append and left the batch torn.
+                // Its panic has already raised `stop`; skip the batch
+                // rather than cascade the failure into this worker.
+                debug_assert!(shared.stopped());
                 continue;
             }
             any = true;
@@ -274,9 +354,12 @@ impl<V: Send> Worker<V> {
         if staged.meta.is_empty() {
             return;
         }
+        // Injection site: delay the publish (queue stall) — the pending
+        // counter must keep the receiver spinning until this lands.
+        fail_point!("shard::flush", dst);
         {
             let q = &shared.queues[dst][self.me];
-            let mut buf = q.buf.lock().unwrap();
+            let mut buf = relock(&q.buf);
             buf.words.extend_from_slice(&staged.words);
             buf.meta.extend_from_slice(&staged.meta);
             q.nonempty.store(true, Ordering::Release);
@@ -298,9 +381,14 @@ impl<V: Send> Worker<V> {
     /// outbound batches, spin-yield when idle until `pending` reaches
     /// zero (or someone stops the run).
     fn run<S: StateSpace<Violation = V>>(&mut self, space: &S, shared: &Shared<V>) {
+        // Injection site: a worker that dies on arrival (value = shard
+        // index) — the catch_unwind boundary in `explore_sharded` must
+        // convert this into a structured `WorkerPanicked` error.
+        fail_point!("shard::worker", self.me);
         let nw = self.nw;
         let mut cur = vec![0u64; nw];
         let mut scratch = vec![0u64; nw];
+        let governed = shared.budget.has_soft_limits();
         loop {
             if shared.stopped() {
                 return;
@@ -339,6 +427,9 @@ impl<V: Send> Worker<V> {
                 shared.pending.fetch_sub(1, Ordering::AcqRel);
                 explored += 1;
                 if explored.is_multiple_of(64) {
+                    if governed {
+                        shared.check_budget();
+                    }
                     if shared.stopped() {
                         return;
                     }
@@ -352,6 +443,12 @@ impl<V: Send> Worker<V> {
             if !received && self.frontier.is_empty() {
                 if shared.pending.load(Ordering::Acquire) == 0 {
                     return;
+                }
+                if governed {
+                    // An idle worker still honors deadline/cancellation:
+                    // with every shard idle-spinning on a stalled queue,
+                    // someone has to notice the budget ran out.
+                    shared.check_budget();
                 }
                 std::thread::yield_now();
             }
@@ -413,13 +510,16 @@ impl<V: Send> SpaceVisitor<V> for WorkerVisitor<'_, V> {
 ///
 /// # Errors
 ///
-/// The first fatal violation a racing worker hits wins; see
-/// [`crate::ReachabilityGraph::build_sharded`] for the determinism
-/// contract this implies.
+/// [`ExploreError::Fatal`]: the first fatal violation a racing worker
+/// hits wins; see [`crate::ReachabilityGraph::build_sharded`] for the
+/// determinism contract this implies.
+/// [`ExploreError::WorkerPanicked`]: a worker thread panicked — the
+/// panic is caught at the worker boundary, the remaining workers wind
+/// down, and the first panic is reported with the process intact.
 pub fn explore_sharded<S: StateSpace>(
     space: &S,
     opts: ExploreOptions,
-) -> Result<Exploration<S::Violation>, S::Violation> {
+) -> Result<Exploration<S::Violation>, ExploreError<S::Violation>> {
     let nshards = opts.shards.max(1).next_power_of_two().min(64);
     if nshards <= 1 {
         return crate::space::explore(space, opts);
@@ -430,14 +530,16 @@ pub fn explore_sharded<S: StateSpace>(
     let shared: Shared<S::Violation> = Shared {
         nshards,
         shift,
-        cap: opts.cap,
+        nw,
+        budget: opts.budget.clone(),
         max_violations: opts.max_violations,
         pending: AtomicUsize::new(1), // the initial state
         states: AtomicUsize::new(1),  // ditto (never charged against the cap)
         violations: AtomicUsize::new(0),
         stop: AtomicBool::new(false),
-        cap_exceeded: AtomicBool::new(false),
+        interrupted: AtomicU8::new(INTR_NONE),
         fatal: Mutex::new(None),
+        panic_slot: Mutex::new(None),
         queues: (0..nshards)
             .map(|_| (0..nshards).map(|_| Queue::default()).collect())
             .collect(),
@@ -462,12 +564,24 @@ pub fn explore_sharded<S: StateSpace>(
     std::thread::scope(|scope| {
         for w in workers.iter_mut() {
             let shared = &shared;
-            scope.spawn(move || w.run(space, shared));
+            scope.spawn(move || {
+                // Per-worker panic isolation: a panicking space (or an
+                // injected fault) takes down this worker only; the panic
+                // is converted into a structured error and every other
+                // worker winds down via the stop flag.
+                let me = w.me;
+                if let Err(message) = run_isolated(|| w.run(space, shared)) {
+                    shared.worker_panicked(me, message);
+                }
+            });
         }
     });
 
-    if let Some(v) = shared.fatal.lock().unwrap().take() {
-        return Err(v);
+    if let Some((shard, message)) = relock(&shared.panic_slot).take() {
+        return Err(ExploreError::WorkerPanicked { shard, message });
+    }
+    if let Some(v) = relock(&shared.fatal).take() {
+        return Err(ExploreError::Fatal(v));
     }
     Ok(merge(workers, &shared, owner, &opts))
 }
@@ -542,7 +656,7 @@ fn merge<V>(
         succ_ranges = (0..n).map(|s| (deg[s], deg[s + 1])).collect();
     }
 
-    let cap_exceeded = shared.cap_exceeded.load(Ordering::Acquire);
+    let interrupted = intr_reason(shared.interrupted.load(Ordering::Acquire));
     Exploration {
         store: Store::Flat { nw, words, len: n },
         root: off[owner] as u32,
@@ -550,8 +664,8 @@ fn merge<V>(
         succ_ranges,
         parents,
         violations,
-        cap_exceeded,
-        states: n.min(shared.cap),
+        interrupted,
+        states: n.min(shared.budget.cap),
     }
 }
 

@@ -42,8 +42,14 @@
 //! any discovered state) — which is how verification and conformance
 //! reports grow counterexample traces for free.
 
+use crate::budget::{Budget, Interrupt, InterruptReason};
 use crate::net::{FiringView, PetriNet, TransId};
 use crate::reach::{MarkingInterner, ReachError, StateId};
+
+/// How often (in explored states) the sequential explorer consults the
+/// soft budget limits (deadline / cancellation / bytes). The sharded
+/// explorer piggybacks on its own per-64-states checkpoint.
+const GOVERN_STRIDE: usize = 256;
 
 /// Outcome of inspecting one state.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -131,11 +137,13 @@ pub trait StateSpace: Sync {
 }
 
 /// Tuning knobs of a generic exploration — one surface for every client.
-#[derive(Copy, Clone, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExploreOptions {
-    /// Maximum number of states to intern before truncating
-    /// ([`Exploration::cap_exceeded`]).
-    pub cap: usize,
+    /// Resource budget: state cap, approximate byte ceiling, wall-clock
+    /// deadline, cooperative cancellation. Exhausting any dimension
+    /// *interrupts* the exploration — the partial result is returned,
+    /// tagged with [`Exploration::interrupted`].
+    pub budget: Budget,
     /// Number of exploration shards (= worker threads when > 1); see
     /// [`crate::ReachOptions::shards`] for normalization.
     pub shards: usize,
@@ -157,12 +165,18 @@ impl ExploreOptions {
     /// edge recording, no witnesses.
     pub fn with_cap(cap: usize) -> Self {
         ExploreOptions {
-            cap,
+            budget: Budget::with_cap(cap),
             shards: 1,
             max_violations: usize::MAX,
             record_edges: false,
             witness: false,
         }
+    }
+
+    /// Replaces the whole resource budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Sets the shard count (normalized like
@@ -193,7 +207,21 @@ impl ExploreOptions {
 
 impl From<crate::ReachOptions> for ExploreOptions {
     fn from(r: crate::ReachOptions) -> Self {
-        ExploreOptions::with_cap(r.cap).shards(r.shards)
+        let shards = r.shards;
+        ExploreOptions {
+            budget: r.budget,
+            shards: 1,
+            max_violations: usize::MAX,
+            record_edges: false,
+            witness: false,
+        }
+        .shards(shards)
+    }
+}
+
+impl From<&crate::ReachOptions> for ExploreOptions {
+    fn from(r: &crate::ReachOptions) -> Self {
+        ExploreOptions::from(r.clone())
     }
 }
 
@@ -260,10 +288,12 @@ pub struct Exploration<V> {
     /// deterministic *set* at any shard count; the order is deterministic
     /// only sequentially.
     pub violations: Vec<(u32, V)>,
-    /// The exploration hit [`ExploreOptions::cap`] and the result is
-    /// partial.
-    pub cap_exceeded: bool,
-    /// Number of states explored (capped at [`ExploreOptions::cap`]).
+    /// `Some(reason)` when the exploration stopped because a
+    /// [`Budget`] dimension ran out (cap, deadline, cancellation,
+    /// bytes) — the result is *partial* but valid: every recorded state,
+    /// edge, witness and violation is real.
+    pub interrupted: Option<InterruptReason>,
+    /// Number of states explored (capped at the budget's state cap).
     pub states: usize,
 }
 
@@ -271,6 +301,22 @@ impl<V> Exploration<V> {
     /// The packed words of state `s`.
     pub fn key(&self, s: u32) -> &[u64] {
         self.store.key(s as usize)
+    }
+
+    /// The interruption, if any, paired with the number of states the
+    /// partial result covers — ready for a "no violation in the N states
+    /// explored" verdict.
+    pub fn interrupt(&self) -> Option<Interrupt> {
+        self.interrupted.map(|reason| Interrupt {
+            reason,
+            states_explored: self.states,
+        })
+    }
+
+    /// Whether the exploration was truncated by the state cap
+    /// (compatibility shorthand for matching on [`Self::interrupted`]).
+    pub fn cap_exceeded(&self) -> bool {
+        self.interrupted == Some(InterruptReason::CapExceeded)
     }
 
     /// Id of the initial state.
@@ -319,18 +365,49 @@ impl<V> Exploration<V> {
     }
 }
 
+/// How a generic exploration can fail *fatally* (as opposed to being
+/// interrupted by its budget, which yields a partial [`Exploration`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExploreError<V> {
+    /// A fatal violation returned by [`StateSpace::for_each_successor`]
+    /// (one that invalidates the whole exploration, like a safeness
+    /// violation of the underlying net).
+    Fatal(V),
+    /// A worker thread of the sharded explorer panicked. The panic was
+    /// caught at the worker boundary — the remaining workers wound down
+    /// and the process is intact; only this exploration is lost.
+    WorkerPanicked {
+        /// Index of the shard whose worker panicked.
+        shard: usize,
+        /// The panic message.
+        message: String,
+    },
+}
+
+impl<V: std::fmt::Display> std::fmt::Display for ExploreError<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExploreError::Fatal(v) => v.fmt(f),
+            ExploreError::WorkerPanicked { shard, message } => {
+                write!(f, "exploration worker {shard} panicked: {message}")
+            }
+        }
+    }
+}
+
 /// Explores `space` with the engine selected by `opts`: sequential for
 /// `shards <= 1`, the sharded multi-threaded explorer of [`crate::shard`]
 /// otherwise.
 ///
 /// # Errors
 ///
-/// The first fatal violation returned by
-/// [`StateSpace::for_each_successor`].
+/// [`ExploreError::Fatal`] with the first fatal violation returned by
+/// [`StateSpace::for_each_successor`], or
+/// [`ExploreError::WorkerPanicked`] when a sharded worker panicked.
 pub fn explore_with<S: StateSpace>(
     space: &S,
     opts: ExploreOptions,
-) -> Result<Exploration<S::Violation>, S::Violation> {
+) -> Result<Exploration<S::Violation>, ExploreError<S::Violation>> {
     if opts.shards <= 1 {
         explore(space, opts)
     } else {
@@ -344,12 +421,14 @@ pub fn explore_with<S: StateSpace>(
 ///
 /// # Errors
 ///
-/// The first fatal violation returned by
-/// [`StateSpace::for_each_successor`].
+/// [`ExploreError::Fatal`] with the first fatal violation returned by
+/// [`StateSpace::for_each_successor`]. Budget exhaustion (cap, deadline,
+/// cancellation, bytes) is **not** an error: the partial exploration is
+/// returned, tagged [`Exploration::interrupted`].
 pub fn explore<S: StateSpace>(
     space: &S,
     opts: ExploreOptions,
-) -> Result<Exploration<S::Violation>, S::Violation> {
+) -> Result<Exploration<S::Violation>, ExploreError<S::Violation>> {
     let nw = space.words();
     let mut interner = MarkingInterner::new(nw);
     let init = space.initial();
@@ -373,19 +452,31 @@ pub fn explore<S: StateSpace>(
         },
         violations: Vec::new(),
         states: 1,
-        cap_exceeded: false,
+        interrupted: None,
         src: 0,
         record_edges: opts.record_edges,
         witness: opts.witness,
-        cap: opts.cap,
+        cap: opts.budget.cap,
     };
     let mut cur = vec![0u64; nw];
     let mut scratch = vec![0u64; nw];
+    // Soft limits (deadline/cancel/bytes) are consulted once per
+    // GOVERN_STRIDE explored states, never per state — an unbounded
+    // budget costs one branch per stride.
+    let governed = opts.budget.has_soft_limits();
+    let mut explored = 0usize;
 
     while let Some(s) = sink.frontier.pop() {
-        if sink.violations.len() >= opts.max_violations || sink.cap_exceeded {
+        if sink.violations.len() >= opts.max_violations || sink.interrupted.is_some() {
             break;
         }
+        if governed && explored.is_multiple_of(GOVERN_STRIDE) {
+            if let Some(reason) = opts.budget.check_soft(sink.approx_bytes()) {
+                sink.interrupted = Some(reason);
+                break;
+            }
+        }
+        explored += 1;
         cur.copy_from_slice(sink.interner.key(s as usize));
         sink.src = s;
         // A violating verdict counts against the budget immediately: a
@@ -396,13 +487,15 @@ pub fn explore<S: StateSpace>(
             break;
         }
         let start = sink.succ_edges.len() as u32;
-        space.for_each_successor(&cur, &mut scratch, &mut sink)?;
+        space
+            .for_each_successor(&cur, &mut scratch, &mut sink)
+            .map_err(ExploreError::Fatal)?;
         if opts.record_edges {
             sink.succ_ranges[s as usize] = (start, sink.succ_edges.len() as u32);
         }
     }
 
-    let states = sink.states.min(opts.cap);
+    let states = sink.states.min(opts.budget.cap);
     Ok(Exploration {
         store: Store::Map(sink.interner),
         root: 0,
@@ -410,7 +503,7 @@ pub fn explore<S: StateSpace>(
         succ_ranges: sink.succ_ranges,
         parents: sink.parents,
         violations: sink.violations,
-        cap_exceeded: sink.cap_exceeded,
+        interrupted: sink.interrupted,
         states,
     })
 }
@@ -426,7 +519,7 @@ struct SequentialSink<V> {
     violations: Vec<(u32, V)>,
     /// States accepted (the over-cap key is interned but not accepted).
     states: usize,
-    cap_exceeded: bool,
+    interrupted: Option<InterruptReason>,
     /// State currently being expanded.
     src: u32,
     record_edges: bool,
@@ -434,15 +527,25 @@ struct SequentialSink<V> {
     cap: usize,
 }
 
+impl<V> SequentialSink<V> {
+    /// Approximate live bytes: state arena + interner table + recorded
+    /// adjacency (the dominant allocations of an exploration).
+    fn approx_bytes(&self) -> usize {
+        self.interner.approx_bytes()
+            + self.succ_edges.len() * 8
+            + (self.succ_ranges.len() + self.parents.len() + self.frontier.len()) * 8
+    }
+}
+
 impl<V> SpaceVisitor<V> for SequentialSink<V> {
     fn successor(&mut self, label: u32, next: &[u64]) -> bool {
-        if self.cap_exceeded {
+        if self.interrupted.is_some() {
             return false;
         }
         let (id, is_new) = self.interner.intern(next);
         if is_new {
             if self.states >= self.cap {
-                self.cap_exceeded = true;
+                self.interrupted = Some(InterruptReason::CapExceeded);
                 return false;
             }
             self.states += 1;
@@ -619,7 +722,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(e.states, 2);
-        assert!(!e.cap_exceeded);
+        assert!(!e.cap_exceeded());
+        assert_eq!(e.interrupt(), None);
         assert_eq!(e.root(), 0);
         // State 1 (p1) discovered from state 0 by t0.
         assert_eq!(e.witness(1), vec![0]);
@@ -633,8 +737,15 @@ mod tests {
         let net = ring_with_choice();
         let space = MarkingSpace::new(&net);
         let e = explore(&space, ExploreOptions::with_cap(1)).unwrap();
-        assert!(e.cap_exceeded);
+        assert!(e.cap_exceeded());
         assert_eq!(e.states, 1);
+        assert_eq!(
+            e.interrupt(),
+            Some(Interrupt {
+                reason: InterruptReason::CapExceeded,
+                states_explored: 1
+            })
+        );
     }
 
     /// A space that flags every state whose low bit is set.

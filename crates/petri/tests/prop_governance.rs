@@ -1,0 +1,131 @@
+//! Property tests of exploration governance: cooperative cancellation
+//! fired at a random point of the walk always yields a *clean* partial
+//! exploration (no panic, no deadlock, a tagged reason, a plausible state
+//! count) at every engine width, and the state count of a cap-bounded
+//! exploration is monotone in the cap.
+
+use proptest::prelude::*;
+use si_petri::space::{explore_with, ExploreOptions, MarkingSpace, SpaceVisitor, StateSpace};
+use si_petri::{Budget, CancelToken, InterruptReason, PetriNet, ReachError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// `n` disjoint two-place rings, each with its own token: safe, live, and
+/// exactly `2^n` reachable markings — a state space whose size is known
+/// in closed form at any shard count.
+fn rings(n: usize) -> PetriNet {
+    let mut b = PetriNet::builder();
+    for i in 0..n {
+        let a = b.add_place(format!("a{i}"), true);
+        let c = b.add_place(format!("c{i}"), false);
+        let go = b.add_transition(format!("go{i}"));
+        let back = b.add_transition(format!("back{i}"));
+        b.arc_pt(a, go);
+        b.arc_tp(go, c);
+        b.arc_pt(c, back);
+        b.arc_tp(back, a);
+    }
+    b.build()
+}
+
+/// A marking space that cancels `token` on its `k`-th expansion — the
+/// proptest's stand-in for a user hitting Ctrl-C at an arbitrary moment.
+struct CancelAt {
+    inner: MarkingSpace,
+    token: CancelToken,
+    k: usize,
+    expansions: AtomicUsize,
+}
+
+impl StateSpace for CancelAt {
+    type Violation = ReachError;
+
+    fn words(&self) -> usize {
+        self.inner.words()
+    }
+
+    fn initial(&self) -> Vec<u64> {
+        self.inner.initial()
+    }
+
+    fn for_each_successor<Vis: SpaceVisitor<ReachError>>(
+        &self,
+        state: &[u64],
+        scratch: &mut [u64],
+        visit: &mut Vis,
+    ) -> Result<(), ReachError> {
+        if self.expansions.fetch_add(1, Ordering::Relaxed) + 1 == self.k {
+            self.token.cancel();
+        }
+        self.inner.for_each_successor(state, scratch, visit)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cancelling at a random expansion leaves a clean partial result:
+    /// the explorers return `Ok`, tag the interruption (or finish — the
+    /// checks are amortized, so a late cancel can lose the race against
+    /// termination), and never report more states than exist.
+    #[test]
+    fn cancellation_mid_walk_is_clean_at_every_width(
+        k in 1usize..512,
+        shards in prop_oneof![Just(1usize), Just(2usize), Just(4usize), Just(8usize)],
+    ) {
+        let net = rings(9); // 512 states
+        let total = 512usize;
+        let token = CancelToken::new();
+        let space = CancelAt {
+            inner: MarkingSpace::new(&net),
+            token: token.clone(),
+            k,
+            expansions: AtomicUsize::new(0),
+        };
+        let opts = ExploreOptions::with_cap(usize::MAX)
+            .budget(Budget::unbounded().cancel(token.clone()))
+            .shards(shards);
+        let expl = explore_with(&space, opts).expect("cancellation is not an error");
+        prop_assert!(expl.violations.is_empty());
+        match expl.interrupted {
+            Some(reason) => {
+                prop_assert_eq!(reason, InterruptReason::Cancelled);
+                prop_assert!(expl.states >= 1);
+                prop_assert!(expl.states <= total, "states {} > total", expl.states);
+                let i = expl.interrupt().unwrap();
+                prop_assert_eq!(i.states_explored, expl.states);
+            }
+            // The walk outran the next governance checkpoint: it must
+            // then be the complete exploration.
+            None => prop_assert_eq!(expl.states, total),
+        }
+        // The token is spent either way — the cancel fired.
+        prop_assert!(token.is_cancelled());
+    }
+
+    /// The explored-state count of a cap-bounded sequential exploration
+    /// is exactly `min(total, cap)` — and therefore monotone in the cap.
+    #[test]
+    fn capped_state_counts_are_monotone_in_the_budget(
+        c1 in 1usize..600,
+        c2 in 1usize..600,
+    ) {
+        let net = rings(9); // 512 states
+        let total = 512usize;
+        let (lo, hi) = (c1.min(c2), c1.max(c2));
+        let run = |cap: usize| {
+            let space = MarkingSpace::new(&net);
+            explore_with(&space, ExploreOptions::with_cap(cap)).unwrap()
+        };
+        let el = run(lo);
+        let eh = run(hi);
+        prop_assert_eq!(el.states, total.min(lo));
+        prop_assert_eq!(eh.states, total.min(hi));
+        prop_assert!(el.states <= eh.states);
+        prop_assert_eq!(el.interrupted.is_some(), lo < total);
+        prop_assert_eq!(
+            el.cap_exceeded(),
+            lo < total,
+            "a sub-total cap must tag the partial result"
+        );
+    }
+}

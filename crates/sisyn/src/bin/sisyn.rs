@@ -59,7 +59,22 @@
 //!                      whole nearest candidate tier, ranks survivors by
 //!                      the cost model (literal delta + concurrency
 //!                      penalty) and oracles the best ones
+//!   --timeout DUR      wall-clock budget for the run's state-space
+//!                      oracles (reachability, violation search,
+//!                      conformance product, resolve's candidate search).
+//!                      DUR is `500ms`, `2s`, `1m` or a plain number of
+//!                      milliseconds. Past the deadline every traversal
+//!                      winds down gracefully and the run reports a
+//!                      *partial* verdict ("no violation in the N states
+//!                      explored") with exit code 3 — inconclusive, not
+//!                      failed. Ctrl-C (SIGINT) triggers the same graceful
+//!                      wind-down via a cooperative cancellation token.
 //! ```
+//!
+//! Exit codes: `0` success, `1` failure (violations found or a hard
+//! error), `2` usage, `3` inconclusive (the budget — cap, deadline or
+//! Ctrl-C — ran out before a definitive verdict; partial results are
+//! still reported).
 //!
 //! Every command drives one [`Engine`] session, so oracles that need the
 //! same artifact (the reachability graph, the structural context) compute
@@ -68,6 +83,47 @@
 use sisyn::prelude::*;
 use std::io::Read;
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// Exit code of an inconclusive run: the budget (state cap, `--timeout`
+/// deadline or Ctrl-C) ran out before a definitive verdict.
+const EXIT_INCONCLUSIVE: u8 = 3;
+
+/// The process-wide cancellation token cancelled by SIGINT (Ctrl-C):
+/// every oracle's budget carries a clone, so interrupting a long run
+/// winds explorations down gracefully into partial verdicts instead of
+/// killing the process mid-traversal.
+static INTERRUPT: std::sync::OnceLock<CancelToken> = std::sync::OnceLock::new();
+
+fn interrupt_token() -> &'static CancelToken {
+    INTERRUPT.get_or_init(CancelToken::new)
+}
+
+/// Installs the SIGINT handler (Unix only; elsewhere Ctrl-C keeps its
+/// default process-killing behaviour). The handler only flips the
+/// token's atomic flag — async-signal-safe by construction (no
+/// allocation, no locks; `main` initializes the token before installing).
+#[cfg(unix)]
+fn install_interrupt_handler() {
+    extern "C" fn on_sigint(_sig: i32) {
+        if let Some(token) = INTERRUPT.get() {
+            token.cancel();
+        }
+    }
+    const SIGINT: i32 = 2;
+    extern "C" {
+        // The C library's `signal(2)`: the environment has no `libc`
+        // crate, so declare the one symbol needed directly.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    interrupt_token(); // initialize before the handler can observe it
+    unsafe {
+        signal(SIGINT, on_sigint as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_interrupt_handler() {}
 
 struct Args {
     command: String,
@@ -87,13 +143,22 @@ struct Args {
     budget: usize,
     /// `--strategy`: candidate-selection strategy for `resolve`.
     strategy: Strategy,
+    /// `--timeout`: wall-clock budget for the run's state-space oracles.
+    timeout: Option<Duration>,
 }
 
 impl Args {
     /// The reachability options for an oracle whose default cap is
-    /// `default_cap` (overridden by `--cap`), sharded per `--shards`.
+    /// `default_cap` (overridden by `--cap`), sharded per `--shards`,
+    /// under the `--timeout` deadline and the SIGINT cancellation token.
     fn reach(&self, default_cap: usize) -> ReachOptions {
-        ReachOptions::with_cap(self.cap.unwrap_or(default_cap)).shards(self.shards)
+        let mut reach = ReachOptions::with_cap(self.cap.unwrap_or(default_cap))
+            .shards(self.shards)
+            .cancel(interrupt_token().clone());
+        if let Some(d) = self.timeout {
+            reach = reach.timeout(d);
+        }
+        reach
     }
 
     /// The synthesis options of this invocation.
@@ -119,9 +184,24 @@ fn usage() -> ExitCode {
         "usage: sisyn <check|synth|verify|resolve|dot> SPEC.g \
          [-o FILE] [--arch complex|excitation|per-region] [--stages 0..4|full] \
          [--minimizer espresso|exact|bdd|auto] [--json] [--waveform N] \
-         [--cap N] [--shards N|auto] [--budget N] [--strategy greedy|beam]"
+         [--cap N] [--shards N|auto] [--budget N] [--strategy greedy|beam] \
+         [--timeout DUR]"
     );
     ExitCode::from(2)
+}
+
+/// Parses a `--timeout` duration: `500ms`, `2s`, `1m` or a plain number
+/// of milliseconds.
+fn parse_duration(s: &str) -> Option<Duration> {
+    let digits = s.len() - s.trim_start_matches(|c: char| c.is_ascii_digit()).len();
+    let (num, unit) = s.split_at(digits);
+    let n: u64 = num.parse().ok()?;
+    match unit {
+        "" | "ms" => Some(Duration::from_millis(n)),
+        "s" => Some(Duration::from_secs(n)),
+        "m" => Some(Duration::from_secs(n.checked_mul(60)?)),
+        _ => None,
+    }
 }
 
 fn parse_args() -> Result<Args, ExitCode> {
@@ -138,6 +218,7 @@ fn parse_args() -> Result<Args, ExitCode> {
     let mut shards = 1usize;
     let mut budget = 100_000usize;
     let mut strategy = Strategy::Greedy;
+    let mut timeout = None;
     while let Some(a) = argv.next() {
         match a.as_str() {
             "-o" => output = Some(argv.next().ok_or_else(usage)?),
@@ -213,6 +294,13 @@ fn parse_args() -> Result<Args, ExitCode> {
                     usage()
                 })?;
             }
+            "--timeout" => {
+                let v = argv.next().ok_or_else(usage)?;
+                timeout = Some(parse_duration(&v).ok_or_else(|| {
+                    eprintln!("bad --timeout {v:?} (expected e.g. 500ms, 2s, 1m)");
+                    usage()
+                })?);
+            }
             _ if input.is_none() => input = Some(a),
             other => {
                 eprintln!("unexpected argument {other:?}");
@@ -233,6 +321,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         shards,
         budget,
         strategy,
+        timeout,
     })
 }
 
@@ -287,7 +376,48 @@ fn json_str(s: &str) -> String {
     out
 }
 
+/// A structured `--json` error object: a stable machine-readable kind, a
+/// human-readable detail, and how far the exploration got before
+/// stopping (0 when no state space was involved).
+fn error_json(kind: &str, detail: &str, states_explored: usize) -> String {
+    format!(
+        "{{\"kind\": {}, \"detail\": {}, \"states_explored\": {}}}",
+        json_str(kind),
+        json_str(detail),
+        states_explored
+    )
+}
+
+/// The structured error object of a [`ReachError`]. The kind vocabulary
+/// matches [`InterruptReason`]'s stable identifiers (`cap-exceeded`,
+/// `deadline-expired`, `cancelled`, `memory-exhausted`) plus `not-safe`
+/// and `worker-panicked`.
+fn reach_error_json(e: &ReachError) -> String {
+    let (kind, states) = match e {
+        ReachError::StateCapExceeded { cap } => (InterruptReason::CapExceeded.as_str(), *cap),
+        ReachError::Interrupted {
+            reason,
+            states_explored,
+        } => (reason.as_str(), *states_explored),
+        ReachError::WorkerPanicked { .. } => ("worker-panicked", 0),
+        ReachError::NotSafe { .. } => ("not-safe", 0),
+    };
+    error_json(kind, &e.to_string(), states)
+}
+
+/// Exit code for a [`ReachError`]: inconclusive budget exhaustion gets
+/// its own code so scripts can tell "the circuit is broken" from "the
+/// analysis ran out of budget".
+fn reach_error_exit(e: &ReachError) -> ExitCode {
+    if e.is_inconclusive() {
+        ExitCode::from(EXIT_INCONCLUSIVE)
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
+    install_interrupt_handler();
     let args = match parse_args() {
         Ok(a) => a,
         Err(code) => return code,
@@ -348,6 +478,13 @@ fn cmd_check(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
              structural flow does not need the state graph; pass a larger \
              `--cap N` for exact counts, and `--shards auto` to explore \
              big state spaces in parallel)"
+        ),
+        Err(ReachError::Interrupted {
+            reason,
+            states_explored,
+        }) => println!(
+            "reachable markings: >= {states_explored} (count interrupted: \
+             {reason} — the structural flow does not need the state graph)"
         ),
         Err(e) => {
             println!("reachability: FAILED ({e})");
@@ -437,11 +574,19 @@ fn cmd_synth(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
                 println!(
                     "{{\"command\": \"synth\", \"ok\": false, \"model\": {}, \"error\": {}}}",
                     json_str(stg.name()),
-                    json_str(&e.to_string()),
+                    error_json(synthesis_error_kind(&e), &e.to_string(), 0),
                 );
             }
             ExitCode::FAILURE
         }
+    }
+}
+
+/// The stable machine-readable kind of a synthesis error.
+fn synthesis_error_kind(e: &sisyn::core::SynthesisError) -> &'static str {
+    match e {
+        sisyn::core::SynthesisError::WorkerPanicked { .. } => "worker-panicked",
+        _ => "synthesis-failed",
     }
 }
 
@@ -457,7 +602,7 @@ fn cmd_verify(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
                 println!(
                     "{{\"command\": \"verify\", \"ok\": false, \"model\": {}, \"error\": {}}}",
                     json_str(stg.name()),
-                    json_str(&e.to_string()),
+                    error_json(synthesis_error_kind(&e), &e.to_string(), 0),
                 );
             }
             return ExitCode::FAILURE;
@@ -466,28 +611,56 @@ fn cmd_verify(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
     let functional = match engine.verify(&syn.circuit) {
         Ok(report) => report,
         Err(e) => {
-            eprintln!(
-                "verification inconclusive: {e} — state-based \
-                 verification needs the full reachability graph; pass a \
-                 larger `--cap N` to raise the cap (and `--shards auto` \
-                 to build the graph in parallel)"
-            );
+            if e.is_inconclusive() {
+                eprintln!(
+                    "verification inconclusive: {e} — state-based \
+                     verification needs the full reachability graph; pass \
+                     a larger `--cap N` / `--timeout DUR` to raise the \
+                     budget (and `--shards auto` to build the graph in \
+                     parallel)"
+                );
+            } else {
+                eprintln!("verification failed: {e}");
+            }
             if args.json {
                 println!(
-                    "{{\"command\": \"verify\", \"ok\": false, \"model\": {}, \"error\": {}}}",
+                    "{{\"command\": \"verify\", \"ok\": false, \
+                     \"inconclusive\": {}, \"model\": {}, \"error\": {}}}",
+                    e.is_inconclusive(),
                     json_str(stg.name()),
-                    json_str(&e.to_string()),
+                    reach_error_json(&e),
                 );
             }
-            return ExitCode::FAILURE;
+            return reach_error_exit(&e);
         }
     };
-    let conformance = engine.check_conformance(&syn.circuit);
+    let conformance = match engine.check_conformance(&syn.circuit) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("conformance check failed: {e}");
+            if args.json {
+                println!(
+                    "{{\"command\": \"verify\", \"ok\": false, \
+                     \"inconclusive\": {}, \"model\": {}, \"error\": {}}}",
+                    e.is_inconclusive(),
+                    json_str(stg.name()),
+                    reach_error_json(&e),
+                );
+            }
+            return reach_error_exit(&e);
+        }
+    };
     let sim = random_walks(stg, &syn.circuit, 4, 4000, 7);
+    let verdict = |ok: bool, conclusive: bool| match (ok, conclusive) {
+        (false, _) => "FAILED",
+        (true, true) => "OK",
+        (true, false) => "OK so far (partial)",
+    };
     let summary = format!(
-        "functional+monotonic: {} | conformance: {} ({} states) | random walks: {}",
-        if functional.is_ok() { "OK" } else { "FAILED" },
-        if conformance.is_ok() { "OK" } else { "FAILED" },
+        "functional+monotonic: {} ({} states) | conformance: {} ({} states) | random walks: {}",
+        verdict(functional.is_ok(), functional.is_conclusive()),
+        functional.states_checked,
+        verdict(conformance.is_ok(), conformance.is_conclusive()),
         conformance.states_explored,
         if sim.is_clean() { "OK" } else { "FAILED" },
     );
@@ -497,16 +670,25 @@ fn cmd_verify(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
     } else {
         println!("{summary}");
     }
-    // The product exploration is capped like every other oracle: name the
-    // flags that raise/parallelize it instead of leaving an opaque FAILED.
-    if conformance
-        .failures
-        .contains(&ConformanceFailure::StateCapExceeded)
-    {
+    // Partial verdicts: the budget (cap / --timeout / Ctrl-C) stopped an
+    // exploration early. Name what ran out and how far the check got —
+    // "no violation in the N states explored" is a verdict about a
+    // prefix, not the whole space.
+    if let Some(i) = functional.interrupted {
         eprintln!(
-            "conformance inconclusive: the spec×circuit product exploration \
-             hit the state cap — pass a larger `--cap N` to raise it (and \
-             `--shards auto` to explore the product in parallel)"
+            "functional verification inconclusive ({}): no violation in \
+             the {} states explored — raise `--timeout DUR` for a \
+             definitive verdict",
+            i.reason, i.states_explored
+        );
+    }
+    if let Some(i) = conformance.interrupted {
+        eprintln!(
+            "conformance inconclusive ({}): no failure in the {} product \
+             states explored — pass a larger `--cap N` / `--timeout DUR` \
+             to raise the budget (and `--shards auto` to explore the \
+             product in parallel)",
+            i.reason, i.states_explored
         );
     }
     // A failing check comes with a firing-sequence counterexample from the
@@ -523,7 +705,9 @@ fn cmd_verify(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
             names.join(" ")
         );
     }
-    let ok = functional.is_ok() && conformance.is_ok() && sim.is_clean();
+    let failed = !functional.is_ok() || !conformance.is_ok() || !sim.is_clean();
+    let inconclusive = !functional.is_conclusive() || !conformance.is_conclusive();
+    let ok = !failed && !inconclusive;
     if args.json {
         let trace_json = match trace {
             None => "null".to_string(),
@@ -536,12 +720,13 @@ fn cmd_verify(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
             ),
         };
         println!(
-            "{{\"command\": \"verify\", \"ok\": {}, \"model\": {}, \
+            "{{\"command\": \"verify\", \"ok\": {}, \"inconclusive\": {}, \"model\": {}, \
              \"functional_ok\": {}, \"violations\": {}, \"states_checked\": {}, \
              \"conformance_ok\": {}, \"conformance_failures\": {}, \
              \"states_explored\": {}, \"trace\": {}, \"random_walks_ok\": {}, \
              \"literal_area\": {}, \"minimizer\": {}}}",
             ok,
+            inconclusive,
             json_str(stg.name()),
             functional.is_ok(),
             functional.violations.len(),
@@ -555,24 +740,37 @@ fn cmd_verify(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
             json_str(args.minimizer.name()),
         );
     }
-    if ok {
-        ExitCode::SUCCESS
-    } else {
+    if failed {
         ExitCode::FAILURE
+    } else if inconclusive {
+        ExitCode::from(EXIT_INCONCLUSIVE)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
 /// The per-candidate search statistics as a JSON object fragment.
 fn stats_json(stats: &ResolveStats) -> String {
+    let interrupted = match stats.interrupted {
+        None => "null".to_string(),
+        Some(i) => format!(
+            "{{\"reason\": {}, \"candidates_evaluated\": {}}}",
+            json_str(i.reason.as_str()),
+            i.states_explored
+        ),
+    };
     format!(
         "{{\"strategy\": {}, \"cores\": {}, \"candidates_generated\": {}, \
          \"candidates_evaluated\": {}, \"candidates_rejected\": {}, \
-         \"oracle_calls\": {}, \"oracle_rejected\": {}, \"wall_ms\": {:.3}}}",
+         \"candidates_panicked\": {}, \"oracle_calls\": {}, \
+         \"oracle_rejected\": {}, \"interrupted\": {interrupted}, \
+         \"wall_ms\": {:.3}}}",
         json_str(stats.strategy.name()),
         stats.cores,
         stats.generated,
         stats.evaluated,
         stats.rejected,
+        stats.panicked,
         stats.oracle_calls,
         stats.oracle_rejected,
         stats.wall_ms,
@@ -650,17 +848,44 @@ fn cmd_resolve(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
             ExitCode::SUCCESS
         }
         None => {
-            eprintln!("no single-signal insertion found within budget");
+            let (kind, detail) = match stats.interrupted {
+                Some(i) => {
+                    eprintln!(
+                        "search interrupted ({}): no resolution among the \
+                         {} candidate(s) evaluated before the budget ran \
+                         out — raise `--timeout DUR` (or don't Ctrl-C) \
+                         for a definitive answer",
+                        i.reason, i.states_explored
+                    );
+                    (
+                        i.reason.as_str(),
+                        "candidate search interrupted before a resolution was found",
+                    )
+                }
+                None => {
+                    eprintln!("no single-signal insertion found within budget");
+                    (
+                        "no-resolution",
+                        "no single-signal insertion found within budget",
+                    )
+                }
+            };
             if args.json {
                 println!(
-                    "{{\"command\": \"resolve\", \"ok\": false, \"model\": {}, \
-                     \"error\": \"no single-signal insertion found within budget\", \
+                    "{{\"command\": \"resolve\", \"ok\": false, \
+                     \"inconclusive\": {}, \"model\": {}, \"error\": {}, \
                      \"stats\": {}}}",
+                    stats.interrupted.is_some(),
                     json_str(stg.name()),
+                    error_json(kind, detail, stats.evaluated),
                     stats_json(stats),
                 );
             }
-            ExitCode::FAILURE
+            if stats.interrupted.is_some() {
+                ExitCode::from(EXIT_INCONCLUSIVE)
+            } else {
+                ExitCode::FAILURE
+            }
         }
     }
 }

@@ -25,8 +25,10 @@
 
 use si_boolean::Cover;
 use si_core::{Circuit, ImplKind};
-use si_petri::space::{explore_with, ExploreOptions, SpaceVisitor, StateSpace, Verdict};
-use si_petri::{ReachabilityGraph, StateId, TransId};
+use si_petri::space::{
+    explore_with, ExploreError, ExploreOptions, SpaceVisitor, StateSpace, Verdict,
+};
+use si_petri::{Interrupt, ReachabilityGraph, StateId, TransId};
 use si_stg::{SignalId, StateEncoding, Stg};
 
 /// One verification failure.
@@ -98,12 +100,25 @@ pub struct VerificationReport {
     /// Counterexample: a firing sequence from the initial marking to
     /// `violations[0].at_state()` (`None` when the circuit verifies).
     pub trace: Option<Vec<TransId>>,
+    /// `Some` when the violation search was stopped early by the budget
+    /// (wall-clock deadline or cancellation): the verdict is **partial** —
+    /// every reported violation is real, but a clean report only means "no
+    /// violation in the `states_checked` states explored".
+    pub interrupted: Option<Interrupt>,
 }
 
 impl VerificationReport {
-    /// `true` when no violations were found.
+    /// `true` when no violations were found. For an interrupted search
+    /// this only covers the explored prefix — gate on
+    /// [`VerificationReport::is_conclusive`] for a definitive verdict.
     pub fn is_ok(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// `true` when the search ran to completion (the verdict covers the
+    /// whole state space, not just an explored prefix).
+    pub fn is_conclusive(&self) -> bool {
+        self.interrupted.is_none()
     }
 }
 
@@ -187,21 +202,56 @@ pub fn verify_circuit_on_with(
     enc: &StateEncoding,
     shards: usize,
 ) -> VerificationReport {
+    verify_circuit_on_opts(
+        stg,
+        circuit,
+        rg,
+        enc,
+        &si_petri::ReachOptions::with_cap(usize::MAX).shards(shards),
+    )
+    .expect("an ungoverned verify walk cannot fail")
+}
+
+/// The full-control form of [`verify_circuit_on`]: the violation search
+/// over the prebuilt graph runs under `reach`'s shard count **and** soft
+/// budget (deadline, cancellation) — exhausting a soft limit returns a
+/// partial report tagged [`VerificationReport::interrupted`] instead of
+/// aborting. The budget's state *cap* is ignored here: the walk is
+/// bounded by the graph, whose construction the cap already governed.
+///
+/// # Errors
+///
+/// [`si_petri::ReachError::WorkerPanicked`] when a sharded explorer
+/// worker panicked (only observable with fault injection or a broken
+/// space — panics are isolated per worker and surface structurally).
+pub fn verify_circuit_on_opts(
+    stg: &Stg,
+    circuit: &Circuit,
+    rg: &ReachabilityGraph,
+    enc: &StateEncoding,
+    reach: &si_petri::ReachOptions,
+) -> Result<VerificationReport, si_petri::ReachError> {
     let space = VerifySpace::new(stg, circuit, rg, enc);
-    let opts = ExploreOptions::with_cap(usize::MAX)
-        .shards(shards)
-        .witness();
-    let mut expl = explore_with(&space, opts).expect("the verify space has no fatal violations");
+    let mut opts = ExploreOptions::from(reach).witness();
+    opts.budget.cap = usize::MAX;
+    let mut expl = match explore_with(&space, opts) {
+        Ok(expl) => expl,
+        Err(ExploreError::WorkerPanicked { shard, message }) => {
+            return Err(si_petri::ReachError::WorkerPanicked { shard, message })
+        }
+        Err(ExploreError::Fatal(_)) => unreachable!("the verify space has no fatal violations"),
+    };
     let mut tagged = std::mem::take(&mut expl.violations);
     tagged.sort_by_key(|(_, v)| v.sort_key());
     let trace = tagged
         .first()
         .map(|&(gid, _)| expl.witness(gid).into_iter().map(TransId).collect());
-    VerificationReport {
+    Ok(VerificationReport {
         violations: tagged.into_iter().map(|(_, v)| v).collect(),
-        states_checked: rg.state_count(),
+        states_checked: expl.states,
         trace,
-    }
+        interrupted: expl.interrupt(),
+    })
 }
 
 /// The speed-independence verification space: packed states are

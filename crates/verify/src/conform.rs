@@ -29,8 +29,8 @@
 
 use si_boolean::Bits;
 use si_core::Circuit;
-use si_petri::space::{explore_with, ExploreOptions, SpaceVisitor, StateSpace};
-use si_petri::{FiringView, TransId};
+use si_petri::space::{explore_with, ExploreError, ExploreOptions, SpaceVisitor, StateSpace};
+use si_petri::{FiringView, Interrupt, InterruptReason, ReachError, TransId};
 use si_stg::{SignalId, SignalKind, Stg};
 
 /// A conformance failure discovered during product exploration.
@@ -55,8 +55,6 @@ pub enum ConformanceFailure {
         /// The starved transition.
         transition: TransId,
     },
-    /// The exploration hit the state cap (result inconclusive).
-    StateCapExceeded,
 }
 
 /// Result of [`check_conformance`].
@@ -68,15 +66,28 @@ pub struct ConformanceReport {
     pub states_explored: usize,
     /// Counterexample: a firing sequence from the initial product state
     /// to the state at which `failures[0]` was observed (`None` when the
-    /// circuit conforms, or when the only "failure" is
-    /// [`ConformanceFailure::StateCapExceeded`]).
+    /// circuit conforms).
     pub trace: Option<Vec<TransId>>,
+    /// `Some` when the product exploration was stopped early by the
+    /// budget (state cap, wall-clock deadline, cancellation): the verdict
+    /// is **partial** — every reported failure is real, but a clean
+    /// report only means "no failure in the `states_explored` product
+    /// states explored".
+    pub interrupted: Option<Interrupt>,
 }
 
 impl ConformanceReport {
-    /// `true` when the circuit conforms and is hazard-free.
+    /// `true` when no failure was found. For an interrupted exploration
+    /// this only covers the explored prefix — gate on
+    /// [`ConformanceReport::is_conclusive`] for a definitive verdict.
     pub fn is_ok(&self) -> bool {
         self.failures.is_empty()
+    }
+
+    /// `true` when the exploration ran to completion (the verdict covers
+    /// the whole product, not just an explored prefix).
+    pub fn is_conclusive(&self) -> bool {
+        self.interrupted.is_none()
     }
 }
 
@@ -86,58 +97,81 @@ const ENOUGH_EVIDENCE: usize = 8;
 
 /// Exhaustively explores the circuit × environment product up to `cap`
 /// states.
-pub fn check_conformance(stg: &Stg, circuit: &Circuit, cap: usize) -> ConformanceReport {
+///
+/// # Errors
+///
+/// See [`check_conformance_with`].
+pub fn check_conformance(
+    stg: &Stg,
+    circuit: &Circuit,
+    cap: usize,
+) -> Result<ConformanceReport, ReachError> {
     check_conformance_with(stg, circuit, si_petri::ReachOptions::with_cap(cap))
 }
 
 /// Like [`check_conformance`] but with explicit [`si_petri::ReachOptions`]:
-/// `reach.cap` bounds the product exploration and `reach.shards > 1` runs
-/// **both** the specification's reachability probe (which seeds the initial
-/// wire encoding) and the product exploration itself on the sharded
-/// multi-threaded explorer. The verdict is identical at any shard count.
+/// the budget (state cap, deadline, cancellation) bounds the product
+/// exploration and `reach.shards > 1` runs **both** the specification's
+/// reachability probe (which seeds the initial wire encoding) and the
+/// product exploration itself on the sharded multi-threaded explorer. The
+/// verdict is identical at any shard count.
 ///
-/// The probe keeps at least the historical 4M-state headroom so a small
-/// product cap still allows partial product exploration; if even that is
-/// exceeded the report carries
-/// [`ConformanceFailure::StateCapExceeded`] instead of panicking. This is a
-/// one-shot wrapper over [`si_core::Engine`]; pipelines that also verify
-/// should hold an `Engine` and call
-/// [`crate::EngineVerify::check_conformance`] so the probe graph is shared.
+/// Exhausting the budget is **not** an error: the report comes back
+/// partial, tagged [`ConformanceReport::interrupted`]. The probe keeps at
+/// least the historical 4M-state headroom so a small product cap still
+/// allows partial product exploration; only past that does the report turn
+/// inconclusive with zero product states. This is a one-shot wrapper over
+/// [`si_core::Engine`]; pipelines that also verify should hold an `Engine`
+/// and call [`crate::EngineVerify::check_conformance`] so the probe graph
+/// is shared.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the specification's net is not safe (callers verify
-/// synthesizable inputs, which always are) — an unsafe net is a broken
-/// specification, not an inconclusive exploration.
+/// [`ReachError::NotSafe`] when the specification's net is unsafe (a
+/// broken specification, not an inconclusive exploration), and
+/// [`ReachError::WorkerPanicked`] when a sharded explorer worker panicked.
 pub fn check_conformance_with(
     stg: &Stg,
     circuit: &Circuit,
     reach: si_petri::ReachOptions,
-) -> ConformanceReport {
-    let probe_opts = si_petri::ReachOptions {
-        cap: reach.cap.max(4_000_000),
-        shards: reach.shards,
-    };
+) -> Result<ConformanceReport, ReachError> {
+    let mut probe_opts = reach.clone();
+    probe_opts.budget.cap = reach.budget.cap.max(4_000_000);
     let engine = si_core::Engine::new(stg).reach(probe_opts);
     engine_conformance(&engine, circuit, reach)
 }
 
+/// A zero-progress inconclusive report: the specification probe itself ran
+/// out of budget, so not a single product state was explored.
+fn probe_exhausted(reason: InterruptReason) -> ConformanceReport {
+    ConformanceReport {
+        failures: Vec::new(),
+        states_explored: 0,
+        trace: None,
+        interrupted: Some(Interrupt {
+            reason,
+            states_explored: 0,
+        }),
+    }
+}
+
 /// Conformance over an [`si_core::Engine`]'s cached probe graph: the
 /// engine supplies the reachability graph and encoding that seed the
-/// initial wire values; `reach.cap` bounds the product exploration itself
-/// and `reach.shards` parallelizes it.
+/// initial wire values; `reach`'s budget bounds the product exploration
+/// itself and `reach.shards` parallelizes it.
 ///
 /// When the session's cap is too small for the specification, the probe
 /// falls back to a **one-shot** graph at the historical 4M-state headroom
 /// (without touching the session cache), so a small product cap still
 /// allows partial product exploration — the same contract as
-/// [`check_conformance_with`]. Only past that headroom does the report
-/// carry [`ConformanceFailure::StateCapExceeded`].
+/// [`check_conformance_with`]. Only past that headroom (or when the
+/// probe's deadline/cancellation fires first) does the report turn
+/// inconclusive with zero product states.
 pub(crate) fn engine_conformance(
     engine: &si_core::Engine<'_>,
     circuit: &Circuit,
     reach: si_petri::ReachOptions,
-) -> ConformanceReport {
+) -> Result<ConformanceReport, ReachError> {
     let stg = engine.stg();
     let code0 = match engine.reachability() {
         Ok(rg) => {
@@ -147,14 +181,10 @@ pub(crate) fn engine_conformance(
                 .expect("initial state");
             enc.code(s0).clone()
         }
-        Err(si_petri::ReachError::StateCapExceeded { cap: session_cap })
-            if session_cap < 4_000_000 =>
-        {
+        Err(ReachError::StateCapExceeded { cap: session_cap }) if session_cap < 4_000_000 => {
             // Probe-headroom fallback, outside the session cache.
-            let probe = si_petri::ReachOptions {
-                cap: 4_000_000,
-                shards: engine.reach_options().shards,
-            };
+            let mut probe = engine.reach_options();
+            probe.budget.cap = 4_000_000;
             match si_petri::ReachabilityGraph::build_with(stg.net(), probe) {
                 Ok(rg) => {
                     let enc = si_stg::StateEncoding::compute(stg, &rg).expect("consistent");
@@ -163,28 +193,18 @@ pub(crate) fn engine_conformance(
                         .expect("initial state");
                     enc.code(s0).clone()
                 }
-                Err(si_petri::ReachError::StateCapExceeded { .. }) => {
-                    return ConformanceReport {
-                        failures: vec![ConformanceFailure::StateCapExceeded],
-                        states_explored: 0,
-                        trace: None,
-                    };
+                Err(ReachError::StateCapExceeded { .. }) => {
+                    return Ok(probe_exhausted(InterruptReason::CapExceeded))
                 }
-                Err(e @ si_petri::ReachError::NotSafe { .. }) => {
-                    panic!("conformance check on a non-safe specification: {e}")
-                }
+                Err(ReachError::Interrupted { reason, .. }) => return Ok(probe_exhausted(reason)),
+                Err(e) => return Err(e),
             }
         }
-        Err(si_petri::ReachError::StateCapExceeded { .. }) => {
-            return ConformanceReport {
-                failures: vec![ConformanceFailure::StateCapExceeded],
-                states_explored: 0,
-                trace: None,
-            };
+        Err(ReachError::StateCapExceeded { .. }) => {
+            return Ok(probe_exhausted(InterruptReason::CapExceeded))
         }
-        Err(e @ si_petri::ReachError::NotSafe { .. }) => {
-            panic!("conformance check on a non-safe specification: {e}")
-        }
+        Err(ReachError::Interrupted { reason, .. }) => return Ok(probe_exhausted(reason)),
+        Err(e) => return Err(e),
     };
     explore_product(stg, circuit, code0, reach)
 }
@@ -196,26 +216,28 @@ fn explore_product(
     circuit: &Circuit,
     code0: Bits,
     reach: si_petri::ReachOptions,
-) -> ConformanceReport {
+) -> Result<ConformanceReport, ReachError> {
     let space = ProductSpace::new(stg, circuit, code0);
     let opts = ExploreOptions::from(reach)
         .max_violations(ENOUGH_EVIDENCE)
         .witness();
-    let expl = explore_with(&space, opts).expect("the product space has no fatal violations");
+    let expl = match explore_with(&space, opts) {
+        Ok(expl) => expl,
+        Err(ExploreError::WorkerPanicked { shard, message }) => {
+            return Err(ReachError::WorkerPanicked { shard, message })
+        }
+        Err(ExploreError::Fatal(_)) => unreachable!("the product space has no fatal violations"),
+    };
     let trace = expl
         .violations
         .first()
         .map(|&(gid, _)| expl.witness(gid).into_iter().map(TransId).collect());
-    let mut failures: Vec<ConformanceFailure> =
-        expl.violations.into_iter().map(|(_, v)| v).collect();
-    if expl.cap_exceeded {
-        failures.push(ConformanceFailure::StateCapExceeded);
-    }
-    ConformanceReport {
-        failures,
+    Ok(ConformanceReport {
+        interrupted: expl.interrupt(),
         states_explored: expl.states,
+        failures: expl.violations.into_iter().map(|(_, v)| v).collect(),
         trace,
-    }
+    })
 }
 
 /// What the product space needs to know about one STG transition.
@@ -416,13 +438,14 @@ mod tests {
             si_stg::generators::clatch(3),
         ] {
             let syn = synthesize(&stg, &SynthesisOptions::default()).unwrap();
-            let report = check_conformance(&stg, &syn.circuit, 1_000_000);
+            let report = check_conformance(&stg, &syn.circuit, 1_000_000).unwrap();
             assert!(
                 report.is_ok(),
                 "{}: {:?}",
                 stg.name(),
                 &report.failures[..report.failures.len().min(3)]
             );
+            assert!(report.is_conclusive());
             assert!(report.trace.is_none());
         }
     }
@@ -439,7 +462,7 @@ mod tests {
                 inverted: false,
             },
         };
-        let report = check_conformance(&stg, &syn.circuit, 100_000);
+        let report = check_conformance(&stg, &syn.circuit, 100_000).unwrap();
         assert!(!report.is_ok());
         assert!(report.trace.is_some());
     }
@@ -464,7 +487,8 @@ mod tests {
                 &stg,
                 &syn.circuit,
                 si_petri::ReachOptions::with_cap(100_000).shards(shards),
-            );
+            )
+            .unwrap();
             assert!(!report.is_ok());
             let trace = report.trace.as_ref().expect("failures come with a trace");
             let net = stg.net();

@@ -6,7 +6,7 @@
 //! import [`EngineVerify`] (it is in `sisyn::prelude`) and the whole flow
 //! reads as methods on one session object.
 
-use crate::check::{verify_circuit_on_with, VerificationReport};
+use crate::check::{verify_circuit_on_opts, VerificationReport};
 use crate::conform::{engine_conformance, ConformanceReport};
 use si_core::{Circuit, Engine};
 use si_petri::ReachError;
@@ -28,7 +28,7 @@ use si_petri::ReachError;
 /// let engine = Engine::new(&stg);
 /// let syn = engine.synthesize()?;
 /// assert!(engine.verify(&syn.circuit)?.is_ok());
-/// assert!(engine.check_conformance(&syn.circuit).is_ok());
+/// assert!(engine.check_conformance(&syn.circuit)?.is_ok());
 /// assert_eq!(engine.reach_build_count(), 1); // graph shared by both checks
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -36,39 +36,43 @@ pub trait EngineVerify {
     /// Functional + monotonic-cover verification
     /// ([`crate::verify_circuit_with`] semantics) over the cached graph.
     /// The violation search runs on the session's configured shard count
-    /// (`Engine::shards`); the report is identical at any.
+    /// (`Engine::shards`) under the session's soft budget (deadline /
+    /// cancellation — an interrupted search returns a partial report
+    /// tagged [`VerificationReport::interrupted`]); the report is
+    /// identical at any shard count.
     ///
     /// # Errors
     ///
-    /// Any [`ReachError`] from building the session's reachability graph.
+    /// Any [`ReachError`] from building the session's reachability graph
+    /// — including [`ReachError::Interrupted`] when the budget ran out
+    /// mid-build — or [`ReachError::WorkerPanicked`] from the search.
     fn verify(&self, circuit: &Circuit) -> Result<VerificationReport, ReachError>;
 
     /// Product-automaton conformance checking
-    /// ([`crate::check_conformance_with`] semantics). The session's cap
-    /// bounds the product exploration and the session's shard count
-    /// parallelizes it; the probe graph falls back to the
-    /// historical 4M-state headroom (one-shot, outside the session cache)
-    /// when the session cap is too small for the specification, so a
-    /// small cap still allows partial product exploration. Past that,
-    /// overflow surfaces as
-    /// [`crate::ConformanceFailure::StateCapExceeded`] in the report.
-    fn check_conformance(&self, circuit: &Circuit) -> ConformanceReport;
+    /// ([`crate::check_conformance_with`] semantics). The session's
+    /// budget bounds the product exploration (exhausting it returns a
+    /// partial report tagged [`ConformanceReport::interrupted`], not an
+    /// error) and the session's shard count parallelizes it; the probe
+    /// graph falls back to the historical 4M-state headroom (one-shot,
+    /// outside the session cache) when the session cap is too small for
+    /// the specification, so a small cap still allows partial product
+    /// exploration.
+    ///
+    /// # Errors
+    ///
+    /// [`ReachError::NotSafe`] on a broken specification and
+    /// [`ReachError::WorkerPanicked`] from the exploration.
+    fn check_conformance(&self, circuit: &Circuit) -> Result<ConformanceReport, ReachError>;
 }
 
 impl EngineVerify for Engine<'_> {
     fn verify(&self, circuit: &Circuit) -> Result<VerificationReport, ReachError> {
         let rg = self.reachability()?;
         let enc = self.encoding()?;
-        Ok(verify_circuit_on_with(
-            self.stg(),
-            circuit,
-            rg,
-            enc,
-            self.reach_options().shards,
-        ))
+        verify_circuit_on_opts(self.stg(), circuit, rg, enc, &self.reach_options())
     }
 
-    fn check_conformance(&self, circuit: &Circuit) -> ConformanceReport {
+    fn check_conformance(&self, circuit: &Circuit) -> Result<ConformanceReport, ReachError> {
         engine_conformance(self, circuit, self.reach_options())
     }
 }

@@ -35,7 +35,7 @@
 //! let engine = Engine::new(&stg);
 //! let syn = engine.synthesize()?;
 //! assert!(engine.verify(&syn.circuit)?.is_ok());
-//! assert!(engine.check_conformance(&syn.circuit).is_ok());
+//! assert!(engine.check_conformance(&syn.circuit)?.is_ok());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
@@ -51,8 +51,8 @@ mod engine_ext;
 mod sim;
 
 pub use check::{
-    verify_circuit, verify_circuit_on, verify_circuit_on_with, verify_circuit_with,
-    VerificationReport, Violation,
+    verify_circuit, verify_circuit_on, verify_circuit_on_opts, verify_circuit_on_with,
+    verify_circuit_with, VerificationReport, Violation,
 };
 pub use conform::{
     check_conformance, check_conformance_with, ConformanceFailure, ConformanceReport,

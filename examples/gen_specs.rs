@@ -1,0 +1,36 @@
+//! Writes a generator STG to a `.g` file — the bridge between the
+//! programmatic benchmark families and the `sisyn` CLI, used by the CI
+//! timeout-smoke step to materialize a spec whose state space (2^(n+1)
+//! for `clatch`) is far too large to verify within a tiny `--timeout`.
+//!
+//! Run with:
+//! `cargo run --release --example gen_specs -- clatch 20 /tmp/clatch20.g`
+
+use sisyn::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let (family, n, out) = match (args.next(), args.next(), args.next()) {
+        (Some(f), Some(n), Some(o)) => (f, n.parse::<usize>()?, o),
+        _ => {
+            eprintln!("usage: gen_specs <clatch|muller|sequencer> N OUT.g");
+            std::process::exit(2);
+        }
+    };
+    let stg = match family.as_str() {
+        "clatch" => sisyn::stg::generators::clatch(n),
+        "muller" => sisyn::stg::generators::muller_pipeline(n),
+        "sequencer" => sisyn::stg::generators::sequencer(n),
+        other => {
+            eprintln!("unknown family {other:?} (expected clatch, muller or sequencer)");
+            std::process::exit(2);
+        }
+    };
+    std::fs::write(&out, write_g(&stg))?;
+    eprintln!(
+        "wrote {} ({} signals) to {out}",
+        stg.name(),
+        stg.signal_count()
+    );
+    Ok(())
+}

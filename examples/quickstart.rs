@@ -91,7 +91,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 5. Verify speed independence against the specification — both
     //    checks run over the session's cached reachability graph.
     let report = engine.verify(&syn.circuit)?;
-    let conform = engine.check_conformance(&syn.circuit);
+    let conform = engine.check_conformance(&syn.circuit)?;
     println!(
         "\nverification: functional+monotonic {}, conformance {} ({} product states)",
         if report.is_ok() { "OK" } else { "FAILED" },

@@ -24,7 +24,7 @@ fn pipeline_builds_the_reachability_graph_exactly_once() {
 
     let functional = engine.verify(&syn.circuit).expect("within cap");
     assert!(functional.is_ok());
-    let conformance = engine.check_conformance(&syn.circuit);
+    let conformance = engine.check_conformance(&syn.circuit).expect("within cap");
     assert!(conformance.is_ok());
     let baseline = engine
         .synthesize_state_based(BaselineFlavor::ExcitationExact)

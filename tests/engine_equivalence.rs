@@ -66,8 +66,8 @@ fn engine_verification_bit_identical_to_free_function() {
         assert_eq!(via_engine.violations, via_free.violations, "{}", stg.name());
         assert_eq!(via_engine.states_checked, via_free.states_checked);
 
-        let conf_engine = engine.check_conformance(&syn.circuit);
-        let conf_free = check_conformance(&stg, &syn.circuit, 4_000_000);
+        let conf_engine = engine.check_conformance(&syn.circuit).unwrap();
+        let conf_free = check_conformance(&stg, &syn.circuit, 4_000_000).unwrap();
         assert_eq!(conf_engine.failures, conf_free.failures, "{}", stg.name());
         assert_eq!(conf_engine.states_explored, conf_free.states_explored);
     }
@@ -78,18 +78,26 @@ fn engine_conformance_keeps_probe_headroom_under_small_caps() {
     // A session cap smaller than the specification's state space must not
     // blind the conformance check: like the free function, the probe
     // falls back to the 4M headroom and the product is explored up to the
-    // session cap (partial, ending in StateCapExceeded) instead of
-    // returning an empty inconclusive report.
+    // session cap (partial, tagged `interrupted` with a cap-exceeded
+    // reason) instead of returning an empty inconclusive report.
     let stg = sisyn::stg::generators::clatch(5); // 64 states
     let full = Engine::new(&stg);
     let syn = full.synthesize().unwrap();
 
     let small = Engine::new(&stg).cap(10);
-    let via_engine = small.check_conformance(&syn.circuit);
-    let via_free = check_conformance(&stg, &syn.circuit, 10);
+    let via_engine = small.check_conformance(&syn.circuit).unwrap();
+    let via_free = check_conformance(&stg, &syn.circuit, 10).unwrap();
     assert_eq!(via_engine.failures, via_free.failures);
     assert_eq!(via_engine.states_explored, via_free.states_explored);
     assert!(via_engine.states_explored > 0, "probe fallback must run");
+    assert!(
+        !via_engine.is_conclusive(),
+        "a capped product exploration is a partial verdict"
+    );
+    assert_eq!(
+        via_engine.interrupted.map(|i| i.reason),
+        Some(InterruptReason::CapExceeded)
+    );
     // The session cache stays at the session cap: reachability still fails.
     assert!(small.reachability().is_err());
     assert_eq!(small.reach_build_count(), 0); // failed builds are not counted

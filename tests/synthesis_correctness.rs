@@ -38,7 +38,7 @@ fn structural_flow_verifies_everywhere() {
 fn structural_flow_is_conformant() {
     for stg in benchmarks::synthesizable_suite() {
         let syn = synthesize(&stg, &SynthesisOptions::default()).unwrap();
-        let conform = check_conformance(&stg, &syn.circuit, 2_000_000);
+        let conform = check_conformance(&stg, &syn.circuit, 2_000_000).unwrap();
         assert!(
             conform.is_ok(),
             "{}: {:?}",

@@ -57,8 +57,8 @@ fn large_set_pipeline_identical_at_4_shards() {
 
         // Conformance: identical verdict and (conformant ⇒ exhaustive)
         // identical product size.
-        let c_seq = seq.check_conformance(&syn.circuit);
-        let c_par = par.check_conformance(&syn.circuit);
+        let c_seq = seq.check_conformance(&syn.circuit).unwrap();
+        let c_par = par.check_conformance(&syn.circuit).unwrap();
         assert_eq!(c_seq.is_ok(), c_par.is_ok(), "{}", stg.name());
         assert!(
             c_seq.is_ok(),
@@ -111,7 +111,7 @@ fn large_set_counterexamples_replay_at_4_shards() {
             );
         }
 
-        let conf = engine.check_conformance(&bad);
+        let conf = engine.check_conformance(&bad).unwrap();
         assert!(
             !conf.is_ok(),
             "{}: sabotage must break conformance",
