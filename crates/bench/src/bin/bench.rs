@@ -25,7 +25,12 @@
 //!   worker thread: end-to-end wall time of the pre-subsystem blind
 //!   search (full context rebuild per candidate) vs the conflict-core
 //!   greedy search (incremental re-analysis), plus the per-candidate
-//!   structural-evaluation rate on both paths.
+//!   structural-evaluation rate on both paths;
+//! * `symbolic_reachability` — the symbolic BDD backend
+//!   (`si_petri::SymbolicReach`) against the explicit enumerating engine
+//!   on the `clatch(n)` and `vme_burst(n)` sweeps: wall time of both,
+//!   fixpoint iteration count and peak BDD node count, including a
+//!   beyond-the-cap workload the explicit engine cannot finish.
 //!
 //! ```text
 //! bench [--iters N] [--smoke] [--cap N] [--out FILE]
@@ -41,7 +46,7 @@
 use si_bench::{fmt_duration, large_set, small_set};
 use si_boolean::MinimizerChoice;
 use si_core::{synthesize, Architecture, SynthesisOptions};
-use si_petri::{ConcurrencyRelation, ReachabilityGraph};
+use si_petri::{ConcurrencyRelation, ReachabilityGraph, SymbolicReach};
 use si_stg::Stg;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -445,6 +450,91 @@ fn measure_csc_resolution(cfg: &Config) -> (usize, usize, Vec<CscEntry>) {
     (oracle_cap, budget, entries)
 }
 
+/// One workload of the symbolic-reachability section.
+struct SymbolicEntry {
+    name: String,
+    places: usize,
+    transitions: usize,
+    /// Reachable markings (the symbolic fixpoint always finishes).
+    states: u128,
+    /// Explicit enumerating build; `None` if the state cap was exceeded.
+    explicit: Option<Duration>,
+    symbolic: Duration,
+    iterations: usize,
+    peak_nodes: usize,
+}
+
+/// Times the symbolic BDD reachability fixpoint against the explicit
+/// enumerating engine on the `clatch(n)` / `vme_burst(n)` sweeps, plus a
+/// beyond-the-cap `clatch` instance the explicit engine cannot finish
+/// (its column is recorded as `null`). Differential equivalence of the
+/// two backends is pinned elsewhere (`crates/petri/tests/prop_symbolic.rs`);
+/// this section only tracks cost.
+fn measure_symbolic_reachability(cfg: &Config) -> Vec<SymbolicEntry> {
+    use si_stg::generators::{clatch, vme_burst};
+    let workloads: Vec<Stg> = if cfg.smoke {
+        vec![clatch(10), vme_burst(2)]
+    } else {
+        // clatch(22) (2^23 markings) overflows the 4M default cap: the
+        // explicit column goes null, the symbolic one still finishes.
+        vec![
+            clatch(14),
+            clatch(16),
+            clatch(18),
+            clatch(20),
+            clatch(22),
+            vme_burst(2),
+            vme_burst(4),
+            vme_burst(6),
+        ]
+    };
+    let mut entries = Vec::new();
+    for stg in &workloads {
+        let net = stg.net();
+        // The first explicit build doubles as the timing of a cap probe.
+        let t0 = Instant::now();
+        let explicit_states = ReachabilityGraph::build(net, cfg.cap)
+            .ok()
+            .map(|rg| rg.state_count());
+        let first_explicit = t0.elapsed();
+        let explicit = explicit_states.map(|states| {
+            let iters = if states > 600_000 {
+                0
+            } else {
+                cfg.iters.min(3) - 1
+            };
+            (0..iters)
+                .map(|_| best_of(1, || ReachabilityGraph::build(net, cfg.cap).unwrap()))
+                .fold(first_explicit, Duration::min)
+        });
+        let t0 = Instant::now();
+        let sym = SymbolicReach::build(net).expect("generator nets are safe");
+        let symbolic = (1..cfg.iters.min(3))
+            .map(|_| best_of(1, || SymbolicReach::build(net).unwrap()))
+            .fold(t0.elapsed(), Duration::min);
+        eprintln!(
+            "symbolic/{} ({} states): explicit {} | symbolic {} ({} iters, {} peak nodes)",
+            stg.name(),
+            sym.state_count(),
+            explicit.map(fmt_duration).unwrap_or_else(|| "-".into()),
+            fmt_duration(symbolic),
+            sym.iterations(),
+            sym.peak_nodes(),
+        );
+        entries.push(SymbolicEntry {
+            name: stg.name().to_string(),
+            places: net.place_count(),
+            transitions: net.transition_count(),
+            states: sym.state_count(),
+            explicit,
+            symbolic,
+            iterations: sym.iterations(),
+            peak_nodes: sym.peak_nodes(),
+        });
+    }
+    entries
+}
+
 fn json_ms(d: Option<Duration>) -> String {
     match d {
         Some(d) => format!("{:.6}", d.as_secs_f64() * 1e3),
@@ -488,10 +578,11 @@ fn main() {
     let minimizer_entries = measure_minimizer_backends(&cfg);
     let (product_counts, product_entries) = measure_product_exploration(&cfg);
     let (csc_cap, csc_budget, csc_entries) = measure_csc_resolution(&cfg);
+    let symbolic_entries = measure_symbolic_reachability(&cfg);
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"sisyn/bench-substrates/v5\",");
+    let _ = writeln!(json, "  \"schema\": \"sisyn/bench-substrates/v6\",");
     let _ = writeln!(json, "  \"iters\": {},", cfg.iters);
     let _ = writeln!(json, "  \"state_cap\": {},", cfg.cap);
     let _ = writeln!(
@@ -783,6 +874,46 @@ fn main() {
             json,
             "      }}{}",
             if i + 1 < csc_entries.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+    // Symbolic-reachability section: the BDD fixpoint vs the explicit
+    // enumerating engine (null where the cap overflows).
+    let _ = writeln!(json, "  \"symbolic_reachability\": {{");
+    let _ = writeln!(json, "    \"state_cap\": {},", cfg.cap);
+    let _ = writeln!(json, "    \"entries\": [");
+    for (i, e) in symbolic_entries.iter().enumerate() {
+        let _ = writeln!(json, "      {{");
+        let _ = writeln!(json, "        \"name\": \"{}\",", e.name);
+        let _ = writeln!(json, "        \"places\": {},", e.places);
+        let _ = writeln!(json, "        \"transitions\": {},", e.transitions);
+        let _ = writeln!(json, "        \"states\": {},", e.states);
+        let _ = writeln!(json, "        \"iterations\": {},", e.iterations);
+        let _ = writeln!(json, "        \"peak_nodes\": {},", e.peak_nodes);
+        let _ = writeln!(
+            json,
+            "        \"reach_explicit_ms\": {},",
+            json_ms(e.explicit)
+        );
+        let _ = writeln!(
+            json,
+            "        \"reach_symbolic_ms\": {},",
+            json_ms(Some(e.symbolic))
+        );
+        let _ = writeln!(
+            json,
+            "        \"symbolic_speedup\": {}",
+            json_speedup(e.explicit, Some(e.symbolic))
+        );
+        let _ = writeln!(
+            json,
+            "      }}{}",
+            if i + 1 < symbolic_entries.len() {
+                ","
+            } else {
+                ""
+            }
         );
     }
     let _ = writeln!(json, "    ]");

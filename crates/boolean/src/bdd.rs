@@ -29,6 +29,7 @@
 //! # Ok::<(), si_boolean::ParseCubeError>(())
 //! ```
 
+use crate::bits::Bits;
 use crate::cover::Cover;
 use crate::cube::Cube;
 use std::collections::HashMap;
@@ -214,6 +215,258 @@ impl Bdd {
         self.diff(c, f) == BDD_FALSE
     }
 
+    /// The reduced node `ite(var, hi, lo)` for callers that build
+    /// structured functions bottom-up (cubes, transition relations) in one
+    /// linear pass instead of `O(n)` apply calls. `var` must lie strictly
+    /// above the top variables of `lo` and `hi` (checked in debug builds);
+    /// breaking that would silently corrupt the ordering invariant.
+    pub fn mk_node(&mut self, var: usize, lo: BddRef, hi: BddRef) -> BddRef {
+        debug_assert!(var < self.width);
+        debug_assert!(
+            (var as u32) < self.var(lo) && (var as u32) < self.var(hi),
+            "mk_node: var must be above both children"
+        );
+        self.mk(var as u32, lo, hi)
+    }
+
+    /// The single-literal function `var` (positive) or `¬var` (negative).
+    pub fn literal(&mut self, var: usize, polarity: bool) -> BddRef {
+        debug_assert!(var < self.width);
+        if polarity {
+            self.mk(var as u32, BDD_FALSE, BDD_TRUE)
+        } else {
+            self.mk(var as u32, BDD_TRUE, BDD_FALSE)
+        }
+    }
+
+    /// Equivalence `a ↔ b` (XNOR).
+    pub fn iff(&mut self, a: BddRef, b: BddRef) -> BddRef {
+        let both = self.and(a, b);
+        let na = self.not(a);
+        let nb = self.not(b);
+        let neither = self.and(na, nb);
+        self.or(both, neither)
+    }
+
+    /// Evaluates `f` on a complete assignment (bit `v` of `assignment` is
+    /// the value of variable `v`) — a walk from the root, no allocation.
+    pub fn eval(&self, f: BddRef, assignment: &Bits) -> bool {
+        let mut cur = f;
+        loop {
+            let node = self.nodes[cur as usize];
+            if node.var == TERMINAL_VAR {
+                return cur == BDD_TRUE;
+            }
+            cur = if assignment.get(node.var as usize) {
+                node.hi
+            } else {
+                node.lo
+            };
+        }
+    }
+
+    /// The cofactor `f|var=val` (restriction of one variable).
+    pub fn cofactor(&mut self, f: BddRef, var: usize, val: bool) -> BddRef {
+        let mut memo = HashMap::new();
+        self.cofactor_rec(f, var as u32, val, &mut memo)
+    }
+
+    fn cofactor_rec(
+        &mut self,
+        f: BddRef,
+        var: u32,
+        val: bool,
+        memo: &mut HashMap<BddRef, BddRef>,
+    ) -> BddRef {
+        let node = self.nodes[f as usize];
+        if node.var > var {
+            // Past the target level (terminals sort last): f is independent.
+            return f;
+        }
+        if node.var == var {
+            return if val { node.hi } else { node.lo };
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let lo = self.cofactor_rec(node.lo, var, val, memo);
+        let hi = self.cofactor_rec(node.hi, var, val, memo);
+        let r = self.mk(node.var, lo, hi);
+        memo.insert(f, r);
+        r
+    }
+
+    /// Existential quantification `∃ vars . f` — eliminates every variable
+    /// whose bit is set in `vars` (the result is independent of them all).
+    pub fn exists(&mut self, f: BddRef, vars: &Bits) -> BddRef {
+        let mut memo = HashMap::new();
+        self.exists_rec(f, vars, &mut memo)
+    }
+
+    fn exists_rec(&mut self, f: BddRef, vars: &Bits, memo: &mut HashMap<BddRef, BddRef>) -> BddRef {
+        let node = self.nodes[f as usize];
+        if node.var == TERMINAL_VAR {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let lo = self.exists_rec(node.lo, vars, memo);
+        let hi = self.exists_rec(node.hi, vars, memo);
+        let r = if vars.get(node.var as usize) {
+            self.or(lo, hi)
+        } else {
+            self.mk(node.var, lo, hi)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// The relational product `∃ vars . (a ∧ b)` in one pass — the image
+    /// operator of symbolic reachability. Quantification happens on the
+    /// fly, so the full conjunction `a ∧ b` is never materialized.
+    pub fn and_exists(&mut self, a: BddRef, b: BddRef, vars: &Bits) -> BddRef {
+        let mut memo = HashMap::new();
+        self.and_exists_rec(a, b, vars, &mut memo)
+    }
+
+    fn and_exists_rec(
+        &mut self,
+        a: BddRef,
+        b: BddRef,
+        vars: &Bits,
+        memo: &mut HashMap<(BddRef, BddRef), BddRef>,
+    ) -> BddRef {
+        if a == BDD_FALSE || b == BDD_FALSE {
+            return BDD_FALSE;
+        }
+        if a == BDD_TRUE && b == BDD_TRUE {
+            return BDD_TRUE;
+        }
+        if a == BDD_TRUE {
+            return self.exists_rec(b, vars, &mut HashMap::new());
+        }
+        if b == BDD_TRUE || a == b {
+            return self.exists_rec(a, vars, &mut HashMap::new());
+        }
+        let key = (a.min(b), a.max(b));
+        if let Some(&r) = memo.get(&key) {
+            return r;
+        }
+        let (va, vb) = (self.var(a), self.var(b));
+        let v = va.min(vb);
+        let (a0, a1) = if va == v {
+            (self.nodes[a as usize].lo, self.nodes[a as usize].hi)
+        } else {
+            (a, a)
+        };
+        let (b0, b1) = if vb == v {
+            (self.nodes[b as usize].lo, self.nodes[b as usize].hi)
+        } else {
+            (b, b)
+        };
+        let lo = self.and_exists_rec(a0, b0, vars, memo);
+        let r = if vars.get(v as usize) {
+            // Early exit: once the quantified disjunction saturates, the
+            // other branch cannot change it.
+            if lo == BDD_TRUE {
+                BDD_TRUE
+            } else {
+                let hi = self.and_exists_rec(a1, b1, vars, memo);
+                self.or(lo, hi)
+            }
+        } else {
+            let hi = self.and_exists_rec(a1, b1, vars, memo);
+            self.mk(v, lo, hi)
+        };
+        memo.insert(key, r);
+        r
+    }
+
+    /// Renames the variables of `f`: variable `v` becomes `map[v]`. The
+    /// mapping must be **order-preserving on the support of `f`** (for any
+    /// two support variables `u < v`, `map[u] < map[v]`), which keeps the
+    /// rebuild a single linear pass — the symbolic backend's next→current
+    /// substitution (`2i+1 → 2i` on the interleaved order) satisfies it.
+    pub fn rename(&mut self, f: BddRef, map: &[u32]) -> BddRef {
+        debug_assert_eq!(map.len(), self.width);
+        let mut memo = HashMap::new();
+        self.rename_rec(f, map, &mut memo)
+    }
+
+    fn rename_rec(&mut self, f: BddRef, map: &[u32], memo: &mut HashMap<BddRef, BddRef>) -> BddRef {
+        let node = self.nodes[f as usize];
+        if node.var == TERMINAL_VAR {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let lo = self.rename_rec(node.lo, map, memo);
+        let hi = self.rename_rec(node.hi, map, memo);
+        let nv = map[node.var as usize];
+        debug_assert!(
+            nv < self.var(lo) && nv < self.var(hi),
+            "rename map must preserve the variable order on the support"
+        );
+        let r = self.mk(nv, lo, hi);
+        memo.insert(f, r);
+        r
+    }
+
+    /// Number of satisfying assignments over the variable set `vars` only.
+    ///
+    /// Unlike [`Bdd::sat_count`], which counts over all `width` variables
+    /// (and overflows `u128` past 128 of them), this counts assignments to
+    /// the `vars` bits alone — the state-count query of the symbolic
+    /// reachability backend, where `f` ranges over current-state variables
+    /// and the next-state/auxiliary variables must not inflate the count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `f` depends on a variable outside `vars` (the count
+    /// would be ill-defined).
+    pub fn sat_count_within(&self, f: BddRef, vars: &Bits) -> u128 {
+        // rank[v] = how many `vars` variables lie strictly below level v.
+        let mut rank = vec![0u32; self.width + 1];
+        for v in 0..self.width {
+            rank[v + 1] = rank[v] + u32::from(vars.get(v));
+        }
+        let mut memo: HashMap<BddRef, u128> = HashMap::new();
+        let c = self.sat_within_below(f, vars, &rank, &mut memo);
+        c << rank[self.level(f) as usize]
+    }
+
+    fn sat_within_below(
+        &self,
+        f: BddRef,
+        vars: &Bits,
+        rank: &[u32],
+        memo: &mut HashMap<BddRef, u128>,
+    ) -> u128 {
+        match f {
+            BDD_FALSE => return 0,
+            BDD_TRUE => return 1,
+            _ => {}
+        }
+        if let Some(&c) = memo.get(&f) {
+            return c;
+        }
+        let node = self.nodes[f as usize];
+        assert!(
+            vars.get(node.var as usize),
+            "sat_count_within: function depends on a variable outside the set"
+        );
+        let here = rank[node.var as usize] + 1;
+        let lo = self.sat_within_below(node.lo, vars, rank, memo)
+            << (rank[self.level(node.lo) as usize] - here);
+        let hi = self.sat_within_below(node.hi, vars, rank, memo)
+            << (rank[self.level(node.hi) as usize] - here);
+        let c = lo + hi;
+        memo.insert(f, c);
+        c
+    }
+
     /// Number of satisfying assignments over all `width` variables.
     pub fn sat_count(&self, f: BddRef) -> u128 {
         let mut memo: HashMap<BddRef, u128> = HashMap::new();
@@ -394,5 +647,167 @@ mod tests {
         let f = b.from_cover(&cover(3, &["1--"]));
         assert!(b.cube_implies(&"11-".parse().unwrap(), f));
         assert!(!b.cube_implies(&"-1-".parse().unwrap(), f));
+    }
+
+    /// A deterministic pseudo-random function of `w` variables: the BDD of
+    /// a handful of arbitrary cubes seeded by `seed` (xorshift).
+    fn arb_fn(b: &mut Bdd, w: usize, seed: u64) -> BddRef {
+        let mut s = seed | 1;
+        let mut next = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut f = BDD_FALSE;
+        for _ in 0..5 {
+            let mut c = BDD_TRUE;
+            for v in (0..w).rev() {
+                match next() % 3 {
+                    0 => c = b.mk(v as u32, BDD_FALSE, c),
+                    1 => c = b.mk(v as u32, c, BDD_FALSE),
+                    _ => {}
+                }
+            }
+            f = b.or(f, c);
+        }
+        f
+    }
+
+    /// Brute-force evaluation count of `f` over all `2^w` assignments.
+    fn brute_count(b: &Bdd, f: BddRef, w: usize) -> u128 {
+        (0..1u32 << w)
+            .filter(|&v| {
+                let bits = Bits::from_ones(w, (0..w).filter(|&i| (v >> i) & 1 == 1));
+                b.eval(f, &bits)
+            })
+            .count() as u128
+    }
+
+    #[test]
+    fn sat_count_matches_brute_force_enumeration() {
+        for w in [4usize, 8, 12] {
+            let mut b = Bdd::new(w);
+            for seed in 1..6u64 {
+                let f = arb_fn(&mut b, w, seed * 977);
+                assert_eq!(b.sat_count(f), brute_count(&b, f, w), "w={w} seed={seed}");
+                assert_eq!(
+                    b.sat_count_within(f, &Bits::ones(w)),
+                    b.sat_count(f),
+                    "full-set sat_count_within must equal sat_count"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sat_count_within_ignores_unused_variables() {
+        // f over vars {0,2} of a 6-var manager: counting within {0,2}
+        // must not pay the 2^4 factor of the free variables.
+        let mut b = Bdd::new(6);
+        let x0 = b.literal(0, true);
+        let x2 = b.literal(2, true);
+        let f = b.or(x0, x2);
+        let vars = Bits::from_ones(6, [0usize, 2]);
+        assert_eq!(b.sat_count_within(f, &vars), 3);
+        assert_eq!(b.sat_count(f), 3 << 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the set")]
+    fn sat_count_within_rejects_escaping_support() {
+        let mut b = Bdd::new(4);
+        let f = b.literal(3, true);
+        let vars = Bits::from_ones(4, [0usize, 1]);
+        b.sat_count_within(f, &vars);
+    }
+
+    #[test]
+    fn exists_is_the_or_of_cofactors_and_independent_of_x() {
+        for w in [5usize, 9] {
+            let mut b = Bdd::new(w);
+            for seed in 1..5u64 {
+                let f = arb_fn(&mut b, w, seed * 131);
+                for x in 0..w {
+                    let vars = Bits::from_ones(w, [x]);
+                    let q = b.exists(f, &vars);
+                    let f0 = b.cofactor(f, x, false);
+                    let f1 = b.cofactor(f, x, true);
+                    let or01 = b.or(f0, f1);
+                    assert_eq!(q, or01, "∃x.f = f|x=0 ∨ f|x=1 (w={w} x={x})");
+                    // Independence: both cofactors of the result coincide.
+                    assert_eq!(b.cofactor(q, x, false), b.cofactor(q, x, true));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exists_over_a_set_quantifies_each_variable() {
+        let mut b = Bdd::new(8);
+        let f = arb_fn(&mut b, 8, 4242);
+        let vars = Bits::from_ones(8, [1usize, 3, 6]);
+        let joint = b.exists(f, &vars);
+        let mut seq = f;
+        for x in [1usize, 3, 6] {
+            let one = Bits::from_ones(8, [x]);
+            seq = b.exists(seq, &one);
+        }
+        assert_eq!(joint, seq);
+    }
+
+    #[test]
+    fn and_exists_is_exists_of_the_conjunction() {
+        for w in [6usize, 10] {
+            let mut b = Bdd::new(w);
+            for seed in 1..6u64 {
+                let f = arb_fn(&mut b, w, seed * 31);
+                let g = arb_fn(&mut b, w, seed * 67 + 5);
+                let vars = Bits::from_ones(w, (0..w).filter(|v| v % 2 == 0));
+                let fused = b.and_exists(f, g, &vars);
+                let conj = b.and(f, g);
+                let staged = b.exists(conj, &vars);
+                assert_eq!(fused, staged, "w={w} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn rename_round_trip_is_identity() {
+        // Shift the odd "next-state" rail down onto the even rail and back
+        // — the exact substitution pair of the symbolic backend.
+        let w = 10;
+        let mut b = Bdd::new(w);
+        // A function of the odd variables only.
+        let mut f = BDD_TRUE;
+        for i in (0..w / 2).rev() {
+            f = b.mk((2 * i + 1) as u32, BDD_FALSE, f);
+        }
+        let mut down: Vec<u32> = (0..w as u32).collect();
+        let mut up: Vec<u32> = (0..w as u32).collect();
+        for i in 0..w / 2 {
+            down[2 * i + 1] = 2 * i as u32;
+            up[2 * i] = (2 * i + 1) as u32;
+        }
+        let g = b.rename(f, &down);
+        assert_ne!(g, f);
+        let back = b.rename(g, &up);
+        assert_eq!(back, f);
+        // Semantics: g is f with every odd var read from the even rail.
+        let assignment = Bits::from_ones(w, (0..w / 2).map(|i| 2 * i));
+        assert!(b.eval(g, &assignment));
+        assert!(!b.eval(f, &assignment));
+    }
+
+    #[test]
+    fn literal_iff_and_eval_agree() {
+        let mut b = Bdd::new(3);
+        let x = b.literal(0, true);
+        let ny = b.literal(1, false);
+        let e = b.iff(x, ny);
+        // x ↔ ¬y: satisfied by exactly half the assignments.
+        assert_eq!(b.sat_count(e), 4);
+        assert!(b.eval(e, &Bits::from_ones(3, [0usize])));
+        assert!(!b.eval(e, &Bits::from_ones(3, [0usize, 1])));
     }
 }

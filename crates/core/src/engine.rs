@@ -36,10 +36,50 @@ use crate::synthesis::{
     synthesize_with_context, Architecture, MinimizeStages, Synthesis, SynthesisOptions,
 };
 use si_boolean::MinimizerChoice;
-use si_petri::{ConcurrencyRelation, ReachError, ReachOptions, ReachabilityGraph};
-use si_stg::{EncodingError, StateEncoding, Stg};
+use si_petri::{ConcurrencyRelation, ReachError, ReachOptions, ReachabilityGraph, SymbolicReach};
+use si_stg::{EncodingError, StateEncoding, Stg, SymbolicAnalysis};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+
+/// Which reachability backend answers the session's state-space queries.
+///
+/// The explicit explorer is the oracle and the default; the symbolic BDD
+/// backend answers cardinality/membership/coding queries without
+/// enumerating states, so it keeps working past the explicit state cap on
+/// highly concurrent nets. `Auto` tries the explicit explorer first and
+/// falls back to the symbolic backend when the explicit run ends
+/// inconclusively (cap, deadline, cancellation, memory).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// The explicit interned state graph (the oracle).
+    #[default]
+    Explicit,
+    /// The symbolic BDD reachable set.
+    Symbolic,
+    /// Explicit first, symbolic on an inconclusive explicit verdict.
+    Auto,
+}
+
+impl Backend {
+    /// Parses the CLI spelling (`explicit`, `symbolic`, `auto`).
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "explicit" => Some(Backend::Explicit),
+            "symbolic" => Some(Backend::Symbolic),
+            "auto" => Some(Backend::Auto),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Backend::Explicit => "explicit",
+            Backend::Symbolic => "symbolic",
+            Backend::Auto => "auto",
+        }
+    }
+}
 
 /// Summary of the structural analysis (the `analyze()` step of the
 /// pipeline): what `sisyn check` reports, as data.
@@ -89,9 +129,12 @@ pub struct Engine<'a> {
     stg: &'a Stg,
     options: SynthesisOptions,
     reach: ReachOptions,
+    backend: Backend,
     ctx: OnceLock<Result<StructuralContext<'a>, SynthesisError>>,
     rg: OnceLock<Result<ReachabilityGraph, ReachError>>,
     enc: OnceLock<Result<StateEncoding, EncodingError>>,
+    sym: OnceLock<Result<SymbolicAnalysis, ReachError>>,
+    sym_net: OnceLock<Result<SymbolicReach, ReachError>>,
     conc: OnceLock<ConcurrencyRelation>,
     rg_builds: AtomicUsize,
 }
@@ -105,12 +148,23 @@ impl<'a> Engine<'a> {
             stg,
             options: SynthesisOptions::default(),
             reach: ReachOptions::with_cap(4_000_000),
+            backend: Backend::Explicit,
             ctx: OnceLock::new(),
             rg: OnceLock::new(),
             enc: OnceLock::new(),
+            sym: OnceLock::new(),
+            sym_net: OnceLock::new(),
             conc: OnceLock::new(),
             rg_builds: AtomicUsize::new(0),
         }
+    }
+
+    /// Selects the reachability backend for the state-space queries that
+    /// either backend can answer ([`Engine::spec_state_count`]); the
+    /// synthesis/verification oracles stay on the explicit graph.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Sets the state cap of every reachability-backed method.
@@ -252,6 +306,91 @@ impl<'a> Engine<'a> {
     /// state-based baseline reports inconsistency as a value instead).
     pub fn encoding(&self) -> Result<&StateEncoding, ReachError> {
         Ok(self.encoding_entry()?.as_ref().expect("consistent STG"))
+    }
+
+    /// The configured backend choice.
+    pub fn backend_choice(&self) -> Backend {
+        self.backend
+    }
+
+    /// The cached symbolic analysis (built on first use under the
+    /// session's soft budget limits — the explicit state cap does not
+    /// apply to the symbolic backend).
+    ///
+    /// # Errors
+    ///
+    /// [`ReachError::NotSafe`] from the symbolic build, or
+    /// [`ReachError::Interrupted`] when a deadline/cancellation/memory
+    /// limit stopped a symbolic fixpoint — the same tagged inconclusive
+    /// verdict the explicit explorer reports, replayed on every call.
+    pub fn symbolic(&self) -> Result<&SymbolicAnalysis, ReachError> {
+        self.sym
+            .get_or_init(|| {
+                let sym = SymbolicAnalysis::build_with(self.stg, &self.reach.budget)?;
+                match sym.interrupt() {
+                    Some(i) => Err(ReachError::Interrupted {
+                        reason: i.reason,
+                        states_explored: i.states_explored,
+                    }),
+                    None => Ok(sym),
+                }
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// The cached net-level symbolic reachable set (no signal coding
+    /// layer — the cheap artifact behind [`Engine::spec_state_count`];
+    /// [`Engine::symbolic`] pays the per-signal closures on top and is
+    /// only built when a coding query actually needs them).
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::symbolic`].
+    pub fn symbolic_reach(&self) -> Result<&SymbolicReach, ReachError> {
+        self.sym_net
+            .get_or_init(|| {
+                let sym = SymbolicReach::build_with(self.stg.net(), &self.reach.budget)?;
+                match sym.interrupt() {
+                    Some(i) => Err(ReachError::Interrupted {
+                        reason: i.reason,
+                        states_explored: i.states_explored,
+                    }),
+                    None => Ok(sym),
+                }
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// Reachable-state count of the specification, answered by the
+    /// configured [`Backend`]: the explicit graph, the symbolic reachable
+    /// set, or (`Auto`) the explicit graph with a symbolic fallback when
+    /// the explicit run ends inconclusively.
+    ///
+    /// # Errors
+    ///
+    /// The selected backend's build error; under `Auto` a conclusive
+    /// explicit error (e.g. [`ReachError::NotSafe`]) propagates without
+    /// consulting the symbolic backend.
+    pub fn spec_state_count(&self) -> Result<u128, ReachError> {
+        let symbolic_count = || {
+            // The coding-layer analysis subsumes the net-level set; use
+            // whichever is already cached before building anything.
+            if let Some(Ok(sym)) = self.sym.get() {
+                return Ok(sym.state_count());
+            }
+            Ok(self.symbolic_reach()?.state_count())
+        };
+        match self.backend {
+            Backend::Explicit => Ok(self.reachability()?.state_count() as u128),
+            Backend::Symbolic => symbolic_count(),
+            Backend::Auto => match self.reachability() {
+                Ok(rg) => Ok(rg.state_count() as u128),
+                Err(e) if e.is_inconclusive() => symbolic_count(),
+                Err(e) => Err(e),
+            },
+        }
     }
 
     /// The cached structural concurrency relation (§V-A fixpoint).

@@ -57,7 +57,7 @@ pub use context::{
 };
 pub use csc::{apply_insertion, no_conflict_resolution, sentinel_plan, InsertionPlan};
 pub use cubes::PlaceCubes;
-pub use engine::{Analysis, Engine};
+pub use engine::{Analysis, Backend, Engine};
 pub use netlist::to_verilog;
 pub use statebased::{
     synthesize_state_based, synthesize_state_based_on, synthesize_state_based_with, BaselineError,

@@ -12,7 +12,7 @@
 #![cfg(feature = "failpoints")]
 
 use si_fault::{arm, armed_count, relock, reset, FaultAction};
-use si_petri::{ReachError, ReachOptions, ReachabilityGraph};
+use si_petri::{InterruptReason, ReachError, ReachOptions, ReachabilityGraph, SymbolicReach};
 use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
@@ -157,6 +157,41 @@ fn synthesis_worker_panic_names_the_signal_and_the_pool_survives() {
     // reusable: the same synthesis succeeds on the next call.
     let syn = si_core::synthesize(&stg, &si_core::SynthesisOptions::default()).unwrap();
     assert!(syn.literal_area > 0);
+    reset();
+}
+
+#[test]
+fn symbolic_iteration_burst_degrades_into_the_tagged_partial_verdict() {
+    let _guard = serial();
+    reset();
+    let stg = si_stg::generators::clatch(6);
+    let net = stg.net();
+    // Simulate the budget bursting at the 3rd fixpoint iteration (value =
+    // iterations completed when the check runs): the build must wind down
+    // into the same tagged partial verdict a genuine deadline/cancel
+    // produces — `Ok` with an underapproximated reached set, not an error.
+    arm("symbolic::iterate", Some(2), FaultAction::Trigger);
+    let total = ReachabilityGraph::build(net, 1_000_000)
+        .unwrap()
+        .state_count() as u128;
+    let partial = SymbolicReach::build(net).expect("a burst is not an error");
+    let i = partial.interrupt().expect("tagged partial verdict");
+    assert_eq!(i.reason, InterruptReason::Cancelled);
+    assert!(!partial.is_complete());
+    assert_eq!(partial.iterations(), 2);
+    assert!(partial.state_count() >= 1);
+    assert!(
+        partial.state_count() < total,
+        "bursting at iteration 2 must leave an underapproximation"
+    );
+    assert_eq!(i.states_explored as u128, partial.state_count());
+    assert!(partial.contains(&net.initial_marking()));
+    assert_eq!(armed_count(), 0, "the trigger must have fired");
+    // The burst leaves no residue: a clean rebuild reaches the fixpoint
+    // and agrees with the explicit oracle.
+    let clean = SymbolicReach::build(net).unwrap();
+    assert!(clean.is_complete());
+    assert_eq!(clean.state_count(), total);
     reset();
 }
 

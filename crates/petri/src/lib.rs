@@ -16,6 +16,11 @@
 //! * [`ReachabilityGraph`] — the explicit state space (the thing the paper
 //!   avoids; used as baseline and oracle), built on the generic explorers
 //!   over the trivial marking space, engine selected via [`ReachOptions`];
+//! * [`SymbolicReach`] — the BDD reachability backend: markings as BDD
+//!   variables, per-transition relation BDDs from the [`FiringView`]
+//!   masks, the reachable set by symbolic image iteration — cardinality,
+//!   membership and safeness without enumerating states, cross-checked
+//!   against the explicit oracle;
 //! * [`SmComponent`], [`SmFinder`], [`sm_cover`] — one-token state-machine
 //!   components and SM-covers;
 //! * [`ConcurrencyRelation`] — the structural concurrency fixpoint (§V-A);
@@ -59,6 +64,7 @@ pub mod shard;
 mod siphon;
 mod sm;
 pub mod space;
+mod symbolic;
 
 pub use budget::{Budget, CancelToken, Interrupt, InterruptReason};
 pub use concurrency::ConcurrencyRelation;
@@ -71,3 +77,4 @@ pub use siphon::{
     check_live_safe_fc, is_siphon, is_trap, maximal_trap_within, minimal_siphons, StructuralCheck,
 };
 pub use sm::{sm_cover, SmComponent, SmCoverError, SmFinder};
+pub use symbolic::SymbolicReach;

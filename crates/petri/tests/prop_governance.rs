@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 use si_petri::space::{explore_with, ExploreOptions, MarkingSpace, SpaceVisitor, StateSpace};
-use si_petri::{Budget, CancelToken, InterruptReason, PetriNet, ReachError};
+use si_petri::{Budget, CancelToken, InterruptReason, PetriNet, ReachError, SymbolicReach};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// `n` disjoint two-place rings, each with its own token: safe, live, and
@@ -127,5 +127,82 @@ proptest! {
             lo < total,
             "a sub-total cap must tag the partial result"
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Symbolic-backend governance: the BDD fixpoint honors the same soft
+// budget limits with per-iteration amortized checks, and interruption is
+// the same tagged partial verdict (`Ok` + `interrupt()`, never an error).
+
+#[test]
+fn symbolic_pre_cancelled_token_is_a_clean_tagged_partial_verdict() {
+    let net = rings(9); // 512 states
+    let token = CancelToken::new();
+    token.cancel();
+    let sym = SymbolicReach::build_with(&net, &Budget::unbounded().cancel(token))
+        .expect("cancellation is not an error");
+    let i = sym.interrupt().expect("tagged partial verdict");
+    assert_eq!(i.reason, InterruptReason::Cancelled);
+    assert!(!sym.is_complete());
+    // The check fires before the first image: only the initial cube.
+    assert_eq!(sym.iterations(), 0);
+    assert_eq!(sym.state_count(), 1);
+    assert_eq!(i.states_explored, 1);
+    assert!(sym.contains(&net.initial_marking()));
+}
+
+#[test]
+fn symbolic_expired_deadline_is_a_clean_tagged_partial_verdict() {
+    let net = rings(9);
+    let already_past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+    let sym = SymbolicReach::build_with(&net, &Budget::unbounded().deadline(already_past))
+        .expect("deadline expiry is not an error");
+    let i = sym.interrupt().expect("tagged partial verdict");
+    assert_eq!(i.reason, InterruptReason::DeadlineExpired);
+    assert!(sym.state_count() >= 1);
+    assert!(sym.state_count() <= 512);
+}
+
+/// The explicit state cap deliberately does not bound the symbolic
+/// fixpoint (nothing is enumerated): a cap far below the state count
+/// still yields the complete set.
+#[test]
+fn symbolic_ignores_the_enumeration_cap() {
+    let net = rings(9);
+    let sym = SymbolicReach::build_with(&net, &Budget::with_cap(4)).expect("complete build");
+    assert!(sym.is_complete());
+    assert_eq!(sym.state_count(), 512);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cancelling the symbolic fixpoint at an arbitrary moment (here: a
+    /// token cancelled up front, a deadline in the near future or the
+    /// unbounded budget) always yields a clean result — complete with the
+    /// closed-form count, or a tagged underapproximation of it.
+    #[test]
+    fn symbolic_budget_interruption_is_clean_at_every_width(
+        n in 4usize..11,
+        deadline_us in 0u64..200,
+    ) {
+        let net = rings(n);
+        let total = 1u128 << n;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_micros(deadline_us);
+        let sym = SymbolicReach::build_with(&net, &Budget::unbounded().deadline(deadline))
+            .expect("deadline expiry is not an error");
+        prop_assert!(sym.state_count() >= 1);
+        prop_assert!(sym.state_count() <= total);
+        match sym.interrupt() {
+            Some(i) => {
+                prop_assert_eq!(i.reason, InterruptReason::DeadlineExpired);
+                prop_assert!(!sym.is_complete());
+                prop_assert_eq!(i.states_explored as u128, sym.state_count());
+            }
+            None => prop_assert_eq!(sym.state_count(), total),
+        }
+        // The initial marking is in every partial set.
+        prop_assert!(sym.contains(&net.initial_marking()));
     }
 }

@@ -59,6 +59,23 @@
 //!                      whole nearest candidate tier, ranks survivors by
 //!                      the cost model (literal delta + concurrency
 //!                      penalty) and oracles the best ones
+//!   --backend B        check / verify only: which reachability backend
+//!                      answers the state-space queries both can answer
+//!                      (reachable-marking counts, exact CSC refinement of
+//!                      an unknown structural verdict):
+//!                      explicit | symbolic | auto   (default explicit).
+//!                      `explicit` enumerates the interned state graph —
+//!                      the oracle; `symbolic` computes the reachable set
+//!                      as a BDD by image iteration, so counts and coding
+//!                      verdicts keep working past the explicit --cap on
+//!                      highly concurrent nets (the cap does not apply to
+//!                      it; --timeout and Ctrl-C do); `auto` tries the
+//!                      explicit explorer and falls back to symbolic when
+//!                      the explicit run ends inconclusively. The
+//!                      functional / conformance oracles of `verify`
+//!                      always run on the explicit graph; with --json the
+//!                      report carries "backend", "spec_states" and (for
+//!                      symbolic) iteration statistics.
 //!   --timeout DUR      wall-clock budget for the run's state-space
 //!                      oracles (reachability, violation search,
 //!                      conformance product, resolve's candidate search).
@@ -145,6 +162,8 @@ struct Args {
     strategy: Strategy,
     /// `--timeout`: wall-clock budget for the run's state-space oracles.
     timeout: Option<Duration>,
+    /// `--backend`: reachability backend for check/verify state queries.
+    backend: Backend,
 }
 
 impl Args {
@@ -176,6 +195,7 @@ impl Args {
         Engine::new(stg)
             .reach(self.reach(default_cap))
             .options(self.synthesis())
+            .backend(self.backend)
     }
 }
 
@@ -185,7 +205,7 @@ fn usage() -> ExitCode {
          [-o FILE] [--arch complex|excitation|per-region] [--stages 0..4|full] \
          [--minimizer espresso|exact|bdd|auto] [--json] [--waveform N] \
          [--cap N] [--shards N|auto] [--budget N] [--strategy greedy|beam] \
-         [--timeout DUR]"
+         [--timeout DUR] [--backend explicit|symbolic|auto]"
     );
     ExitCode::from(2)
 }
@@ -219,6 +239,7 @@ fn parse_args() -> Result<Args, ExitCode> {
     let mut budget = 100_000usize;
     let mut strategy = Strategy::Greedy;
     let mut timeout = None;
+    let mut backend = Backend::Explicit;
     while let Some(a) = argv.next() {
         match a.as_str() {
             "-o" => output = Some(argv.next().ok_or_else(usage)?),
@@ -301,6 +322,13 @@ fn parse_args() -> Result<Args, ExitCode> {
                     usage()
                 })?);
             }
+            "--backend" => {
+                let v = argv.next().ok_or_else(usage)?;
+                backend = Backend::parse(&v).ok_or_else(|| {
+                    eprintln!("unknown backend {v:?} (expected explicit, symbolic or auto)");
+                    usage()
+                })?;
+            }
             _ if input.is_none() => input = Some(a),
             other => {
                 eprintln!("unexpected argument {other:?}");
@@ -322,6 +350,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         budget,
         strategy,
         timeout,
+        backend,
     })
 }
 
@@ -444,6 +473,13 @@ fn main() -> ExitCode {
         eprintln!("--json is only supported for synth, verify and resolve");
         return usage();
     }
+    // `--backend` selects who answers the state-space queries of check and
+    // verify; the other commands have no such query, so a stray flag is a
+    // mistake worth naming rather than ignoring.
+    if args.backend != Backend::Explicit && !matches!(args.command.as_str(), "check" | "verify") {
+        eprintln!("--backend is only supported for check and verify");
+        return usage();
+    }
 
     match args.command.as_str() {
         "check" => cmd_check(&stg, &args),
@@ -470,14 +506,20 @@ fn cmd_check(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
     );
     // Cheap default: the count is informational and the structural flow
     // never needs the state graph, so don't burn time/memory on huge nets
-    // unless the user explicitly raises --cap.
-    match engine.reachability() {
-        Ok(rg) => println!("reachable markings: {}", rg.state_count()),
+    // unless the user explicitly raises --cap (or picks a backend that
+    // counts without enumerating).
+    match engine.spec_state_count() {
+        Ok(n) if args.backend == Backend::Explicit => println!("reachable markings: {n}"),
+        Ok(n) => println!(
+            "reachable markings: {n} ({} backend)",
+            args.backend.as_str()
+        ),
         Err(sisyn::petri::ReachError::StateCapExceeded { cap }) => println!(
             "reachable markings: > {cap} (state cap exceeded — the \
              structural flow does not need the state graph; pass a larger \
-             `--cap N` for exact counts, and `--shards auto` to explore \
-             big state spaces in parallel)"
+             `--cap N` for exact counts, `--shards auto` to explore big \
+             state spaces in parallel, or `--backend symbolic` to count \
+             without enumerating)"
         ),
         Err(ReachError::Interrupted {
             reason,
@@ -515,6 +557,31 @@ fn cmd_check(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
                 CscVerdict::UscHolds => println!("state coding: USC holds"),
                 CscVerdict::CscHolds => println!("state coding: CSC holds"),
                 CscVerdict::Unknown { places } => {
+                    // The structural verdict is conservative; a non-default
+                    // backend can settle it exactly from the reachable set
+                    // without enumerating states.
+                    if args.backend != Backend::Explicit {
+                        if let Ok(sym) = engine.symbolic() {
+                            match sym.has_csc() {
+                                Some(true) => {
+                                    println!(
+                                        "state coding: CSC holds (symbolic exact check; \
+                                         {} structural witness place(s) were false alarms)",
+                                        places.len()
+                                    );
+                                    return ExitCode::SUCCESS;
+                                }
+                                Some(false) => {
+                                    println!(
+                                        "state coding: CSC violation (symbolic exact \
+                                         check) — try `sisyn resolve`"
+                                    );
+                                    return ExitCode::FAILURE;
+                                }
+                                None => {}
+                            }
+                        }
+                    }
                     println!(
                         "state coding: possible CSC violation ({} witness place(s)) — try `sisyn resolve`",
                         places.len()
@@ -705,6 +772,26 @@ fn cmd_verify(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
             names.join(" ")
         );
     }
+    // The spec's reachable-state count via the selected backend: the
+    // cached explicit graph under the default, the BDD reachable set
+    // under `--backend symbolic` (where the CI smoke cross-checks the two
+    // spellings report the same number).
+    let spec_states = engine.spec_state_count().ok();
+    let symbolic_stats = (args.backend == Backend::Symbolic)
+        .then(|| {
+            engine
+                .symbolic_reach()
+                .ok()
+                .map(|s| (s.iterations(), s.peak_nodes()))
+        })
+        .flatten();
+    if let Some((iterations, peak_nodes)) = symbolic_stats {
+        eprintln!(
+            "symbolic backend: {} spec state(s) in {iterations} iteration(s), \
+             peak {peak_nodes} BDD node(s)",
+            spec_states.map_or("?".to_string(), |n| n.to_string()),
+        );
+    }
     let failed = !functional.is_ok() || !conformance.is_ok() || !sim.is_clean();
     let inconclusive = !functional.is_conclusive() || !conformance.is_conclusive();
     let ok = !failed && !inconclusive;
@@ -719,8 +806,14 @@ fn cmd_verify(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
                     .join(", ")
             ),
         };
+        let spec_states_json = spec_states.map_or("null".to_string(), |n| n.to_string());
+        let symbolic_json = symbolic_stats.map_or("null".to_string(), |(iterations, peak)| {
+            format!("{{\"iterations\": {iterations}, \"peak_nodes\": {peak}}}")
+        });
         println!(
             "{{\"command\": \"verify\", \"ok\": {}, \"inconclusive\": {}, \"model\": {}, \
+             \"backend\": {}, \"spec_states\": {spec_states_json}, \
+             \"symbolic\": {symbolic_json}, \
              \"functional_ok\": {}, \"violations\": {}, \"states_checked\": {}, \
              \"conformance_ok\": {}, \"conformance_failures\": {}, \
              \"states_explored\": {}, \"trace\": {}, \"random_walks_ok\": {}, \
@@ -728,6 +821,7 @@ fn cmd_verify(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
             ok,
             inconclusive,
             json_str(stg.name()),
+            json_str(args.backend.as_str()),
             functional.is_ok(),
             functional.violations.len(),
             functional.states_checked,

@@ -47,8 +47,8 @@ pub mod prelude {
     pub use si_boolean::{Bits, Cover, Cube, Minimizer, MinimizerChoice};
     pub use si_core::{
         map_circuit, synthesize, synthesize_state_based, to_verilog, Analysis, Architecture,
-        BaselineFlavor, Circuit, CscVerdict, Engine, ImplKind, MinimizeStages, StructuralContext,
-        Synthesis, SynthesisOptions,
+        Backend, BaselineFlavor, Circuit, CscVerdict, Engine, ImplKind, MinimizeStages,
+        StructuralContext, Synthesis, SynthesisOptions,
     };
     pub use si_csc::{
         resolve_csc, resolve_csc_with, CscOptions, EngineResolve, InsertionPlan, ResolveOutcome,

@@ -52,6 +52,7 @@ mod parse;
 mod regions;
 mod signal;
 mod stg;
+pub mod symbolic;
 mod waveform;
 
 pub use consistency::{next_behavioural, ConsistencyError, SignalConcurrency, StgAnalysis};
@@ -65,4 +66,5 @@ pub use parse::{parse_g, write_g, ParseGError};
 pub use regions::{codes_of, SignalRegions, StateSet};
 pub use signal::{Direction, SignalId, SignalKind, TransitionLabel};
 pub use stg::{Stg, StgBuilder};
+pub use symbolic::{SymbolicAnalysis, SymbolicConsistency};
 pub use waveform::render_waveform;
