@@ -30,7 +30,12 @@
 //!   (`si_petri::SymbolicReach`) against the explicit enumerating engine
 //!   on the `clatch(n)` and `vme_burst(n)` sweeps: wall time of both,
 //!   fixpoint iteration count and peak BDD node count, including a
-//!   beyond-the-cap workload the explicit engine cannot finish.
+//!   beyond-the-cap workload the explicit engine cannot finish;
+//! * `artifact_cache` — the serve layer's content-addressed response
+//!   cache (`si_serve::Service`) on the large-set synth workloads: cold
+//!   latency (full structural synthesis into a fresh store) vs warm
+//!   latency (the identical request answered from the cache, i.e.
+//!   canonicalize + hash + lookup only).
 //!
 //! ```text
 //! bench [--iters N] [--smoke] [--cap N] [--out FILE]
@@ -535,6 +540,59 @@ fn measure_symbolic_reachability(cfg: &Config) -> Vec<SymbolicEntry> {
     entries
 }
 
+/// One workload of the artifact-cache section.
+struct CacheEntry {
+    name: String,
+    signals: usize,
+    /// Full structural synthesis into a fresh store.
+    cold: Duration,
+    /// The identical request against the primed store (response-cache
+    /// hit: canonicalize + hash + lookup, no synthesis).
+    warm: Duration,
+}
+
+/// Times the serve layer's content-addressed artifact cache on the
+/// large-set synth workloads. Workloads the structural flow rejects are
+/// skipped (their failure responses are cached too, but the cold column
+/// would not measure a synthesis).
+fn measure_artifact_cache(cfg: &Config) -> Vec<CacheEntry> {
+    use si_serve::{json, ArtifactStore, Service};
+    use std::sync::Arc;
+    let mut entries = Vec::new();
+    for stg in large_set() {
+        let spec = si_stg::write_g(&stg);
+        let line = format!("{{\"op\": \"synth\", \"spec\": {}}}", json::escape(&spec));
+        let service = Service::new(Arc::new(ArtifactStore::in_memory(64 << 20)));
+        let first = service.execute(&line);
+        let ok = json::parse(&first.body)
+            .ok()
+            .and_then(|v| v.get("ok").and_then(json::Value::as_bool))
+            == Some(true);
+        if !ok {
+            eprintln!("cache/{}: skipped (not synthesizable)", stg.name());
+            continue;
+        }
+        let iters = cfg.iters.min(3);
+        let cold = best_of(iters, || {
+            Service::new(Arc::new(ArtifactStore::in_memory(64 << 20))).execute(&line)
+        });
+        let warm = best_of(iters, || service.execute(&line));
+        eprintln!(
+            "cache/{}: cold {} warm {}",
+            stg.name(),
+            fmt_duration(cold),
+            fmt_duration(warm)
+        );
+        entries.push(CacheEntry {
+            name: stg.name().to_string(),
+            signals: stg.synthesized_signals().len(),
+            cold,
+            warm,
+        });
+    }
+    entries
+}
+
 fn json_ms(d: Option<Duration>) -> String {
     match d {
         Some(d) => format!("{:.6}", d.as_secs_f64() * 1e3),
@@ -579,10 +637,11 @@ fn main() {
     let (product_counts, product_entries) = measure_product_exploration(&cfg);
     let (csc_cap, csc_budget, csc_entries) = measure_csc_resolution(&cfg);
     let symbolic_entries = measure_symbolic_reachability(&cfg);
+    let cache_entries = measure_artifact_cache(&cfg);
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"sisyn/bench-substrates/v6\",");
+    let _ = writeln!(json, "  \"schema\": \"sisyn/bench-substrates/v7\",");
     let _ = writeln!(json, "  \"iters\": {},", cfg.iters);
     let _ = writeln!(json, "  \"state_cap\": {},", cfg.cap);
     let _ = writeln!(
@@ -914,6 +973,31 @@ fn main() {
             } else {
                 ""
             }
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+    // Artifact-cache section: cold (fresh store) vs warm (response-cache
+    // hit) latency of the serve layer on the large-set synth workloads.
+    let _ = writeln!(json, "  \"artifact_cache\": {{");
+    let _ = writeln!(json, "    \"op\": \"synth\",");
+    let _ = writeln!(json, "    \"store_bytes\": {},", 64usize << 20);
+    let _ = writeln!(json, "    \"entries\": [");
+    for (i, e) in cache_entries.iter().enumerate() {
+        let _ = writeln!(json, "      {{");
+        let _ = writeln!(json, "        \"name\": \"{}\",", e.name);
+        let _ = writeln!(json, "        \"signals\": {},", e.signals);
+        let _ = writeln!(json, "        \"cold_ms\": {},", json_ms(Some(e.cold)));
+        let _ = writeln!(json, "        \"warm_ms\": {},", json_ms(Some(e.warm)));
+        let _ = writeln!(
+            json,
+            "        \"warm_speedup\": {}",
+            json_speedup(Some(e.cold), Some(e.warm))
+        );
+        let _ = writeln!(
+            json,
+            "      }}{}",
+            if i + 1 < cache_entries.len() { "," } else { "" }
         );
     }
     let _ = writeln!(json, "    ]");

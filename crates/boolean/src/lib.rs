@@ -34,6 +34,7 @@ mod bits;
 mod cover;
 mod cube;
 mod espresso;
+pub mod hash;
 mod minimize;
 mod minimizer;
 

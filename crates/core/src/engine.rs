@@ -36,7 +36,9 @@ use crate::synthesis::{
     synthesize_with_context, Architecture, MinimizeStages, Synthesis, SynthesisOptions,
 };
 use si_boolean::MinimizerChoice;
-use si_petri::{ConcurrencyRelation, ReachError, ReachOptions, ReachabilityGraph, SymbolicReach};
+use si_petri::{
+    ConcurrencyRelation, ReachError, ReachOptions, ReachSummary, ReachabilityGraph, SymbolicReach,
+};
 use si_stg::{EncodingError, StateEncoding, Stg, SymbolicAnalysis};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -137,6 +139,8 @@ pub struct Engine<'a> {
     sym_net: OnceLock<Result<SymbolicReach, ReachError>>,
     conc: OnceLock<ConcurrencyRelation>,
     rg_builds: AtomicUsize,
+    summary: Option<ReachSummary>,
+    summary_hits: AtomicUsize,
 }
 
 impl<'a> Engine<'a> {
@@ -156,7 +160,20 @@ impl<'a> Engine<'a> {
             sym_net: OnceLock::new(),
             conc: OnceLock::new(),
             rg_builds: AtomicUsize::new(0),
+            summary: None,
+            summary_hits: AtomicUsize::new(0),
         }
+    }
+
+    /// Imports a previously exported exploration summary (see
+    /// [`Engine::export_reach_summary`]). Headline state-space queries
+    /// ([`Engine::spec_state_count`]) answer from it without building any
+    /// reachability graph — the cross-session analogue of the in-session
+    /// artifact cache. Methods that need the actual graph (verification,
+    /// state-based baselines) still build it on first use.
+    pub fn reach_summary(mut self, summary: ReachSummary) -> Self {
+        self.summary = Some(summary);
+        self
     }
 
     /// Selects the reachability backend for the state-space queries that
@@ -374,6 +391,10 @@ impl<'a> Engine<'a> {
     /// explicit error (e.g. [`ReachError::NotSafe`]) propagates without
     /// consulting the symbolic backend.
     pub fn spec_state_count(&self) -> Result<u128, ReachError> {
+        if let Some(summary) = &self.summary {
+            self.summary_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(summary.states as u128);
+        }
         let symbolic_count = || {
             // The coding-layer analysis subsumes the net-level set; use
             // whichever is already cached before building anything.
@@ -405,6 +426,25 @@ impl<'a> Engine<'a> {
     /// [`ReachabilityGraph::build_count`]).
     pub fn reach_build_count(&self) -> usize {
         self.rg_builds.load(Ordering::Relaxed)
+    }
+
+    /// How many queries this session answered from an imported
+    /// [`ReachSummary`] instead of a reachability build (0 unless
+    /// [`Engine::reach_summary`] was configured) — the cache-stat counter
+    /// the serving layer surfaces as `summary_hits`.
+    pub fn summary_hit_count(&self) -> usize {
+        self.summary_hits.load(Ordering::Relaxed)
+    }
+
+    /// Exports the summary of this session's exploration for reuse by a
+    /// later session ([`Engine::reach_summary`]): `Some` once the explicit
+    /// graph was built conclusively, `None` otherwise (inconclusive and
+    /// failed builds have nothing stable to cache).
+    pub fn export_reach_summary(&self) -> Option<ReachSummary> {
+        match self.rg.get() {
+            Some(Ok(rg)) => Some(ReachSummary::of(rg)),
+            _ => None,
+        }
     }
 
     /// Structural analysis: conflicts, refinement effort, SM-cover size

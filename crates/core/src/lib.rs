@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod artifact;
 pub mod checks;
 pub mod circuit;
 pub mod context;
@@ -51,6 +52,7 @@ pub mod statebased;
 pub mod synthesis;
 pub mod techmap;
 
+pub use artifact::{clusters_from_wire, clusters_to_wire, signal_fingerprint};
 pub use circuit::{Circuit, ImplKind, SignalImplementation};
 pub use context::{
     CodingConflict, CscVerdict, RefinementTrace, SignalCovers, StructuralContext, SynthesisError,
@@ -64,7 +66,8 @@ pub use statebased::{
     BaselineFlavor, BaselineSynthesis,
 };
 pub use synthesis::{
-    synthesize, synthesize_signal, synthesize_with_context, Architecture, MinimizeStages,
-    SignalResult, Synthesis, SynthesisOptions,
+    derive_clusters, realize_clusters, revalidate_clusters, synthesize, synthesize_signal,
+    synthesize_with_context, Architecture, MinimizeStages, SignalClusters, SignalResult, Synthesis,
+    SynthesisOptions,
 };
 pub use techmap::{map_circuit, CellUse, MappedCircuit};

@@ -270,19 +270,151 @@ pub fn synthesize_signal(
     options: &SynthesisOptions,
 ) -> Result<SignalResult, SynthesisError> {
     let sc = ctx.signal_covers(signal);
+    let clusters = derive_clusters_from(ctx, &sc, options)?;
+    Ok(realize_from(&sc, &clusters, options))
+}
+
+/// The expensive half of one signal's synthesis, as cacheable data: the
+/// set/reset transition clusters with their covers after the search-heavy
+/// minimization stages (initial covers, M0 expansion, M1 merging, M4
+/// backward expansion). The cheap realization decision (M2/M3) is *not*
+/// part of this — [`realize_clusters`] recomputes it every time, so the
+/// serving layer can cache clusters per signal and still re-decide the
+/// latch architecture against the current context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SignalClusters {
+    /// The signal these clusters implement.
+    pub signal: SignalId,
+    /// Set-network clusters (owned rising transitions + cover).
+    pub set: Vec<(Vec<TransId>, Cover)>,
+    /// Reset-network clusters (owned falling transitions + cover).
+    pub reset: Vec<(Vec<TransId>, Cover)>,
+}
+
+/// Runs the expensive cluster derivation for one signal (everything of
+/// [`synthesize_signal`] except the final realization decision).
+///
+/// # Errors
+///
+/// As [`synthesize_signal`].
+pub fn derive_clusters(
+    ctx: &StructuralContext<'_>,
+    signal: SignalId,
+    options: &SynthesisOptions,
+) -> Result<SignalClusters, SynthesisError> {
+    derive_clusters_from(ctx, &ctx.signal_covers(signal), options)
+}
+
+/// Realizes previously derived clusters: the cheap M2/M3 decision picking
+/// combinational, C-latch, gC or gated-latch form. Deterministic given
+/// (context, clusters, options); [`synthesize_signal`] is exactly
+/// [`derive_clusters`] followed by this.
+pub fn realize_clusters(
+    ctx: &StructuralContext<'_>,
+    clusters: &SignalClusters,
+    options: &SynthesisOptions,
+) -> SignalResult {
+    realize_from(&ctx.signal_covers(clusters.signal), clusters, options)
+}
+
+/// Re-checks cached clusters against the **current** context: every
+/// cluster must still pass [`check_cluster`] (ER inclusion, off-set
+/// exclusion modulo the backward don't-cares, monotonicity) and the
+/// cluster partition must still match the signal's transitions. This is
+/// what makes cross-session reuse sound independent of how the cache is
+/// keyed: a stale or hash-colliding artifact fails revalidation and the
+/// caller falls back to [`derive_clusters`].
+pub fn revalidate_clusters(
+    ctx: &StructuralContext<'_>,
+    clusters: &SignalClusters,
+    options: &SynthesisOptions,
+) -> bool {
+    let sc = ctx.signal_covers(clusters.signal);
+    let w = ctx.stg.signal_count();
+    let widths_ok = |cs: &[(Vec<TransId>, Cover)]| cs.iter().all(|(_, c)| c.width() == w);
+    if !widths_ok(&clusters.set) || !widths_ok(&clusters.reset) {
+        return false;
+    }
+    // The clusters must partition exactly the signal's current transitions.
+    let partitions = |cs: &[(Vec<TransId>, Cover)], all: &[TransId]| {
+        let mut owned: Vec<TransId> = cs.iter().flat_map(|(own, _)| own.iter().copied()).collect();
+        owned.sort_unstable();
+        let mut expect = all.to_vec();
+        expect.sort_unstable();
+        owned == expect
+    };
+    if !partitions(&clusters.set, &sc.rising) || !partitions(&clusters.reset, &sc.falling) {
+        return false;
+    }
     match options.architecture {
-        Architecture::ComplexGate => complex_gate_signal(ctx, &sc, options),
-        Architecture::ExcitationFunction => excitation_signal(ctx, &sc, options, false),
-        Architecture::PerRegion => excitation_signal(ctx, &sc, options, true),
+        Architecture::ComplexGate => {
+            let on_req = sc.ger_rise.or(&sc.gqr_one);
+            let off = sc.ger_fall.or(&sc.gqr_zero);
+            clusters.set.len() == 1
+                && clusters.reset.len() == 1
+                && !on_req.intersects(&off)
+                && clusters.set[0].1.covers(&on_req)
+                && !clusters.set[0].1.intersects(&off)
+        }
+        Architecture::ExcitationFunction | Architecture::PerRegion => {
+            let per_region = options.architecture == Architecture::PerRegion;
+            let union = |cs: &[(Vec<TransId>, Cover)]| {
+                cs.iter().fold(Cover::empty(w), |acc, (_, c)| acc.or(c))
+            };
+            let set_union = union(&clusters.set);
+            let reset_union = union(&clusters.reset);
+            for (side, role, opposite) in [
+                (&clusters.set, CoverRole::Set, &reset_union),
+                (&clusters.reset, CoverRole::Reset, &set_union),
+            ] {
+                for (own, cover) in side {
+                    let off = cluster_off(ctx, &sc, role, own, per_region);
+                    let bdc = if options.stages.backward {
+                        backward_dc(ctx, &sc, role, own, opposite)
+                    } else {
+                        Cover::empty(w)
+                    };
+                    if !check_cluster(ctx, &sc, own, cover, &off, &bdc).is_ok() {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
     }
 }
 
-/// Fig. 3(a): one complex gate computing the next-state function.
-fn complex_gate_signal(
+fn derive_clusters_from(
     ctx: &StructuralContext<'_>,
     sc: &SignalCovers,
     options: &SynthesisOptions,
-) -> Result<SignalResult, SynthesisError> {
+) -> Result<SignalClusters, SynthesisError> {
+    match options.architecture {
+        Architecture::ComplexGate => complex_gate_clusters(ctx, sc, options),
+        Architecture::ExcitationFunction => excitation_clusters(ctx, sc, options, false),
+        Architecture::PerRegion => excitation_clusters(ctx, sc, options, true),
+    }
+}
+
+fn realize_from(
+    sc: &SignalCovers,
+    clusters: &SignalClusters,
+    options: &SynthesisOptions,
+) -> SignalResult {
+    match options.architecture {
+        Architecture::ComplexGate => realize_complex_gate(sc, clusters),
+        Architecture::ExcitationFunction | Architecture::PerRegion => {
+            realize_excitation(sc, clusters, options)
+        }
+    }
+}
+
+/// Fig. 3(a), derivation half: the minimized next-state cover.
+fn complex_gate_clusters(
+    ctx: &StructuralContext<'_>,
+    sc: &SignalCovers,
+    options: &SynthesisOptions,
+) -> Result<SignalClusters, SynthesisError> {
     let on_req = sc.ger_rise.or(&sc.gqr_one);
     let off = sc.ger_fall.or(&sc.gqr_zero);
     if on_req.intersects(&off) {
@@ -301,29 +433,38 @@ fn complex_gate_signal(
         on_req.clone()
     };
     debug_assert!(cover.covers(&on_req));
-    let implementation = SignalImplementation {
+    Ok(SignalClusters {
         signal: sc.signal,
-        kind: ImplKind::Combinational {
-            cover: cover.clone(),
-            inverted: false,
-        },
-    };
-    Ok(SignalResult {
-        signal: sc.signal,
-        implementation,
-        set_clusters: vec![(sc.rising.clone(), cover)],
-        reset_clusters: vec![(sc.falling.clone(), Cover::empty(ctx.stg.signal_count()))],
+        set: vec![(sc.rising.clone(), cover)],
+        reset: vec![(sc.falling.clone(), Cover::empty(ctx.stg.signal_count()))],
     })
 }
 
-/// Fig. 3(b)/(c): set/reset networks feeding a C-latch, with the full
-/// minimization ladder.
-fn excitation_signal(
+/// Fig. 3(a), realization half: one atomic complex gate.
+fn realize_complex_gate(sc: &SignalCovers, clusters: &SignalClusters) -> SignalResult {
+    let cover = clusters.set[0].1.clone();
+    SignalResult {
+        signal: sc.signal,
+        implementation: SignalImplementation {
+            signal: sc.signal,
+            kind: ImplKind::Combinational {
+                cover,
+                inverted: false,
+            },
+        },
+        set_clusters: clusters.set.clone(),
+        reset_clusters: clusters.reset.clone(),
+    }
+}
+
+/// Fig. 3(b)/(c), derivation half: initial set/reset clusters through the
+/// search-heavy stages of the ladder (M0, M1, M4).
+fn excitation_clusters(
     ctx: &StructuralContext<'_>,
     sc: &SignalCovers,
     options: &SynthesisOptions,
     per_region: bool,
-) -> Result<SignalResult, SynthesisError> {
+) -> Result<SignalClusters, SynthesisError> {
     let stages = &options.stages;
     let w = ctx.stg.signal_count();
 
@@ -418,6 +559,26 @@ fn excitation_signal(
         }
     }
 
+    Ok(SignalClusters {
+        signal: sc.signal,
+        set: set_clusters,
+        reset: reset_clusters,
+    })
+}
+
+/// Fig. 3(b)/(c), realization half: the M2/M3 decision over derived
+/// clusters — complete covers → combinational, single-cube pairs →
+/// gC/gated latch, otherwise the C-latch.
+fn realize_excitation(
+    sc: &SignalCovers,
+    clusters: &SignalClusters,
+    options: &SynthesisOptions,
+) -> SignalResult {
+    let stages = &options.stages;
+    let w = sc.gqr_one.width();
+    let set_clusters = &clusters.set;
+    let reset_clusters = &clusters.reset;
+
     // M2: complete covers → combinational implementation.
     let set_union = set_clusters
         .iter()
@@ -470,15 +631,15 @@ fn excitation_signal(
         }
     };
 
-    Ok(SignalResult {
+    SignalResult {
         signal: sc.signal,
         implementation: SignalImplementation {
             signal: sc.signal,
             kind,
         },
-        set_clusters,
-        reset_clusters,
-    })
+        set_clusters: set_clusters.clone(),
+        reset_clusters: reset_clusters.clone(),
+    }
 }
 
 /// The off-set of a cluster: the opposite generalized regions plus — in the

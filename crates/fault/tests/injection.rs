@@ -1,6 +1,7 @@
 //! The deterministic fault-injection suite: drives the real worker pools
 //! of the workspace — the sharded state-space explorer, parallel
-//! per-signal synthesis, CSC candidate scoring — with faults armed at
+//! per-signal synthesis, CSC candidate scoring, the serve job queue and
+//! artifact store — with faults armed at
 //! their named failpoints, and asserts the robustness contract: every
 //! injected panic surfaces as a structured `WorkerPanicked` (process
 //! intact), stalls never deadlock the termination counter, and a
@@ -13,7 +14,9 @@
 
 use si_fault::{arm, armed_count, relock, reset, FaultAction};
 use si_petri::{InterruptReason, ReachError, ReachOptions, ReachabilityGraph, SymbolicReach};
-use std::sync::{Mutex, MutexGuard};
+use si_serve::json::{self, Value};
+use si_serve::{ArtifactStore, JobQueue, Service};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
 /// The failpoint registry is process-global, so the injection tests must
@@ -192,6 +195,77 @@ fn symbolic_iteration_burst_degrades_into_the_tagged_partial_verdict() {
     let clean = SymbolicReach::build(net).unwrap();
     assert!(clean.is_complete());
     assert_eq!(clean.state_count(), total);
+    reset();
+}
+
+/// A serve stack (store + service + 2-worker queue) and a synth request
+/// line for a small benchmark, as the socket server would wire them.
+fn serve_stack() -> (Arc<ArtifactStore>, Arc<Service>, JobQueue, String) {
+    let store = Arc::new(ArtifactStore::in_memory(16 << 20));
+    let service = Arc::new(Service::new(Arc::clone(&store)));
+    let queue = JobQueue::new(2);
+    let spec = si_stg::write_g(&si_stg::generators::clatch(2));
+    let line = format!("{{\"op\": \"synth\", \"spec\": {}}}", json::escape(&spec));
+    (store, service, queue, line)
+}
+
+#[test]
+fn serve_job_panic_is_a_structured_error_and_the_queue_keeps_serving() {
+    let _guard = serial();
+    reset();
+    let (store, service, queue, line) = serve_stack();
+    // Kill the first job the pool picks up (seq 0), exactly where the
+    // server's worker runs it.
+    arm("serve::job", Some(0), FaultAction::Panic);
+    let svc = Arc::clone(&service);
+    let req = line.clone();
+    let err = queue
+        .submit(move || svc.execute(&req).body)
+        .expect_err("the injected panic must surface as Err");
+    assert!(err.contains("injected fault"), "got: {err}");
+    assert_eq!(armed_count(), 0, "the armed fault must have fired");
+    // Neither the queue nor the store is poisoned: the same request
+    // succeeds on the next submission, through the same workers.
+    let svc = Arc::clone(&service);
+    let req = line.clone();
+    let body = queue.submit(move || svc.execute(&req).body).unwrap();
+    let v = json::parse(&body).expect("response body is JSON");
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{body}");
+    let s = queue.stats();
+    assert_eq!((s.executed, s.panicked, s.depth), (1, 1, 0));
+    // The successful retry populated the store past the casualty.
+    assert!(store.stats().mem_entries > 0);
+    reset();
+}
+
+#[test]
+fn store_write_panic_mid_job_poisons_neither_queue_nor_store() {
+    let _guard = serial();
+    reset();
+    let (_store, service, queue, line) = serve_stack();
+    // Kill the first artifact write (a per-signal cover) *inside* the
+    // executing job: the panic unwinds through the service and the
+    // store, and must be contained by the worker's isolation.
+    arm("store::write", Some(0), FaultAction::Panic);
+    let svc = Arc::clone(&service);
+    let req = line.clone();
+    let err = queue
+        .submit(move || svc.execute(&req).body)
+        .expect_err("the injected panic must surface as Err");
+    assert!(err.contains("injected fault"), "got: {err}");
+    assert_eq!(armed_count(), 0, "the armed fault must have fired");
+    // The store's locks are intact: the identical request re-derives
+    // everything, caches it, and a third run is answered from cache.
+    let svc = Arc::clone(&service);
+    let req = line.clone();
+    let body = queue.submit(move || svc.execute(&req).body).unwrap();
+    let v = json::parse(&body).expect("response body is JSON");
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{body}");
+    let cached = service.execute(&line);
+    assert!(cached.cache_hit, "the interrupted write left no residue");
+    assert_eq!(cached.body, body);
+    let s = queue.stats();
+    assert_eq!((s.executed, s.panicked), (1, 1));
     reset();
 }
 

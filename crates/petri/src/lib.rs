@@ -64,6 +64,7 @@ pub mod shard;
 mod siphon;
 mod sm;
 pub mod space;
+mod summary;
 mod symbolic;
 
 pub use budget::{Budget, CancelToken, Interrupt, InterruptReason};
@@ -77,4 +78,5 @@ pub use siphon::{
     check_live_safe_fc, is_siphon, is_trap, maximal_trap_within, minimal_siphons, StructuralCheck,
 };
 pub use sm::{sm_cover, SmComponent, SmCoverError, SmFinder};
+pub use summary::{ParseSummaryError, ReachSummary};
 pub use symbolic::SymbolicReach;

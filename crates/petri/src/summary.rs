@@ -1,0 +1,129 @@
+//! Serializable exploration summaries.
+//!
+//! A [`ReachSummary`] is the part of a completed exploration that is worth
+//! keeping across sessions: the headline counts a `check` answers with.
+//! The serving layer (`si-serve`) stores summaries in its content-addressed
+//! artifact store keyed by the spec's canonical form, so a repeat request
+//! can report state counts with **zero** reachability-graph builds
+//! (observable via [`ReachabilityGraph::build_count`]).
+//!
+//! Summaries are only ever recorded for *conclusive* explorations — an
+//! interrupted build has no stable counts to cache.
+//!
+//! [`ReachabilityGraph::build_count`]: crate::ReachabilityGraph::build_count
+
+use crate::reach::ReachabilityGraph;
+use std::fmt;
+
+/// Headline counts of a completed (conclusive) exploration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReachSummary {
+    /// Number of reachable states.
+    pub states: u64,
+    /// Number of graph edges (firings between distinct markings).
+    pub edges: u64,
+    /// Whether every reachable marking was safe (always true for graphs
+    /// built by this workspace — unsafe nets fail the build).
+    pub safe: bool,
+}
+
+/// Error from [`ReachSummary::from_wire`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseSummaryError(String);
+
+impl fmt::Display for ParseSummaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed reach summary: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseSummaryError {}
+
+impl ReachSummary {
+    /// Summarizes a fully built graph.
+    pub fn of(rg: &ReachabilityGraph) -> Self {
+        ReachSummary {
+            states: rg.state_count() as u64,
+            edges: rg.edge_count() as u64,
+            safe: true,
+        }
+    }
+
+    /// Serializes to the stable one-line wire form
+    /// (`reach-v1 states=N edges=M safe=B`).
+    pub fn to_wire(&self) -> String {
+        format!(
+            "reach-v1 states={} edges={} safe={}",
+            self.states, self.edges, self.safe
+        )
+    }
+
+    /// Parses the [`Self::to_wire`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSummaryError`] on a version mismatch or malformed
+    /// fields — callers treat that as a cache miss, never a hard failure.
+    pub fn from_wire(text: &str) -> Result<Self, ParseSummaryError> {
+        let mut it = text.split_whitespace();
+        if it.next() != Some("reach-v1") {
+            return Err(ParseSummaryError("missing reach-v1 header".into()));
+        }
+        let mut states = None;
+        let mut edges = None;
+        let mut safe = None;
+        for field in it {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| ParseSummaryError(format!("field {field:?}")))?;
+            match key {
+                "states" => {
+                    states = Some(
+                        value
+                            .parse()
+                            .map_err(|_| ParseSummaryError(format!("states={value}")))?,
+                    )
+                }
+                "edges" => {
+                    edges = Some(
+                        value
+                            .parse()
+                            .map_err(|_| ParseSummaryError(format!("edges={value}")))?,
+                    )
+                }
+                "safe" => {
+                    safe = Some(
+                        value
+                            .parse()
+                            .map_err(|_| ParseSummaryError(format!("safe={value}")))?,
+                    )
+                }
+                _ => {} // forward compatibility: unknown fields are ignored
+            }
+        }
+        Ok(ReachSummary {
+            states: states.ok_or_else(|| ParseSummaryError("missing states".into()))?,
+            edges: edges.ok_or_else(|| ParseSummaryError("missing edges".into()))?,
+            safe: safe.unwrap_or(true),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip() {
+        let s = ReachSummary {
+            states: 1234,
+            edges: 5678,
+            safe: true,
+        };
+        assert_eq!(ReachSummary::from_wire(&s.to_wire()).unwrap(), s);
+        // Unknown fields are ignored, missing required ones are errors.
+        assert!(ReachSummary::from_wire("reach-v1 states=1 edges=2 future=x").is_ok());
+        assert!(ReachSummary::from_wire("reach-v1 states=1").is_err());
+        assert!(ReachSummary::from_wire("reach-v2 states=1 edges=2").is_err());
+    }
+}

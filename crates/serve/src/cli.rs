@@ -1,0 +1,241 @@
+//! The `sisyn serve` / `sisyn submit` subcommands.
+//!
+//! Both live here rather than in the binary so the socket protocol,
+//! flag parsing and exit-code mapping are testable as library code; the
+//! binary only forwards `argv` and its SIGINT token.
+
+use std::io::Read;
+use std::path::PathBuf;
+
+use si_petri::CancelToken;
+
+use crate::client::submit_lines;
+use crate::json::{self, escape, Value};
+use crate::server::{serve, Endpoint, ServerConfig};
+
+/// Exit code of an inconclusive run (matches the CLI convention).
+const EXIT_INCONCLUSIVE: u8 = 3;
+/// Exit code for usage errors (matches the CLI convention).
+const EXIT_USAGE: u8 = 2;
+
+fn serve_usage() -> u8 {
+    eprintln!(
+        "usage: sisyn serve (--socket PATH | --tcp ADDR) [--workers N] \
+         [--store-bytes N] [--store-dir DIR] [--log]"
+    );
+    EXIT_USAGE
+}
+
+fn submit_usage() -> u8 {
+    eprintln!(
+        "usage: sisyn submit (--socket PATH | --tcp ADDR) \
+         <check|synth|verify|resolve|stats> [SPEC.g] [-o FILE] \
+         [--arch complex|excitation|per-region] [--stages 0..4|full|none] \
+         [--minimizer espresso|exact|bdd|auto] [--cap N] [--shards N] \
+         [--budget N] [--strategy greedy|beam] \
+         [--backend explicit|symbolic|auto] [--timeout-ms N]"
+    );
+    EXIT_USAGE
+}
+
+/// Runs `sisyn serve ARGS` until `cancel` fires (Ctrl-C in the binary),
+/// returning the process exit code.
+pub fn serve_main(args: &[String], cancel: &CancelToken) -> u8 {
+    let mut endpoint = None;
+    let mut config_workers = 2usize;
+    let mut store_bytes = 64usize << 20;
+    let mut store_dir = None;
+    let mut log = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => match it.next() {
+                Some(p) => endpoint = Some(Endpoint::Unix(PathBuf::from(p))),
+                None => return serve_usage(),
+            },
+            "--tcp" => match it.next() {
+                Some(addr) => endpoint = Some(Endpoint::Tcp(addr.clone())),
+                None => return serve_usage(),
+            },
+            "--workers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => config_workers = n,
+                _ => return serve_usage(),
+            },
+            "--store-bytes" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => store_bytes = n,
+                _ => return serve_usage(),
+            },
+            "--store-dir" => match it.next() {
+                Some(d) => store_dir = Some(PathBuf::from(d)),
+                None => return serve_usage(),
+            },
+            "--log" => log = true,
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                return serve_usage();
+            }
+        }
+    }
+    let Some(endpoint) = endpoint else {
+        return serve_usage();
+    };
+    let config = ServerConfig {
+        endpoint,
+        workers: config_workers,
+        store_bytes,
+        store_dir,
+        log,
+    };
+    match serve(&config, cancel) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            1
+        }
+    }
+}
+
+/// Runs `sisyn submit ARGS`: builds one request from the flags, sends
+/// it, prints the response line and maps it to the CLI exit codes
+/// (0 ok, 1 failed, 3 inconclusive).
+pub fn submit_main(args: &[String]) -> u8 {
+    let mut endpoint = None;
+    let mut op = None;
+    let mut spec_path = None;
+    let mut output = None;
+    // (json key, json value) pairs forwarded verbatim into the request.
+    let mut fields: Vec<(&'static str, String)> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut str_field = |key: &'static str, it: &mut std::slice::Iter<'_, String>| {
+            it.next().map(|v| fields.push((key, escape(v))))
+        };
+        match a.as_str() {
+            "--socket" => match it.next() {
+                Some(p) => endpoint = Some(Endpoint::Unix(PathBuf::from(p))),
+                None => return submit_usage(),
+            },
+            "--tcp" => match it.next() {
+                Some(addr) => endpoint = Some(Endpoint::Tcp(addr.clone())),
+                None => return submit_usage(),
+            },
+            "-o" => match it.next() {
+                Some(p) => output = Some(p.clone()),
+                None => return submit_usage(),
+            },
+            "--arch" => {
+                if str_field("arch", &mut it).is_none() {
+                    return submit_usage();
+                }
+            }
+            "--minimizer" => {
+                if str_field("minimizer", &mut it).is_none() {
+                    return submit_usage();
+                }
+            }
+            "--strategy" => {
+                if str_field("strategy", &mut it).is_none() {
+                    return submit_usage();
+                }
+            }
+            "--backend" => {
+                if str_field("backend", &mut it).is_none() {
+                    return submit_usage();
+                }
+            }
+            "--stages" => match it.next() {
+                Some(v) if v == "full" || v == "none" => fields.push(("stages", escape(v))),
+                Some(v) if v.parse::<u8>().is_ok_and(|n| n <= 4) => {
+                    fields.push(("stages", v.clone()));
+                }
+                _ => return submit_usage(),
+            },
+            "--cap" | "--shards" | "--budget" | "--timeout-ms" => {
+                let key = match a.as_str() {
+                    "--cap" => "cap",
+                    "--shards" => "shards",
+                    "--budget" => "budget",
+                    _ => "timeout_ms",
+                };
+                match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                    Some(n) => fields.push((key, n.to_string())),
+                    None => return submit_usage(),
+                }
+            }
+            _ if op.is_none() => op = Some(a.clone()),
+            _ if spec_path.is_none() => spec_path = Some(a.clone()),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                return submit_usage();
+            }
+        }
+    }
+    let (Some(endpoint), Some(op)) = (endpoint, op) else {
+        return submit_usage();
+    };
+    if op != "stats" {
+        let Some(path) = spec_path else {
+            eprintln!("{op} needs a SPEC.g argument");
+            return submit_usage();
+        };
+        let spec = if path == "-" {
+            let mut s = String::new();
+            match std::io::stdin().read_to_string(&mut s) {
+                Ok(_) => s,
+                Err(e) => {
+                    eprintln!("cannot read stdin: {e}");
+                    return 1;
+                }
+            }
+        } else {
+            match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return 1;
+                }
+            }
+        };
+        fields.push(("spec", escape(&spec)));
+    }
+    let mut request = format!("{{\"op\": {}", escape(&op));
+    for (key, value) in &fields {
+        request.push_str(&format!(", \"{key}\": {value}"));
+    }
+    request.push('}');
+    let response = match submit_lines(&endpoint, &[request]) {
+        Ok(mut lines) => lines.remove(0),
+        Err(e) => {
+            eprintln!("submit: {e}");
+            return 1;
+        }
+    };
+    println!("{response}");
+    response_exit(&response, output.as_deref())
+}
+
+/// Maps a response line to an exit code, writing the `-o` artifact
+/// (synth's Verilog, resolve's `.g`) when present.
+fn response_exit(response: &str, output: Option<&str>) -> u8 {
+    let Ok(v) = json::parse(response) else {
+        eprintln!("submit: malformed response");
+        return 1;
+    };
+    if let Some(path) = output {
+        let artifact = v
+            .get("verilog")
+            .or_else(|| v.get("resolved"))
+            .and_then(Value::as_str);
+        if let Some(text) = artifact {
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("cannot write {path}: {e}");
+                return 1;
+            }
+        }
+    }
+    match v.get("ok").and_then(Value::as_bool) {
+        Some(true) => 0,
+        _ if v.get("inconclusive").and_then(Value::as_bool) == Some(true) => EXIT_INCONCLUSIVE,
+        _ => 1,
+    }
+}

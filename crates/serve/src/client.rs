@@ -1,0 +1,46 @@
+//! The submitting side: connect, send request lines, collect responses.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+use crate::server::Endpoint;
+
+/// Sends each request line to a running server and returns the response
+/// line for each, in order.
+///
+/// # Errors
+///
+/// Connection or I/O failures; a server that closes early yields
+/// `UnexpectedEof`.
+pub fn submit_lines(endpoint: &Endpoint, lines: &[String]) -> io::Result<Vec<String>> {
+    match endpoint {
+        Endpoint::Unix(path) => {
+            let stream = UnixStream::connect(path)?;
+            exchange(&stream, &stream, lines)
+        }
+        Endpoint::Tcp(addr) => {
+            let stream = TcpStream::connect(addr.as_str())?;
+            exchange(&stream, &stream, lines)
+        }
+    }
+}
+
+fn exchange<W: Write, R: io::Read>(mut tx: W, rx: R, lines: &[String]) -> io::Result<Vec<String>> {
+    let mut reader = BufReader::new(rx);
+    let mut responses = Vec::with_capacity(lines.len());
+    for line in lines {
+        tx.write_all(line.as_bytes())?;
+        tx.write_all(b"\n")?;
+        tx.flush()?;
+        let mut response = String::new();
+        if reader.read_line(&mut response)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed before answering",
+            ));
+        }
+        responses.push(response.trim_end().to_string());
+    }
+    Ok(responses)
+}

@@ -1,0 +1,263 @@
+//! Bounded-concurrency job queue with panic isolation.
+//!
+//! A fixed pool of worker threads drains a FIFO of submitted jobs. Each
+//! job is a closure producing the response line for one request; it runs
+//! under [`si_fault::run_isolated`], so a panicking job (a synthesis bug,
+//! or an armed `serve::job` failpoint) yields a structured error
+//! response instead of taking a worker — let alone the queue or the
+//! artifact store — down with it.
+//!
+//! Submission is synchronous from the caller's point of view: `submit`
+//! enqueues and blocks on a per-job result slot. Connection handler
+//! threads are the callers, so a slow job stalls only its own
+//! connection while the pool keeps the others moving.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Instant;
+
+use si_fault::{fail_point, relock, run_isolated};
+
+type JobFn = Box<dyn FnOnce() -> String + Send + 'static>;
+
+struct Job {
+    run: JobFn,
+    slot: Arc<Slot>,
+    seq: u64,
+}
+
+/// One-shot result mailbox shared between the submitter and a worker.
+struct Slot {
+    value: Mutex<Option<Result<String, String>>>,
+    ready: Condvar,
+}
+
+/// A point-in-time snapshot of the queue counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Jobs accepted so far.
+    pub submitted: u64,
+    /// Jobs that ran to completion (including ones that returned an
+    /// error response body).
+    pub executed: u64,
+    /// Jobs whose closure panicked (isolated; surfaced as `Err`).
+    pub panicked: u64,
+    /// Jobs currently waiting or running.
+    pub depth: u64,
+    /// Total wall-clock milliseconds spent executing jobs.
+    pub busy_ms: u64,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    /// Set once by `drain`; workers exit when the queue is empty and
+    /// this is set, and `submit` rejects new jobs.
+    closing: AtomicBool,
+    submitted: AtomicU64,
+    executed: AtomicU64,
+    panicked: AtomicU64,
+    in_flight: AtomicU64,
+    busy_us: AtomicU64,
+}
+
+/// The worker pool. Dropping it drains: queued and in-flight jobs run to
+/// completion, then the workers exit.
+pub struct JobQueue {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+    seq: AtomicU64,
+}
+
+impl std::fmt::Debug for JobQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobQueue")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl JobQueue {
+    /// Starts a pool of `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            closing: AtomicBool::new(false),
+            submitted: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            busy_us: AtomicU64::new(0),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("si-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        JobQueue {
+            shared,
+            workers: Mutex::new(workers),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueues `run` and blocks until a worker has executed it.
+    ///
+    /// Returns `Err(panic message)` if the job panicked, or
+    /// `Err("queue closed")` when submitted after [`drain`] began.
+    ///
+    /// [`drain`]: JobQueue::drain
+    pub fn submit(&self, run: impl FnOnce() -> String + Send + 'static) -> Result<String, String> {
+        if self.shared.closing.load(Ordering::Acquire) {
+            return Err("queue closed".to_string());
+        }
+        let slot = Arc::new(Slot {
+            value: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        let job = Job {
+            run: Box::new(run),
+            slot: Arc::clone(&slot),
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+        };
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut queue = relock(&self.shared.queue);
+            queue.push_back(job);
+        }
+        self.shared.available.notify_one();
+        let mut value = relock(&slot.value);
+        while value.is_none() {
+            value = match slot.ready.wait(value) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        value.take().expect("slot filled")
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> QueueStats {
+        let queued = relock(&self.shared.queue).len() as u64;
+        QueueStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            executed: self.shared.executed.load(Ordering::Relaxed),
+            panicked: self.shared.panicked.load(Ordering::Relaxed),
+            depth: queued + self.shared.in_flight.load(Ordering::Relaxed),
+            busy_ms: self.shared.busy_us.load(Ordering::Relaxed) / 1000,
+        }
+    }
+
+    /// Stops accepting jobs, runs everything already queued or in
+    /// flight to completion, and joins the workers. Idempotent: a
+    /// second call finds no workers left.
+    pub fn drain(&self) {
+        self.shared.closing.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        let handles: Vec<_> = relock(&self.workers).drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for JobQueue {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = relock(&shared.queue);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.closing.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = match shared.available.wait(queue) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        };
+        shared.in_flight.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let seq = job.seq;
+        let result = run_isolated(move || {
+            fail_point!("serve::job", seq);
+            (job.run)()
+        });
+        shared
+            .busy_us
+            .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+        match &result {
+            Ok(_) => shared.executed.fetch_add(1, Ordering::Relaxed),
+            Err(_) => shared.panicked.fetch_add(1, Ordering::Relaxed),
+        };
+        let mut value = relock(&job.slot.value);
+        *value = Some(result);
+        job.slot.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_run_and_counters_track() {
+        let queue = JobQueue::new(2);
+        let out = queue.submit(|| "a".to_string()).unwrap();
+        assert_eq!(out, "a");
+        let s = queue.stats();
+        assert_eq!((s.submitted, s.executed, s.panicked, s.depth), (1, 1, 0, 0));
+    }
+
+    #[test]
+    fn concurrent_submissions_all_complete() {
+        let queue = Arc::new(JobQueue::new(3));
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                thread::spawn(move || queue.submit(move || format!("job-{i}")).unwrap())
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.join().unwrap(), format!("job-{i}"));
+        }
+        assert_eq!(queue.stats().executed, 8);
+    }
+
+    #[test]
+    fn a_panicking_job_is_isolated() {
+        let queue = JobQueue::new(1);
+        let err = queue
+            .submit(|| panic!("job exploded"))
+            .expect_err("panic surfaces as Err");
+        assert!(err.contains("job exploded"), "{err}");
+        // The worker survived: the next job still runs.
+        assert_eq!(queue.submit(|| "next".to_string()).unwrap(), "next");
+        let s = queue.stats();
+        assert_eq!((s.executed, s.panicked), (1, 1));
+    }
+
+    #[test]
+    fn drain_runs_queued_work_then_rejects() {
+        let queue = JobQueue::new(2);
+        assert_eq!(queue.submit(|| "x".to_string()).unwrap(), "x");
+        queue.drain();
+        assert!(queue.submit(|| "y".to_string()).is_err());
+    }
+}

@@ -1,0 +1,329 @@
+//! The socket server: accept loop, connection handlers, graceful drain.
+//!
+//! The listener (Unix or TCP) runs non-blocking and is polled every
+//! ~20 ms against the cancellation token, so SIGINT is observed between
+//! accepts. Each connection gets its own handler thread that reads
+//! newline-delimited requests, submits them to the shared [`JobQueue`]
+//! (which bounds actual compute concurrency) and writes one response
+//! line per request. On cancellation the server stops accepting, the
+//! handlers finish their in-flight request and exit, and the queue
+//! drains queued jobs to completion — a `Ctrl-C` loses no work that was
+//! already submitted.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use si_petri::{Budget, CancelToken};
+
+use crate::json;
+use crate::queue::JobQueue;
+use crate::service::{envelope, panic_body, Response, Service};
+use crate::store::ArtifactStore;
+
+/// Where the server listens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A Unix-domain socket at this path.
+    Unix(PathBuf),
+    /// A TCP address, e.g. `127.0.0.1:7432`.
+    Tcp(String),
+}
+
+/// Server configuration (the `sisyn serve` flags).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listening endpoint.
+    pub endpoint: Endpoint,
+    /// Worker threads on the job queue.
+    pub workers: usize,
+    /// Byte ceiling of the in-memory artifact tier.
+    pub store_bytes: usize,
+    /// Spill directory for the disk tier (`None` = memory only).
+    pub store_dir: Option<PathBuf>,
+    /// Log one line per executed job to stderr.
+    pub log: bool,
+}
+
+impl ServerConfig {
+    /// Defaults: 2 workers, 64 MiB memory tier, no spill, no log.
+    pub fn new(endpoint: Endpoint) -> Self {
+        ServerConfig {
+            endpoint,
+            workers: 2,
+            store_bytes: 64 << 20,
+            store_dir: None,
+            log: false,
+        }
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Listener {
+    fn bind(endpoint: &Endpoint) -> io::Result<Listener> {
+        match endpoint {
+            Endpoint::Unix(path) => {
+                // A stale socket file from a crashed server would make
+                // bind fail; connect() distinguishes live from stale.
+                if path.exists() && UnixStream::connect(path).is_err() {
+                    let _ = std::fs::remove_file(path);
+                }
+                Ok(Listener::Unix(UnixListener::bind(path)?))
+            }
+            Endpoint::Tcp(addr) => Ok(Listener::Tcp(TcpListener::bind(addr.as_str())?)),
+        }
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Listener::Unix(l) => l.set_nonblocking(nb),
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        }
+    }
+}
+
+impl Stream {
+    fn configure(&self) -> io::Result<()> {
+        // The stream must be blocking (it may inherit non-blocking from
+        // the polled listener) with a short read timeout, so handlers
+        // observe cancellation while idle.
+        let timeout = Some(Duration::from_millis(200));
+        match self {
+            Stream::Unix(s) => {
+                s.set_nonblocking(false)?;
+                s.set_read_timeout(timeout)
+            }
+            Stream::Tcp(s) => {
+                s.set_nonblocking(false)?;
+                s.set_read_timeout(timeout)
+            }
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Runs the server until `cancel` fires, then drains and returns.
+///
+/// # Errors
+///
+/// Propagates the bind failure; per-connection I/O errors only drop
+/// that connection.
+pub fn serve(config: &ServerConfig, cancel: &CancelToken) -> io::Result<()> {
+    let store = Arc::new(ArtifactStore::new(
+        Budget::unbounded().max_bytes(config.store_bytes),
+        config.store_dir.clone(),
+    ));
+    let service = Arc::new(Service::new(store));
+    let queue = Arc::new(JobQueue::new(config.workers));
+    let listener = Listener::bind(&config.endpoint)?;
+    listener.set_nonblocking(true)?;
+    if config.log {
+        eprintln!(
+            "serve: listening on {:?} ({} worker(s), {} byte memory tier{})",
+            config.endpoint,
+            config.workers,
+            config.store_bytes,
+            config
+                .store_dir
+                .as_ref()
+                .map_or(String::new(), |d| format!(", spill {}", d.display())),
+        );
+    }
+
+    let mut handlers = Vec::new();
+    while !cancel.is_cancelled() {
+        match listener.accept() {
+            Ok(stream) => {
+                if stream.configure().is_err() {
+                    continue;
+                }
+                let service = Arc::clone(&service);
+                let queue = Arc::clone(&queue);
+                let cancel = cancel.clone();
+                let log = config.log;
+                handlers.push(std::thread::spawn(move || {
+                    handle_connection(stream, &service, &queue, &cancel, log);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+
+    // Graceful shutdown: no new connections, handlers finish the request
+    // they are on (the read timeout bounds how long an idle one lingers),
+    // queued jobs run to completion.
+    drop(listener);
+    for handle in handlers {
+        let _ = handle.join();
+    }
+    queue.drain();
+    if let Endpoint::Unix(path) = &config.endpoint {
+        let _ = std::fs::remove_file(path);
+    }
+    if config.log {
+        let s = service.store().stats();
+        let q = queue.stats();
+        eprintln!(
+            "serve: drained; {} job(s) executed ({} panicked), store {} hit(s) \
+             / {} disk hit(s) / {} miss(es), {} eviction(s)",
+            q.executed, q.panicked, s.hits, s.disk_hits, s.misses, s.evictions,
+        );
+    }
+    Ok(())
+}
+
+/// Reads request lines until EOF or cancellation, answering each.
+fn handle_connection(
+    mut stream: Stream,
+    service: &Arc<Service>,
+    queue: &Arc<JobQueue>,
+    cancel: &CancelToken,
+    log: bool,
+) {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut eof = false;
+    loop {
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            if !answer(&line, &mut stream, service, queue, log) {
+                return;
+            }
+        }
+        if eof {
+            // A final request without a trailing newline still counts.
+            if !buf.is_empty() {
+                let line = std::mem::take(&mut buf);
+                let _ = answer(&line, &mut stream, service, queue, log);
+            }
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => eof = true,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if cancel.is_cancelled() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Executes one request line on the queue and writes the response line.
+/// Returns `false` when the connection should close.
+fn answer(
+    raw: &[u8],
+    stream: &mut Stream,
+    service: &Arc<Service>,
+    queue: &Arc<JobQueue>,
+    log: bool,
+) -> bool {
+    let line = String::from_utf8_lossy(raw).trim().to_string();
+    if line.is_empty() {
+        return true;
+    }
+    let job_service = Arc::clone(service);
+    let job_queue = Arc::clone(queue);
+    let result = queue.submit(move || {
+        let started = Instant::now();
+        let resp = job_service.execute(&line);
+        let job_ms = started.elapsed().as_secs_f64() * 1e3;
+        if log {
+            log_job(&resp, job_ms);
+        }
+        envelope(
+            &resp,
+            job_ms,
+            &job_service.store().stats(),
+            &job_queue.stats(),
+        )
+    });
+    let out = match result {
+        Ok(out) => out,
+        // The panic was isolated by the queue; the connection gets a
+        // structured error and stays usable.
+        Err(detail) => envelope(
+            &Response {
+                body: panic_body(&detail),
+                cache_hit: false,
+                reach_builds: 0,
+                covers_reused: 0,
+                covers_derived: 0,
+            },
+            0.0,
+            &service.store().stats(),
+            &queue.stats(),
+        ),
+    };
+    stream
+        .write_all(out.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .and_then(|()| stream.flush())
+        .is_ok()
+}
+
+fn log_job(resp: &Response, job_ms: f64) {
+    let command = json::parse(&resp.body)
+        .ok()
+        .and_then(|v| {
+            v.get("command")
+                .and_then(json::Value::as_str)
+                .map(String::from)
+        })
+        .unwrap_or_else(|| "?".to_string());
+    eprintln!(
+        "serve: {command} cache_hit={} job_ms={job_ms:.1} reach_builds={} \
+         covers_reused={} covers_derived={}",
+        resp.cache_hit, resp.reach_builds, resp.covers_reused, resp.covers_derived,
+    );
+}

@@ -1,0 +1,937 @@
+//! Request execution over the artifact store.
+//!
+//! One [`Service`] holds the shared [`ArtifactStore`] and turns a request
+//! line into a response body. Every spec is first *canonicalized*
+//! ([`si_stg::canonical_g`]) and reparsed, so identifiers, cube columns
+//! and implicit place names are identical across sessions and textual
+//! permutations of the same STG — the content hash of the canonical text
+//! is the spec's identity.
+//!
+//! Artifacts are keyed content-addressed:
+//!
+//! | key              | payload                                        |
+//! |------------------|------------------------------------------------|
+//! | `resp:<job>`     | the cached core response body of a job         |
+//! | `manifest:<job>` | the sub-artifact keys the response was built on |
+//! | `reach:<spec>`   | the spec's [`ReachSummary`] wire form          |
+//! | `cover:<fp>`     | one signal's derived clusters (wire form)      |
+//!
+//! `<job>` hashes (op, canonical spec, the options that determine the
+//! *outcome*); resource knobs — `cap`, `shards`, `timeout_ms` — are
+//! deliberately excluded, and only conclusive responses are cached, so a
+//! budget-starved run never poisons the cache for a better-funded rerun.
+//! `<fp>` is [`si_core::signal_fingerprint`]: a per-signal digest of the
+//! structural covers, so a one-signal edit re-derives only the covers it
+//! dirtied. Reuse stays sound independently of the digest because every
+//! cached cluster set is re-checked against the current context by
+//! [`si_core::revalidate_clusters`] before it is realized.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use si_boolean::hash::{fnv1a_64, Fnv64};
+use si_boolean::MinimizerChoice;
+use si_core::{
+    clusters_from_wire, clusters_to_wire, derive_clusters, map_circuit, realize_clusters,
+    revalidate_clusters, signal_fingerprint, to_verilog, Architecture, Backend, Circuit,
+    CscVerdict, Engine, MinimizeStages, Synthesis, SynthesisError, SynthesisOptions,
+};
+use si_csc::{CscOptions, EngineResolve, InsertionPlan, ResolveStats, Strategy};
+use si_petri::{check_live_safe_fc, ReachError, ReachOptions, ReachSummary, StructuralCheck};
+use si_stg::{canonical_g, parse_g, write_g, Stg, StgAnalysis};
+use si_verify::{random_walks, EngineVerify};
+
+use crate::json::{escape, parse, Value};
+use crate::queue::QueueStats;
+use crate::store::{ArtifactStore, StoreStats};
+
+/// A parsed request: the operation plus the same knobs the CLI exposes
+/// as flags, with the same defaults.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// `check` | `synth` | `verify` | `resolve` | `stats`.
+    pub op: String,
+    /// The `.g` spec text (empty for `stats`).
+    pub spec: String,
+    /// `--arch`.
+    pub arch: Architecture,
+    /// `--stages`.
+    pub stages: MinimizeStages,
+    /// `--minimizer`.
+    pub minimizer: MinimizerChoice,
+    /// `--cap` (`None` keeps the per-op default).
+    pub cap: Option<usize>,
+    /// `--shards`.
+    pub shards: usize,
+    /// `--budget` (resolve).
+    pub budget: usize,
+    /// `--strategy` (resolve).
+    pub strategy: Strategy,
+    /// `--backend` (check / verify).
+    pub backend: Backend,
+    /// `--timeout`.
+    pub timeout: Option<Duration>,
+}
+
+/// The outcome of executing one request: the core response body (a JSON
+/// object keyed like the CLI's `--json` reports) plus the volatile
+/// execution facts the server splices into the final line.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Core JSON object (always starts with `{`).
+    pub body: String,
+    /// Whether the body came straight from the response cache.
+    pub cache_hit: bool,
+    /// Reachability graphs built while executing (0 on a cache hit).
+    pub reach_builds: usize,
+    /// Per-signal cover artifacts revalidated and reused.
+    pub covers_reused: usize,
+    /// Per-signal cover artifacts derived fresh (and stored).
+    pub covers_derived: usize,
+}
+
+impl Response {
+    fn fresh(body: String) -> Self {
+        Response {
+            body,
+            cache_hit: false,
+            reach_builds: 0,
+            covers_reused: 0,
+            covers_derived: 0,
+        }
+    }
+
+    fn error(op: &str, kind: &str, detail: &str) -> Self {
+        Response::fresh(error_body(op, kind, detail))
+    }
+}
+
+/// A structured error body in the CLI's error vocabulary.
+fn error_body(op: &str, kind: &str, detail: &str) -> String {
+    format!(
+        "{{\"command\": {}, \"ok\": false, \"error\": {{\"kind\": {}, \"detail\": {}, \"states_explored\": 0}}}}",
+        escape(op),
+        escape(kind),
+        escape(detail),
+    )
+}
+
+/// The stable CLI identifier of an architecture.
+fn arch_name(arch: Architecture) -> &'static str {
+    match arch {
+        Architecture::ComplexGate => "complex",
+        Architecture::ExcitationFunction => "excitation",
+        Architecture::PerRegion => "per-region",
+    }
+}
+
+fn stage_bits(stages: MinimizeStages) -> u64 {
+    stages.expand as u64
+        | (stages.merge as u64) << 1
+        | (stages.complete as u64) << 2
+        | (stages.collapse as u64) << 3
+        | (stages.backward as u64) << 4
+}
+
+impl Request {
+    /// Parses one request line. `Err` carries (op-or-`?`, detail).
+    pub fn parse(line: &str) -> Result<Request, (String, String)> {
+        let v = parse(line).map_err(|e| ("?".to_string(), e.to_string()))?;
+        let op = v
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ("?".to_string(), "missing \"op\"".to_string()))?
+            .to_string();
+        let fail = |detail: String| (op.clone(), detail);
+        let spec = v
+            .get("spec")
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let mut req = Request {
+            op: op.clone(),
+            spec,
+            arch: Architecture::ExcitationFunction,
+            stages: MinimizeStages::full(),
+            minimizer: MinimizerChoice::Espresso,
+            cap: None,
+            shards: 1,
+            budget: 100_000,
+            strategy: Strategy::Greedy,
+            backend: Backend::Explicit,
+            timeout: None,
+        };
+        if let Some(a) = v.get("arch").and_then(Value::as_str) {
+            req.arch = match a {
+                "complex" => Architecture::ComplexGate,
+                "excitation" => Architecture::ExcitationFunction,
+                "per-region" => Architecture::PerRegion,
+                other => return Err(fail(format!("unknown architecture {other:?}"))),
+            };
+        }
+        match v.get("stages") {
+            None => {}
+            Some(Value::Str(s)) if s == "full" => {}
+            Some(Value::Str(s)) if s == "none" => req.stages = MinimizeStages::none(),
+            Some(Value::Num(n)) if *n >= 0.0 && *n <= 4.0 => {
+                req.stages = MinimizeStages::stage(*n as usize);
+            }
+            Some(_) => {
+                return Err(fail(
+                    "bad \"stages\" (0..4, \"full\" or \"none\")".to_string(),
+                ))
+            }
+        }
+        if let Some(m) = v.get("minimizer").and_then(Value::as_str) {
+            req.minimizer = m.parse().map_err(|e: String| fail(e))?;
+        }
+        if let Some(c) = v.get("cap") {
+            let n = c
+                .as_usize()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| fail("\"cap\" must be a positive number".to_string()))?;
+            req.cap = Some(n);
+        }
+        if let Some(s) = v.get("shards") {
+            req.shards = s
+                .as_usize()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| fail("\"shards\" must be a positive number".to_string()))?;
+        }
+        if let Some(b) = v.get("budget") {
+            req.budget = b
+                .as_usize()
+                .ok_or_else(|| fail("\"budget\" must be a number".to_string()))?;
+        }
+        if let Some(s) = v.get("strategy").and_then(Value::as_str) {
+            req.strategy = s.parse().map_err(|e: String| fail(e))?;
+        }
+        if let Some(b) = v.get("backend").and_then(Value::as_str) {
+            req.backend =
+                Backend::parse(b).ok_or_else(|| fail(format!("unknown backend {b:?}")))?;
+        }
+        if let Some(t) = v.get("timeout_ms") {
+            let ms = t
+                .as_usize()
+                .ok_or_else(|| fail("\"timeout_ms\" must be a number".to_string()))?;
+            req.timeout = Some(Duration::from_millis(ms as u64));
+        }
+        Ok(req)
+    }
+
+    /// Reachability options for an oracle whose per-op default cap is
+    /// `default_cap` — mirroring the CLI's `Args::reach`, minus the
+    /// SIGINT token: queued jobs drain to completion on shutdown.
+    fn reach(&self, default_cap: usize) -> ReachOptions {
+        let mut reach = ReachOptions::with_cap(self.cap.unwrap_or(default_cap)).shards(self.shards);
+        if let Some(d) = self.timeout {
+            reach = reach.timeout(d);
+        }
+        reach
+    }
+
+    fn synthesis(&self) -> SynthesisOptions {
+        SynthesisOptions {
+            architecture: self.arch,
+            stages: self.stages,
+            minimizer: self.minimizer,
+        }
+    }
+
+    /// The job key: a digest of the canonical spec and every option that
+    /// determines the *outcome* of this op. Resource knobs (cap, shards,
+    /// timeout) are excluded — they decide whether a run finishes, not
+    /// what a finished run reports, and only conclusive runs are cached.
+    fn job_key(&self, canonical_spec: &str) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_str("job-v1");
+        h.write_str(&self.op);
+        h.write_str(canonical_spec);
+        h.write_str(arch_name(self.arch));
+        h.write_u64(stage_bits(self.stages));
+        h.write_str(self.minimizer.name());
+        match self.op.as_str() {
+            "check" | "verify" => {
+                h.write_str(self.backend.as_str());
+            }
+            "resolve" => {
+                h.write_usize(self.budget);
+                h.write_str(self.strategy.name());
+            }
+            _ => {}
+        }
+        h.finish()
+    }
+}
+
+/// The request executor: parses, canonicalizes, consults the store,
+/// runs the engine, and writes new artifacts back.
+#[derive(Debug)]
+pub struct Service {
+    store: Arc<ArtifactStore>,
+}
+
+impl Service {
+    /// A service over `store`.
+    pub fn new(store: Arc<ArtifactStore>) -> Self {
+        Service { store }
+    }
+
+    /// The shared artifact store.
+    pub fn store(&self) -> &Arc<ArtifactStore> {
+        &self.store
+    }
+
+    /// Executes one request line.
+    pub fn execute(&self, line: &str) -> Response {
+        let req = match Request::parse(line) {
+            Ok(req) => req,
+            Err((op, detail)) => return Response::error(&op, "bad-request", &detail),
+        };
+        if req.op == "stats" {
+            return Response::fresh("{\"command\": \"stats\", \"ok\": true}".to_string());
+        }
+        if !matches!(req.op.as_str(), "check" | "synth" | "verify" | "resolve") {
+            return Response::error(
+                &req.op,
+                "bad-request",
+                "unknown op (expected check, synth, verify, resolve or stats)",
+            );
+        }
+        let parsed = match parse_g(&req.spec) {
+            Ok(stg) => stg,
+            Err(e) => return Response::error(&req.op, "parse-error", &e.to_string()),
+        };
+        // Work on the canonical reparse: node ids, cube columns and
+        // implicit place names are then identical for every textual
+        // permutation of the same STG, so per-signal fingerprints and
+        // cluster wire forms transfer across sessions.
+        let canon = canonical_g(&parsed);
+        let stg = parse_g(&canon).expect("canonical form reparses");
+        let spec_hash = fnv1a_64(canon.as_bytes());
+        let job = req.job_key(&canon);
+        let resp_key = format!("resp:{job:016x}");
+        if let Some(body) = self.store.get(&resp_key) {
+            return Response {
+                body,
+                cache_hit: true,
+                reach_builds: 0,
+                covers_reused: 0,
+                covers_derived: 0,
+            };
+        }
+        let run = match req.op.as_str() {
+            "check" => self.run_check(&stg, spec_hash, &req),
+            "synth" => self.run_synth(&stg, &req),
+            "verify" => self.run_verify(&stg, spec_hash, &req),
+            _ => self.run_resolve(&stg, &req),
+        };
+        if run.conclusive {
+            self.store.put(&resp_key, &run.response.body);
+            let manifest = format!("manifest-v1\n{}\n", run.manifest.join("\n"));
+            self.store.put(&format!("manifest:{job:016x}"), &manifest);
+        }
+        run.response
+    }
+
+    /// Imports the spec's cached reachability summary into `engine`, or
+    /// records after the run whichever graph the engine built. Returns
+    /// the artifact key when the summary participated.
+    fn import_summary<'a>(
+        &self,
+        engine: Engine<'a>,
+        spec_hash: u64,
+    ) -> (Engine<'a>, Option<String>) {
+        let key = format!("reach:{spec_hash:016x}");
+        match self
+            .store
+            .get(&key)
+            .and_then(|wire| ReachSummary::from_wire(&wire).ok())
+        {
+            Some(summary) => (engine.reach_summary(summary), Some(key)),
+            None => (engine, None),
+        }
+    }
+
+    fn export_summary(&self, engine: &Engine<'_>, spec_hash: u64, manifest: &mut Vec<String>) {
+        if let Some(summary) = engine.export_reach_summary() {
+            let key = format!("reach:{spec_hash:016x}");
+            self.store.put(&key, &summary.to_wire());
+            if !manifest.contains(&key) {
+                manifest.push(key);
+            }
+        }
+    }
+
+    fn run_check(&self, stg: &Stg, spec_hash: u64, req: &Request) -> Run {
+        let engine = Engine::new(stg)
+            .reach(req.reach(100_000))
+            .options(req.synthesis())
+            .backend(req.backend);
+        let (engine, summary_key) = self.import_summary(engine, spec_hash);
+        let mut manifest: Vec<String> = summary_key.into_iter().collect();
+
+        let count = engine.spec_state_count();
+        let live_safe = matches!(check_live_safe_fc(stg.net()), StructuralCheck::Ok);
+        let consistent = StgAnalysis::analyze(stg).is_ok();
+        let analysis = engine.analyze();
+        // The structural CSC verdict is conservative; a non-default
+        // backend settles an unknown exactly, as `sisyn check` does.
+        let (csc, csc_ok, csc_conclusive) = match &analysis {
+            Ok(a) => match &a.csc {
+                CscVerdict::UscHolds => ("usc-holds", true, true),
+                CscVerdict::CscHolds => ("csc-holds", true, true),
+                CscVerdict::Unknown { .. } if req.backend != Backend::Explicit => {
+                    match engine.symbolic().ok().and_then(|s| s.has_csc()) {
+                        Some(true) => ("csc-holds", true, true),
+                        Some(false) => ("csc-violation", false, true),
+                        None => ("unknown", false, false),
+                    }
+                }
+                CscVerdict::Unknown { .. } => ("unknown", false, true),
+            },
+            Err(_) => ("unknown", false, true),
+        };
+        self.export_summary(&engine, spec_hash, &mut manifest);
+
+        let count_conclusive = match &count {
+            Ok(_) => true,
+            Err(e) => !e.is_inconclusive(),
+        };
+        let ok = live_safe && consistent && csc_ok && analysis.is_ok();
+        let (conflicts, rounds, sm, cubes) = match &analysis {
+            Ok(a) => (
+                a.conflicts.to_string(),
+                a.refinement_rounds.to_string(),
+                a.sm_count.to_string(),
+                a.place_cover_cubes.to_string(),
+            ),
+            Err(_) => ("null".into(), "null".into(), "null".into(), "null".into()),
+        };
+        let body = format!(
+            "{{\"command\": \"check\", \"ok\": {ok}, \"model\": {}, \
+             \"signals\": {}, \"transitions\": {}, \"places\": {}, \
+             \"free_choice\": {}, \"spec_states\": {}, \"backend\": {}, \
+             \"live_safe\": {live_safe}, \"consistent\": {consistent}, \
+             \"conflicts\": {conflicts}, \"refinement_rounds\": {rounds}, \
+             \"sm_count\": {sm}, \"place_cover_cubes\": {cubes}, \
+             \"csc\": {}, \"analysis_error\": {}}}",
+            escape(stg.name()),
+            stg.signal_count(),
+            stg.net().transition_count(),
+            stg.net().place_count(),
+            stg.net().is_free_choice(),
+            count.as_ref().map_or("null".to_string(), u128::to_string),
+            escape(req.backend.as_str()),
+            escape(csc),
+            analysis
+                .as_ref()
+                .err()
+                .map_or("null".to_string(), |e| escape(&e.to_string())),
+        );
+        Run {
+            response: Response {
+                reach_builds: engine.reach_build_count(),
+                ..Response::fresh(body)
+            },
+            conclusive: count_conclusive && csc_conclusive,
+            manifest,
+        }
+    }
+
+    /// The per-signal cached synthesis path: for every synthesized
+    /// signal, try `cover:<fingerprint>` → parse → revalidate against
+    /// the *current* context → realize; fall back to a fresh derivation
+    /// (stored for next time). The assembled [`Synthesis`] is
+    /// result-identical to [`si_core::synthesize_with_context`].
+    fn synthesize_cached(
+        &self,
+        engine: &Engine<'_>,
+        stg: &Stg,
+        options: &SynthesisOptions,
+    ) -> Result<(Synthesis, usize, usize, Vec<String>), SynthesisError> {
+        let ctx = engine.context()?;
+        let csc = ctx.csc_verdict();
+        if let CscVerdict::Unknown { places } = &csc {
+            return Err(SynthesisError::CscViolationPossible {
+                places: places.clone(),
+            });
+        }
+        let mut results = Vec::new();
+        let (mut reused, mut derived) = (0usize, 0usize);
+        let mut manifest = Vec::new();
+        for signal in stg.synthesized_signals() {
+            let fp = signal_fingerprint(ctx, signal, options);
+            let key = format!("cover:{fp:016x}");
+            let cached = self
+                .store
+                .get(&key)
+                .and_then(|wire| clusters_from_wire(stg, &wire))
+                .filter(|c| c.signal == signal)
+                .filter(|c| revalidate_clusters(ctx, c, options));
+            let clusters = match cached {
+                Some(clusters) => {
+                    reused += 1;
+                    clusters
+                }
+                None => {
+                    let clusters = derive_clusters(ctx, signal, options)?;
+                    self.store.put(&key, &clusters_to_wire(stg, &clusters));
+                    derived += 1;
+                    clusters
+                }
+            };
+            manifest.push(format!("{key} signal={}", stg.signal_name(signal)));
+            results.push(realize_clusters(ctx, &clusters, options));
+        }
+        let circuit = Circuit {
+            implementations: results.iter().map(|r| r.implementation.clone()).collect(),
+        };
+        let literal_area = circuit.literal_area();
+        Ok((
+            Synthesis {
+                results,
+                circuit,
+                literal_area,
+                refinement_rounds: ctx.refinement_rounds,
+                place_cover_cubes: ctx.total_cubes(),
+                sm_count: ctx.sm_cover.len(),
+                csc,
+            },
+            reused,
+            derived,
+            manifest,
+        ))
+    }
+
+    fn run_synth(&self, stg: &Stg, req: &Request) -> Run {
+        let options = req.synthesis();
+        let engine = Engine::new(stg)
+            .reach(req.reach(4_000_000))
+            .options(options);
+        match self.synthesize_cached(&engine, stg, &options) {
+            Ok((syn, reused, derived, manifest)) => {
+                let mapped = map_circuit(&syn.circuit);
+                let body = format!(
+                    "{{\"command\": \"synth\", \"ok\": true, \"model\": {}, \
+                     \"architecture\": {}, \"minimizer\": {}, \
+                     \"signals\": {}, \"literal_area\": {}, \"mapped_area\": {}, \
+                     \"place_cover_cubes\": {}, \"sm_count\": {}, \
+                     \"refinement_rounds\": {}, \"verilog\": {}}}",
+                    escape(stg.name()),
+                    escape(arch_name(req.arch)),
+                    escape(req.minimizer.name()),
+                    syn.results.len(),
+                    syn.literal_area,
+                    mapped.area,
+                    syn.place_cover_cubes,
+                    syn.sm_count,
+                    syn.refinement_rounds,
+                    escape(&to_verilog(stg, &syn.circuit)),
+                );
+                Run {
+                    response: Response {
+                        covers_reused: reused,
+                        covers_derived: derived,
+                        reach_builds: engine.reach_build_count(),
+                        ..Response::fresh(body)
+                    },
+                    conclusive: true,
+                    manifest,
+                }
+            }
+            Err(e) => Run {
+                response: Response::error(&req.op, synthesis_error_kind(&e), &e.to_string()),
+                // Structural failures are deterministic verdicts about the
+                // spec; a worker panic is not.
+                conclusive: !matches!(e, SynthesisError::WorkerPanicked { .. }),
+                manifest: Vec::new(),
+            },
+        }
+    }
+
+    fn run_verify(&self, stg: &Stg, spec_hash: u64, req: &Request) -> Run {
+        let options = req.synthesis();
+        let engine = Engine::new(stg)
+            .reach(req.reach(4_000_000))
+            .options(options)
+            .backend(req.backend);
+        let (engine, summary_key) = self.import_summary(engine, spec_hash);
+        let mut manifest: Vec<String> = summary_key.into_iter().collect();
+        let (syn, reused, derived, cover_manifest) = match self
+            .synthesize_cached(&engine, stg, &options)
+        {
+            Ok(parts) => parts,
+            Err(e) => {
+                return Run {
+                    response: Response::error(&req.op, synthesis_error_kind(&e), &e.to_string()),
+                    conclusive: !matches!(e, SynthesisError::WorkerPanicked { .. }),
+                    manifest: Vec::new(),
+                }
+            }
+        };
+        manifest.extend(cover_manifest);
+        let volatile = |resp: Response| Response {
+            covers_reused: reused,
+            covers_derived: derived,
+            reach_builds: engine.reach_build_count(),
+            ..resp
+        };
+        let reach_failed = |e: &ReachError| Run {
+            response: volatile(Response::fresh(format!(
+                "{{\"command\": \"verify\", \"ok\": false, \"inconclusive\": {}, \
+                 \"model\": {}, \"error\": {}}}",
+                e.is_inconclusive(),
+                escape(stg.name()),
+                reach_error_json(e),
+            ))),
+            conclusive: !e.is_inconclusive(),
+            manifest: Vec::new(),
+        };
+        let functional = match engine.verify(&syn.circuit) {
+            Ok(report) => report,
+            Err(e) => return reach_failed(&e),
+        };
+        let conformance = match engine.check_conformance(&syn.circuit) {
+            Ok(report) => report,
+            Err(e) => return reach_failed(&e),
+        };
+        let sim = random_walks(stg, &syn.circuit, 4, 4000, 7);
+        self.export_summary(&engine, spec_hash, &mut manifest);
+        let spec_states = engine.spec_state_count().ok();
+        let symbolic = (req.backend == Backend::Symbolic)
+            .then(|| {
+                engine
+                    .symbolic_reach()
+                    .ok()
+                    .map(|s| (s.iterations(), s.peak_nodes()))
+            })
+            .flatten();
+        let failed = !functional.is_ok() || !conformance.is_ok() || !sim.is_clean();
+        let inconclusive = !functional.is_conclusive() || !conformance.is_conclusive();
+        let ok = !failed && !inconclusive;
+        let trace = functional.trace.as_ref().or(conformance.trace.as_ref());
+        let trace_json = trace.map_or("null".to_string(), |ts| {
+            format!(
+                "[{}]",
+                ts.iter()
+                    .map(|&t| escape(stg.net().transition_name(t)))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        });
+        let body = format!(
+            "{{\"command\": \"verify\", \"ok\": {ok}, \"inconclusive\": {inconclusive}, \
+             \"model\": {}, \"backend\": {}, \"spec_states\": {}, \"symbolic\": {}, \
+             \"functional_ok\": {}, \"violations\": {}, \"states_checked\": {}, \
+             \"conformance_ok\": {}, \"conformance_failures\": {}, \
+             \"states_explored\": {}, \"trace\": {trace_json}, \
+             \"random_walks_ok\": {}, \"literal_area\": {}, \"minimizer\": {}}}",
+            escape(stg.name()),
+            escape(req.backend.as_str()),
+            spec_states.map_or("null".to_string(), |n| n.to_string()),
+            symbolic.map_or("null".to_string(), |(iterations, peak)| format!(
+                "{{\"iterations\": {iterations}, \"peak_nodes\": {peak}}}"
+            )),
+            functional.is_ok(),
+            functional.violations.len(),
+            functional.states_checked,
+            conformance.is_ok(),
+            conformance.failures.len(),
+            conformance.states_explored,
+            sim.is_clean(),
+            syn.literal_area,
+            escape(req.minimizer.name()),
+        );
+        Run {
+            response: volatile(Response::fresh(body)),
+            conclusive: !inconclusive,
+            manifest,
+        }
+    }
+
+    fn run_resolve(&self, stg: &Stg, req: &Request) -> Run {
+        let engine = Engine::new(stg)
+            .reach(req.reach(1_000_000))
+            .options(req.synthesis());
+        let options = CscOptions::default()
+            .budget(req.budget)
+            .strategy(req.strategy)
+            .reach(req.reach(1_000_000));
+        let outcome = engine.resolve_csc_outcome(&options);
+        let stats = &outcome.stats;
+        let run = |body, conclusive| Run {
+            response: Response {
+                reach_builds: engine.reach_build_count(),
+                ..Response::fresh(body)
+            },
+            conclusive,
+            manifest: Vec::new(),
+        };
+        match outcome.resolution {
+            Some(resolution) => run(
+                format!(
+                    "{{\"command\": \"resolve\", \"ok\": true, \"model\": {}, \
+                     \"signals_before\": {}, \"signals_after\": {}, \
+                     \"plan\": {}, \"cost\": {}, \"stats\": {}, \"resolved\": {}}}",
+                    escape(stg.name()),
+                    stg.signal_count(),
+                    resolution.stg.signal_count(),
+                    plan_json(stg, &resolution.plan),
+                    resolution.cost,
+                    stats_json(stats),
+                    escape(&write_g(&resolution.stg)),
+                ),
+                true,
+            ),
+            None => {
+                let (kind, detail) = match stats.interrupted {
+                    Some(i) => (
+                        i.reason.as_str(),
+                        "candidate search interrupted before a resolution was found",
+                    ),
+                    None => (
+                        "no-resolution",
+                        "no single-signal insertion found within budget",
+                    ),
+                };
+                run(
+                    format!(
+                        "{{\"command\": \"resolve\", \"ok\": false, \
+                         \"inconclusive\": {}, \"model\": {}, \"error\": {}, \
+                         \"stats\": {}, \"resolved\": null}}",
+                        stats.interrupted.is_some(),
+                        escape(stg.name()),
+                        error_json(kind, detail, stats.evaluated),
+                        stats_json(stats),
+                    ),
+                    stats.interrupted.is_none(),
+                )
+            }
+        }
+    }
+}
+
+struct Run {
+    response: Response,
+    conclusive: bool,
+    manifest: Vec<String>,
+}
+
+fn synthesis_error_kind(e: &SynthesisError) -> &'static str {
+    match e {
+        SynthesisError::WorkerPanicked { .. } => "worker-panicked",
+        _ => "synthesis-failed",
+    }
+}
+
+fn error_json(kind: &str, detail: &str, states_explored: usize) -> String {
+    format!(
+        "{{\"kind\": {}, \"detail\": {}, \"states_explored\": {states_explored}}}",
+        escape(kind),
+        escape(detail),
+    )
+}
+
+fn reach_error_json(e: &ReachError) -> String {
+    let (kind, states) = match e {
+        ReachError::StateCapExceeded { cap } => ("cap-exceeded", *cap),
+        ReachError::Interrupted {
+            reason,
+            states_explored,
+        } => (reason.as_str(), *states_explored),
+        ReachError::WorkerPanicked { .. } => ("worker-panicked", 0),
+        ReachError::NotSafe { .. } => ("not-safe", 0),
+    };
+    error_json(kind, &e.to_string(), states)
+}
+
+fn stats_json(stats: &ResolveStats) -> String {
+    let interrupted = match stats.interrupted {
+        None => "null".to_string(),
+        Some(i) => format!(
+            "{{\"reason\": {}, \"candidates_evaluated\": {}}}",
+            escape(i.reason.as_str()),
+            i.states_explored
+        ),
+    };
+    format!(
+        "{{\"strategy\": {}, \"cores\": {}, \"candidates_generated\": {}, \
+         \"candidates_evaluated\": {}, \"candidates_rejected\": {}, \
+         \"candidates_panicked\": {}, \"oracle_calls\": {}, \
+         \"oracle_rejected\": {}, \"interrupted\": {interrupted}, \
+         \"wall_ms\": {:.3}}}",
+        escape(stats.strategy.name()),
+        stats.cores,
+        stats.generated,
+        stats.evaluated,
+        stats.rejected,
+        stats.panicked,
+        stats.oracle_calls,
+        stats.oracle_rejected,
+        stats.wall_ms,
+    )
+}
+
+fn plan_json(stg: &Stg, plan: &InsertionPlan) -> String {
+    if plan.rise_split == plan.fall_split {
+        return "null".to_string(); // sentinel: input already satisfied CSC
+    }
+    let net = stg.net();
+    let waits = plan
+        .rise_waits
+        .iter()
+        .map(|&(t, marked)| {
+            format!(
+                "{{\"after\": {}, \"marked\": {marked}}}",
+                escape(&stg.transition_display(t))
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\"rise_split\": {}, \"fall_split\": {}, \"rise_waits\": [{waits}]}}",
+        escape(net.place_name(plan.rise_split)),
+        escape(net.place_name(plan.fall_split)),
+    )
+}
+
+/// Splices the volatile execution facts and the current counters into a
+/// core response body: the wire line every client sees. The core object
+/// is cached verbatim; this wrapper is recomputed per send, so `cache_hit`
+/// and the counters stay truthful on hits.
+pub fn envelope(resp: &Response, job_ms: f64, store: &StoreStats, queue: &QueueStats) -> String {
+    debug_assert!(resp.body.starts_with('{'));
+    format!(
+        "{{\"cache_hit\": {}, \"job_ms\": {job_ms:.3}, \"reach_builds\": {}, \
+         \"covers_reused\": {}, \"covers_derived\": {}, \
+         \"store\": {{\"hits\": {}, \"disk_hits\": {}, \"misses\": {}, \
+         \"evictions\": {}, \"disk_writes\": {}, \"mem_bytes\": {}, \
+         \"mem_entries\": {}}}, \
+         \"queue\": {{\"submitted\": {}, \"executed\": {}, \"panicked\": {}, \
+         \"depth\": {}, \"busy_ms\": {}}}, {}",
+        resp.cache_hit,
+        resp.reach_builds,
+        resp.covers_reused,
+        resp.covers_derived,
+        store.hits,
+        store.disk_hits,
+        store.misses,
+        store.evictions,
+        store.disk_writes,
+        store.mem_bytes,
+        store.mem_entries,
+        queue.submitted,
+        queue.executed,
+        queue.panicked,
+        queue.depth,
+        queue.busy_ms,
+        &resp.body[1..],
+    )
+}
+
+/// A worker-panic response for a job that never produced a body.
+pub fn panic_body(detail: &str) -> String {
+    error_body("?", "worker-panicked", detail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ArtifactStore;
+
+    fn service() -> Service {
+        Service::new(Arc::new(ArtifactStore::in_memory(8 << 20)))
+    }
+
+    fn spec() -> String {
+        write_g(&si_stg::generators::clatch(2))
+    }
+
+    fn req(op: &str, spec: &str) -> String {
+        format!("{{\"op\": {}, \"spec\": {}}}", escape(op), escape(spec))
+    }
+
+    #[test]
+    fn bad_requests_are_structured_errors() {
+        let s = service();
+        for line in ["not json", "{}", "{\"op\": \"launder\"}"] {
+            let r = s.execute(line);
+            assert!(r.body.contains("\"ok\": false"), "{line}: {}", r.body);
+            assert!(r.body.contains("bad-request"), "{line}: {}", r.body);
+        }
+        let r = s.execute(&req(
+            "synth",
+            ".model broken\n.inputs a\n.graph\na+\n.end\n",
+        ));
+        assert!(r.body.contains("parse-error"), "{}", r.body);
+    }
+
+    #[test]
+    fn synth_caches_and_second_request_hits() {
+        let s = service();
+        let line = req("synth", &spec());
+        let first = s.execute(&line);
+        assert!(!first.cache_hit);
+        assert_eq!(first.covers_derived, 1);
+        assert!(first.body.contains("\"verilog\""));
+        let second = s.execute(&line);
+        assert!(second.cache_hit);
+        assert_eq!(second.body, first.body);
+        assert_eq!(second.covers_derived, 0);
+    }
+
+    #[test]
+    fn permuted_spec_hits_the_same_response() {
+        // Same STG, declarations in a different order: canonicalization
+        // makes it the same job.
+        let base = spec();
+        let s = service();
+        assert!(!s.execute(&req("synth", &base)).cache_hit);
+        let permuted = base.replace(".inputs x0 x1", ".inputs x1 x0");
+        assert_ne!(permuted, base);
+        assert!(s.execute(&req("synth", &permuted)).cache_hit);
+    }
+
+    #[test]
+    fn check_exports_then_imports_the_reach_summary() {
+        let s = service();
+        let line = req("check", &spec());
+        let first = s.execute(&line);
+        assert!(first.body.contains("\"spec_states\": 8"), "{}", first.body);
+        assert_eq!(first.reach_builds, 1);
+        // Different op options → different job key, but the reach
+        // summary artifact is shared: no second graph build.
+        let line2 = format!(
+            "{{\"op\": \"check\", \"spec\": {}, \"arch\": \"complex\"}}",
+            escape(&spec())
+        );
+        let second = s.execute(&line2);
+        assert!(!second.cache_hit);
+        assert_eq!(second.reach_builds, 0, "{}", second.body);
+        assert!(
+            second.body.contains("\"spec_states\": 8"),
+            "{}",
+            second.body
+        );
+    }
+
+    #[test]
+    fn verify_runs_end_to_end() {
+        let s = service();
+        let r = s.execute(&req("verify", &spec()));
+        assert!(r.body.contains("\"command\": \"verify\""), "{}", r.body);
+        assert!(r.body.contains("\"ok\": true"), "{}", r.body);
+        assert!(s.execute(&req("verify", &spec())).cache_hit);
+    }
+
+    #[test]
+    fn envelope_splices_cleanly() {
+        let resp = Response::fresh("{\"command\": \"stats\", \"ok\": true}".to_string());
+        let line = envelope(&resp, 1.5, &StoreStats::default(), &QueueStats::default());
+        let v = crate::json::parse(&line).expect("envelope is valid json");
+        assert_eq!(v.get("cache_hit").and_then(Value::as_bool), Some(false));
+        assert_eq!(v.get("command").and_then(Value::as_str), Some("stats"));
+        assert!(v.get("store").is_some() && v.get("queue").is_some());
+    }
+}

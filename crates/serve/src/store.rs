@@ -1,0 +1,292 @@
+//! Two-tier content-addressed artifact store.
+//!
+//! Artifacts are immutable byte strings addressed by a key of the form
+//! `<kind>:<hex64>` — e.g. `reach:9f3a…` (a [`si_petri::ReachSummary`]
+//! wire form), `cover:04c1…` (per-signal clusters from
+//! [`si_core::clusters_to_wire`]), `resp:…` (a cached response body) or
+//! `manifest:…` (the list of sub-artifact keys a response was assembled
+//! from). The hex half is always a content / fingerprint hash, so a key
+//! either names exactly the bytes that were stored under it or nothing:
+//! collisions aside, the store never serves stale data, and the
+//! consumers re-validate semantically anyway
+//! ([`si_core::revalidate_clusters`]).
+//!
+//! Tier one is an in-memory LRU map whose footprint is governed by a
+//! [`Budget`] byte ceiling (`check_soft` decides when to evict, so the
+//! accounting convention matches the reachability explorers). Tier two
+//! is an optional spill directory of hash-named files; puts write
+//! through to it, and memory-evicted entries remain readable from disk
+//! (a get promotes them back).
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use si_fault::{fail_point, relock};
+use si_petri::{Budget, InterruptReason};
+
+struct Entry {
+    bytes: String,
+    /// LRU clock value at last touch; smallest = coldest.
+    touched: u64,
+}
+
+struct Inner {
+    map: HashMap<String, Entry>,
+    clock: u64,
+    /// Approximate live footprint: key + value lengths of `map`.
+    bytes: usize,
+}
+
+/// A point-in-time snapshot of the store counters, embedded in every
+/// serve response (`"store": {...}`) and the `stats` reply.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Gets answered from memory.
+    pub hits: u64,
+    /// Gets answered from the spill directory (entry promoted back).
+    pub disk_hits: u64,
+    /// Gets answered by neither tier.
+    pub misses: u64,
+    /// Entries pushed out of memory by the byte ceiling.
+    pub evictions: u64,
+    /// Files written to the spill directory.
+    pub disk_writes: u64,
+    /// Current approximate in-memory footprint.
+    pub mem_bytes: u64,
+    /// Current number of in-memory entries.
+    pub mem_entries: u64,
+}
+
+/// The two-tier artifact store. All methods are `&self` and thread-safe;
+/// jobs on the queue share one store behind an `Arc`.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    inner: Mutex<Inner>,
+    budget: Budget,
+    spill: Option<PathBuf>,
+    hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    disk_writes: AtomicU64,
+    write_seq: AtomicU64,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("entries", &self.map.len())
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+/// Keys use `:` as the kind separator; filenames substitute `_` so the
+/// spill directory stays portable.
+fn file_name(key: &str) -> String {
+    key.replace(':', "_")
+}
+
+impl ArtifactStore {
+    /// An in-memory-only store with at most `max_bytes` of live payload.
+    pub fn in_memory(max_bytes: usize) -> Self {
+        ArtifactStore::new(Budget::unbounded().max_bytes(max_bytes), None)
+    }
+
+    /// A store governed by `budget` (only its `max_bytes` dimension is
+    /// consulted), spilling evictions to `spill` when given. The spill
+    /// directory is created eagerly; an unusable directory degrades the
+    /// store to memory-only rather than failing jobs.
+    pub fn new(budget: Budget, spill: Option<PathBuf>) -> Self {
+        let spill = spill.filter(|dir| fs::create_dir_all(dir).is_ok());
+        ArtifactStore {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                clock: 0,
+                bytes: 0,
+            }),
+            budget,
+            spill,
+            hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            disk_writes: AtomicU64::new(0),
+            write_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The spill directory, if one is active.
+    pub fn spill_dir(&self) -> Option<&PathBuf> {
+        self.spill.as_ref()
+    }
+
+    /// Looks up `key`, checking memory first, then the spill directory
+    /// (promoting a disk hit back into memory).
+    pub fn get(&self, key: &str) -> Option<String> {
+        {
+            let mut inner = relock(&self.inner);
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some(entry) = inner.map.get_mut(key) {
+                entry.touched = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(entry.bytes.clone());
+            }
+        }
+        if let Some(dir) = &self.spill {
+            if let Ok(bytes) = fs::read_to_string(dir.join(file_name(key))) {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.insert_mem(key, &bytes);
+                return Some(bytes);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores `bytes` under `key`, writing through to the spill
+    /// directory and evicting cold entries if the byte ceiling is now
+    /// exceeded. Re-putting an existing key is a cheap no-op (the
+    /// content is content-addressed, so the bytes are the same).
+    pub fn put(&self, key: &str, bytes: &str) {
+        fail_point!(
+            "store::write",
+            self.write_seq.fetch_add(1, Ordering::Relaxed)
+        );
+        if let Some(dir) = &self.spill {
+            // Write to a temp name then rename, so readers never observe
+            // a half-written artifact.
+            let tmp = dir.join(format!("{}.tmp", file_name(key)));
+            let ok = fs::File::create(&tmp)
+                .and_then(|mut f| f.write_all(bytes.as_bytes()))
+                .and_then(|()| fs::rename(&tmp, dir.join(file_name(key))))
+                .is_ok();
+            if ok {
+                self.disk_writes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.insert_mem(key, bytes);
+    }
+
+    fn insert_mem(&self, key: &str, bytes: &str) {
+        let mut inner = relock(&self.inner);
+        inner.clock += 1;
+        let clock = inner.clock;
+        if inner.map.contains_key(key) {
+            if let Some(entry) = inner.map.get_mut(key) {
+                entry.touched = clock;
+            }
+            return;
+        }
+        inner.bytes += key.len() + bytes.len();
+        inner.map.insert(
+            key.to_string(),
+            Entry {
+                bytes: bytes.to_string(),
+                touched: clock,
+            },
+        );
+        // Evict coldest-first until the budget's byte dimension is
+        // satisfied again. The entry just inserted is the warmest, so a
+        // single oversized artifact can still end up alone in memory.
+        while inner.map.len() > 1 {
+            match self.budget.check_soft(inner.bytes) {
+                Some(InterruptReason::MemoryExhausted) => {
+                    let coldest = inner
+                        .map
+                        .iter()
+                        .min_by_key(|(_, e)| e.touched)
+                        .map(|(k, _)| k.clone())
+                        .expect("non-empty map");
+                    if let Some(entry) = inner.map.remove(&coldest) {
+                        inner.bytes -= coldest.len() + entry.bytes.len();
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> StoreStats {
+        let (mem_bytes, mem_entries) = {
+            let inner = relock(&self.inner);
+            (inner.bytes as u64, inner.map.len() as u64)
+        };
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            disk_writes: self.disk_writes.load(Ordering::Relaxed),
+            mem_bytes,
+            mem_entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_and_counters() {
+        let store = ArtifactStore::in_memory(1 << 20);
+        assert_eq!(store.get("reach:00"), None);
+        store.put("reach:00", "reach-v1 states=4 edges=6 safe=true");
+        assert_eq!(
+            store.get("reach:00").as_deref(),
+            Some("reach-v1 states=4 edges=6 safe=true")
+        );
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 1, 0));
+        assert_eq!(s.mem_entries, 1);
+    }
+
+    #[test]
+    fn lru_eviction_respects_byte_ceiling() {
+        // Each entry is ~8 (key) + 100 (value) bytes; ceiling of 300
+        // holds two entries comfortably, never four.
+        let store = ArtifactStore::in_memory(300);
+        let blob = "x".repeat(100);
+        for i in 0..4 {
+            store.put(&format!("cover:{i:02}"), &blob);
+        }
+        let s = store.stats();
+        assert!(s.evictions >= 2, "evictions = {}", s.evictions);
+        assert!(s.mem_bytes <= 300, "mem_bytes = {}", s.mem_bytes);
+        // The most recent entry must survive.
+        assert!(store.get("cover:03").is_some());
+    }
+
+    #[test]
+    fn disk_spill_outlives_eviction() {
+        let dir = std::env::temp_dir().join(format!("si-serve-store-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = ArtifactStore::new(Budget::unbounded().max_bytes(150), Some(dir.clone()));
+        let blob = "y".repeat(100);
+        store.put("cover:aa", &blob);
+        store.put("cover:bb", &blob); // evicts cover:aa from memory
+        let s = store.stats();
+        assert!(s.evictions >= 1);
+        // Still readable: promoted back from the spill tier.
+        assert_eq!(store.get("cover:aa").as_deref(), Some(blob.as_str()));
+        assert!(store.stats().disk_hits >= 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reput_does_not_double_count() {
+        let store = ArtifactStore::in_memory(1 << 20);
+        store.put("resp:01", "hello");
+        let before = store.stats().mem_bytes;
+        store.put("resp:01", "hello");
+        assert_eq!(store.stats().mem_bytes, before);
+    }
+}

@@ -1,0 +1,157 @@
+//! End-to-end cache-behaviour tests for the serving layer: a repeated
+//! identical request is answered from the response cache without
+//! touching the reachability engine, a one-signal edit re-derives only
+//! the dirty per-signal cover, and the socket server round-trips the
+//! protocol and shuts down cleanly on cancellation.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use si_petri::{CancelToken, ReachabilityGraph};
+use si_serve::json::{self, escape, Value};
+use si_serve::server::Endpoint;
+use si_serve::{serve, submit_lines, ArtifactStore, ServerConfig, Service};
+
+const BASE: &str = include_str!("../../../examples/specs/pipeline_pair.g");
+const EDIT: &str = include_str!("../../../examples/specs/pipeline_pair_edit.g");
+
+/// `ReachabilityGraph::build_count()` is a process-wide counter, so the
+/// tests that assert deltas on it must not interleave.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn synth_line(spec: &str) -> String {
+    format!("{{\"op\": \"synth\", \"spec\": {}}}", escape(spec))
+}
+
+fn service() -> Service {
+    Service::new(Arc::new(ArtifactStore::in_memory(16 << 20)))
+}
+
+#[test]
+fn identical_request_is_served_from_cache_with_zero_builds() {
+    let _guard = serial();
+    let service = service();
+    // `verify` drives the whole stack — synthesis plus the functional,
+    // conformance and random-walk oracles over the real state graph —
+    // so the cold run must build reachability and the warm one must not.
+    let line = format!("{{\"op\": \"verify\", \"spec\": {}}}", escape(BASE));
+
+    let first = service.execute(&line);
+    assert!(!first.cache_hit, "cold store cannot hit: {}", first.body);
+    assert!(first.reach_builds >= 1, "cold verify must explore the STG");
+
+    let before = ReachabilityGraph::build_count();
+    let second = service.execute(&line);
+    assert!(
+        second.cache_hit,
+        "identical request must hit: {}",
+        second.body
+    );
+    assert_eq!(second.body, first.body);
+    assert_eq!(second.reach_builds, 0);
+    assert_eq!(
+        ReachabilityGraph::build_count(),
+        before,
+        "a cache hit must perform zero reachability builds"
+    );
+
+    let v = json::parse(&second.body).expect("response body is JSON");
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(v.get("spec_states").and_then(Value::as_usize), Some(16));
+}
+
+#[test]
+fn one_signal_edit_reuses_the_untouched_cover() {
+    let _guard = serial();
+    let service = service();
+
+    let base = service.execute(&synth_line(BASE));
+    let vb = json::parse(&base.body).expect("base body is JSON");
+    assert_eq!(
+        vb.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "base synth failed: {}",
+        base.body
+    );
+    assert_eq!(base.covers_derived, 2, "both signals derive cold");
+    assert_eq!(base.covers_reused, 0);
+
+    // The edit re-sequences only the b/y/c component: y's cover is
+    // dirty, x's fingerprint (and cached cover) is untouched.
+    let edit = service.execute(&synth_line(EDIT));
+    let ve = json::parse(&edit.body).expect("edit body is JSON");
+    assert_eq!(
+        ve.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "edited synth failed: {}",
+        edit.body
+    );
+    assert!(!edit.cache_hit, "the edit is a different job");
+    assert_eq!(
+        edit.covers_reused, 1,
+        "x's cover must be revalidated and reused (body: {})",
+        edit.body
+    );
+    assert_eq!(edit.covers_derived, 1, "only y's cover is re-derived");
+}
+
+#[test]
+fn socket_round_trip_answers_requests_and_shuts_down_cleanly() {
+    let _guard = serial();
+    let path = std::env::temp_dir().join(format!(
+        "sisyn-cache-reuse-{}-{:?}.sock",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let config = ServerConfig::new(Endpoint::Unix(path.clone()));
+    let cancel = CancelToken::new();
+    let server = {
+        let config = config.clone();
+        let cancel = cancel.clone();
+        std::thread::spawn(move || serve(&config, &cancel))
+    };
+    // The listener may not be bound yet; retry the connection briefly.
+    let endpoint = Endpoint::Unix(path.clone());
+    let lines = vec![
+        synth_line(BASE),
+        synth_line(BASE),
+        "{\"op\": \"stats\"}".into(),
+    ];
+    let mut responses = None;
+    for _ in 0..100 {
+        match submit_lines(&endpoint, &lines) {
+            Ok(r) => {
+                responses = Some(r);
+                break;
+            }
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+        }
+    }
+    let responses = responses.expect("server did not come up");
+    assert_eq!(responses.len(), 3);
+
+    let first = json::parse(&responses[0]).expect("first response is JSON");
+    assert_eq!(first.get("cache_hit").and_then(Value::as_bool), Some(false));
+    assert_eq!(first.get("ok").and_then(Value::as_bool), Some(true));
+    let second = json::parse(&responses[1]).expect("second response is JSON");
+    assert_eq!(second.get("cache_hit").and_then(Value::as_bool), Some(true));
+    assert_eq!(second.get("ok").and_then(Value::as_bool), Some(true));
+    let stats = json::parse(&responses[2]).expect("stats response is JSON");
+    let store = stats.get("store").expect("stats carries store counters");
+    assert!(store.get("hits").and_then(Value::as_usize) >= Some(1));
+    let queue = stats.get("queue").expect("stats carries queue counters");
+    assert!(queue.get("executed").and_then(Value::as_usize) >= Some(2));
+
+    cancel.cancel();
+    server
+        .join()
+        .expect("server thread exits")
+        .expect("serve returns Ok on cancellation");
+    assert!(
+        !path.exists(),
+        "the unix socket must be unlinked on shutdown"
+    );
+}

@@ -6,6 +6,10 @@
 //! sisyn verify  SPEC.g [options]     synthesize then verify speed independence
 //! sisyn resolve SPEC.g [-o OUT.g]    CSC resolution by state-signal insertion
 //! sisyn dot     SPEC.g               Graphviz rendering of the STG
+//! sisyn serve   --socket PATH        persistent synthesis server: jobs over a
+//!                                    Unix/TCP socket with a content-addressed
+//!                                    artifact store (see `sisyn::serve`)
+//! sisyn submit  --socket PATH OP SPEC.g   send one job to a running server
 //!
 //! options:
 //!   -o FILE            write the main artifact (Verilog / .g / dot) to FILE
@@ -201,7 +205,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: sisyn <check|synth|verify|resolve|dot> SPEC.g \
+        "usage: sisyn <check|synth|verify|resolve|dot|serve|submit> SPEC.g \
          [-o FILE] [--arch complex|excitation|per-region] [--stages 0..4|full] \
          [--minimizer espresso|exact|bdd|auto] [--json] [--waveform N] \
          [--cap N] [--shards N|auto] [--budget N] [--strategy greedy|beam] \
@@ -447,6 +451,16 @@ fn reach_error_exit(e: &ReachError) -> ExitCode {
 
 fn main() -> ExitCode {
     install_interrupt_handler();
+    // The serve/submit subcommands own their flag vocabulary (socket
+    // endpoints, store sizing) — dispatch before the generic parser.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => {
+            return ExitCode::from(sisyn::serve::cli::serve_main(&argv[1..], interrupt_token()))
+        }
+        Some("submit") => return ExitCode::from(sisyn::serve::cli::submit_main(&argv[1..])),
+        _ => {}
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(code) => return code,

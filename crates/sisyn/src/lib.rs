@@ -14,7 +14,11 @@
 //! * [`csc`] — the conflict-core CSC resolution subsystem (state-signal
 //!   insertion with incremental re-analysis and parallel candidate
 //!   search);
-//! * [`verify`] — speed-independence verification.
+//! * [`verify`] — speed-independence verification;
+//! * [`serve`] — the persistent synthesis service (`sisyn serve`): a
+//!   socket server with a content-addressed artifact store, so repeated
+//!   and incrementally edited specs reuse cached reachability summaries
+//!   and per-signal covers.
 //!
 //! # Examples
 //!
@@ -39,6 +43,7 @@ pub use si_boolean as boolean;
 pub use si_core as core;
 pub use si_csc as csc;
 pub use si_petri as petri;
+pub use si_serve as serve;
 pub use si_stg as stg;
 pub use si_verify as verify;
 

@@ -1,0 +1,203 @@
+//! Canonical `.g` serialization — a deterministic normal form.
+//!
+//! [`write_g`](crate::write_g) preserves declaration order, so two files
+//! describing the same STG with permuted `.inputs` lists or shuffled graph
+//! lines serialize differently. The serving layer keys its artifact store
+//! by content hash, so it needs a *canonical* form: [`canonical_g`] sorts
+//! every freely-ordered element lexicographically (signal declarations,
+//! graph lines, arc targets, marking tokens), making the output independent
+//! of the order in which the model was declared or built.
+//!
+//! Two invariants, pinned by `tests/canonical_form.rs`:
+//!
+//! * **Fixpoint**: `canonical_g(parse_g(canonical_g(stg))) == canonical_g(stg)`
+//!   byte for byte — implicit place names (`<t1,t2>`) regenerate
+//!   deterministically on reparse.
+//! * **Permutation invariance**: permuting signal declarations and graph
+//!   lines of a `.g` file does not change the canonical output.
+
+use crate::signal::SignalKind;
+use crate::stg::Stg;
+use si_petri::PlaceId;
+
+fn is_implicit(stg: &Stg, p: PlaceId) -> bool {
+    let net = stg.net();
+    net.place_name(p).starts_with('<') && net.pre_p(p).len() == 1 && net.post_p(p).len() == 1
+}
+
+/// Serializes an STG to its canonical `.g` form.
+///
+/// The output is a valid `.g` file accepted by [`parse_g`](crate::parse_g);
+/// structurally it round-trips exactly like [`write_g`](crate::write_g)
+/// output, but every list in it is sorted:
+///
+/// * signal names within `.inputs` / `.outputs` / `.internal`;
+/// * transition lines of `.graph`, by transition display name, each with
+///   its targets sorted;
+/// * explicit place lines, by place name, each with its targets sorted;
+/// * `.marking` tokens.
+///
+/// # Examples
+///
+/// ```
+/// use si_stg::{canonical_g, parse_g};
+///
+/// let a = parse_g(".model m\n.inputs a b\n.graph\na+ b+\nb+ a-\na- b-\nb- a+\n.marking { <b-,a+> }\n.end\n")?;
+/// let b = parse_g(".model m\n.inputs b a\n.graph\nb- a+\na- b-\nb+ a-\na+ b+\n.marking { <b-,a+> }\n.end\n")?;
+/// assert_eq!(canonical_g(&a), canonical_g(&b));
+/// let reparsed = parse_g(&canonical_g(&a))?;
+/// assert_eq!(canonical_g(&reparsed), canonical_g(&a));
+/// # Ok::<(), si_stg::ParseGError>(())
+/// ```
+pub fn canonical_g(stg: &Stg) -> String {
+    use std::fmt::Write;
+    let net = stg.net();
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", stg.name());
+    for (directive, kind) in [
+        (".inputs", SignalKind::Input),
+        (".outputs", SignalKind::Output),
+        (".internal", SignalKind::Internal),
+    ] {
+        let mut names: Vec<&str> = stg
+            .signals()
+            .filter(|&s| stg.signal_kind(s) == kind)
+            .map(|s| stg.signal_name(s))
+            .collect();
+        names.sort_unstable();
+        if !names.is_empty() {
+            let _ = writeln!(out, "{} {}", directive, names.join(" "));
+        }
+    }
+    let _ = writeln!(out, ".graph");
+
+    // Transition lines: "<display> <sorted targets...>", sorted by display.
+    let mut trans_lines: Vec<(String, Vec<String>)> = Vec::new();
+    for t in net.transitions() {
+        let mut targets: Vec<String> = Vec::new();
+        for &p in net.post_t(t) {
+            if is_implicit(stg, p) {
+                targets.push(stg.transition_display(net.post_p(p)[0]));
+            } else {
+                targets.push(net.place_name(p).to_string());
+            }
+        }
+        if !targets.is_empty() {
+            targets.sort_unstable();
+            trans_lines.push((stg.transition_display(t), targets));
+        }
+    }
+    trans_lines.sort_unstable();
+    for (display, targets) in &trans_lines {
+        let _ = writeln!(out, "{} {}", display, targets.join(" "));
+    }
+
+    // Explicit place lines: "<place> <sorted targets...>", sorted by name.
+    let mut place_lines: Vec<(String, Vec<String>)> = Vec::new();
+    for p in net.places() {
+        if !is_implicit(stg, p) {
+            let mut targets: Vec<String> = net
+                .post_p(p)
+                .iter()
+                .map(|&t| stg.transition_display(t))
+                .collect();
+            if !targets.is_empty() {
+                targets.sort_unstable();
+                place_lines.push((net.place_name(p).to_string(), targets));
+            }
+        }
+    }
+    place_lines.sort_unstable();
+    for (name, targets) in &place_lines {
+        let _ = writeln!(out, "{} {}", name, targets.join(" "));
+    }
+
+    let mut marks: Vec<String> = Vec::new();
+    for i in net.initial_marking().iter_ones() {
+        let p = PlaceId(i as u32);
+        if is_implicit(stg, p) {
+            let pre = stg.transition_display(net.pre_p(p)[0]);
+            let post = stg.transition_display(net.post_p(p)[0]);
+            marks.push(format!("<{pre},{post}>"));
+        } else {
+            marks.push(net.place_name(p).to_string());
+        }
+    }
+    marks.sort_unstable();
+    let _ = writeln!(out, ".marking {{ {} }}", marks.join(" "));
+    let _ = writeln!(out, ".end");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_g;
+
+    #[test]
+    fn sorted_and_fixpoint() {
+        let text = "\
+.model m
+.outputs y
+.inputs x
+.graph
+y- x+
+x- y-
+y+ x-
+x+ y+
+.marking { <y-,x+> }
+.end
+";
+        let stg = parse_g(text).unwrap();
+        let canon = canonical_g(&stg);
+        // Directive order and sorted graph lines.
+        let inputs_at = canon.find(".inputs x").unwrap();
+        let outputs_at = canon.find(".outputs y").unwrap();
+        assert!(inputs_at < outputs_at);
+        let x_plus = canon.find("x+ y+").unwrap();
+        let x_minus = canon.find("x- y-").unwrap();
+        assert!(x_plus < x_minus);
+        // Byte-level fixpoint through a reparse.
+        let reparsed = parse_g(&canon).unwrap();
+        assert_eq!(canonical_g(&reparsed), canon);
+    }
+
+    #[test]
+    fn permuted_declarations_agree() {
+        let a = parse_g(
+            ".model m\n.inputs a b\n.graph\na+ b+\nb+ a-\na- b-\nb- a+\n.marking { <b-,a+> }\n.end\n",
+        )
+        .unwrap();
+        let b = parse_g(
+            ".model m\n.inputs b a\n.graph\nb- a+\nb+ a-\na- b-\na+ b+\n.marking { <b-,a+> }\n.end\n",
+        )
+        .unwrap();
+        assert_eq!(canonical_g(&a), canonical_g(&b));
+    }
+
+    #[test]
+    fn explicit_places_sorted() {
+        let text = "\
+.model choice
+.inputs a b
+.outputs c
+.graph
+p0 b+ a+
+a+ c+
+b+ c+/2
+c+ a-
+c+/2 b-
+a- c-
+b- c-/2
+c- p0
+c-/2 p0
+.marking { p0 }
+.end
+";
+        let stg = parse_g(text).unwrap();
+        let canon = canonical_g(&stg);
+        assert!(canon.contains("p0 a+ b+"));
+        let reparsed = parse_g(&canon).unwrap();
+        assert_eq!(canonical_g(&reparsed), canon);
+    }
+}

@@ -42,6 +42,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod benchmarks;
+mod canonical;
 mod consistency;
 mod dot;
 pub mod edit;
@@ -55,6 +56,7 @@ mod stg;
 pub mod symbolic;
 mod waveform;
 
+pub use canonical::canonical_g;
 pub use consistency::{next_behavioural, ConsistencyError, SignalConcurrency, StgAnalysis};
 pub use dot::{rg_to_dot, stg_to_dot};
 pub use edit::{apply_insertion, apply_insertion_mapped, InsertionMap, InsertionPlan};

@@ -1,0 +1,20 @@
+# Two independent handshake components in one specification.
+# Component 1 (a/x) is untouched by the _edit variant; component 2
+# (b/y) is re-sequenced there over the same four states, so y's
+# excitation regions move while x's are bit-identical. Used by the
+# serve cache tests and the CI smoke step to show per-signal cover
+# reuse across a one-signal edit.
+.model pipeline_pair
+.inputs a b
+.outputs x y
+.graph
+a+ x+
+x+ a-
+a- x-
+x- a+
+b+ y+
+y+ b-
+b- y-
+y- b+
+.marking { <x-,a+> <y-,b+> }
+.end

@@ -1,0 +1,19 @@
+# One-signal edit of pipeline_pair.g: component 1 (a/x) is identical,
+# component 2 reverses who leads the b/y handshake — the same four
+# (b,y) codes are traversed, but y's excitation regions move (y = ~b
+# instead of y = b). A serve-side resubmission must re-derive y's
+# cover but reuse x's.
+.model pipeline_pair
+.inputs a b
+.outputs x y
+.graph
+a+ x+
+x+ a-
+a- x-
+x- a+
+y+ b+
+b+ y-
+y- b-
+b- y+
+.marking { <x-,a+> <b-,y+> }
+.end

@@ -1,0 +1,112 @@
+//! Canonical `.g` form: parse→canonicalize→parse is a byte-level fixpoint,
+//! and permuting the declaration order of a `.g` file never changes the
+//! canonical output. This is the normal form the serving layer hashes, so
+//! any drift here silently splits the artifact cache.
+
+use proptest::prelude::*;
+use sisyn::stg::benchmarks;
+use sisyn::stg::{canonical_g, parse_g, write_g};
+
+#[test]
+fn canonical_is_a_fixpoint_on_every_benchmark() {
+    for stg in benchmarks::synthesizable_suite() {
+        let canon = canonical_g(&stg);
+        let back = parse_g(&canon).unwrap_or_else(|e| panic!("{}: {e}\n{canon}", stg.name()));
+        assert_eq!(
+            canonical_g(&back),
+            canon,
+            "{}: canonicalize is not idempotent through a reparse",
+            stg.name()
+        );
+        assert_eq!(stg.signal_count(), back.signal_count(), "{}", stg.name());
+        assert_eq!(
+            stg.net().transition_count(),
+            back.net().transition_count(),
+            "{}",
+            stg.name()
+        );
+        assert_eq!(
+            stg.net().place_count(),
+            back.net().place_count(),
+            "{}",
+            stg.name()
+        );
+    }
+}
+
+/// Deterministically shuffles `items` in place with an xorshift stream.
+fn shuffle<T>(items: &mut [T], seed: &mut u64) {
+    let mut next = || {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        *seed
+    };
+    for i in (1..items.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// Rewrites a `.g` text with every freely-ordered element shuffled: tokens
+/// inside `.inputs`/`.outputs`/`.internal` lines, the graph lines
+/// themselves, the arc targets within each graph line, and the marking
+/// tokens. Parsing must yield the same model, so the canonical form must
+/// not move.
+fn permute_g(text: &str, mut seed: u64) -> String {
+    let mut head: Vec<String> = Vec::new();
+    let mut graph: Vec<String> = Vec::new();
+    let mut tail: Vec<String> = Vec::new();
+    let mut in_graph = false;
+    for line in text.lines() {
+        if line == ".graph" {
+            in_graph = true;
+            head.push(line.to_string());
+        } else if line.starts_with(".marking") || line == ".end" {
+            in_graph = false;
+            let shuffled = if let Some(rest) = line.strip_prefix(".marking") {
+                let inner = rest.trim().trim_start_matches('{').trim_end_matches('}');
+                let mut toks: Vec<&str> = inner.split_whitespace().collect();
+                shuffle(&mut toks, &mut seed);
+                format!(".marking {{ {} }}", toks.join(" "))
+            } else {
+                line.to_string()
+            };
+            tail.push(shuffled);
+        } else if in_graph {
+            let mut toks: Vec<&str> = line.split_whitespace().collect();
+            // The first token is the arc source; only targets are free.
+            shuffle(&mut toks[1..], &mut seed);
+            graph.push(toks.join(" "));
+        } else if line.starts_with(".inputs")
+            || line.starts_with(".outputs")
+            || line.starts_with(".internal")
+        {
+            let mut toks: Vec<&str> = line.split_whitespace().collect();
+            shuffle(&mut toks[1..], &mut seed);
+            head.push(toks.join(" "));
+        } else {
+            head.push(line.to_string());
+        }
+    }
+    shuffle(&mut graph, &mut seed);
+    let mut out = head;
+    out.extend(graph);
+    out.extend(tail);
+    out.join("\n") + "\n"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn permuted_declaration_order_is_canonically_invariant(seed in 1u64..u64::MAX, pick in 0usize..8) {
+        let suite = benchmarks::synthesizable_suite();
+        let stg = &suite[pick % suite.len()];
+        let baseline = canonical_g(stg);
+        let permuted = permute_g(&write_g(stg), seed);
+        let reparsed = parse_g(&permuted)
+            .unwrap_or_else(|e| panic!("{}: {e}\n{permuted}", stg.name()));
+        prop_assert_eq!(canonical_g(&reparsed), baseline);
+    }
+}
