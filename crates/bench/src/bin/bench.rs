@@ -31,6 +31,11 @@
 //!   on the `clatch(n)` and `vme_burst(n)` sweeps: wall time of both,
 //!   fixpoint iteration count and peak BDD node count, including a
 //!   beyond-the-cap workload the explicit engine cannot finish;
+//! * `protocol_deadlock` — the CFSM deadlock checker
+//!   (`si_proto::check_deadlock_with`) on the clean `ring(n)` and the
+//!   deadlocking `dining(n)` families: wall time, states/s and speedup of
+//!   the sequential vs sharded exploration at 1/2/4/8 shards (the check
+//!   is exhaustive, so every engine walks the identical state space);
 //! * `artifact_cache` — the serve layer's content-addressed response
 //!   cache (`si_serve::Service`) on the large-set synth workloads: cold
 //!   latency (full structural synthesis into a fresh store) vs warm
@@ -593,6 +598,91 @@ fn measure_artifact_cache(cfg: &Config) -> Vec<CacheEntry> {
     entries
 }
 
+/// One workload of the protocol-deadlock section.
+struct ProtoEntry {
+    name: String,
+    modules: usize,
+    channels: usize,
+    /// Global states the exhaustive deadlock check explored.
+    states: usize,
+    violations: usize,
+    /// Shard count -> best-of wall time of the full check (`[0]` is the
+    /// sequential explorer).
+    times: Vec<(usize, Duration)>,
+}
+
+/// Times the CFSM deadlock checker (`si_proto::check_deadlock_with`) on
+/// the clean `ring(n)` family and the deadlocking `dining(n)` family, at
+/// the same shard counts as the other exploration sections. The check is
+/// exhaustive either way (violations do not stop the sweep), so sharded
+/// and sequential runs walk the identical state space.
+fn measure_protocol_deadlock(cfg: &Config) -> (Vec<usize>, Vec<ProtoEntry>) {
+    let counts: Vec<usize> = if cfg.smoke {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 4, 8]
+    };
+    debug_assert_eq!(counts[0], 1, "the sweep leads with the sequential explorer");
+    let workloads: Vec<si_proto::ProtoSystem> = if cfg.smoke {
+        vec![si_proto::ring(4), si_proto::dining(3)]
+    } else {
+        // ring(16) (>4M global states) overflows the default cap and
+        // would be skipped; ring(14)'s 1.18M states are the ceiling.
+        vec![
+            si_proto::ring(10),
+            si_proto::ring(14),
+            si_proto::dining(8),
+            si_proto::dining(12),
+        ]
+    };
+    let mut entries = Vec::new();
+    for sys in &workloads {
+        let check = |shards: usize| {
+            let mut reach = si_petri::ReachOptions::with_cap(cfg.cap);
+            reach.shards = shards;
+            si_proto::check_deadlock_with(sys, reach).expect("no worker panics")
+        };
+        // The first sequential run doubles as the cap probe and supplies
+        // the verdict columns.
+        let t0 = Instant::now();
+        let probe = check(1);
+        let first_seq = t0.elapsed();
+        if probe.interrupted.is_some() {
+            eprintln!("proto/{}: skipped (over the cap)", sys.name());
+            continue;
+        }
+        let iters = cfg.iters.min(3);
+        let mut times = Vec::new();
+        for &k in &counts {
+            let extra = if k == 1 { iters - 1 } else { iters };
+            let mut d = best_of(extra, || check(k));
+            if k == 1 {
+                d = d.min(first_seq);
+            }
+            times.push((k, d));
+        }
+        eprint!(
+            "proto/{} ({} states, {} violations):",
+            sys.name(),
+            probe.states_explored,
+            probe.violations.len()
+        );
+        for &(k, d) in &times {
+            eprint!(" {k}={}", fmt_duration(d));
+        }
+        eprintln!();
+        entries.push(ProtoEntry {
+            name: sys.name().to_string(),
+            modules: sys.modules().len(),
+            channels: sys.channels().len(),
+            states: probe.states_explored,
+            violations: probe.violations.len(),
+            times,
+        });
+    }
+    (counts, entries)
+}
+
 fn json_ms(d: Option<Duration>) -> String {
     match d {
         Some(d) => format!("{:.6}", d.as_secs_f64() * 1e3),
@@ -637,11 +727,12 @@ fn main() {
     let (product_counts, product_entries) = measure_product_exploration(&cfg);
     let (csc_cap, csc_budget, csc_entries) = measure_csc_resolution(&cfg);
     let symbolic_entries = measure_symbolic_reachability(&cfg);
+    let (proto_counts, proto_entries) = measure_protocol_deadlock(&cfg);
     let cache_entries = measure_artifact_cache(&cfg);
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"sisyn/bench-substrates/v7\",");
+    let _ = writeln!(json, "  \"schema\": \"sisyn/bench-substrates/v8\",");
     let _ = writeln!(json, "  \"iters\": {},", cfg.iters);
     let _ = writeln!(json, "  \"state_cap\": {},", cfg.cap);
     let _ = writeln!(
@@ -973,6 +1064,75 @@ fn main() {
             } else {
                 ""
             }
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+    // Protocol-deadlock section: the CFSM deadlock checker on the generic
+    // sequential vs sharded explorers, ring/dining families.
+    let _ = writeln!(json, "  \"protocol_deadlock\": {{");
+    let _ = writeln!(json, "    \"state_cap\": {},", cfg.cap);
+    let _ = writeln!(
+        json,
+        "    \"shard_counts\": [{}],",
+        proto_counts
+            .iter()
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        json,
+        "    \"hardware_threads\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let _ = writeln!(json, "    \"entries\": [");
+    for (i, e) in proto_entries.iter().enumerate() {
+        let _ = writeln!(json, "      {{");
+        let _ = writeln!(json, "        \"name\": \"{}\",", e.name);
+        let _ = writeln!(json, "        \"modules\": {},", e.modules);
+        let _ = writeln!(json, "        \"channels\": {},", e.channels);
+        let _ = writeln!(json, "        \"states\": {},", e.states);
+        let _ = writeln!(json, "        \"violations\": {},", e.violations);
+        let _ = writeln!(
+            json,
+            "        \"check_ms\": {{{}}},",
+            e.times
+                .iter()
+                .map(|&(k, d)| format!("\"{k}\": {}", json_ms(Some(d))))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let _ = writeln!(
+            json,
+            "        \"states_per_s\": {{{}}},",
+            e.times
+                .iter()
+                .map(|&(k, d)| {
+                    let rate = if d.is_zero() {
+                        "null".to_string()
+                    } else {
+                        format!("{:.0}", e.states as f64 / d.as_secs_f64())
+                    };
+                    format!("\"{k}\": {rate}")
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let seq = e.times[0].1;
+        let _ = writeln!(
+            json,
+            "        \"speedup_vs_seq\": {{{}}}",
+            e.times[1..]
+                .iter()
+                .map(|&(k, d)| format!("\"{k}\": {}", json_speedup(Some(seq), Some(d))))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let _ = writeln!(
+            json,
+            "      }}{}",
+            if i + 1 < proto_entries.len() { "," } else { "" }
         );
     }
     let _ = writeln!(json, "    ]");

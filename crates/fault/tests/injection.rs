@@ -133,6 +133,35 @@ fn injected_cap_burst_degrades_into_the_ordinary_cap_verdict() {
 }
 
 #[test]
+fn protocol_step_panic_surfaces_without_poisoning_the_pool() {
+    let _guard = serial();
+    reset();
+    let sys = si_proto::dining(6);
+    // Kill the first successor expansion a shard worker performs: the
+    // deadlock checker must hand back the structured worker error, not
+    // tear the process down.
+    arm("proto::step", None, FaultAction::Panic);
+    let mut reach = ReachOptions::with_cap(1_000_000);
+    reach.shards = 4;
+    let si_proto::ProtoError::WorkerPanicked { shard, message } =
+        si_proto::check_deadlock_with(&sys, reach).unwrap_err();
+    assert!(shard < 4, "reported shard {shard} out of range");
+    assert!(message.contains("injected fault"), "got: {message}");
+    assert_eq!(armed_count(), 0, "the armed fault must have fired");
+    // The pool is reusable after the casualty: the clean sharded rerun
+    // reproduces the sequential report — same deadlock, same witness
+    // target, same state count.
+    let mut reach = ReachOptions::with_cap(1_000_000);
+    reach.shards = 4;
+    let par = si_proto::check_deadlock_with(&sys, reach).unwrap();
+    let seq = si_proto::check_deadlock(&sys).unwrap();
+    assert_eq!(par.violations, seq.violations);
+    assert_eq!(par.states_explored, seq.states_explored);
+    assert!(!par.is_ok(), "dining(6) deadlocks");
+    reset();
+}
+
+#[test]
 fn synthesis_worker_panic_names_the_signal_and_the_pool_survives() {
     let _guard = serial();
     let workers = std::thread::available_parallelism().map_or(1, |n| n.get());

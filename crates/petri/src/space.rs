@@ -31,10 +31,18 @@
 //!   │ SI-verify     │──┤  │ shard::              │───▶│ verify_circuit_on│
 //!   │ (rg walk)     │  │  │   explore_sharded    │    ├──────────────────┤
 //!   ├───────────────┤  │  │ (hash-partitioned,   │    │ conform::        │
-//!   │ spec×circuit  │──┘  │  N workers)          │    │   check_*        │
-//!   │ product       │     └──────────────────────┘    └──────────────────┘
+//!   │ spec×circuit  │──┤  │  N workers)          │    │   check_*        │
+//!   │ product       │  │  └──────────────────────┘    ├──────────────────┤
+//!   ├───────────────┤  │                              │ si_proto::       │
+//!   │ CFSM channel  │──┘                              │   check_deadlock │
+//!   │ protocols     │                                 └──────────────────┘
 //!   └───────────────┘
 //! ```
+//!
+//! The abstraction is not Petri-net shaped: `si_proto::ProtoSpace` packs
+//! communicating finite-state machines (module control states + channel
+//! slots) into the same word format and gets sequential + sharded
+//! deadlock checking from these explorers unchanged.
 //!
 //! Both explorers intern states in one flat word arena, support a state
 //! cap, stop early once the violation budget is spent, and can reconstruct

@@ -1,0 +1,211 @@
+//! Scalable CFSM families for tests and benchmarks, next to the Petri
+//! `clatch`/`vme_*` generators: three deadlock-free topologies (`ring`,
+//! `pipeline`, `fork_join`) and the deliberately deadlocking `dining`.
+//!
+//! All generators zero-pad numeric suffixes so canonical (name-sorted)
+//! order equals construction order, and every generated system passes
+//! [`crate::ProtoSystem`] validation by construction.
+
+use crate::model::{ChannelKind, ProtoSystem};
+
+fn width(n: usize) -> usize {
+    n.saturating_sub(1).max(1).to_string().len()
+}
+
+/// Token ring of `n` modules over buffered channels: module `i` receives
+/// from its left neighbour and forwards to its right
+/// (`wait --c(i-1)?--> hold --c(i)!--> wait`), with every even-indexed
+/// module holding a token initially. Deadlock-free and live for any
+/// `n >= 2`; the reachable state count grows combinatorially in `n`
+/// (token placements over `2n` ring positions), which makes it the
+/// scaling workload of the deadlock benchmarks.
+///
+/// # Panics
+///
+/// If `n < 2`.
+pub fn ring(n: usize) -> ProtoSystem {
+    assert!(n >= 2, "ring needs at least 2 modules");
+    let w = width(n);
+    let mut b = ProtoSystem::builder(format!("ring{n}"));
+    let chans: Vec<_> = (0..n)
+        .map(|i| b.channel(format!("c{i:0w$}"), ChannelKind::Buffered))
+        .collect();
+    for i in 0..n {
+        let m = b.module(format!("m{i:0w$}"));
+        // Even modules start holding a token; odd ones wait for one.
+        if i % 2 == 0 {
+            b.init(m, "hold");
+        } else {
+            b.init(m, "wait");
+        }
+        b.recv(m, "wait", "hold", chans[(i + n - 1) % n]);
+        b.send(m, "hold", "wait", chans[i]);
+    }
+    b.build().expect("ring is valid by construction")
+}
+
+/// Producer → `n` stages → consumer over 1-bounded buffered channels:
+/// the producer emits forever (`gen --c0!--> rest --tau--> gen`), each
+/// stage forwards (`empty --c(i)?--> full --c(i+1)!--> empty`), the
+/// consumer drains forever. Deadlock-free and live for any `n >= 1`.
+///
+/// # Panics
+///
+/// If `n < 1`.
+pub fn pipeline(n: usize) -> ProtoSystem {
+    assert!(n >= 1, "pipeline needs at least 1 stage");
+    let w = width(n + 1);
+    let mut b = ProtoSystem::builder(format!("pipeline{n}"));
+    let chans: Vec<_> = (0..=n)
+        .map(|i| b.channel(format!("c{i:0w$}"), ChannelKind::Buffered))
+        .collect();
+    let p = b.module("producer");
+    b.init(p, "gen");
+    b.send(p, "gen", "rest", chans[0]);
+    b.tau(p, "rest", "gen");
+    for i in 0..n {
+        let m = b.module(format!("stage{i:0w$}"));
+        b.init(m, "empty");
+        b.recv(m, "empty", "full", chans[i]);
+        b.send(m, "full", "empty", chans[i + 1]);
+    }
+    let c = b.module("consumer");
+    b.init(c, "idle");
+    b.recv(c, "idle", "sink", chans[n]);
+    b.tau(c, "sink", "idle");
+    b.build().expect("pipeline is valid by construction")
+}
+
+/// Master/worker fork-join: the master fire-and-forgets one job to each
+/// of `n` workers over `async` channels, then joins on their buffered
+/// `done` channels in order; workers are `idle --job?--> busy
+/// --done!--> idle`. Terminates quietly (master halts with nothing
+/// pending) — clean for any `n >= 1`, and exercises `async` semantics
+/// without overflowing (each channel carries exactly one message).
+///
+/// # Panics
+///
+/// If `n < 1`.
+pub fn fork_join(n: usize) -> ProtoSystem {
+    assert!(n >= 1, "fork_join needs at least 1 worker");
+    let w = width(n);
+    let mut b = ProtoSystem::builder(format!("fork_join{n}"));
+    let jobs: Vec<_> = (0..n)
+        .map(|i| b.channel(format!("job{i:0w$}"), ChannelKind::Async))
+        .collect();
+    let dones: Vec<_> = (0..n)
+        .map(|i| b.channel(format!("done{i:0w$}"), ChannelKind::Buffered))
+        .collect();
+    let m = b.module("master");
+    b.init(m, "fork0");
+    for (i, &job) in jobs.iter().enumerate() {
+        let to = if i + 1 < n {
+            format!("fork{}", i + 1)
+        } else {
+            "join0".to_string()
+        };
+        b.send(m, &format!("fork{i}"), &to, job);
+    }
+    for (i, &done) in dones.iter().enumerate() {
+        let to = if i + 1 < n {
+            format!("join{}", i + 1)
+        } else {
+            "finished".to_string()
+        };
+        b.recv(m, &format!("join{i}"), &to, done);
+    }
+    for i in 0..n {
+        let wk = b.module(format!("worker{i:0w$}"));
+        b.init(wk, "idle");
+        b.recv(wk, "idle", "busy", jobs[i]);
+        b.send(wk, "busy", "idle", dones[i]);
+    }
+    b.build().expect("fork_join is valid by construction")
+}
+
+/// Dining philosophers over rendezvous fork channels — the classic
+/// **deliberately deadlocking** system. Philosopher `i` grabs its left
+/// fork (`l(i)`, fork `i`), then its right (`r(i)`, fork `i+1 mod n`),
+/// eats, and puts both back (a second rendezvous on each channel); a
+/// fork alternates take/put on whichever side grabbed it. The
+/// all-grabbed-left configuration is reachable in `n` steps and is a
+/// global deadlock: every philosopher holds a send, no rendezvous can
+/// fire.
+///
+/// # Panics
+///
+/// If `n < 2`.
+pub fn dining(n: usize) -> ProtoSystem {
+    assert!(n >= 2, "dining needs at least 2 philosophers");
+    let w = width(n);
+    let mut b = ProtoSystem::builder(format!("dining{n}"));
+    // l[i]: philosopher i <-> fork i; r[i]: philosopher i <-> fork i+1.
+    let l: Vec<_> = (0..n)
+        .map(|i| b.channel(format!("l{i:0w$}"), ChannelKind::Rendezvous))
+        .collect();
+    let r: Vec<_> = (0..n)
+        .map(|i| b.channel(format!("r{i:0w$}"), ChannelKind::Rendezvous))
+        .collect();
+    for i in 0..n {
+        let p = b.module(format!("phil{i:0w$}"));
+        b.init(p, "thinking");
+        b.send(p, "thinking", "has_left", l[i]);
+        b.send(p, "has_left", "eating", r[i]);
+        b.send(p, "eating", "put_one", l[i]);
+        b.send(p, "put_one", "thinking", r[i]);
+    }
+    for i in 0..n {
+        let f = b.module(format!("fork{i:0w$}"));
+        b.init(f, "free");
+        // Taken by the left-hand philosopher (i) ...
+        b.recv(f, "free", "busy_l", l[i]);
+        b.recv(f, "busy_l", "free", l[i]);
+        // ... or by the right-hand philosopher (i-1).
+        b.recv(f, "free", "busy_r", r[(i + n - 1) % n]);
+        b.recv(f, "busy_r", "free", r[(i + n - 1) % n]);
+    }
+    b.build().expect("dining is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_deadlock;
+    use crate::parse::{parse_proto, write_proto};
+
+    #[test]
+    fn clean_families_are_clean() {
+        for sys in [ring(5), pipeline(3), fork_join(3)] {
+            let report = check_deadlock(&sys).unwrap();
+            assert!(report.is_ok(), "{}: {:?}", sys.name(), report.violations);
+            assert!(report.is_conclusive());
+        }
+    }
+
+    #[test]
+    fn dining_deadlocks_at_every_size() {
+        for n in [2, 3, 5] {
+            let report = check_deadlock(&dining(n)).unwrap();
+            assert!(report.deadlocks() >= 1, "dining({n})");
+            // Reaching the all-grabbed-left state takes at least one
+            // take-left per philosopher.
+            assert!(report.trace_labels.as_ref().unwrap().len() >= n);
+        }
+    }
+
+    #[test]
+    fn generators_round_trip_through_the_text_format() {
+        for sys in [ring(4), pipeline(2), fork_join(2), dining(3)] {
+            let text = write_proto(&sys);
+            let again = parse_proto(&text).unwrap();
+            assert_eq!(write_proto(&again), text, "{}", sys.name());
+        }
+    }
+
+    #[test]
+    fn ring_grows_combinatorially() {
+        let small = check_deadlock(&ring(4)).unwrap().states_explored;
+        let big = check_deadlock(&ring(8)).unwrap().states_explored;
+        assert!(big > 4 * small, "ring(4)={small}, ring(8)={big}");
+    }
+}

@@ -1,0 +1,587 @@
+//! The CFSM system model: named modules (communicating finite state
+//! machines), named point-to-point channels, and the validated,
+//! canonicalized [`ProtoSystem`] the rest of the crate works on.
+//!
+//! A system is a set of **modules**, each a finite automaton over named
+//! control states whose transitions either *send* on a channel (`c!`),
+//! *receive* from a channel (`c?`) or move *internally* (`tau`). Channels
+//! are point-to-point and unit-message: every channel has exactly one
+//! sending module and one (different) receiving module, and carries no
+//! payload — protocol meaning lives in the module states (a fork that is
+//! `free` interprets a message as *take*, one that is `held` as *put*).
+//!
+//! Three channel semantics are supported (see [`ChannelKind`]):
+//! rendezvous, 1-bounded blocking buffer, and 1-bounded *overflow-checked*
+//! asynchronous buffer.
+//!
+//! [`ProtoBuilder::build`] **validates** (unique names, point-to-point
+//! channels with at least one send and one receive, non-empty modules) and
+//! **canonicalizes**: channels and modules are sorted by name, each
+//! module's states are renumbered initial-first-then-alphabetical and its
+//! transitions sorted — so two systems that differ only in declaration
+//! order are structurally identical, and [`crate::write_proto`] emits a
+//! canonical text form.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a module in [`ProtoSystem::modules`] (canonical order).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ModuleId(pub u32);
+
+/// Index of a channel in [`ProtoSystem::channels`] (canonical order).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ChannelId(pub u32);
+
+/// Communication semantics of one channel.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum ChannelKind {
+    /// Rendezvous: a send and a matching receive fire as **one** product
+    /// step; the channel itself holds no state.
+    Rendezvous,
+    /// 1-bounded blocking buffer: a send fills the slot (disabled while
+    /// the slot is full), a receive drains it.
+    Buffered,
+    /// 1-bounded *overflow-checked* buffer: like [`Self::Buffered`], but a
+    /// control-enabled send onto a full slot is reported as a
+    /// [`crate::ProtoViolation::Overflow`] — the 1-bound doubles as a
+    /// boundedness check for protocols that assume fire-and-forget sends.
+    Async,
+}
+
+impl ChannelKind {
+    /// The `.proto` keyword of this kind (`sync` / `buf` / `async`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ChannelKind::Rendezvous => "sync",
+            ChannelKind::Buffered => "buf",
+            ChannelKind::Async => "async",
+        }
+    }
+
+    /// Parses a `.proto` kind keyword.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "sync" => Some(ChannelKind::Rendezvous),
+            "buf" => Some(ChannelKind::Buffered),
+            "async" => Some(ChannelKind::Async),
+            _ => None,
+        }
+    }
+
+    /// Whether the channel owns a pending-message slot in the packed
+    /// product state (rendezvous channels are stateless).
+    pub fn has_slot(self) -> bool {
+        self != ChannelKind::Rendezvous
+    }
+}
+
+/// What one local transition does.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum ActionKind {
+    /// An internal (`tau`) move: always enabled at its source state.
+    Internal,
+    /// Send one message on the channel.
+    Send(ChannelId),
+    /// Receive one message from the channel.
+    Receive(ChannelId),
+}
+
+/// One transition of a module's local automaton.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct LocalTransition {
+    /// Source local state.
+    pub from: u16,
+    /// Target local state.
+    pub to: u16,
+    /// The action performed.
+    pub action: ActionKind,
+}
+
+/// One communicating finite state machine.
+#[derive(Clone, Debug)]
+pub struct Module {
+    /// Module name (unique in the system).
+    pub name: String,
+    /// State names; index = local state id. The initial state is id `0`
+    /// (canonical renumbering puts it first).
+    pub states: Vec<String>,
+    /// Local transitions, canonically sorted by `(from, action, to)`.
+    pub transitions: Vec<LocalTransition>,
+}
+
+impl Module {
+    /// The name of local state `s`.
+    pub fn state_name(&self, s: u16) -> &str {
+        &self.states[s as usize]
+    }
+}
+
+/// One point-to-point channel.
+#[derive(Clone, Debug)]
+pub struct Channel {
+    /// Channel name (unique in the system).
+    pub name: String,
+    /// Communication semantics.
+    pub kind: ChannelKind,
+    /// The unique sending module.
+    pub sender: ModuleId,
+    /// The unique receiving module.
+    pub receiver: ModuleId,
+}
+
+/// A validated, canonicalized system of CFSMs.
+#[derive(Clone, Debug)]
+pub struct ProtoSystem {
+    name: String,
+    modules: Vec<Module>,
+    channels: Vec<Channel>,
+}
+
+impl ProtoSystem {
+    /// Starts building a system.
+    pub fn builder(name: impl Into<String>) -> ProtoBuilder {
+        ProtoBuilder {
+            name: name.into(),
+            modules: Vec::new(),
+            channels: Vec::new(),
+        }
+    }
+
+    /// System name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The modules, in canonical (name-sorted) order.
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// The channels, in canonical (name-sorted) order.
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// The module with id `m`.
+    pub fn module(&self, m: ModuleId) -> &Module {
+        &self.modules[m.0 as usize]
+    }
+
+    /// The channel with id `c`.
+    pub fn channel(&self, c: ChannelId) -> &Channel {
+        &self.channels[c.0 as usize]
+    }
+
+    /// Total number of local transitions across all modules.
+    pub fn transition_count(&self) -> usize {
+        self.modules.iter().map(|m| m.transitions.len()).sum()
+    }
+}
+
+/// How building a [`ProtoSystem`] can fail validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// Two modules share a name.
+    DuplicateModule(String),
+    /// Two channels share a name.
+    DuplicateChannel(String),
+    /// The system has no modules.
+    NoModules,
+    /// A module has no states (and therefore no initial state).
+    EmptyModule(String),
+    /// A module exceeds the packed-state width (65535 local states).
+    TooManyStates(String),
+    /// Two different modules send on the channel.
+    MultipleSenders {
+        /// The channel.
+        channel: String,
+        /// The two offending modules.
+        modules: (String, String),
+    },
+    /// Two different modules receive from the channel.
+    MultipleReceivers {
+        /// The channel.
+        channel: String,
+        /// The two offending modules.
+        modules: (String, String),
+    },
+    /// No module ever sends on the channel.
+    NoSender(String),
+    /// No module ever receives from the channel.
+    NoReceiver(String),
+    /// A module both sends on and receives from the channel.
+    SelfChannel {
+        /// The channel.
+        channel: String,
+        /// The module on both ends.
+        module: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateModule(m) => write!(f, "duplicate module {m:?}"),
+            ModelError::DuplicateChannel(c) => write!(f, "duplicate channel {c:?}"),
+            ModelError::NoModules => write!(f, "the system has no modules"),
+            ModelError::EmptyModule(m) => write!(f, "module {m:?} has no states"),
+            ModelError::TooManyStates(m) => {
+                write!(f, "module {m:?} exceeds 65535 local states")
+            }
+            ModelError::MultipleSenders { channel, modules } => write!(
+                f,
+                "channel {channel:?} has two senders ({:?} and {:?}); channels are point-to-point",
+                modules.0, modules.1
+            ),
+            ModelError::MultipleReceivers { channel, modules } => write!(
+                f,
+                "channel {channel:?} has two receivers ({:?} and {:?}); channels are point-to-point",
+                modules.0, modules.1
+            ),
+            ModelError::NoSender(c) => write!(f, "no module sends on channel {c:?}"),
+            ModelError::NoReceiver(c) => write!(f, "no module receives from channel {c:?}"),
+            ModelError::SelfChannel { channel, module } => write!(
+                f,
+                "module {module:?} both sends on and receives from channel {channel:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// A module under construction.
+struct BuildModule {
+    name: String,
+    /// State names in first-mention order; `init` indexes into it.
+    states: Vec<String>,
+    by_name: HashMap<String, u16>,
+    init: Option<u16>,
+    transitions: Vec<LocalTransition>,
+}
+
+impl BuildModule {
+    fn state(&mut self, name: &str) -> u16 {
+        if let Some(&s) = self.by_name.get(name) {
+            return s;
+        }
+        let s = self.states.len() as u16;
+        self.states.push(name.to_string());
+        self.by_name.insert(name.to_string(), s);
+        s
+    }
+}
+
+/// Accumulates modules, channels and transitions; [`Self::build`]
+/// validates and canonicalizes. State names are interned on first use; the
+/// initial state defaults to the first state mentioned in the module.
+pub struct ProtoBuilder {
+    name: String,
+    modules: Vec<BuildModule>,
+    channels: Vec<(String, ChannelKind)>,
+}
+
+impl fmt::Debug for ProtoBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ProtoBuilder({:?}, {} modules, {} channels)",
+            self.name,
+            self.modules.len(),
+            self.channels.len()
+        )
+    }
+}
+
+impl ProtoBuilder {
+    /// Declares a channel. Redeclaring a name returns the existing id
+    /// (the kind of the first declaration wins); duplicates with
+    /// *different* kinds are caught by [`Self::build`] via the parser's
+    /// own duplicate check — programmatic callers declare each once.
+    pub fn channel(&mut self, name: impl Into<String>, kind: ChannelKind) -> ChannelId {
+        let name = name.into();
+        if let Some(i) = self.channels.iter().position(|(n, _)| *n == name) {
+            return ChannelId(i as u32);
+        }
+        self.channels.push((name, kind));
+        ChannelId(self.channels.len() as u32 - 1)
+    }
+
+    /// Opens a module; subsequent transition calls reference it by id.
+    pub fn module(&mut self, name: impl Into<String>) -> ModuleId {
+        self.modules.push(BuildModule {
+            name: name.into(),
+            states: Vec::new(),
+            by_name: HashMap::new(),
+            init: None,
+            transitions: Vec::new(),
+        });
+        ModuleId(self.modules.len() as u32 - 1)
+    }
+
+    /// Sets (or creates) the module's initial state. Without this call the
+    /// first state mentioned in the module is initial.
+    pub fn init(&mut self, m: ModuleId, state: &str) {
+        let bm = &mut self.modules[m.0 as usize];
+        let s = bm.state(state);
+        bm.init = Some(s);
+    }
+
+    fn transition(&mut self, m: ModuleId, from: &str, to: &str, action: ActionKind) {
+        let bm = &mut self.modules[m.0 as usize];
+        let from = bm.state(from);
+        let to = bm.state(to);
+        bm.transitions.push(LocalTransition { from, to, action });
+    }
+
+    /// Adds a send transition `from --c!--> to`.
+    pub fn send(&mut self, m: ModuleId, from: &str, to: &str, c: ChannelId) {
+        self.transition(m, from, to, ActionKind::Send(c));
+    }
+
+    /// Adds a receive transition `from --c?--> to`.
+    pub fn recv(&mut self, m: ModuleId, from: &str, to: &str, c: ChannelId) {
+        self.transition(m, from, to, ActionKind::Receive(c));
+    }
+
+    /// Adds an internal transition `from --tau--> to`.
+    pub fn tau(&mut self, m: ModuleId, from: &str, to: &str) {
+        self.transition(m, from, to, ActionKind::Internal);
+    }
+
+    /// Validates and canonicalizes into a [`ProtoSystem`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`ModelError`]: duplicate names, empty system/modules, or a
+    /// channel that is not point-to-point (exactly one sender module, one
+    /// different receiver module, each with at least one transition).
+    pub fn build(self) -> Result<ProtoSystem, ModelError> {
+        if self.modules.is_empty() {
+            return Err(ModelError::NoModules);
+        }
+        for (i, m) in self.modules.iter().enumerate() {
+            if m.states.is_empty() {
+                return Err(ModelError::EmptyModule(m.name.clone()));
+            }
+            if m.states.len() > u16::MAX as usize {
+                return Err(ModelError::TooManyStates(m.name.clone()));
+            }
+            if self.modules[..i].iter().any(|o| o.name == m.name) {
+                return Err(ModelError::DuplicateModule(m.name.clone()));
+            }
+        }
+        for (i, (name, _)) in self.channels.iter().enumerate() {
+            if self.channels[..i].iter().any(|(n, _)| n == name) {
+                return Err(ModelError::DuplicateChannel(name.clone()));
+            }
+        }
+
+        // Point-to-point validation: infer each channel's unique sender
+        // and receiver from the transitions using it.
+        let mut ends: Vec<(Option<usize>, Option<usize>)> = vec![(None, None); self.channels.len()];
+        for (mi, m) in self.modules.iter().enumerate() {
+            for t in &m.transitions {
+                let (slot, c) = match t.action {
+                    ActionKind::Send(c) => (0, c),
+                    ActionKind::Receive(c) => (1, c),
+                    ActionKind::Internal => continue,
+                };
+                let e = &mut ends[c.0 as usize];
+                let end = if slot == 0 { &mut e.0 } else { &mut e.1 };
+                match *end {
+                    None => *end = Some(mi),
+                    Some(prev) if prev != mi => {
+                        let channel = self.channels[c.0 as usize].0.clone();
+                        let modules = (
+                            self.modules[prev].name.clone(),
+                            self.modules[mi].name.clone(),
+                        );
+                        return Err(if slot == 0 {
+                            ModelError::MultipleSenders { channel, modules }
+                        } else {
+                            ModelError::MultipleReceivers { channel, modules }
+                        });
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        let mut channel_ends = Vec::with_capacity(self.channels.len());
+        for ((name, _), &(s, r)) in self.channels.iter().zip(&ends) {
+            let s = s.ok_or_else(|| ModelError::NoSender(name.clone()))?;
+            let r = r.ok_or_else(|| ModelError::NoReceiver(name.clone()))?;
+            if s == r {
+                return Err(ModelError::SelfChannel {
+                    channel: name.clone(),
+                    module: self.modules[s].name.clone(),
+                });
+            }
+            channel_ends.push((s, r));
+        }
+
+        // Canonicalize: channels by name, modules by name, states
+        // initial-first-then-alphabetical, transitions sorted.
+        let mut chan_order: Vec<usize> = (0..self.channels.len()).collect();
+        chan_order.sort_by(|&a, &b| self.channels[a].0.cmp(&self.channels[b].0));
+        let mut chan_map = vec![ChannelId(0); self.channels.len()];
+        for (new, &old) in chan_order.iter().enumerate() {
+            chan_map[old] = ChannelId(new as u32);
+        }
+        let mut mod_order: Vec<usize> = (0..self.modules.len()).collect();
+        mod_order.sort_by(|&a, &b| self.modules[a].name.cmp(&self.modules[b].name));
+        let mut mod_map = vec![ModuleId(0); self.modules.len()];
+        for (new, &old) in mod_order.iter().enumerate() {
+            mod_map[old] = ModuleId(new as u32);
+        }
+
+        let modules = mod_order
+            .iter()
+            .map(|&oi| {
+                let m = &self.modules[oi];
+                let init = m.init.unwrap_or(0);
+                let mut state_order: Vec<u16> = (0..m.states.len() as u16).collect();
+                state_order.sort_by_key(|&s| {
+                    (s != init, m.states[s as usize].clone()) // initial state first
+                });
+                let mut state_map = vec![0u16; m.states.len()];
+                for (new, &old) in state_order.iter().enumerate() {
+                    state_map[old as usize] = new as u16;
+                }
+                let remap_action = |a: ActionKind| match a {
+                    ActionKind::Internal => ActionKind::Internal,
+                    ActionKind::Send(c) => ActionKind::Send(chan_map[c.0 as usize]),
+                    ActionKind::Receive(c) => ActionKind::Receive(chan_map[c.0 as usize]),
+                };
+                let mut transitions: Vec<LocalTransition> = m
+                    .transitions
+                    .iter()
+                    .map(|t| LocalTransition {
+                        from: state_map[t.from as usize],
+                        to: state_map[t.to as usize],
+                        action: remap_action(t.action),
+                    })
+                    .collect();
+                transitions.sort();
+                transitions.dedup();
+                Module {
+                    name: m.name.clone(),
+                    states: state_order
+                        .iter()
+                        .map(|&s| m.states[s as usize].clone())
+                        .collect(),
+                    transitions,
+                }
+            })
+            .collect();
+        let channels = chan_order
+            .iter()
+            .map(|&oi| {
+                let (s, r) = channel_ends[oi];
+                Channel {
+                    name: self.channels[oi].0.clone(),
+                    kind: self.channels[oi].1,
+                    sender: mod_map[s],
+                    receiver: mod_map[r],
+                }
+            })
+            .collect();
+        Ok(ProtoSystem {
+            name: self.name,
+            modules,
+            channels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// ping --c!--> pong, pong --c?--> done.
+    fn two_party(kind: ChannelKind) -> ProtoSystem {
+        let mut b = ProtoSystem::builder("two");
+        let c = b.channel("c", kind);
+        let ping = b.module("ping");
+        b.send(ping, "start", "sent", c);
+        let pong = b.module("pong");
+        b.recv(pong, "idle", "got", c);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn build_canonicalizes_names_and_states() {
+        let sys = two_party(ChannelKind::Buffered);
+        assert_eq!(sys.name(), "two");
+        assert_eq!(sys.modules().len(), 2);
+        assert_eq!(sys.modules()[0].name, "ping");
+        assert_eq!(sys.modules()[1].name, "pong");
+        // Initial state renumbered to 0 even though sorting would put
+        // "got"/"sent" elsewhere.
+        assert_eq!(sys.modules()[0].states, vec!["start", "sent"]);
+        assert_eq!(sys.modules()[1].states, vec!["idle", "got"]);
+        let c = &sys.channels()[0];
+        assert_eq!(sys.module(c.sender).name, "ping");
+        assert_eq!(sys.module(c.receiver).name, "pong");
+    }
+
+    #[test]
+    fn declaration_order_does_not_matter() {
+        let mut b = ProtoSystem::builder("two");
+        let pong = b.module("pong");
+        let ping = b.module("ping");
+        let c = b.channel("c", ChannelKind::Buffered);
+        b.recv(pong, "idle", "got", c);
+        b.send(ping, "start", "sent", c);
+        let sys = b.build().unwrap();
+        let canon = two_party(ChannelKind::Buffered);
+        assert_eq!(format!("{sys:?}"), format!("{canon:?}"));
+    }
+
+    #[test]
+    fn point_to_point_is_enforced() {
+        let mut b = ProtoSystem::builder("bad");
+        let c = b.channel("c", ChannelKind::Buffered);
+        let m0 = b.module("m0");
+        b.send(m0, "a", "b", c);
+        let m1 = b.module("m1");
+        b.send(m1, "a", "b", c);
+        let m2 = b.module("m2");
+        b.recv(m2, "a", "b", c);
+        assert!(matches!(b.build(), Err(ModelError::MultipleSenders { .. })));
+
+        let mut b = ProtoSystem::builder("bad");
+        let c = b.channel("c", ChannelKind::Buffered);
+        let m0 = b.module("m0");
+        b.send(m0, "a", "b", c);
+        assert_eq!(b.build().unwrap_err(), ModelError::NoReceiver("c".into()));
+
+        let mut b = ProtoSystem::builder("bad");
+        let c = b.channel("c", ChannelKind::Buffered);
+        let m0 = b.module("m0");
+        b.send(m0, "a", "b", c);
+        b.recv(m0, "b", "a", c);
+        assert!(matches!(b.build(), Err(ModelError::SelfChannel { .. })));
+    }
+
+    #[test]
+    fn empty_and_duplicate_shapes_are_rejected() {
+        assert_eq!(
+            ProtoSystem::builder("e").build().unwrap_err(),
+            ModelError::NoModules
+        );
+        let mut b = ProtoSystem::builder("e");
+        b.module("m");
+        assert_eq!(b.build().unwrap_err(), ModelError::EmptyModule("m".into()));
+        let mut b = ProtoSystem::builder("e");
+        let m = b.module("m");
+        b.tau(m, "a", "b");
+        let m2 = b.module("m");
+        b.tau(m2, "a", "b");
+        assert_eq!(
+            b.build().unwrap_err(),
+            ModelError::DuplicateModule("m".into())
+        );
+    }
+}

@@ -1,0 +1,335 @@
+//! Text format for CFSM systems: `parse_proto` and the canonical
+//! `write_proto` printer.
+//!
+//! The format is line-oriented, `#` starts a comment:
+//!
+//! ```text
+//! .system handshake
+//! .channel req sync          # sync | buf | async
+//! .channel ack buf
+//!
+//! .module client
+//! .init idle                 # optional; defaults to first state named
+//! idle    -> waiting : req!
+//! waiting -> idle    : ack?
+//! .end                       # optional; next .module / EOF also closes
+//!
+//! .module server
+//! idle -> busy : req?
+//! busy -> idle : ack!
+//! ```
+//!
+//! Transition lines read `FROM -> TO : LABEL` where `LABEL` is `CHAN!`
+//! (send), `CHAN?` (receive) or `tau` (internal). Channels must be
+//! declared with `.channel` before use. Parsing ends with
+//! [`crate::ProtoSystem`] validation, so `parse_proto` only returns
+//! systems the rest of the crate accepts, and
+//! `parse_proto(&write_proto(&sys))` reproduces `sys` exactly.
+
+use crate::model::{ActionKind, ChannelId, ChannelKind, ModelError, ProtoSystem};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse or validation failure, with the 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number (0 for whole-file validation errors).
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.msg)
+        } else {
+            write!(f, "line {}: {}", self.line, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ModelError> for ParseError {
+    fn from(e: ModelError) -> Self {
+        ParseError {
+            line: 0,
+            msg: e.to_string(),
+        }
+    }
+}
+
+fn ident_ok(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
+}
+
+/// Parses the `.proto` text format into a validated [`ProtoSystem`].
+///
+/// # Errors
+///
+/// [`ParseError`] on malformed lines, undeclared channels, duplicate
+/// declarations, or any [`ModelError`] from final validation.
+pub fn parse_proto(text: &str) -> Result<ProtoSystem, ParseError> {
+    let err = |line: usize, msg: String| Err(ParseError { line, msg });
+    let mut name: Option<String> = None;
+    let mut builder = ProtoSystem::builder("");
+    let mut channels: HashMap<String, ChannelId> = HashMap::new();
+    let mut current = None; // open module, if any
+    let mut saw_module = false;
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let head = words.next().unwrap();
+        match head {
+            ".system" => {
+                let (Some(n), None) = (words.next(), words.next()) else {
+                    return err(lineno, ".system takes exactly one name".into());
+                };
+                if name.is_some() {
+                    return err(lineno, "duplicate .system directive".into());
+                }
+                if !ident_ok(n) {
+                    return err(lineno, format!("invalid system name {n:?}"));
+                }
+                name = Some(n.to_string());
+            }
+            ".channel" => {
+                let (Some(n), Some(k), None) = (words.next(), words.next(), words.next()) else {
+                    return err(
+                        lineno,
+                        ".channel takes a name and a kind (sync|buf|async)".into(),
+                    );
+                };
+                if !ident_ok(n) {
+                    return err(lineno, format!("invalid channel name {n:?}"));
+                }
+                let Some(kind) = ChannelKind::parse(k) else {
+                    return err(
+                        lineno,
+                        format!("unknown channel kind {k:?} (want sync|buf|async)"),
+                    );
+                };
+                if channels.contains_key(n) {
+                    return err(lineno, format!("duplicate channel {n:?}"));
+                }
+                channels.insert(n.to_string(), builder.channel(n, kind));
+            }
+            ".module" => {
+                let (Some(n), None) = (words.next(), words.next()) else {
+                    return err(lineno, ".module takes exactly one name".into());
+                };
+                if !ident_ok(n) {
+                    return err(lineno, format!("invalid module name {n:?}"));
+                }
+                current = Some(builder.module(n));
+                saw_module = true;
+            }
+            ".init" => {
+                let (Some(s), None) = (words.next(), words.next()) else {
+                    return err(lineno, ".init takes exactly one state name".into());
+                };
+                let Some(m) = current else {
+                    return err(lineno, ".init outside a .module block".into());
+                };
+                if !ident_ok(s) {
+                    return err(lineno, format!("invalid state name {s:?}"));
+                }
+                builder.init(m, s);
+            }
+            ".end" => {
+                if words.next().is_some() {
+                    return err(lineno, ".end takes no arguments".into());
+                }
+                if current.take().is_none() {
+                    return err(lineno, ".end outside a .module block".into());
+                }
+            }
+            _ if head.starts_with('.') => {
+                return err(lineno, format!("unknown directive {head:?}"));
+            }
+            _ => {
+                // FROM -> TO : LABEL
+                let Some(m) = current else {
+                    return err(lineno, "transition outside a .module block".into());
+                };
+                let rest: Vec<&str> = std::iter::once(head).chain(words).collect();
+                let [from, arrow, to, colon, label] = rest[..] else {
+                    return err(
+                        lineno,
+                        format!("expected `FROM -> TO : LABEL`, got {line:?}"),
+                    );
+                };
+                if arrow != "->" || colon != ":" {
+                    return err(
+                        lineno,
+                        format!("expected `FROM -> TO : LABEL`, got {line:?}"),
+                    );
+                }
+                if !ident_ok(from) || !ident_ok(to) {
+                    return err(lineno, format!("invalid state name in {line:?}"));
+                }
+                if label == "tau" {
+                    builder.tau(m, from, to);
+                } else if let Some(chan) = label.strip_suffix('!') {
+                    let Some(&c) = channels.get(chan) else {
+                        return err(lineno, format!("undeclared channel {chan:?}"));
+                    };
+                    builder.send(m, from, to, c);
+                } else if let Some(chan) = label.strip_suffix('?') {
+                    let Some(&c) = channels.get(chan) else {
+                        return err(lineno, format!("undeclared channel {chan:?}"));
+                    };
+                    builder.recv(m, from, to, c);
+                } else {
+                    return err(
+                        lineno,
+                        format!("label {label:?} is not `CHAN!`, `CHAN?` or `tau`"),
+                    );
+                }
+            }
+        }
+    }
+    if !saw_module && name.is_none() && channels.is_empty() {
+        return err(
+            0,
+            "empty input: no .system, .channel or .module directives".into(),
+        );
+    }
+    let mut sys = builder.build()?;
+    // `builder` was created with an empty name; splice in the declared one.
+    if let Some(n) = name {
+        sys = rename(sys, n);
+    }
+    Ok(sys)
+}
+
+/// Rebuilds `sys` under a different system name (the builder fixes the
+/// name at creation; parsing learns it from `.system` mid-stream).
+fn rename(sys: ProtoSystem, name: String) -> ProtoSystem {
+    let mut b = ProtoSystem::builder(name);
+    let chans: Vec<ChannelId> = sys
+        .channels()
+        .iter()
+        .map(|c| b.channel(&c.name, c.kind))
+        .collect();
+    for m in sys.modules() {
+        let id = b.module(&m.name);
+        b.init(id, m.state_name(0));
+        for t in &m.transitions {
+            let from = m.state_name(t.from);
+            let to = m.state_name(t.to);
+            match t.action {
+                ActionKind::Internal => b.tau(id, from, to),
+                ActionKind::Send(c) => b.send(id, from, to, chans[c.0 as usize]),
+                ActionKind::Receive(c) => b.recv(id, from, to, chans[c.0 as usize]),
+            }
+        }
+    }
+    b.build()
+        .expect("renaming a valid system preserves validity")
+}
+
+/// Writes the canonical `.proto` text of a system; inverse of
+/// [`parse_proto`] on valid systems.
+pub fn write_proto(sys: &ProtoSystem) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    if !sys.name().is_empty() {
+        writeln!(out, ".system {}", sys.name()).unwrap();
+    }
+    for c in sys.channels() {
+        writeln!(out, ".channel {} {}", c.name, c.kind.as_str()).unwrap();
+    }
+    for m in sys.modules() {
+        writeln!(out).unwrap();
+        writeln!(out, ".module {}", m.name).unwrap();
+        writeln!(out, ".init {}", m.state_name(0)).unwrap();
+        let wf = m.states.iter().map(|s| s.len()).max().unwrap_or(0);
+        for t in &m.transitions {
+            let label = match t.action {
+                ActionKind::Internal => "tau".to_string(),
+                ActionKind::Send(c) => format!("{}!", sys.channel(c).name),
+                ActionKind::Receive(c) => format!("{}?", sys.channel(c).name),
+            };
+            writeln!(
+                out,
+                "{:wf$} -> {:wf$} : {}",
+                m.state_name(t.from),
+                m.state_name(t.to),
+                label
+            )
+            .unwrap();
+        }
+        writeln!(out, ".end").unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HANDSHAKE: &str = "\
+.system handshake
+.channel req sync
+.channel ack buf
+
+.module client
+.init idle
+idle    -> waiting : req!   # kick off
+waiting -> idle    : ack?
+.end
+
+.module server
+idle -> busy : req?
+busy -> idle : ack!
+";
+
+    #[test]
+    fn parses_and_round_trips() {
+        let sys = parse_proto(HANDSHAKE).unwrap();
+        assert_eq!(sys.name(), "handshake");
+        assert_eq!(sys.modules().len(), 2);
+        assert_eq!(sys.channels().len(), 2);
+        assert_eq!(sys.channels()[0].name, "ack"); // canonical: name-sorted
+        let text = write_proto(&sys);
+        let again = parse_proto(&text).unwrap();
+        assert_eq!(write_proto(&again), text);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let e = parse_proto(".system a b\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse_proto(".channel c maybe\n").unwrap_err();
+        assert!(e.msg.contains("unknown channel kind"));
+        let e = parse_proto(".module m\na => b : tau\n").unwrap_err();
+        assert!(e.msg.contains("FROM -> TO : LABEL"));
+        let e = parse_proto(".module m\na -> b : c!\n").unwrap_err();
+        assert!(e.msg.contains("undeclared channel"));
+        let e = parse_proto("a -> b : tau\n").unwrap_err();
+        assert!(e.msg.contains("outside a .module"));
+        let e = parse_proto("").unwrap_err();
+        assert!(e.msg.contains("empty input"));
+    }
+
+    #[test]
+    fn validation_errors_surface_with_line_zero() {
+        let e = parse_proto(".module m\na -> b : tau\n").map(|_| ());
+        // Valid lines, but no channels is fine — this one fails because
+        // the builder is fine with it. Use a real validation failure:
+        assert!(e.is_ok());
+        let text = ".channel c buf\n.module m\na -> b : c!\nb -> a : c?\n";
+        let e = parse_proto(text).unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.msg.contains("both sends on and receives"));
+    }
+}

@@ -6,6 +6,13 @@
 //! sisyn verify  SPEC.g [options]     synthesize then verify speed independence
 //! sisyn resolve SPEC.g [-o OUT.g]    CSC resolution by state-signal insertion
 //! sisyn dot     SPEC.g               Graphviz rendering of the STG
+//! sisyn deadlock SPEC.proto          deadlock / dangling-send / overflow
+//!                                    check of a CFSM channel protocol
+//!                                    (see `sisyn::proto`); honours --cap,
+//!                                    --shards, --timeout, --json and
+//!                                    --backend explicit, with a replayable
+//!                                    action-sequence counterexample on
+//!                                    failure
 //! sisyn serve   --socket PATH        persistent synthesis server: jobs over a
 //!                                    Unix/TCP socket with a content-addressed
 //!                                    artifact store (see `sisyn::serve`)
@@ -21,8 +28,9 @@
 //!                      `auto` picks per signal by cover size and is never
 //!                      worse in literals than espresso)
 //!   --json             machine-readable JSON report on stdout for
-//!                      synth / verify / resolve (exit codes unchanged;
-//!                      the artifact is only written when -o is given)
+//!                      synth / verify / resolve / deadlock (exit codes
+//!                      unchanged; the artifact is only written when -o
+//!                      is given)
 //!   --waveform N       also print an N-step simulated waveform
 //!   --cap N            state cap for every reachability-based oracle;
 //!                      exceeding it fails fast with a StateCapExceeded
@@ -205,7 +213,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: sisyn <check|synth|verify|resolve|dot|serve|submit> SPEC.g \
+        "usage: sisyn <check|synth|verify|resolve|deadlock|dot|serve|submit> SPEC.g|SPEC.proto \
          [-o FILE] [--arch complex|excitation|per-region] [--stages 0..4|full] \
          [--minimizer espresso|exact|bdd|auto] [--json] [--waveform N] \
          [--cap N] [--shards N|auto] [--budget N] [--strategy greedy|beam] \
@@ -472,6 +480,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Protocol deadlock checking parses `.proto` CFSM systems, not `.g`
+    // STGs — dispatch before the STG parser. It runs on the explicit
+    // explorer only (the symbolic backend encodes Petri-net markings).
+    if args.command == "deadlock" {
+        if args.backend != Backend::Explicit {
+            eprintln!(
+                "--backend {}: deadlock checking runs on the explicit explorer only",
+                args.backend.as_str()
+            );
+            return usage();
+        }
+        return cmd_deadlock(&text, &args);
+    }
     let stg = match parse_g(&text) {
         Ok(s) => s,
         Err(e) => {
@@ -484,7 +505,7 @@ fn main() -> ExitCode {
     // it elsewhere beats silently swallowing the artifact (`dot --json`
     // would otherwise print nothing and exit 0).
     if args.json && !matches!(args.command.as_str(), "synth" | "verify" | "resolve") {
-        eprintln!("--json is only supported for synth, verify and resolve");
+        eprintln!("--json is only supported for synth, verify, resolve and deadlock");
         return usage();
     }
     // `--backend` selects who answers the state-space queries of check and
@@ -995,5 +1016,140 @@ fn cmd_resolve(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+    }
+}
+
+fn cmd_deadlock(text: &str, args: &Args) -> ExitCode {
+    let sys = match parse_proto(text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match check_deadlock_with(&sys, args.reach(sisyn::proto::DEFAULT_CAP)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("deadlock check failed: {e}");
+            if args.json {
+                println!(
+                    "{{\"command\": \"deadlock\", \"ok\": false, \
+                     \"inconclusive\": false, \"model\": {}, \"error\": {}}}",
+                    json_str(sys.name()),
+                    error_json("worker-panicked", &e.to_string(), 0),
+                );
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Human report on stdout (stderr when --json owns stdout) — one
+    // summary line, then the counterexample as an action sequence.
+    let mut human = String::new();
+    let verdict = if !report.is_ok() {
+        "FAILED"
+    } else if report.is_conclusive() {
+        "OK"
+    } else {
+        "OK so far (partial)"
+    };
+    human.push_str(&format!(
+        "model {}: {} modules, {} channels\n\
+         deadlock check: {verdict} ({} deadlock(s), {} dangling send(s), \
+         {} overflow(s) in {} states)\n",
+        sys.name(),
+        sys.modules().len(),
+        sys.channels().len(),
+        report.deadlocks(),
+        report.dangling_sends(),
+        report.overflows(),
+        report.states_explored,
+    ));
+    if let Some(first) = report.violations.first() {
+        human.push_str(&format!(
+            "first violation ({}): {}\n  at state: {}\n",
+            first.violation.kind(),
+            first.violation.render(&sys),
+            first.state.render(&sys),
+        ));
+    }
+    if let Some(trace) = &report.trace {
+        human.push_str(&format!(
+            "counterexample ({} action(s) from the initial state):\n",
+            trace.len()
+        ));
+        for step in trace {
+            human.push_str(&format!("  {step}\n"));
+        }
+    }
+    if let Some(i) = report.interrupted {
+        if report.is_ok() {
+            human.push_str(&format!(
+                "inconclusive ({}): no violation in the {} states explored — \
+                 raise `--cap N` / `--timeout DUR` for a definitive verdict \
+                 (and `--shards auto` to explore in parallel)\n",
+                i.reason, i.states_explored
+            ));
+        }
+    }
+    if args.json {
+        eprint!("{human}");
+    } else {
+        print!("{human}");
+    }
+
+    if args.json {
+        let trace_json = match &report.trace {
+            None => "null".to_string(),
+            Some(ts) => format!(
+                "[{}]",
+                ts.iter()
+                    .map(|s| json_str(s))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        };
+        let state_json = report
+            .violations
+            .first()
+            .map_or("null".to_string(), |v| json_str(&v.state.render(&sys)));
+        // A clean-but-interrupted run carries the same structured error
+        // object as the other inconclusive commands (kind matches
+        // InterruptReason's stable identifiers).
+        let error_json_field = match report.interrupted {
+            Some(i) if report.is_ok() => error_json(
+                i.reason.as_str(),
+                &format!("deadlock check interrupted: {i}"),
+                i.states_explored,
+            ),
+            _ => "null".to_string(),
+        };
+        println!(
+            "{{\"command\": \"deadlock\", \"ok\": {}, \"inconclusive\": {}, \
+             \"model\": {}, \"modules\": {}, \"channels\": {}, \
+             \"states_explored\": {}, \"violations\": {}, \"deadlocks\": {}, \
+             \"dangling_sends\": {}, \"overflows\": {}, \"state\": {}, \
+             \"trace\": {}, \"error\": {}}}",
+            report.is_ok() && report.is_conclusive(),
+            !report.is_conclusive(),
+            json_str(sys.name()),
+            sys.modules().len(),
+            sys.channels().len(),
+            report.states_explored,
+            report.violations.len(),
+            report.deadlocks(),
+            report.dangling_sends(),
+            report.overflows(),
+            state_json,
+            trace_json,
+            error_json_field,
+        );
+    }
+    if !report.is_ok() {
+        ExitCode::FAILURE
+    } else if !report.is_conclusive() {
+        ExitCode::from(EXIT_INCONCLUSIVE)
+    } else {
+        ExitCode::SUCCESS
     }
 }

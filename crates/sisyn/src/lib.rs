@@ -14,6 +14,10 @@
 //! * [`csc`] — the conflict-core CSC resolution subsystem (state-signal
 //!   insertion with incremental re-analysis and parallel candidate
 //!   search);
+//! * [`proto`] — the CFSM channel-protocol front end (`sisyn deadlock`):
+//!   parse or generate systems of communicating FSMs and detect global
+//!   deadlocks, dangling sends and channel overflows on the shared
+//!   state-space engine, with replayable action-sequence witnesses;
 //! * [`verify`] — speed-independence verification;
 //! * [`serve`] — the persistent synthesis service (`sisyn serve`): a
 //!   socket server with a content-addressed artifact store, so repeated
@@ -43,6 +47,7 @@ pub use si_boolean as boolean;
 pub use si_core as core;
 pub use si_csc as csc;
 pub use si_petri as petri;
+pub use si_proto as proto;
 pub use si_serve as serve;
 pub use si_stg as stg;
 pub use si_verify as verify;
@@ -62,6 +67,10 @@ pub mod prelude {
     pub use si_petri::{
         check_live_safe_fc, Budget, CancelToken, Interrupt, InterruptReason, PetriNet, ReachError,
         ReachOptions, ReachabilityGraph,
+    };
+    pub use si_proto::{
+        check_deadlock, check_deadlock_with, parse_proto, write_proto, DeadlockReport, ProtoError,
+        ProtoSpace, ProtoSystem, ProtoViolation,
     };
     pub use si_stg::{parse_g, stg_to_dot, write_g, SignalKind, Stg, StgAnalysis};
     pub use si_verify::{

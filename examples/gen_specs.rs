@@ -1,10 +1,13 @@
-//! Writes a generator STG to a `.g` file — the bridge between the
+//! Writes a generator spec to a file — the bridge between the
 //! programmatic benchmark families and the `sisyn` CLI, used by the CI
-//! timeout-smoke step to materialize a spec whose state space (2^(n+1)
-//! for `clatch`) is far too large to verify within a tiny `--timeout`.
+//! smoke steps to materialize specs on demand: STG families as `.g`
+//! (e.g. a `clatch` whose 2^(n+1) state space is far too large to verify
+//! within a tiny `--timeout`) and CFSM protocol families as `.proto`
+//! for `sisyn deadlock`.
 //!
 //! Run with:
 //! `cargo run --release --example gen_specs -- clatch 20 /tmp/clatch20.g`
+//! `cargo run --release --example gen_specs -- dining 3 /tmp/dining3.proto`
 
 use sisyn::prelude::*;
 
@@ -13,16 +16,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (family, n, out) = match (args.next(), args.next(), args.next()) {
         (Some(f), Some(n), Some(o)) => (f, n.parse::<usize>()?, o),
         _ => {
-            eprintln!("usage: gen_specs <clatch|muller|sequencer> N OUT.g");
+            eprintln!(
+                "usage: gen_specs <clatch|muller|sequencer|ring|pipeline|fork_join|dining> N OUT"
+            );
             std::process::exit(2);
         }
     };
+    // CFSM protocol families emit canonical `.proto` text.
+    let proto = match family.as_str() {
+        "ring" => Some(sisyn::proto::ring(n)),
+        "pipeline" => Some(sisyn::proto::pipeline(n)),
+        "fork_join" => Some(sisyn::proto::fork_join(n)),
+        "dining" => Some(sisyn::proto::dining(n)),
+        _ => None,
+    };
+    if let Some(sys) = proto {
+        std::fs::write(&out, write_proto(&sys))?;
+        eprintln!(
+            "wrote {} ({} modules, {} channels) to {out}",
+            sys.name(),
+            sys.modules().len(),
+            sys.channels().len()
+        );
+        return Ok(());
+    }
     let stg = match family.as_str() {
         "clatch" => sisyn::stg::generators::clatch(n),
         "muller" => sisyn::stg::generators::muller_pipeline(n),
         "sequencer" => sisyn::stg::generators::sequencer(n),
         other => {
-            eprintln!("unknown family {other:?} (expected clatch, muller or sequencer)");
+            eprintln!(
+                "unknown family {other:?} (expected clatch, muller, sequencer, \
+                 ring, pipeline, fork_join or dining)"
+            );
             std::process::exit(2);
         }
     };
