@@ -40,7 +40,11 @@
 //!   cache (`si_serve::Service`) on the large-set synth workloads: cold
 //!   latency (full structural synthesis into a fresh store) vs warm
 //!   latency (the identical request answered from the cache, i.e.
-//!   canonicalize + hash + lookup only).
+//!   canonicalize + hash + lookup only);
+//! * `tracing_overhead` — the identical reachability workload with the
+//!   `si_obs` switch off (the default: every probe is one relaxed atomic
+//!   load) and on (spans, counters and histograms recorded), pinning the
+//!   cost of the observability layer in both states.
 //!
 //! ```text
 //! bench [--iters N] [--smoke] [--cap N] [--out FILE]
@@ -598,6 +602,64 @@ fn measure_artifact_cache(cfg: &Config) -> Vec<CacheEntry> {
     entries
 }
 
+/// One workload of the tracing-overhead section.
+struct OverheadEntry {
+    name: String,
+    states: usize,
+    untraced: Duration,
+    traced: Duration,
+}
+
+/// Times the identical reachability workload with the observability
+/// switch off (the default; every probe degenerates to one relaxed
+/// atomic load) and on (spans, counters and histograms recorded at the
+/// amortized budget checkpoints). The registry is cleared between traced
+/// iterations so its size stays constant across the sweep.
+fn measure_tracing_overhead(cfg: &Config) -> Vec<OverheadEntry> {
+    let workloads: Vec<Stg> = if cfg.smoke {
+        vec![si_stg::generators::clatch(8)]
+    } else {
+        vec![
+            si_stg::generators::clatch(12),
+            si_stg::generators::clatch(16),
+            si_stg::generators::muller_pipeline(12),
+            si_stg::generators::philosophers(7),
+        ]
+    };
+    let mut entries = Vec::new();
+    for stg in &workloads {
+        let Ok(rg) = ReachabilityGraph::build(stg.net(), cfg.cap) else {
+            eprintln!("tracing/{}: skipped (over cap)", stg.name());
+            continue;
+        };
+        let states = rg.state_count();
+        drop(rg);
+        si_obs::set_enabled(false);
+        let untraced = best_of(cfg.iters, || ReachabilityGraph::build(stg.net(), cfg.cap));
+        si_obs::set_enabled(true);
+        let traced = best_of(cfg.iters, || {
+            let rg = ReachabilityGraph::build(stg.net(), cfg.cap);
+            si_obs::reset();
+            rg
+        });
+        si_obs::set_enabled(false);
+        si_obs::reset();
+        eprintln!(
+            "tracing/{}: untraced {} traced {}",
+            stg.name(),
+            fmt_duration(untraced),
+            fmt_duration(traced)
+        );
+        entries.push(OverheadEntry {
+            name: stg.name().to_string(),
+            states,
+            untraced,
+            traced,
+        });
+    }
+    entries
+}
+
 /// One workload of the protocol-deadlock section.
 struct ProtoEntry {
     name: String,
@@ -729,10 +791,11 @@ fn main() {
     let symbolic_entries = measure_symbolic_reachability(&cfg);
     let (proto_counts, proto_entries) = measure_protocol_deadlock(&cfg);
     let cache_entries = measure_artifact_cache(&cfg);
+    let overhead_entries = measure_tracing_overhead(&cfg);
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"sisyn/bench-substrates/v8\",");
+    let _ = writeln!(json, "  \"schema\": \"sisyn/bench-substrates/v9\",");
     let _ = writeln!(json, "  \"iters\": {},", cfg.iters);
     let _ = writeln!(json, "  \"state_cap\": {},", cfg.cap);
     let _ = writeln!(
@@ -1158,6 +1221,43 @@ fn main() {
             json,
             "      }}{}",
             if i + 1 < cache_entries.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+    // Tracing-overhead section: the observability layer's cost with the
+    // switch off (the shipping default) and on.
+    let _ = writeln!(json, "  \"tracing_overhead\": {{");
+    let _ = writeln!(json, "    \"workload\": \"ReachabilityGraph::build\",");
+    let _ = writeln!(json, "    \"state_cap\": {},", cfg.cap);
+    let _ = writeln!(json, "    \"entries\": [");
+    for (i, e) in overhead_entries.iter().enumerate() {
+        let _ = writeln!(json, "      {{");
+        let _ = writeln!(json, "        \"name\": \"{}\",", e.name);
+        let _ = writeln!(json, "        \"states\": {},", e.states);
+        let _ = writeln!(
+            json,
+            "        \"untraced_ms\": {},",
+            json_ms(Some(e.untraced))
+        );
+        let _ = writeln!(json, "        \"traced_ms\": {},", json_ms(Some(e.traced)));
+        let overhead = if e.untraced.is_zero() {
+            "null".to_string()
+        } else {
+            format!(
+                "{:.4}",
+                e.traced.as_secs_f64() / e.untraced.as_secs_f64() - 1.0
+            )
+        };
+        let _ = writeln!(json, "        \"traced_overhead\": {overhead}");
+        let _ = writeln!(
+            json,
+            "      }}{}",
+            if i + 1 < overhead_entries.len() {
+                ","
+            } else {
+                ""
+            }
         );
     }
     let _ = writeln!(json, "    ]");

@@ -68,6 +68,10 @@ pub struct Bdd {
     unique: HashMap<(u32, BddRef, BddRef), BddRef>,
     apply_cache: HashMap<(Op, BddRef, BddRef), BddRef>,
     not_cache: HashMap<BddRef, BddRef>,
+    /// Memo-cache hits/misses across apply and negate (plain counters:
+    /// every op takes `&mut self`, so no atomics are needed).
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl Bdd {
@@ -90,12 +94,21 @@ impl Bdd {
             unique: HashMap::new(),
             apply_cache: HashMap::new(),
             not_cache: HashMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
         }
     }
 
     /// The number of variables.
     pub fn width(&self) -> usize {
         self.width
+    }
+
+    /// Memoized-operation cache `(hits, misses)` since construction —
+    /// the hit rate is the headline health metric of a manager's
+    /// variable order.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache_hits, self.cache_misses)
     }
 
     /// The number of live nodes (terminals included).
@@ -154,8 +167,10 @@ impl Bdd {
         // Commutative ops: canonicalize the cache key.
         let key = (op, a.min(b), a.max(b));
         if let Some(&r) = self.apply_cache.get(&key) {
+            self.cache_hits += 1;
             return r;
         }
+        self.cache_misses += 1;
         let (va, vb) = (self.var(a), self.var(b));
         let v = va.min(vb);
         let (a0, a1) = if va == v {
@@ -193,8 +208,10 @@ impl Bdd {
             _ => {}
         }
         if let Some(&r) = self.not_cache.get(&f) {
+            self.cache_hits += 1;
             return r;
         }
+        self.cache_misses += 1;
         let Node { var, lo, hi } = self.nodes[f as usize];
         let nlo = self.not(lo);
         let nhi = self.not(hi);

@@ -276,7 +276,10 @@ impl<'a> Engine<'a> {
     /// every call once it failed.
     pub fn context(&self) -> Result<&StructuralContext<'a>, SynthesisError> {
         self.ctx
-            .get_or_init(|| StructuralContext::build(self.stg))
+            .get_or_init(|| {
+                si_obs::counter_inc("engine.context_builds");
+                StructuralContext::build(self.stg)
+            })
             .as_ref()
             .map_err(Clone::clone)
     }
@@ -291,6 +294,7 @@ impl<'a> Engine<'a> {
     pub fn reachability(&self) -> Result<&ReachabilityGraph, ReachError> {
         self.rg
             .get_or_init(|| {
+                si_obs::counter_inc("engine.reach_builds");
                 let built = ReachabilityGraph::build_with(self.stg.net(), self.reach.clone());
                 if built.is_ok() {
                     self.rg_builds.fetch_add(1, Ordering::Relaxed);
@@ -343,11 +347,13 @@ impl<'a> Engine<'a> {
     pub fn symbolic(&self) -> Result<&SymbolicAnalysis, ReachError> {
         self.sym
             .get_or_init(|| {
+                si_obs::counter_inc("engine.symbolic_builds");
                 let sym = SymbolicAnalysis::build_with(self.stg, &self.reach.budget)?;
                 match sym.interrupt() {
                     Some(i) => Err(ReachError::Interrupted {
                         reason: i.reason,
                         states_explored: i.states_explored,
+                        elapsed_ms: i.elapsed.as_millis() as u64,
                     }),
                     None => Ok(sym),
                 }
@@ -367,11 +373,13 @@ impl<'a> Engine<'a> {
     pub fn symbolic_reach(&self) -> Result<&SymbolicReach, ReachError> {
         self.sym_net
             .get_or_init(|| {
+                si_obs::counter_inc("engine.symbolic_builds");
                 let sym = SymbolicReach::build_with(self.stg.net(), &self.reach.budget)?;
                 match sym.interrupt() {
                     Some(i) => Err(ReachError::Interrupted {
                         reason: i.reason,
                         states_explored: i.states_explored,
+                        elapsed_ms: i.elapsed.as_millis() as u64,
                     }),
                     None => Ok(sym),
                 }
@@ -393,6 +401,7 @@ impl<'a> Engine<'a> {
     pub fn spec_state_count(&self) -> Result<u128, ReachError> {
         if let Some(summary) = &self.summary {
             self.summary_hits.fetch_add(1, Ordering::Relaxed);
+            si_obs::counter_inc("engine.summary_hits");
             return Ok(summary.states as u128);
         }
         let symbolic_count = || {

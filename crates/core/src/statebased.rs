@@ -138,9 +138,13 @@ pub fn synthesize_state_based_on(
                 off.extend(gqr_zero.iter().cloned());
                 let on_cover = Cover::from_cubes(nsig, minterms(&on));
                 let off_cover = Cover::from_cubes(nsig, minterms(&off));
-                let min = backend
-                    .minimize(&on_cover, &Cover::empty(nsig), &off_cover)
-                    .cover;
+                let min = crate::synthesis::observed_minimize(
+                    backend,
+                    &on_cover,
+                    &Cover::empty(nsig),
+                    &off_cover,
+                )
+                .cover;
                 ImplKind::Combinational {
                     cover: min,
                     inverted: false,
@@ -208,9 +212,9 @@ fn region_cover(
     off.extend(opp_gqr.iter().cloned());
     let off_cover = Cover::from_cubes(nsig, minterms(&off));
     let on_cover = Cover::from_cubes(nsig, minterms(own_ger));
-    let mut cover = backend
-        .minimize(&on_cover, &Cover::empty(nsig), &off_cover)
-        .cover;
+    let mut cover =
+        crate::synthesis::observed_minimize(backend, &on_cover, &Cover::empty(nsig), &off_cover)
+            .cover;
 
     // Monotonicity filter: while some RG edge shows a re-rise (signal high,
     // cover 0→1 for set; low for reset) or a pre-excitation fall, shrink

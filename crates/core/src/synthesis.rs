@@ -16,9 +16,34 @@
 use crate::checks::{check_cluster, monotonicity_violation, off_set_cover, CoverRole};
 use crate::circuit::{Circuit, ImplKind, SignalImplementation};
 use crate::context::{CscVerdict, SignalCovers, StructuralContext, SynthesisError};
-use si_boolean::{Cover, Cube};
+use si_boolean::{Cover, Cube, MinimizeResult, Minimizer};
 use si_petri::TransId;
 use si_stg::{SignalId, Stg};
+
+/// Run a minimizer backend under its observability span, recording the
+/// call count and literal before/after totals on the shared registry.
+/// Every two-level minimization in the crate goes through here so the
+/// profile attributes minimizer time per backend.
+pub(crate) fn observed_minimize(
+    backend: &dyn Minimizer,
+    on: &Cover,
+    dc: &Cover,
+    off: &Cover,
+) -> MinimizeResult {
+    let _span = si_obs::span(match backend.name() {
+        "espresso" => "minimize.espresso",
+        "exact" => "minimize.exact",
+        "bdd" => "minimize.bdd",
+        _ => "minimize.auto",
+    });
+    let result = backend.minimize(on, dc, off);
+    if si_obs::enabled() {
+        si_obs::counter_inc("minimize.calls");
+        si_obs::counter_add("minimize.literals_before", result.literals_before as u64);
+        si_obs::counter_add("minimize.literals_after", result.literals_after as u64);
+    }
+    result
+}
 
 /// The implementation architecture (Fig. 3).
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -424,11 +449,13 @@ fn complex_gate_clusters(
         });
     }
     let cover = if options.stages.expand {
-        options
-            .minimizer
-            .backend()
-            .minimize(&on_req, &Cover::empty(on_req.width()), &off)
-            .cover
+        observed_minimize(
+            options.minimizer.backend(),
+            &on_req,
+            &Cover::empty(on_req.width()),
+            &off,
+        )
+        .cover
     } else {
         on_req.clone()
     };

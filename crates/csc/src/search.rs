@@ -198,11 +198,12 @@ impl ResolveStats {
     }
 
     /// Records a deadline/cancellation interruption (first one wins).
-    fn interrupt(&mut self, reason: si_petri::InterruptReason) {
+    fn interrupt(&mut self, reason: si_petri::InterruptReason, elapsed: std::time::Duration) {
         if self.interrupted.is_none() {
             self.interrupted = Some(Interrupt {
                 reason,
                 states_explored: self.evaluated,
+                elapsed,
             });
         }
     }
@@ -238,7 +239,10 @@ pub struct ResolveOutcome {
 /// When the input already satisfies CSC it is returned unchanged together
 /// with the no-op sentinel plan (`si_core::sentinel_plan`).
 pub fn resolve(stg: &Stg, options: &CscOptions) -> ResolveOutcome {
+    let _span = si_obs::span("csc.resolve");
     let t0 = Instant::now();
+    let ctx_full0 = StructuralContext::build_count();
+    let ctx_incr0 = StructuralContext::incremental_count();
     let mut stats = ResolveStats::new(options.strategy);
     let Ok((parent, trace)) = StructuralContext::build_traced(stg) else {
         // The input fails the structural preconditions; fall back to the
@@ -280,7 +284,7 @@ pub fn resolve(stg: &Stg, options: &CscOptions) -> ResolveOutcome {
             let batch = (workers * 8).max(32);
             'outer: for chunk in tiers.iter().flat_map(|tier| tier.chunks(batch)) {
                 if let Some(reason) = options.reach.budget.check_soft(0) {
-                    stats.interrupt(reason);
+                    stats.interrupt(reason, t0.elapsed());
                     break 'outer;
                 }
                 let results = evaluate_batch(stg, &parent, &trace, &name, chunk, workers);
@@ -324,7 +328,7 @@ pub fn resolve(stg: &Stg, options: &CscOptions) -> ResolveOutcome {
                     if let Some(reason) = options.reach.budget.check_soft(0) {
                         // Graceful degradation: rank whatever survived the
                         // batches scored so far instead of discarding them.
-                        stats.interrupt(reason);
+                        stats.interrupt(reason, t0.elapsed());
                         break 'scoring;
                     }
                     let results = evaluate_batch(stg, &parent, &trace, &name, chunk, workers);
@@ -347,7 +351,7 @@ pub fn resolve(stg: &Stg, options: &CscOptions) -> ResolveOutcome {
             survivors.sort_by_key(|&(cost, index, _, _)| (cost, index));
             for (cost, _, candidate, plan) in survivors.into_iter().take(options.beam_width) {
                 if let Some(reason) = options.reach.budget.check_soft(0) {
-                    stats.interrupt(reason);
+                    stats.interrupt(reason, t0.elapsed());
                     break;
                 }
                 stats.oracle_calls += 1;
@@ -364,6 +368,26 @@ pub fn resolve(stg: &Stg, options: &CscOptions) -> ResolveOutcome {
         }
     }
     stats.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if si_obs::enabled() {
+        si_obs::counter_add("csc.cores", stats.cores as u64);
+        si_obs::counter_add("csc.tiers", tiers.len() as u64);
+        si_obs::counter_add("csc.candidates", stats.generated as u64);
+        si_obs::counter_add("csc.evaluated", stats.evaluated as u64);
+        si_obs::counter_add("csc.rejected", stats.rejected as u64);
+        si_obs::counter_add("csc.oracle_calls", stats.oracle_calls as u64);
+        si_obs::counter_add("csc.oracle_rejected", stats.oracle_rejected as u64);
+        // Reanalysis-vs-rebuild split of the candidate scoring, from the
+        // process-wide StructuralContext hooks: incremental replays are
+        // the design invariant (never a full rebuild per candidate).
+        si_obs::counter_add(
+            "csc.context_reanalyses",
+            (StructuralContext::incremental_count() - ctx_incr0) as u64,
+        );
+        si_obs::counter_add(
+            "csc.context_rebuilds",
+            (StructuralContext::build_count() - ctx_full0) as u64,
+        );
+    }
     ResolveOutcome { resolution, stats }
 }
 

@@ -113,14 +113,18 @@ pub struct Interrupt {
     /// States explored before the interruption (the partial result covers
     /// exactly these).
     pub states_explored: usize,
+    /// Wall time the computation ran before the interruption.
+    pub elapsed: Duration,
 }
 
 impl std::fmt::Display for Interrupt {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} after exploring {} states",
-            self.reason, self.states_explored
+            "{} after exploring {} states in {:.3}s",
+            self.reason,
+            self.states_explored,
+            self.elapsed.as_secs_f64()
         )
     }
 }

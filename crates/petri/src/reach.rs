@@ -154,6 +154,8 @@ pub enum ReachError {
         reason: InterruptReason,
         /// States explored before the interruption.
         states_explored: usize,
+        /// Wall milliseconds the exploration ran before the interruption.
+        elapsed_ms: u64,
     },
     /// A transition firing produced a non-safe marking (a token added to an
     /// already-marked place).
@@ -192,10 +194,12 @@ impl std::fmt::Display for ReachError {
             ReachError::Interrupted {
                 reason,
                 states_explored,
+                elapsed_ms,
             } => {
                 write!(
                     f,
-                    "exploration {reason} after {states_explored} states (inconclusive)"
+                    "exploration {reason} after {states_explored} states / {elapsed_ms} ms \
+                     (inconclusive)"
                 )
             }
             ReachError::NotSafe { transition } => {
@@ -415,6 +419,7 @@ impl ReachabilityGraph {
             Some(reason) => Err(ReachError::Interrupted {
                 reason,
                 states_explored: expl.states,
+                elapsed_ms: expl.elapsed.as_millis() as u64,
             }),
         }
     }
@@ -456,6 +461,8 @@ impl ReachabilityGraph {
     /// sharded worker dies (caught; the process is intact).
     pub fn build_with(net: &PetriNet, options: ReachOptions) -> Result<Self, ReachError> {
         use crate::space::{explore, ExploreOptions, MarkingSpace, ScalarMarkingSpace};
+        let _span = si_obs::span("reach.build");
+        si_obs::counter_inc("reach.builds");
         let opts = ExploreOptions::from(&options).record_edges();
         if options.shards <= 1 {
             let nw = net.initial_marking().as_words().len();

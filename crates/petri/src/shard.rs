@@ -72,6 +72,7 @@ use si_boolean::hash_word_slice;
 use si_fault::{fail_point, fail_trigger, relock, run_isolated};
 use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// Odd multiplier decorrelating the shard index from the interner's slot
 /// index (both are derived from the same word hash; without the remix a
@@ -249,6 +250,12 @@ struct Worker<V> {
     out: Vec<MsgBatch>,
     record_edges: bool,
     witness: bool,
+    /// Cross-shard batches this worker published (plain field: summed
+    /// into the observability registry at merge time, so the hot path
+    /// never touches shared metrics).
+    flushes: u64,
+    /// Idle spins (frontier and inbox empty, pending > 0); ditto.
+    idle_spins: u64,
 }
 
 impl<V: Send> Worker<V> {
@@ -264,6 +271,8 @@ impl<V: Send> Worker<V> {
             out: (0..nshards).map(|_| MsgBatch::default()).collect(),
             record_edges: opts.record_edges,
             witness: opts.witness,
+            flushes: 0,
+            idle_spins: 0,
         }
     }
 
@@ -350,13 +359,17 @@ impl<V: Send> Worker<V> {
 
     /// Publishes the staged batch for `dst` into the shared queue.
     fn flush_to(&mut self, dst: usize, shared: &Shared<V>) {
-        let staged = &mut self.out[dst];
-        if staged.meta.is_empty() {
+        if self.out[dst].meta.is_empty() {
             return;
         }
         // Injection site: delay the publish (queue stall) — the pending
         // counter must keep the receiver spinning until this lands.
         fail_point!("shard::flush", dst);
+        self.flushes += 1;
+        // Flushes are already amortized (per FLUSH_AT messages), so the
+        // states-per-batch histogram costs one relaxed load per flush.
+        si_obs::histogram_record("explore.flush_batch", self.out[dst].meta.len() as u64);
+        let staged = &mut self.out[dst];
         {
             let q = &shared.queues[dst][self.me];
             let mut buf = relock(&q.buf);
@@ -389,6 +402,9 @@ impl<V: Send> Worker<V> {
         let mut cur = vec![0u64; nw];
         let mut scratch = vec![0u64; nw];
         let governed = shared.budget.has_soft_limits();
+        // Progress heartbeats ride the existing per-64-states checkpoint,
+        // so arming them adds no branch to the per-state loop.
+        let ticking = si_obs::progress_armed();
         loop {
             if shared.stopped() {
                 return;
@@ -430,6 +446,12 @@ impl<V: Send> Worker<V> {
                     if governed {
                         shared.check_budget();
                     }
+                    if ticking {
+                        si_obs::progress_tick(
+                            shared.states.load(Ordering::Relaxed),
+                            self.frontier.len(),
+                        );
+                    }
                     if shared.stopped() {
                         return;
                     }
@@ -450,6 +472,7 @@ impl<V: Send> Worker<V> {
                     // someone has to notice the budget ran out.
                     shared.check_budget();
                 }
+                self.idle_spins += 1;
                 std::thread::yield_now();
             }
         }
@@ -524,6 +547,8 @@ pub fn explore_sharded<S: StateSpace>(
     if nshards <= 1 {
         return crate::space::explore(space, opts);
     }
+    let _span = si_obs::span("explore.sharded");
+    let t0 = std::time::Instant::now();
     let nw = space.words();
     let shift = 64 - nshards.trailing_zeros();
 
@@ -583,7 +608,9 @@ pub fn explore_sharded<S: StateSpace>(
     if let Some(v) = relock(&shared.fatal).take() {
         return Err(ExploreError::Fatal(v));
     }
-    Ok(merge(workers, &shared, owner, &opts))
+    let mut expl = merge(workers, &shared, owner, &opts);
+    expl.elapsed = t0.elapsed();
+    Ok(expl)
 }
 
 /// Merges the shards into one [`Exploration`] under provisional global
@@ -596,6 +623,17 @@ fn merge<V>(
 ) -> Exploration<V> {
     let nshards = workers.len();
     let nw = workers[0].nw;
+
+    if si_obs::enabled() {
+        si_obs::counter_add(
+            "explore.flushes",
+            workers.iter().map(|w| w.flushes).sum::<u64>(),
+        );
+        si_obs::counter_add(
+            "explore.idle_spins",
+            workers.iter().map(|w| w.idle_spins).sum::<u64>(),
+        );
+    }
 
     // Shard offsets: gid = off[shard] + local id.
     let mut off = vec![0usize; nshards + 1];
@@ -657,6 +695,11 @@ fn merge<V>(
     }
 
     let interrupted = intr_reason(shared.interrupted.load(Ordering::Acquire));
+    let states = n.min(shared.budget.cap);
+    if si_obs::enabled() {
+        si_obs::counter_add("explore.states", states as u64);
+        si_obs::counter_add("explore.edges", nedges as u64);
+    }
     Exploration {
         store: Store::Flat { nw, words, len: n },
         root: off[owner] as u32,
@@ -665,7 +708,8 @@ fn merge<V>(
         parents,
         violations,
         interrupted,
-        states: n.min(shared.budget.cap),
+        states,
+        elapsed: Duration::ZERO, // overwritten by explore_sharded
     }
 }
 

@@ -53,6 +53,7 @@
 use crate::budget::{Budget, Interrupt, InterruptReason};
 use crate::net::{FiringView, PetriNet, TransId};
 use crate::reach::{MarkingInterner, ReachError, StateId};
+use std::time::{Duration, Instant};
 
 /// How often (in explored states) the sequential explorer consults the
 /// soft budget limits (deadline / cancellation / bytes). The sharded
@@ -303,6 +304,10 @@ pub struct Exploration<V> {
     pub interrupted: Option<InterruptReason>,
     /// Number of states explored (capped at the budget's state cap).
     pub states: usize,
+    /// Wall time the exploration ran (set whether or not it completed,
+    /// so partial verdicts can report elapsed time alongside
+    /// [`Self::states`]).
+    pub elapsed: Duration,
 }
 
 impl<V> Exploration<V> {
@@ -318,6 +323,7 @@ impl<V> Exploration<V> {
         self.interrupted.map(|reason| Interrupt {
             reason,
             states_explored: self.states,
+            elapsed: self.elapsed,
         })
     }
 
@@ -437,6 +443,8 @@ pub fn explore<S: StateSpace>(
     space: &S,
     opts: ExploreOptions,
 ) -> Result<Exploration<S::Violation>, ExploreError<S::Violation>> {
+    let _span = si_obs::span("explore.sequential");
+    let t0 = Instant::now();
     let nw = space.words();
     let mut interner = MarkingInterner::new(nw);
     let init = space.initial();
@@ -470,18 +478,26 @@ pub fn explore<S: StateSpace>(
     let mut scratch = vec![0u64; nw];
     // Soft limits (deadline/cancel/bytes) are consulted once per
     // GOVERN_STRIDE explored states, never per state — an unbounded
-    // budget costs one branch per stride.
+    // budget costs one branch per stride. Progress heartbeats piggyback
+    // on the same checkpoint, so arming them adds no per-state branch.
     let governed = opts.budget.has_soft_limits();
+    let ticking = si_obs::progress_armed();
+    let checkpointed = governed || ticking;
     let mut explored = 0usize;
 
     while let Some(s) = sink.frontier.pop() {
         if sink.violations.len() >= opts.max_violations || sink.interrupted.is_some() {
             break;
         }
-        if governed && explored.is_multiple_of(GOVERN_STRIDE) {
-            if let Some(reason) = opts.budget.check_soft(sink.approx_bytes()) {
-                sink.interrupted = Some(reason);
-                break;
+        if checkpointed && explored.is_multiple_of(GOVERN_STRIDE) {
+            if governed {
+                if let Some(reason) = opts.budget.check_soft(sink.approx_bytes()) {
+                    sink.interrupted = Some(reason);
+                    break;
+                }
+            }
+            if ticking {
+                si_obs::progress_tick(explored, sink.frontier.len() + 1);
             }
         }
         explored += 1;
@@ -504,6 +520,10 @@ pub fn explore<S: StateSpace>(
     }
 
     let states = sink.states.min(opts.budget.cap);
+    if si_obs::enabled() {
+        si_obs::counter_add("explore.states", states as u64);
+        si_obs::counter_add("explore.edges", sink.succ_edges.len() as u64);
+    }
     Ok(Exploration {
         store: Store::Map(sink.interner),
         root: 0,
@@ -513,6 +533,7 @@ pub fn explore<S: StateSpace>(
         violations: sink.violations,
         interrupted: sink.interrupted,
         states,
+        elapsed: t0.elapsed(),
     })
 }
 
@@ -747,13 +768,10 @@ mod tests {
         let e = explore(&space, ExploreOptions::with_cap(1)).unwrap();
         assert!(e.cap_exceeded());
         assert_eq!(e.states, 1);
-        assert_eq!(
-            e.interrupt(),
-            Some(Interrupt {
-                reason: InterruptReason::CapExceeded,
-                states_explored: 1
-            })
-        );
+        let i = e.interrupt().unwrap();
+        assert_eq!(i.reason, InterruptReason::CapExceeded);
+        assert_eq!(i.states_explored, 1);
+        assert_eq!(i.elapsed, e.elapsed);
     }
 
     /// A space that flags every state whose low bit is set.

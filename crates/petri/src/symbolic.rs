@@ -74,6 +74,7 @@ use crate::net::{Marking, PetriNet, TransId};
 use crate::reach::ReachError;
 use si_boolean::{Bdd, BddRef, Bits, BDD_FALSE, BDD_TRUE};
 use si_fault::fail_trigger;
+use std::time::Instant;
 
 /// Approximate bytes per live BDD node (node storage plus its share of the
 /// unique table and operation caches) — the same order-of-magnitude
@@ -113,6 +114,8 @@ pub struct SymbolicReach {
     iterations: usize,
     peak_nodes: usize,
     interrupted: Option<Interrupt>,
+    /// Build start, so interrupts can report elapsed wall time.
+    started: Instant,
 }
 
 /// The structural variable-ordering heuristic: DFS preorder of the place
@@ -197,6 +200,8 @@ impl SymbolicReach {
         budget: &Budget,
         aux: usize,
     ) -> Result<SymbolicReach, ReachError> {
+        let _span = si_obs::span("symbolic.build");
+        let t0 = Instant::now();
         let fv = net.firing_view();
         let np = fv.place_count();
         let nt = fv.transition_count();
@@ -302,9 +307,18 @@ impl SymbolicReach {
             iterations: 0,
             peak_nodes: 0,
             interrupted: None,
+            started: t0,
         };
         sym.peak_nodes = sym.bdd.node_count();
         sym.fixpoint(budget)?;
+        if si_obs::enabled() {
+            si_obs::counter_add("symbolic.iterations", sym.iterations as u64);
+            si_obs::gauge_max("symbolic.peak_nodes", sym.peak_nodes as i64);
+            si_obs::gauge_set("symbolic.live_nodes", sym.bdd.node_count() as i64);
+            let (hits, misses) = sym.bdd.cache_stats();
+            si_obs::counter_add("bdd.cache_hits", hits);
+            si_obs::counter_add("bdd.cache_misses", misses);
+        }
         Ok(sym)
     }
 
@@ -356,7 +370,14 @@ impl SymbolicReach {
             self.reached = self.bdd.or(self.reached, fresh);
             frontier = fresh;
             self.iterations += 1;
-            self.peak_nodes = self.peak_nodes.max(self.bdd.node_count());
+            let nodes = self.bdd.node_count();
+            // Per-iteration observation rides the same amortization as
+            // the governance check above (one relaxed load when off).
+            si_obs::histogram_record(
+                "symbolic.node_growth",
+                nodes.saturating_sub(self.peak_nodes) as u64,
+            );
+            self.peak_nodes = self.peak_nodes.max(nodes);
         }
     }
 
@@ -365,6 +386,7 @@ impl SymbolicReach {
         Interrupt {
             reason,
             states_explored: self.state_count().min(usize::MAX as u128) as usize,
+            elapsed: self.started.elapsed(),
         }
     }
 

@@ -21,7 +21,7 @@ const EXIT_USAGE: u8 = 2;
 fn serve_usage() -> u8 {
     eprintln!(
         "usage: sisyn serve (--socket PATH | --tcp ADDR) [--workers N] \
-         [--store-bytes N] [--store-dir DIR] [--log]"
+         [--store-bytes N] [--store-dir DIR] [--log] [--metrics-addr ADDR]"
     );
     EXIT_USAGE
 }
@@ -29,7 +29,7 @@ fn serve_usage() -> u8 {
 fn submit_usage() -> u8 {
     eprintln!(
         "usage: sisyn submit (--socket PATH | --tcp ADDR) \
-         <check|synth|verify|resolve|stats> [SPEC.g] [-o FILE] \
+         <check|synth|verify|resolve|stats|metrics> [SPEC.g] [-o FILE] \
          [--arch complex|excitation|per-region] [--stages 0..4|full|none] \
          [--minimizer espresso|exact|bdd|auto] [--cap N] [--shards N] \
          [--budget N] [--strategy greedy|beam] \
@@ -46,6 +46,7 @@ pub fn serve_main(args: &[String], cancel: &CancelToken) -> u8 {
     let mut store_bytes = 64usize << 20;
     let mut store_dir = None;
     let mut log = false;
+    let mut metrics_addr = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -70,6 +71,10 @@ pub fn serve_main(args: &[String], cancel: &CancelToken) -> u8 {
                 None => return serve_usage(),
             },
             "--log" => log = true,
+            "--metrics-addr" => match it.next() {
+                Some(addr) => metrics_addr = Some(addr.clone()),
+                None => return serve_usage(),
+            },
             other => {
                 eprintln!("unexpected argument {other:?}");
                 return serve_usage();
@@ -85,6 +90,7 @@ pub fn serve_main(args: &[String], cancel: &CancelToken) -> u8 {
         store_bytes,
         store_dir,
         log,
+        metrics_addr,
     };
     match serve(&config, cancel) {
         Ok(()) => 0,
@@ -173,7 +179,7 @@ pub fn submit_main(args: &[String]) -> u8 {
     let (Some(endpoint), Some(op)) = (endpoint, op) else {
         return submit_usage();
     };
-    if op != "stats" {
+    if !matches!(op.as_str(), "stats" | "metrics") {
         let Some(path) = spec_path else {
             eprintln!("{op} needs a SPEC.g argument");
             return submit_usage();

@@ -26,6 +26,8 @@ struct Job {
     run: JobFn,
     slot: Arc<Slot>,
     seq: u64,
+    /// When `submit` enqueued the job — the queue-wait histogram's clock.
+    submitted_at: Instant,
 }
 
 /// One-shot result mailbox shared between the submitter and a worker.
@@ -126,6 +128,7 @@ impl JobQueue {
             run: Box::new(run),
             slot: Arc::clone(&slot),
             seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            submitted_at: Instant::now(),
         };
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         {
@@ -193,14 +196,18 @@ fn worker_loop(shared: &Shared) {
         };
         shared.in_flight.fetch_add(1, Ordering::Relaxed);
         let started = Instant::now();
+        si_obs::histogram_record(
+            "serve.queue.wait_us",
+            started.duration_since(job.submitted_at).as_micros() as u64,
+        );
         let seq = job.seq;
         let result = run_isolated(move || {
             fail_point!("serve::job", seq);
             (job.run)()
         });
-        shared
-            .busy_us
-            .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+        let busy = started.elapsed().as_micros() as u64;
+        si_obs::histogram_record("serve.job.run_us", busy);
+        shared.busy_us.fetch_add(busy, Ordering::Relaxed);
         shared.in_flight.fetch_sub(1, Ordering::Relaxed);
         match &result {
             Ok(_) => shared.executed.fetch_add(1, Ordering::Relaxed),

@@ -46,10 +46,15 @@ pub struct ServerConfig {
     pub store_dir: Option<PathBuf>,
     /// Log one line per executed job to stderr.
     pub log: bool,
+    /// TCP address of the Prometheus-style text metrics endpoint
+    /// (`None` = no endpoint). Binding it turns the observability layer
+    /// on for the whole server process.
+    pub metrics_addr: Option<String>,
 }
 
 impl ServerConfig {
-    /// Defaults: 2 workers, 64 MiB memory tier, no spill, no log.
+    /// Defaults: 2 workers, 64 MiB memory tier, no spill, no log, no
+    /// metrics endpoint.
     pub fn new(endpoint: Endpoint) -> Self {
         ServerConfig {
             endpoint,
@@ -57,6 +62,7 @@ impl ServerConfig {
             store_bytes: 64 << 20,
             store_dir: None,
             log: false,
+            metrics_addr: None,
         }
     }
 }
@@ -161,7 +167,7 @@ pub fn serve(config: &ServerConfig, cancel: &CancelToken) -> io::Result<()> {
     let listener = Listener::bind(&config.endpoint)?;
     listener.set_nonblocking(true)?;
     if config.log {
-        eprintln!(
+        si_obs::log_line(&format!(
             "serve: listening on {:?} ({} worker(s), {} byte memory tier{})",
             config.endpoint,
             config.workers,
@@ -170,8 +176,18 @@ pub fn serve(config: &ServerConfig, cancel: &CancelToken) -> io::Result<()> {
                 .store_dir
                 .as_ref()
                 .map_or(String::new(), |d| format!(", spill {}", d.display())),
-        );
+        ));
     }
+    // The metrics endpoint thread scrapes the same registry the job
+    // pipeline records into; binding it switches observation on so
+    // there is something to scrape.
+    let metrics_handle = config.metrics_addr.clone().map(|addr| {
+        si_obs::set_enabled(true);
+        let service = Arc::clone(&service);
+        let queue = Arc::clone(&queue);
+        let cancel = cancel.clone();
+        std::thread::spawn(move || metrics_endpoint(&addr, &service, &queue, &cancel))
+    });
 
     let mut handlers = Vec::new();
     while !cancel.is_cancelled() {
@@ -203,19 +219,86 @@ pub fn serve(config: &ServerConfig, cancel: &CancelToken) -> io::Result<()> {
         let _ = handle.join();
     }
     queue.drain();
+    if let Some(handle) = metrics_handle {
+        let _ = handle.join();
+    }
     if let Endpoint::Unix(path) = &config.endpoint {
         let _ = std::fs::remove_file(path);
     }
     if config.log {
         let s = service.store().stats();
         let q = queue.stats();
-        eprintln!(
+        si_obs::log_line(&format!(
             "serve: drained; {} job(s) executed ({} panicked), store {} hit(s) \
              / {} disk hit(s) / {} miss(es), {} eviction(s)",
             q.executed, q.panicked, s.hits, s.disk_hits, s.misses, s.evictions,
-        );
+        ));
     }
     Ok(())
+}
+
+/// Mirrors the queue and store counters into the shared registry as
+/// gauges — called at snapshot time only (a `metrics` op or an endpoint
+/// scrape), so the `QueueStats`/`StoreStats` structs stay the source of
+/// truth and the job pipeline pays nothing for them.
+fn sync_serve_gauges(s: &crate::store::StoreStats, q: &crate::queue::QueueStats) {
+    si_obs::gauge_sync("serve.queue.submitted", q.submitted as i64);
+    si_obs::gauge_sync("serve.queue.executed", q.executed as i64);
+    si_obs::gauge_sync("serve.queue.panicked", q.panicked as i64);
+    si_obs::gauge_sync("serve.queue.depth", q.depth as i64);
+    si_obs::gauge_sync("serve.queue.busy_ms", q.busy_ms as i64);
+    si_obs::gauge_sync("serve.store.hits", s.hits as i64);
+    si_obs::gauge_sync("serve.store.disk_hits", s.disk_hits as i64);
+    si_obs::gauge_sync("serve.store.misses", s.misses as i64);
+    si_obs::gauge_sync("serve.store.evictions", s.evictions as i64);
+    si_obs::gauge_sync("serve.store.disk_writes", s.disk_writes as i64);
+    si_obs::gauge_sync("serve.store.mem_bytes", s.mem_bytes as i64);
+    si_obs::gauge_sync("serve.store.mem_entries", s.mem_entries as i64);
+}
+
+/// The Prometheus-style text endpoint: a minimal HTTP/1.0 responder that
+/// answers every request with the current registry exposition. Polled
+/// non-blocking against the cancellation token, like the main listener.
+fn metrics_endpoint(
+    addr: &str,
+    service: &Arc<Service>,
+    queue: &Arc<JobQueue>,
+    cancel: &CancelToken,
+) {
+    let listener = match TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            si_obs::log_line(&format!("serve: cannot bind metrics endpoint {addr}: {e}"));
+            return;
+        }
+    };
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !cancel.is_cancelled() {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+                // Drain the request head; every path answers the same.
+                let mut head = [0u8; 1024];
+                let _ = stream.read(&mut head);
+                sync_serve_gauges(&service.store().stats(), &queue.stats());
+                let body = si_obs::render_prometheus();
+                let _ = write!(
+                    stream,
+                    "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+                     Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len(),
+                );
+                let _ = stream.flush();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
 }
 
 /// Reads request lines until EOF or cancellation, answering each.
@@ -272,6 +355,33 @@ fn answer(
     if line.is_empty() {
         return true;
     }
+    // A `metrics` op is answered inline on the handler thread: it is the
+    // one place the queue and store stats are both in scope, and a
+    // snapshot should not wait behind queued synthesis jobs.
+    if json_field(&line, "op").as_deref() == Some("metrics") {
+        let started = Instant::now();
+        sync_serve_gauges(&service.store().stats(), &queue.stats());
+        let resp = Response {
+            body: format!(
+                "{{\"command\": \"metrics\", \"ok\": true, \"profile\": {}}}",
+                si_obs::render_json(),
+            ),
+            cache_hit: false,
+            reach_builds: 0,
+            covers_reused: 0,
+            covers_derived: 0,
+        };
+        let job_ms = started.elapsed().as_secs_f64() * 1e3;
+        if log {
+            log_job(&resp, job_ms);
+        }
+        let out = envelope(&resp, job_ms, &service.store().stats(), &queue.stats());
+        return stream
+            .write_all(out.as_bytes())
+            .and_then(|()| stream.write_all(b"\n"))
+            .and_then(|()| stream.flush())
+            .is_ok();
+    }
     let job_service = Arc::clone(service);
     let job_queue = Arc::clone(queue);
     let result = queue.submit(move || {
@@ -312,18 +422,17 @@ fn answer(
         .is_ok()
 }
 
-fn log_job(resp: &Response, job_ms: f64) {
-    let command = json::parse(&resp.body)
+fn json_field(text: &str, key: &str) -> Option<String> {
+    json::parse(text)
         .ok()
-        .and_then(|v| {
-            v.get("command")
-                .and_then(json::Value::as_str)
-                .map(String::from)
-        })
-        .unwrap_or_else(|| "?".to_string());
-    eprintln!(
+        .and_then(|v| v.get(key).and_then(json::Value::as_str).map(String::from))
+}
+
+fn log_job(resp: &Response, job_ms: f64) {
+    let command = json_field(&resp.body, "command").unwrap_or_else(|| "?".to_string());
+    si_obs::log_line(&format!(
         "serve: {command} cache_hit={} job_ms={job_ms:.1} reach_builds={} \
          covers_reused={} covers_derived={}",
         resp.cache_hit, resp.reach_builds, resp.covers_reused, resp.covers_derived,
-    );
+    ));
 }

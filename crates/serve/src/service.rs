@@ -284,6 +284,25 @@ impl Service {
 
     /// Executes one request line.
     pub fn execute(&self, line: &str) -> Response {
+        let _span = si_obs::span("serve.execute");
+        let t0 = std::time::Instant::now();
+        let resp = self.execute_inner(line);
+        if si_obs::enabled() {
+            // Per-op latency, keyed by the command the response names —
+            // cache hits included, so the histogram shows what clients
+            // actually experienced.
+            si_obs::histogram_record(
+                op_latency_metric(&resp.body),
+                t0.elapsed().as_micros() as u64,
+            );
+            if resp.cache_hit {
+                si_obs::counter_inc("serve.cache_hits");
+            }
+        }
+        resp
+    }
+
+    fn execute_inner(&self, line: &str) -> Response {
         let req = match Request::parse(line) {
             Ok(req) => req,
             Err((op, detail)) => return Response::error(&op, "bad-request", &detail),
@@ -295,7 +314,7 @@ impl Service {
             return Response::error(
                 &req.op,
                 "bad-request",
-                "unknown op (expected check, synth, verify, resolve or stats)",
+                "unknown op (expected check, synth, verify, resolve, stats or metrics)",
             );
         }
         let parsed = match parse_g(&req.spec) {
@@ -718,6 +737,24 @@ struct Run {
     manifest: Vec<String>,
 }
 
+/// The per-op latency histogram name for a response body, keyed by its
+/// `"command"` prefix (the body always leads with it, so a prefix probe
+/// avoids reparsing the JSON on every job).
+fn op_latency_metric(body: &str) -> &'static str {
+    for (op, metric) in [
+        ("check", "serve.op.check_us"),
+        ("synth", "serve.op.synth_us"),
+        ("verify", "serve.op.verify_us"),
+        ("resolve", "serve.op.resolve_us"),
+        ("stats", "serve.op.stats_us"),
+    ] {
+        if body.starts_with(&format!("{{\"command\": \"{op}\"")) {
+            return metric;
+        }
+    }
+    "serve.op.other_us"
+}
+
 fn synthesis_error_kind(e: &SynthesisError) -> &'static str {
     match e {
         SynthesisError::WorkerPanicked { .. } => "worker-panicked",
@@ -734,16 +771,22 @@ fn error_json(kind: &str, detail: &str, states_explored: usize) -> String {
 }
 
 fn reach_error_json(e: &ReachError) -> String {
-    let (kind, states) = match e {
-        ReachError::StateCapExceeded { cap } => ("cap-exceeded", *cap),
+    let (kind, states, elapsed_ms) = match e {
+        ReachError::StateCapExceeded { cap } => ("cap-exceeded", *cap, 0),
         ReachError::Interrupted {
             reason,
             states_explored,
-        } => (reason.as_str(), *states_explored),
-        ReachError::WorkerPanicked { .. } => ("worker-panicked", 0),
-        ReachError::NotSafe { .. } => ("not-safe", 0),
+            elapsed_ms,
+        } => (reason.as_str(), *states_explored, *elapsed_ms),
+        ReachError::WorkerPanicked { .. } => ("worker-panicked", 0, 0),
+        ReachError::NotSafe { .. } => ("not-safe", 0, 0),
     };
-    error_json(kind, &e.to_string(), states)
+    format!(
+        "{{\"kind\": {}, \"detail\": {}, \"states_explored\": {states}, \
+         \"elapsed_ms\": {elapsed_ms}}}",
+        escape(kind),
+        escape(&e.to_string()),
+    )
 }
 
 fn stats_json(stats: &ResolveStats) -> String {

@@ -154,6 +154,16 @@ fn install_interrupt_handler() {
 #[cfg(not(unix))]
 fn install_interrupt_handler() {}
 
+/// How `--profile` renders the collected profile at process exit.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum ProfileFormat {
+    /// Human-readable span tree + metrics on stderr (the default).
+    Tree,
+    /// The profile JSON object: spliced into the final `--json` report
+    /// when one is emitted, printed alone on stdout otherwise.
+    Json,
+}
+
 struct Args {
     command: String,
     input: String,
@@ -163,6 +173,11 @@ struct Args {
     minimizer: MinimizerChoice,
     json: bool,
     waveform: Option<usize>,
+    /// `--profile[=tree|json]`: turn the observability layer on and
+    /// render the profile when the command finishes.
+    profile: Option<ProfileFormat>,
+    /// `--progress DUR`: periodic exploration heartbeats on stderr.
+    progress: Option<Duration>,
     /// `--cap`: one explicit cap for every oracle; `None` keeps the
     /// per-command defaults.
     cap: Option<usize>,
@@ -217,7 +232,8 @@ fn usage() -> ExitCode {
          [-o FILE] [--arch complex|excitation|per-region] [--stages 0..4|full] \
          [--minimizer espresso|exact|bdd|auto] [--json] [--waveform N] \
          [--cap N] [--shards N|auto] [--budget N] [--strategy greedy|beam] \
-         [--timeout DUR] [--backend explicit|symbolic|auto]"
+         [--timeout DUR] [--backend explicit|symbolic|auto] \
+         [--profile[=tree|json]] [--progress DUR]"
     );
     ExitCode::from(2)
 }
@@ -252,8 +268,19 @@ fn parse_args() -> Result<Args, ExitCode> {
     let mut strategy = Strategy::Greedy;
     let mut timeout = None;
     let mut backend = Backend::Explicit;
+    let mut profile = None;
+    let mut progress = None;
     while let Some(a) = argv.next() {
         match a.as_str() {
+            "--profile" | "--profile=tree" => profile = Some(ProfileFormat::Tree),
+            "--profile=json" => profile = Some(ProfileFormat::Json),
+            "--progress" => {
+                let v = argv.next().ok_or_else(usage)?;
+                progress = Some(parse_duration(&v).ok_or_else(|| {
+                    eprintln!("bad --progress {v:?} (expected e.g. 500ms, 2s, 1m)");
+                    usage()
+                })?);
+            }
             "-o" => output = Some(argv.next().ok_or_else(usage)?),
             "--arch" => {
                 arch = match argv.next().ok_or_else(usage)?.as_str() {
@@ -363,6 +390,8 @@ fn parse_args() -> Result<Args, ExitCode> {
         strategy,
         timeout,
         backend,
+        profile,
+        progress,
     })
 }
 
@@ -434,16 +463,40 @@ fn error_json(kind: &str, detail: &str, states_explored: usize) -> String {
 /// `deadline-expired`, `cancelled`, `memory-exhausted`) plus `not-safe`
 /// and `worker-panicked`.
 fn reach_error_json(e: &ReachError) -> String {
-    let (kind, states) = match e {
-        ReachError::StateCapExceeded { cap } => (InterruptReason::CapExceeded.as_str(), *cap),
+    let (kind, states, elapsed_ms) = match e {
+        ReachError::StateCapExceeded { cap } => (InterruptReason::CapExceeded.as_str(), *cap, 0),
         ReachError::Interrupted {
             reason,
             states_explored,
-        } => (reason.as_str(), *states_explored),
-        ReachError::WorkerPanicked { .. } => ("worker-panicked", 0),
-        ReachError::NotSafe { .. } => ("not-safe", 0),
+            elapsed_ms,
+        } => (reason.as_str(), *states_explored, *elapsed_ms),
+        ReachError::WorkerPanicked { .. } => ("worker-panicked", 0, 0),
+        ReachError::NotSafe { .. } => ("not-safe", 0, 0),
     };
-    error_json(kind, &e.to_string(), states)
+    format!(
+        "{{\"kind\": {}, \"detail\": {}, \"states_explored\": {}, \"elapsed_ms\": {}}}",
+        json_str(kind),
+        json_str(&e.to_string()),
+        states,
+        elapsed_ms
+    )
+}
+
+/// Prints a command's final `--json` report object to stdout. Under
+/// `--profile=json` the collected profile is spliced into the object as
+/// a `"profile"` key — the report is the last thing a command prints, so
+/// every phase span below the CLI's own has closed by then.
+fn print_json(args: &Args, body: &str) {
+    let body = body.trim_end();
+    if args.profile == Some(ProfileFormat::Json) && body.ends_with('}') {
+        println!(
+            "{}, \"profile\": {}}}",
+            &body[..body.len() - 1],
+            si_obs::render_json()
+        );
+    } else {
+        println!("{body}");
+    }
 }
 
 /// Exit code for a [`ReachError`]: inconclusive budget exhaustion gets
@@ -473,6 +526,40 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(code) => return code,
     };
+    if args.profile.is_some() {
+        si_obs::set_enabled(true);
+    }
+    if let Some(interval) = args.progress {
+        si_obs::arm_progress(interval);
+    }
+    let code = run(&args);
+    // The tree profile goes to stderr after the command wound down (its
+    // top-level span has closed by now); the JSON profile was already
+    // spliced into the final `--json` report by `print_json`, or prints
+    // alone on stdout when no report owned stdout.
+    match args.profile {
+        Some(ProfileFormat::Tree) => si_obs::log_lines(&si_obs::render_tree()),
+        Some(ProfileFormat::Json) if !args.json => println!("{}", si_obs::render_json()),
+        _ => {}
+    }
+    code
+}
+
+/// The per-subcommand span names of the CLI layer — the profile tree's
+/// roots, so every child phase sums under one wall-clock total.
+fn cli_span(command: &str) -> &'static str {
+    match command {
+        "check" => "cli.check",
+        "synth" => "cli.synth",
+        "verify" => "cli.verify",
+        "resolve" => "cli.resolve",
+        "deadlock" => "cli.deadlock",
+        _ => "cli.other",
+    }
+}
+
+fn run(args: &Args) -> ExitCode {
+    let _span = si_obs::span(cli_span(&args.command));
     let text = match read_input(&args.input) {
         Ok(t) => t,
         Err(e) => {
@@ -491,7 +578,7 @@ fn main() -> ExitCode {
             );
             return usage();
         }
-        return cmd_deadlock(&text, &args);
+        return cmd_deadlock(&text, args);
     }
     let stg = match parse_g(&text) {
         Ok(s) => s,
@@ -517,12 +604,12 @@ fn main() -> ExitCode {
     }
 
     match args.command.as_str() {
-        "check" => cmd_check(&stg, &args),
-        "synth" => cmd_synth(&stg, &args),
-        "verify" => cmd_verify(&stg, &args),
-        "resolve" => cmd_resolve(&stg, &args),
+        "check" => cmd_check(&stg, args),
+        "synth" => cmd_synth(&stg, args),
+        "verify" => cmd_verify(&stg, args),
+        "resolve" => cmd_resolve(&stg, args),
         "dot" => {
-            let _ = emit(&args, &stg_to_dot(&stg));
+            let _ = emit(args, &stg_to_dot(&stg));
             ExitCode::SUCCESS
         }
         _ => usage(),
@@ -559,6 +646,7 @@ fn cmd_check(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
         Err(ReachError::Interrupted {
             reason,
             states_explored,
+            ..
         }) => println!(
             "reachable markings: >= {states_explored} (count interrupted: \
              {reason} — the structural flow does not need the state graph)"
@@ -645,21 +733,24 @@ fn cmd_synth(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
                 mapped.area
             );
             if args.json {
-                println!(
-                    "{{\"command\": \"synth\", \"ok\": true, \"model\": {}, \
+                print_json(
+                    args,
+                    &format!(
+                        "{{\"command\": \"synth\", \"ok\": true, \"model\": {}, \
                      \"architecture\": {}, \"minimizer\": {}, \
                      \"signals\": {}, \"literal_area\": {}, \"mapped_area\": {}, \
                      \"place_cover_cubes\": {}, \"sm_count\": {}, \
                      \"refinement_rounds\": {}}}",
-                    json_str(stg.name()),
-                    json_str(arch_name(args.arch)),
-                    json_str(args.minimizer.name()),
-                    syn.results.len(),
-                    syn.literal_area,
-                    mapped.area,
-                    syn.place_cover_cubes,
-                    syn.sm_count,
-                    syn.refinement_rounds,
+                        json_str(stg.name()),
+                        json_str(arch_name(args.arch)),
+                        json_str(args.minimizer.name()),
+                        syn.results.len(),
+                        syn.literal_area,
+                        mapped.area,
+                        syn.place_cover_cubes,
+                        syn.sm_count,
+                        syn.refinement_rounds,
+                    ),
                 );
             }
             let _ = emit(args, &to_verilog(stg, &syn.circuit));
@@ -673,10 +764,13 @@ fn cmd_synth(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
         Err(e) => {
             eprintln!("synthesis failed: {e}");
             if args.json {
-                println!(
-                    "{{\"command\": \"synth\", \"ok\": false, \"model\": {}, \"error\": {}}}",
-                    json_str(stg.name()),
-                    error_json(synthesis_error_kind(&e), &e.to_string(), 0),
+                print_json(
+                    args,
+                    &format!(
+                        "{{\"command\": \"synth\", \"ok\": false, \"model\": {}, \"error\": {}}}",
+                        json_str(stg.name()),
+                        error_json(synthesis_error_kind(&e), &e.to_string(), 0),
+                    ),
                 );
             }
             ExitCode::FAILURE
@@ -701,10 +795,13 @@ fn cmd_verify(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
         Err(e) => {
             eprintln!("synthesis failed: {e}");
             if args.json {
-                println!(
-                    "{{\"command\": \"verify\", \"ok\": false, \"model\": {}, \"error\": {}}}",
-                    json_str(stg.name()),
-                    error_json(synthesis_error_kind(&e), &e.to_string(), 0),
+                print_json(
+                    args,
+                    &format!(
+                        "{{\"command\": \"verify\", \"ok\": false, \"model\": {}, \"error\": {}}}",
+                        json_str(stg.name()),
+                        error_json(synthesis_error_kind(&e), &e.to_string(), 0),
+                    ),
                 );
             }
             return ExitCode::FAILURE;
@@ -725,12 +822,15 @@ fn cmd_verify(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
                 eprintln!("verification failed: {e}");
             }
             if args.json {
-                println!(
-                    "{{\"command\": \"verify\", \"ok\": false, \
+                print_json(
+                    args,
+                    &format!(
+                        "{{\"command\": \"verify\", \"ok\": false, \
                      \"inconclusive\": {}, \"model\": {}, \"error\": {}}}",
-                    e.is_inconclusive(),
-                    json_str(stg.name()),
-                    reach_error_json(&e),
+                        e.is_inconclusive(),
+                        json_str(stg.name()),
+                        reach_error_json(&e),
+                    ),
                 );
             }
             return reach_error_exit(&e);
@@ -741,12 +841,15 @@ fn cmd_verify(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
         Err(e) => {
             eprintln!("conformance check failed: {e}");
             if args.json {
-                println!(
-                    "{{\"command\": \"verify\", \"ok\": false, \
+                print_json(
+                    args,
+                    &format!(
+                        "{{\"command\": \"verify\", \"ok\": false, \
                      \"inconclusive\": {}, \"model\": {}, \"error\": {}}}",
-                    e.is_inconclusive(),
-                    json_str(stg.name()),
-                    reach_error_json(&e),
+                        e.is_inconclusive(),
+                        json_str(stg.name()),
+                        reach_error_json(&e),
+                    ),
                 );
             }
             return reach_error_exit(&e);
@@ -845,28 +948,31 @@ fn cmd_verify(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
         let symbolic_json = symbolic_stats.map_or("null".to_string(), |(iterations, peak)| {
             format!("{{\"iterations\": {iterations}, \"peak_nodes\": {peak}}}")
         });
-        println!(
-            "{{\"command\": \"verify\", \"ok\": {}, \"inconclusive\": {}, \"model\": {}, \
+        print_json(
+            args,
+            &format!(
+                "{{\"command\": \"verify\", \"ok\": {}, \"inconclusive\": {}, \"model\": {}, \
              \"backend\": {}, \"spec_states\": {spec_states_json}, \
              \"symbolic\": {symbolic_json}, \
              \"functional_ok\": {}, \"violations\": {}, \"states_checked\": {}, \
              \"conformance_ok\": {}, \"conformance_failures\": {}, \
              \"states_explored\": {}, \"trace\": {}, \"random_walks_ok\": {}, \
              \"literal_area\": {}, \"minimizer\": {}}}",
-            ok,
-            inconclusive,
-            json_str(stg.name()),
-            json_str(args.backend.as_str()),
-            functional.is_ok(),
-            functional.violations.len(),
-            functional.states_checked,
-            conformance.is_ok(),
-            conformance.failures.len(),
-            conformance.states_explored,
-            trace_json,
-            sim.is_clean(),
-            syn.literal_area,
-            json_str(args.minimizer.name()),
+                ok,
+                inconclusive,
+                json_str(stg.name()),
+                json_str(args.backend.as_str()),
+                functional.is_ok(),
+                functional.violations.len(),
+                functional.states_checked,
+                conformance.is_ok(),
+                conformance.failures.len(),
+                conformance.states_explored,
+                trace_json,
+                sim.is_clean(),
+                syn.literal_area,
+                json_str(args.minimizer.name()),
+            ),
         );
     }
     if failed {
@@ -961,16 +1067,19 @@ fn cmd_resolve(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
                 resolution.stg.signal_count()
             );
             if args.json {
-                println!(
-                    "{{\"command\": \"resolve\", \"ok\": true, \"model\": {}, \
+                print_json(
+                    args,
+                    &format!(
+                        "{{\"command\": \"resolve\", \"ok\": true, \"model\": {}, \
                      \"signals_before\": {}, \"signals_after\": {}, \
                      \"plan\": {}, \"cost\": {}, \"stats\": {}}}",
-                    json_str(stg.name()),
-                    stg.signal_count(),
-                    resolution.stg.signal_count(),
-                    plan_json(stg, &resolution.plan),
-                    resolution.cost,
-                    stats_json(stats),
+                        json_str(stg.name()),
+                        stg.signal_count(),
+                        resolution.stg.signal_count(),
+                        plan_json(stg, &resolution.plan),
+                        resolution.cost,
+                        stats_json(stats),
+                    ),
                 );
             }
             let _ = emit(args, &write_g(&resolution.stg));
@@ -1000,14 +1109,17 @@ fn cmd_resolve(stg: &sisyn::stg::Stg, args: &Args) -> ExitCode {
                 }
             };
             if args.json {
-                println!(
-                    "{{\"command\": \"resolve\", \"ok\": false, \
+                print_json(
+                    args,
+                    &format!(
+                        "{{\"command\": \"resolve\", \"ok\": false, \
                      \"inconclusive\": {}, \"model\": {}, \"error\": {}, \
                      \"stats\": {}}}",
-                    stats.interrupted.is_some(),
-                    json_str(stg.name()),
-                    error_json(kind, detail, stats.evaluated),
-                    stats_json(stats),
+                        stats.interrupted.is_some(),
+                        json_str(stg.name()),
+                        error_json(kind, detail, stats.evaluated),
+                        stats_json(stats),
+                    ),
                 );
             }
             if stats.interrupted.is_some() {
@@ -1032,11 +1144,14 @@ fn cmd_deadlock(text: &str, args: &Args) -> ExitCode {
         Err(e) => {
             eprintln!("deadlock check failed: {e}");
             if args.json {
-                println!(
-                    "{{\"command\": \"deadlock\", \"ok\": false, \
+                print_json(
+                    args,
+                    &format!(
+                        "{{\"command\": \"deadlock\", \"ok\": false, \
                      \"inconclusive\": false, \"model\": {}, \"error\": {}}}",
-                    json_str(sys.name()),
-                    error_json("worker-panicked", &e.to_string(), 0),
+                        json_str(sys.name()),
+                        error_json("worker-panicked", &e.to_string(), 0),
+                    ),
                 );
             }
             return ExitCode::FAILURE;
@@ -1124,25 +1239,28 @@ fn cmd_deadlock(text: &str, args: &Args) -> ExitCode {
             ),
             _ => "null".to_string(),
         };
-        println!(
-            "{{\"command\": \"deadlock\", \"ok\": {}, \"inconclusive\": {}, \
+        print_json(
+            args,
+            &format!(
+                "{{\"command\": \"deadlock\", \"ok\": {}, \"inconclusive\": {}, \
              \"model\": {}, \"modules\": {}, \"channels\": {}, \
              \"states_explored\": {}, \"violations\": {}, \"deadlocks\": {}, \
              \"dangling_sends\": {}, \"overflows\": {}, \"state\": {}, \
              \"trace\": {}, \"error\": {}}}",
-            report.is_ok() && report.is_conclusive(),
-            !report.is_conclusive(),
-            json_str(sys.name()),
-            sys.modules().len(),
-            sys.channels().len(),
-            report.states_explored,
-            report.violations.len(),
-            report.deadlocks(),
-            report.dangling_sends(),
-            report.overflows(),
-            state_json,
-            trace_json,
-            error_json_field,
+                report.is_ok() && report.is_conclusive(),
+                !report.is_conclusive(),
+                json_str(sys.name()),
+                sys.modules().len(),
+                sys.channels().len(),
+                report.states_explored,
+                report.violations.len(),
+                report.deadlocks(),
+                report.dangling_sends(),
+                report.overflows(),
+                state_json,
+                trace_json,
+                error_json_field,
+            ),
         );
     }
     if !report.is_ok() {

@@ -135,6 +135,7 @@ impl SymbolicAnalysis {
     ///
     /// [`ReachError::NotSafe`] as [`SymbolicAnalysis::build`].
     pub fn build_with(stg: &Stg, budget: &Budget) -> Result<SymbolicAnalysis, ReachError> {
+        let _span = si_obs::span("symbolic.analysis");
         let nsig = stg.signal_count();
         let mut reach = SymbolicReach::build_with_aux(stg.net(), budget, nsig)?;
         let nt = reach.transition_count();

@@ -231,6 +231,7 @@ pub fn verify_circuit_on_opts(
     enc: &StateEncoding,
     reach: &si_petri::ReachOptions,
 ) -> Result<VerificationReport, si_petri::ReachError> {
+    let _span = si_obs::span("verify.check");
     let space = VerifySpace::new(stg, circuit, rg, enc);
     let mut opts = ExploreOptions::from(reach).witness();
     opts.budget.cap = usize::MAX;

@@ -151,6 +151,7 @@ fn probe_exhausted(reason: InterruptReason) -> ConformanceReport {
         interrupted: Some(Interrupt {
             reason,
             states_explored: 0,
+            elapsed: std::time::Duration::ZERO,
         }),
     }
 }
@@ -172,6 +173,7 @@ pub(crate) fn engine_conformance(
     circuit: &Circuit,
     reach: si_petri::ReachOptions,
 ) -> Result<ConformanceReport, ReachError> {
+    let _span = si_obs::span("verify.conformance");
     let stg = engine.stg();
     let code0 = match engine.reachability() {
         Ok(rg) => {
